@@ -1,0 +1,295 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// recorded results). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The timing benchmarks use a moderate dataset size so the suite finishes
+// quickly; cmd/elinda-bench runs the same experiments at larger scales.
+package elinda_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"elinda"
+	"elinda/internal/core"
+	"elinda/internal/datagen"
+	"elinda/internal/decomposer"
+	"elinda/internal/incremental"
+	"elinda/internal/ontology"
+	"elinda/internal/proxy"
+	"elinda/internal/rdf"
+)
+
+// benchPersons is the dataset scale of the in-suite benchmarks.
+const benchPersons = 5000
+
+var (
+	benchOnce sync.Once
+	benchSys  *elinda.System
+	benchErr  error
+)
+
+// system lazily builds one shared dataset for all benchmarks.
+func system(b *testing.B) *elinda.System {
+	benchOnce.Do(func() {
+		cfg := elinda.DefaultDataConfig()
+		cfg.Persons = benchPersons
+		ds := elinda.GenerateDBpediaLike(cfg)
+		benchSys, benchErr = elinda.Open(ds.Triples)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchSys
+}
+
+// BenchmarkFig1InitialChart regenerates Figure 1: the initial pane over
+// the DBpedia-like dataset — root pane statistics plus the subclass chart
+// of owl:Thing with bars sorted by decreasing height.
+func BenchmarkFig1InitialChart(b *testing.B) {
+	sys := system(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pane := sys.Explorer.OpenRootPane()
+		_ = pane.Stats()
+		chart := pane.SubclassChart()
+		if len(chart.Bars) != 49 {
+			b.Fatalf("top-level bars = %d, want 49", len(chart.Bars))
+		}
+	}
+}
+
+// BenchmarkFig2ExplorationPath regenerates Figure 2: the exploration path
+// owl:Thing → Agent → Person → Philosopher followed by the influencedBy
+// object expansion ("persons influencing philosophers").
+func BenchmarkFig2ExplorationPath(b *testing.B) {
+	sys := system(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x := sys.Explorer.StartExploration()
+		for _, class := range []string{"Agent", "Person", "Philosopher"} {
+			if _, err := x.ExpandByText(class, core.SubclassExpansion); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pane := sys.Explorer.OpenPane(datagen.Ont("Philosopher"))
+		chart, err := pane.ConnectionsChart(datagen.Ont("influencedBy"), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := chart.BarByText("Scientist"); !ok {
+			b.Fatal("Scientist bar missing")
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates Figure 4: the level-zero outgoing and
+// incoming property expansions under the three store configurations
+// (generic engine playing Virtuoso, decomposer, HVS hit). The paper's
+// numbers: 454s/124s vs 1.5s/1.2s vs ~80ms — the claim is the ordering
+// and the orders-of-magnitude gaps, which these sub-benchmarks exhibit.
+func BenchmarkFig4(b *testing.B) {
+	sys := system(b)
+	queries := map[string]string{
+		"outgoing": core.PropertyExpansionSPARQL(rdf.OWLThingIRI, false),
+		"incoming": core.PropertyExpansionSPARQL(rdf.OWLThingIRI, true),
+	}
+	configs := []struct {
+		name string
+		opts proxy.Options
+		warm bool
+	}{
+		{"Virtuoso", proxy.Options{DisableHVS: true, DisableDecomposer: true}, false},
+		{"Decomposer", proxy.Options{DisableHVS: true}, false},
+		{"HVS", proxy.Options{HeavyThreshold: time.Nanosecond}, true},
+	}
+	for _, cfg := range configs {
+		for dir, q := range queries {
+			b.Run(cfg.name+"/"+dir, func(b *testing.B) {
+				sys.Proxy.SetOptions(cfg.opts)
+				sys.Proxy.HVS().Invalidate()
+				if cfg.warm {
+					if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkTextFactsTopClasses regenerates T1: the 49 top-level classes
+// and the 22 empty ones.
+func BenchmarkTextFactsTopClasses(b *testing.B) {
+	sys := system(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := ontology.Build(sys.Store)
+		tops := h.DirectSubclasses(h.Root())
+		empty := h.EmptyClasses(true)
+		if len(tops) != 49 || len(empty) != 22 {
+			b.Fatalf("T1 mismatch: %d tops, %d empty", len(tops), len(empty))
+		}
+	}
+}
+
+// BenchmarkTextFactsPolitician regenerates T2: Politician property
+// distribution with the 20% coverage threshold (38 properties).
+func BenchmarkTextFactsPolitician(b *testing.B) {
+	sys := system(b)
+	pane := sys.Explorer.OpenPane(datagen.Ont("Politician"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chart := pane.PropertyChart(false, 0.20)
+		if len(chart.Bars) != 38 {
+			b.Fatalf("T2 mismatch: %d bars above threshold", len(chart.Bars))
+		}
+	}
+}
+
+// BenchmarkTextFactsPhilosopherIngoing regenerates T3: the 9 ingoing
+// properties of Philosopher above the threshold.
+func BenchmarkTextFactsPhilosopherIngoing(b *testing.B) {
+	sys := system(b)
+	pane := sys.Explorer.OpenPane(datagen.Ont("Philosopher"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chart := pane.PropertyChart(true, 0.20)
+		if len(chart.Bars) != 9 {
+			b.Fatalf("T3 mismatch: %d bars", len(chart.Bars))
+		}
+	}
+}
+
+// BenchmarkIncrementalSweep regenerates T4: chart construction in chunks
+// of N triples, for several N (the administrator's configuration knob).
+func BenchmarkIncrementalSweep(b *testing.B) {
+	sys := system(b)
+	total := sys.Store.Len()
+	for _, div := range []int{20, 5, 1} {
+		n := total/div + 1
+		b.Run(fmt.Sprintf("N=total_div_%d", div), func(b *testing.B) {
+			ev := incremental.New(sys.Store, incremental.Config{ChunkSize: n})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg := incremental.NewPropertyAggregator(nil, false)
+				if _, err := ev.Run(context.Background(), agg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkErrorDetection regenerates T5: the birthPlace object expansion
+// on Person that surfaces the erroneous Food bar.
+func BenchmarkErrorDetection(b *testing.B) {
+	sys := system(b)
+	pane := sys.Explorer.OpenPane(datagen.Ont("Person"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chart, err := pane.ConnectionsChart(datagen.Ont("birthPlace"), false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := chart.BarByText("Food"); !ok {
+			b.Fatal("T5: Food bar missing")
+		}
+	}
+}
+
+// BenchmarkAblationHVSThreshold regenerates A1: the same mixed workload
+// under different heaviness thresholds — lower thresholds cache more and
+// run faster on repeats.
+func BenchmarkAblationHVSThreshold(b *testing.B) {
+	sys := system(b)
+	workload := []string{
+		core.PropertyExpansionSPARQL(datagen.Ont("Person"), false),
+		core.PropertyExpansionSPARQL(datagen.Ont("Politician"), false),
+		`SELECT ?s WHERE { ?s a ` + datagen.Ont("Philosopher").String() + ` . }`,
+	}
+	for _, th := range []time.Duration{time.Microsecond, time.Millisecond, 100 * time.Millisecond, time.Second} {
+		b.Run(th.String(), func(b *testing.B) {
+			sys.Proxy.SetOptions(proxy.Options{HeavyThreshold: th, DisableDecomposer: true})
+			sys.Proxy.HVS().Invalidate()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, q := range workload {
+					if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDecomposer regenerates A2: generic engine vs
+// decomposer for property expansions at different hierarchy levels.
+func BenchmarkAblationDecomposer(b *testing.B) {
+	sys := system(b)
+	classes := []rdf.Term{datagen.Ont("Person"), datagen.Ont("Politician"), datagen.Ont("Philosopher")}
+	for _, class := range classes {
+		q := core.PropertyExpansionSPARQL(class, false)
+		b.Run("generic/"+class.LocalName(), func(b *testing.B) {
+			sys.Proxy.SetOptions(proxy.Options{DisableHVS: true, DisableDecomposer: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("decomposed/"+class.LocalName(), func(b *testing.B) {
+			sys.Proxy.SetOptions(proxy.Options{DisableHVS: true})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDictionaryEncoding is the dictionary-encoding ablation from
+// DESIGN.md: interning cost per triple during a bulk load.
+func BenchmarkDictionaryEncoding(b *testing.B) {
+	cfg := elinda.DefaultDataConfig()
+	cfg.Persons = 500
+	ds := elinda.GenerateDBpediaLike(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elinda.Open(ds.Triples); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(ds.Triples)))
+}
+
+// BenchmarkDecomposerEquivalence keeps the correctness property hot in
+// the benchmark suite: decomposed results must equal generic results
+// while being measured.
+func BenchmarkDecomposerEquivalence(b *testing.B) {
+	sys := system(b)
+	d := decomposer.New(sys.Store)
+	phil, _ := sys.Store.Dict().Lookup(datagen.Ont("Philosopher"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stats := d.PropertyStats(phil, decomposer.Outgoing)
+		if len(stats) == 0 {
+			b.Fatal("no stats")
+		}
+	}
+}

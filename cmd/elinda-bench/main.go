@@ -1,0 +1,343 @@
+// Command elinda-bench regenerates the paper's evaluation outputs (see
+// DESIGN.md's experiment index). Each experiment prints the paper's
+// reported numbers next to the measured ones, so the reproduction can be
+// judged at a glance. Absolute runtimes differ from the paper (their
+// substrate was a Virtuoso deployment; ours is an in-process Go engine),
+// but the ordering and the orders-of-magnitude gaps are the claim under
+// test.
+//
+// Usage:
+//
+//	elinda-bench -experiment fig4 [-persons N]
+//	elinda-bench -experiment facts | incremental | ablation-hvs | ablation-decomposer | all
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"elinda"
+	"elinda/internal/core"
+	"elinda/internal/datagen"
+	"elinda/internal/decomposer"
+	"elinda/internal/incremental"
+	"elinda/internal/ontology"
+	"elinda/internal/proxy"
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+	"elinda/internal/viz"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | ablation-hvs | ablation-decomposer | ablation-planner | all")
+		persons    = flag.Int("persons", 20000, "synthetic dataset size for timing experiments")
+		factsSize  = flag.Int("facts-persons", 2000, "dataset size for the text-fact experiments")
+	)
+	flag.Parse()
+	log.SetFlags(0)
+
+	switch *experiment {
+	case "fig4":
+		runFig4(*persons)
+	case "facts":
+		runFacts(*factsSize)
+	case "incremental":
+		runIncremental(*persons)
+	case "ablation-hvs":
+		runAblationHVS(*persons)
+	case "ablation-decomposer":
+		runAblationDecomposer(*persons)
+	case "ablation-planner":
+		runAblationPlanner(*persons)
+	case "all":
+		runFacts(*factsSize)
+		fmt.Println()
+		runFig4(*persons)
+		fmt.Println()
+		runIncremental(*persons)
+		fmt.Println()
+		runAblationHVS(*persons)
+		fmt.Println()
+		runAblationDecomposer(*persons)
+		fmt.Println()
+		runAblationPlanner(*persons)
+	default:
+		log.Fatalf("unknown experiment %q", *experiment)
+	}
+}
+
+func buildSystem(persons int) *elinda.System {
+	cfg := elinda.DefaultDataConfig()
+	cfg.Persons = persons
+	ds := elinda.GenerateDBpediaLike(cfg)
+	sys, err := elinda.Open(ds.Triples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return sys
+}
+
+// runFig4 reproduces Figure 4: level-zero property expansions under the
+// three store configurations.
+func runFig4(persons int) {
+	fmt.Println("== Figure 4: level-zero property expansion runtimes ==")
+	sys := buildSystem(persons)
+	fmt.Printf("dataset: %d triples (persons=%d)\n", sys.Store.Len(), persons)
+	fmt.Println("paper reference: Virtuoso 454s/124s — decomposer 1.5s/1.2s — HVS ~80ms")
+	fmt.Println()
+
+	queries := map[string]string{
+		"outgoing": core.PropertyExpansionSPARQL(rdf.OWLThingIRI, false),
+		"incoming": core.PropertyExpansionSPARQL(rdf.OWLThingIRI, true),
+	}
+	type row struct {
+		name string
+		opts proxy.Options
+		warm bool
+	}
+	rows := []row{
+		{"Virtuoso (generic engine)", proxy.Options{DisableHVS: true, DisableDecomposer: true}, false},
+		{"eLinda (decomposer)", proxy.Options{DisableHVS: true}, false},
+		{"HVS (cache hit)", proxy.Options{HeavyThreshold: time.Nanosecond}, true},
+	}
+	fmt.Printf("%-28s %14s %14s\n", "configuration", "outgoing", "incoming")
+	var series []viz.RuntimeSeries
+	for _, r := range rows {
+		sys.Proxy.SetOptions(r.opts)
+		sys.Proxy.HVS().Invalidate()
+		results := map[string]time.Duration{}
+		for dir, q := range queries {
+			if r.warm {
+				if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+					log.Fatal(err)
+				}
+			}
+			start := time.Now()
+			if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+				log.Fatal(err)
+			}
+			results[dir] = time.Since(start)
+		}
+		fmt.Printf("%-28s %14s %14s\n", r.name,
+			results["outgoing"].Round(time.Microsecond),
+			results["incoming"].Round(time.Microsecond))
+		series = append(series, viz.RuntimeSeries{Name: r.name, ByGroup: results})
+	}
+	fmt.Println()
+	fmt.Print(viz.RuntimeChart("Figure 4 (log-scale bars)", []string{"outgoing", "incoming"}, series, 44))
+}
+
+// runAblationPlanner reproduces A3: the engine's join-order planner on
+// and off for a selective lookup query.
+func runAblationPlanner(persons int) {
+	fmt.Println("== A3: join-order planner ablation ==")
+	sys := buildSystem(persons)
+	// A selective query written with the broad pattern first: the planner
+	// must reorder it.
+	src := `SELECT ?s ?o WHERE {
+  ?s <` + datagen.OntNS + `influencedBy> ?o .
+  ?s a <` + datagen.OntNS + `Philosopher> .
+}`
+	q, err := sparql.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	planned := sparql.NewEngine(sys.Store)
+	unplanned := sparql.NewEngine(sys.Store)
+	unplanned.DisablePlanner = true
+
+	timeIt := func(e *sparql.Engine) time.Duration {
+		start := time.Now()
+		if _, err := e.Execute(context.Background(), q); err != nil {
+			log.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	rows := map[string][2]time.Duration{
+		"philosopher-influencedBy": {timeIt(unplanned), timeIt(planned)},
+	}
+	fmt.Print(viz.SpeedupTable("planner off vs on", "unplanned", "planned", rows))
+}
+
+// runFacts reproduces the text facts T1–T3 and T5.
+func runFacts(persons int) {
+	fmt.Println("== Text facts (T1, T2, T3, T5) ==")
+	cfg := elinda.DefaultDataConfig()
+	cfg.Persons = persons
+	ds := elinda.GenerateDBpediaLike(cfg)
+	sys, err := elinda.Open(ds.Triples)
+	if err != nil {
+		log.Fatal(err)
+	}
+	h := ontology.Build(sys.Store)
+	root := h.Root()
+
+	tops := h.DirectSubclasses(root)
+	empty := h.EmptyClasses(true)
+	fmt.Printf("T1  top-level classes:        paper 49   measured %d\n", len(tops))
+	fmt.Printf("T1  empty top-level classes:  paper 22   measured %d\n", len(empty))
+
+	agent, _ := sys.Store.Dict().Lookup(datagen.Ont("Agent"))
+	direct, total := h.SubclassCounts(agent)
+	fmt.Printf("T1b Agent direct subclasses:  paper 5    measured %d\n", direct)
+	fmt.Printf("T1b Agent total subclasses:   paper 277  measured %d\n", total)
+
+	dec := decomposer.New(sys.Store)
+	pol, _ := sys.Store.Dict().Lookup(datagen.Ont("Politician"))
+	polStats := dec.PropertyStats(pol, decomposer.Outgoing)
+	nPol := len(sys.Store.SubjectsOfType(pol))
+	above := 0
+	for _, s := range polStats {
+		if float64(s.Subjects) >= 0.2*float64(nPol) {
+			above++
+		}
+	}
+	fmt.Printf("T2  Politician distinct props (scaled): paper 1482  measured %d\n", len(polStats))
+	fmt.Printf("T2  Politician props >= 20%%:  paper 38   measured %d\n", above)
+
+	phil, _ := sys.Store.Dict().Lookup(datagen.Ont("Philosopher"))
+	philStats := dec.PropertyStats(phil, decomposer.Incoming)
+	nPhil := len(sys.Store.SubjectsOfType(phil))
+	aboveIn := 0
+	for _, s := range philStats {
+		if float64(s.Subjects) >= 0.2*float64(nPhil) {
+			aboveIn++
+		}
+	}
+	fmt.Printf("T3  Philosopher ingoing props >= 20%%: paper 9  measured %d\n", aboveIn)
+
+	pane := sys.Explorer.OpenPane(datagen.Ont("Person"))
+	conn, err := pane.ConnectionsChart(datagen.Ont("birthPlace"), false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	food, ok := conn.BarByText("Food")
+	fmt.Printf("T5  people born in Food resources: paper 'detectable'  measured bar=%v count=%d\n",
+		ok, barCount(food))
+}
+
+func barCount(b *core.ChartBar) int {
+	if b == nil {
+		return 0
+	}
+	return b.Count
+}
+
+// runIncremental reproduces T4: chunked evaluation sweep over N and k.
+func runIncremental(persons int) {
+	fmt.Println("== T4: incremental evaluation sweep ==")
+	sys := buildSystem(persons)
+	totalTriples := sys.Store.Len()
+	fmt.Printf("dataset: %d triples\n", totalTriples)
+
+	// Full single-shot baseline.
+	full := incremental.NewPropertyAggregator(nil, false)
+	start := time.Now()
+	sys.Store.Scan(0, 0, func(e rdf.EncodedTriple) bool { full.Observe(e); return true })
+	fullTime := time.Since(start)
+	fullCounts := full.Counts()
+	fmt.Printf("single-shot full scan: %s, %d properties\n\n", fullTime.Round(time.Microsecond), len(fullCounts))
+
+	fmt.Printf("%10s %8s %14s %14s %10s\n", "N", "rounds", "t(first)", "t(total)", "complete")
+	for _, chunkDiv := range []int{50, 20, 10, 5, 2, 1} {
+		n := totalTriples/chunkDiv + 1
+		ev := incremental.New(sys.Store, incremental.Config{ChunkSize: n})
+		agg := incremental.NewPropertyAggregator(nil, false)
+		var firstRound time.Duration
+		begin := time.Now()
+		final, err := ev.Run(context.Background(), agg, func(s incremental.Snapshot) bool {
+			if s.Round == 1 {
+				firstRound = time.Since(begin)
+			}
+			return true
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10d %8d %14s %14s %10v\n",
+			n, final.Round, firstRound.Round(time.Microsecond),
+			time.Since(begin).Round(time.Microsecond), final.Complete)
+		if len(final.Counts) != len(fullCounts) {
+			log.Fatalf("incremental result diverged: %d vs %d properties", len(final.Counts), len(fullCounts))
+		}
+	}
+	fmt.Println("\ninvariant verified: every sweep converges to the single-shot chart")
+}
+
+// runAblationHVS reproduces A1: heaviness-threshold sensitivity.
+func runAblationHVS(persons int) {
+	fmt.Println("== A1: HVS heaviness threshold sweep ==")
+	sys := buildSystem(persons)
+	workload := []string{
+		core.PropertyExpansionSPARQL(rdf.OWLThingIRI, false),
+		core.PropertyExpansionSPARQL(rdf.OWLThingIRI, true),
+		core.PropertyExpansionSPARQL(datagen.Ont("Person"), false),
+		core.PropertyExpansionSPARQL(datagen.Ont("Politician"), false),
+		`SELECT ?s WHERE { ?s a ` + datagen.Ont("Philosopher").String() + ` . }`,
+	}
+	fmt.Printf("%12s %10s %10s %10s %12s\n", "threshold", "entries", "hits", "misses", "total time")
+	for _, th := range []time.Duration{
+		10 * time.Microsecond, 100 * time.Microsecond, time.Millisecond,
+		10 * time.Millisecond, 100 * time.Millisecond, time.Second,
+	} {
+		sys.Proxy.SetOptions(proxy.Options{HeavyThreshold: th, DisableDecomposer: true})
+		sys.Proxy.HVS().Invalidate()
+		before := sys.Proxy.HVS().Stats()
+		start := time.Now()
+		for round := 0; round < 3; round++ {
+			for _, q := range workload {
+				if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		elapsed := time.Since(start)
+		st := sys.Proxy.HVS().Stats()
+		fmt.Printf("%12s %10d %10d %10d %12s\n",
+			th, st.Entries, st.Hits-before.Hits, st.Misses-before.Misses,
+			elapsed.Round(time.Millisecond))
+	}
+	fmt.Println("\nlower thresholds cache more queries: hits rise, total time falls")
+}
+
+// runAblationDecomposer reproduces A2: decomposer on/off per class level.
+func runAblationDecomposer(persons int) {
+	fmt.Println("== A2: decomposer ablation across class levels ==")
+	sys := buildSystem(persons)
+	classes := []rdf.Term{
+		rdf.OWLThingIRI,
+		datagen.Ont("Agent"),
+		datagen.Ont("Person"),
+		datagen.Ont("Politician"),
+		datagen.Ont("Philosopher"),
+	}
+	fmt.Printf("%-14s %12s %14s %14s %9s\n", "class", "|S|", "generic", "decomposed", "speedup")
+	for _, class := range classes {
+		q := core.PropertyExpansionSPARQL(class, false)
+		cid, _ := sys.Store.Dict().Lookup(class)
+		size := len(sys.Store.SubjectsOfType(cid))
+
+		sys.Proxy.SetOptions(proxy.Options{DisableHVS: true, DisableDecomposer: true})
+		start := time.Now()
+		if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+			log.Fatal(err)
+		}
+		generic := time.Since(start)
+
+		sys.Proxy.SetOptions(proxy.Options{DisableHVS: true})
+		start = time.Now()
+		if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+			log.Fatal(err)
+		}
+		decomposed := time.Since(start)
+
+		speedup := float64(generic) / float64(decomposed)
+		fmt.Printf("%-14s %12d %14s %14s %8.1fx\n",
+			class.LocalName(), size,
+			generic.Round(time.Microsecond), decomposed.Round(time.Microsecond), speedup)
+	}
+}

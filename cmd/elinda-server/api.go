@@ -1,0 +1,235 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"elinda"
+	"elinda/internal/core"
+	"elinda/internal/rdf"
+)
+
+// api serves the explorer JSON endpoints consumed by a single-page
+// frontend: dataset stats, pane data (subclass / property / connections
+// charts), class search, and generated SPARQL.
+type api struct {
+	sys *elinda.System
+}
+
+func newAPI(sys *elinda.System) *api { return &api{sys: sys} }
+
+func (a *api) register(mux *http.ServeMux) {
+	mux.HandleFunc("/api/stats", a.stats)
+	mux.HandleFunc("/api/classes", a.classes)
+	mux.HandleFunc("/api/pane", a.pane)
+	mux.HandleFunc("/api/chart", a.chart)
+	mux.HandleFunc("/api/connections", a.connections)
+	mux.HandleFunc("/api/table", a.table)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func badRequest(w http.ResponseWriter, format string, args ...any) {
+	http.Error(w, fmt.Sprintf(format, args...), http.StatusBadRequest)
+}
+
+// stats implements GET /api/stats — the "very first queries" of §3.1.
+func (a *api) stats(w http.ResponseWriter, r *http.Request) {
+	s := a.sys.Store.ComputeStats()
+	writeJSON(w, map[string]any{
+		"triples":         s.Triples,
+		"classes":         s.Classes,
+		"declaredClasses": s.DeclaredClasses,
+		"subjects":        s.Subjects,
+		"properties":      s.Predicates,
+		"typedSubjects":   s.TypedSubjects,
+	})
+}
+
+// classes implements GET /api/classes?q=phil — the autocomplete box.
+func (a *api) classes(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	var out []map[string]string
+	for _, id := range a.sys.Store.SearchClasses(q) {
+		out = append(out, map[string]string{
+			"iri":   a.sys.Store.Dict().Term(id).Value,
+			"label": a.sys.Store.Label(id),
+		})
+	}
+	writeJSON(w, out)
+}
+
+// paneFor resolves the class parameter (empty = root pane).
+func (a *api) paneFor(r *http.Request) (*core.Pane, error) {
+	class := r.URL.Query().Get("class")
+	if class == "" {
+		return a.sys.Explorer.OpenRootPane(), nil
+	}
+	return a.sys.Explorer.OpenPane(rdf.NewIRI(class)), nil
+}
+
+// pane implements GET /api/pane?class=IRI — the pane header statistics.
+func (a *api) pane(w http.ResponseWriter, r *http.Request) {
+	p, err := a.paneFor(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	st := p.Stats()
+	writeJSON(w, map[string]any{
+		"title":              p.Title,
+		"instances":          st.Instances,
+		"directSubclasses":   st.DirectSubclasses,
+		"indirectSubclasses": st.IndirectSubclasses,
+	})
+}
+
+type chartBarJSON struct {
+	Label    string  `json:"label"`
+	IRI      string  `json:"iri"`
+	Count    int     `json:"count"`
+	Coverage float64 `json:"coverage,omitempty"`
+	Triples  int     `json:"triples,omitempty"`
+	SPARQL   string  `json:"sparql,omitempty"`
+}
+
+func chartJSON(c *core.Chart, withSPARQL bool) map[string]any {
+	bars := make([]chartBarJSON, 0, len(c.Bars))
+	for _, b := range c.Bars {
+		cb := chartBarJSON{
+			Label:    b.LabelText,
+			IRI:      b.Bar.Label.Value,
+			Count:    b.Count,
+			Coverage: b.Coverage,
+			Triples:  b.Triples,
+		}
+		if withSPARQL {
+			cb.SPARQL = b.Bar.SPARQL()
+		}
+		bars = append(bars, cb)
+	}
+	return map[string]any{
+		"kind":       c.Kind.String(),
+		"sourceSize": c.SourceSize,
+		"bars":       bars,
+	}
+}
+
+// chart implements GET /api/chart?class=IRI&kind=subclass|property|property-in
+// with optional threshold= and sparql=1.
+func (a *api) chart(w http.ResponseWriter, r *http.Request) {
+	p, err := a.paneFor(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	if kind == "" {
+		kind = "subclass"
+	}
+	threshold := -1.0
+	if t := r.URL.Query().Get("threshold"); t != "" {
+		threshold, err = strconv.ParseFloat(t, 64)
+		if err != nil {
+			badRequest(w, "bad threshold: %v", err)
+			return
+		}
+	}
+	var chart *core.Chart
+	switch kind {
+	case "subclass":
+		chart = p.SubclassChart()
+	case "property":
+		chart = p.PropertyChart(false, threshold)
+	case "property-in":
+		chart = p.PropertyChart(true, threshold)
+	default:
+		badRequest(w, "unknown chart kind %q", kind)
+		return
+	}
+	writeJSON(w, chartJSON(chart, r.URL.Query().Get("sparql") == "1"))
+}
+
+// connections implements GET /api/connections?class=IRI&property=IRI
+// [&incoming=1] — the Connections tab (object expansion).
+func (a *api) connections(w http.ResponseWriter, r *http.Request) {
+	p, err := a.paneFor(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	prop := r.URL.Query().Get("property")
+	if prop == "" {
+		badRequest(w, "missing property parameter")
+		return
+	}
+	incoming := r.URL.Query().Get("incoming") == "1"
+	chart, err := p.ConnectionsChart(rdf.NewIRI(prop), incoming)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	writeJSON(w, chartJSON(chart, r.URL.Query().Get("sparql") == "1"))
+}
+
+// table implements GET /api/table?class=IRI&props=IRI,IRI&filterProp=IRI
+// &filterValue=IRI — the data table with its generated SPARQL.
+func (a *api) table(w http.ResponseWriter, r *http.Request) {
+	p, err := a.paneFor(r)
+	if err != nil {
+		badRequest(w, "%v", err)
+		return
+	}
+	var props []rdf.Term
+	for _, iri := range r.URL.Query()["props"] {
+		props = append(props, rdf.NewIRI(iri))
+	}
+	if len(props) == 0 {
+		badRequest(w, "missing props parameter")
+		return
+	}
+	var filters []core.TableFilter
+	if fp := r.URL.Query().Get("filterProp"); fp != "" {
+		f := core.TableFilter{Property: rdf.NewIRI(fp)}
+		if fv := r.URL.Query().Get("filterValue"); fv != "" {
+			f.Equals = rdf.NewIRI(fv)
+		} else if fc := r.URL.Query().Get("filterContains"); fc != "" {
+			f.Contains = fc
+		}
+		filters = append(filters, f)
+	}
+	table := p.DataTable(props, filters)
+	rows := make([]map[string]any, 0, len(table.Rows))
+	for _, row := range table.Rows {
+		cells := make([][]string, len(row.Values))
+		for i, vals := range row.Values {
+			for _, v := range vals {
+				cells[i] = append(cells[i], v.Value)
+			}
+		}
+		rows = append(rows, map[string]any{
+			"instance": row.Instance.Value,
+			"values":   cells,
+		})
+	}
+	writeJSON(w, map[string]any{
+		"columns": columnIRIs(table.Columns),
+		"rows":    rows,
+		"sparql":  table.Query,
+	})
+}
+
+func columnIRIs(cols []rdf.Term) []string {
+	out := make([]string, len(cols))
+	for i, c := range cols {
+		out[i] = c.Value
+	}
+	return out
+}

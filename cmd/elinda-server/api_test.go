@@ -1,0 +1,312 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"elinda"
+	"elinda/internal/datagen"
+	"elinda/internal/proxy"
+	"elinda/internal/rdf"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ds := elinda.GenerateDBpediaLike(elinda.DataConfig{Seed: 1, Persons: 300, PoliticianProps: 50})
+	sys, err := elinda.Open(ds.Triples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", sys.Endpoint())
+	newAPI(sys).register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func getJSON(t *testing.T, srv *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestAPIStats(t *testing.T) {
+	srv := testServer(t)
+	var stats map[string]any
+	if code := getJSON(t, srv, "/api/stats", &stats); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if stats["triples"].(float64) <= 0 {
+		t.Errorf("stats = %v", stats)
+	}
+	if stats["declaredClasses"].(float64) < 49 {
+		t.Errorf("declaredClasses = %v", stats["declaredClasses"])
+	}
+}
+
+func TestAPIClassesSearch(t *testing.T) {
+	srv := testServer(t)
+	var classes []map[string]string
+	if code := getJSON(t, srv, "/api/classes?q=philo", &classes); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(classes) != 1 || classes[0]["label"] != "Philosopher" {
+		t.Errorf("classes = %v", classes)
+	}
+}
+
+func TestAPIPaneRootAndClass(t *testing.T) {
+	srv := testServer(t)
+	var pane map[string]any
+	if code := getJSON(t, srv, "/api/pane", &pane); code != 200 {
+		t.Fatalf("root pane status = %d", code)
+	}
+	if pane["directSubclasses"].(float64) != 49 {
+		t.Errorf("root pane = %v", pane)
+	}
+	classIRI := url.QueryEscape(datagen.OntNS + "Agent")
+	if code := getJSON(t, srv, "/api/pane?class="+classIRI, &pane); code != 200 {
+		t.Fatalf("Agent pane status = %d", code)
+	}
+	if pane["directSubclasses"].(float64) != 5 {
+		t.Errorf("Agent pane = %v", pane)
+	}
+}
+
+func TestAPIChartKinds(t *testing.T) {
+	srv := testServer(t)
+	classIRI := url.QueryEscape(datagen.OntNS + "Philosopher")
+	var chart struct {
+		Kind string         `json:"kind"`
+		Bars []chartBarJSON `json:"bars"`
+	}
+	if code := getJSON(t, srv, "/api/chart?class="+classIRI+"&kind=property&threshold=0.2", &chart); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if chart.Kind != "property" || len(chart.Bars) == 0 {
+		t.Errorf("chart = %+v", chart)
+	}
+	if code := getJSON(t, srv, "/api/chart?class="+classIRI+"&kind=property-in&threshold=0.2", &chart); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(chart.Bars) != 9 {
+		t.Errorf("ingoing bars = %d, want 9", len(chart.Bars))
+	}
+	// Unknown kind and bad threshold are client errors.
+	var dummy map[string]any
+	if code := getJSON(t, srv, "/api/chart?kind=zigzag", &dummy); code != http.StatusBadRequest {
+		t.Errorf("unknown kind status = %d", code)
+	}
+	if code := getJSON(t, srv, "/api/chart?threshold=x", &dummy); code != http.StatusBadRequest {
+		t.Errorf("bad threshold status = %d", code)
+	}
+}
+
+func TestAPIChartWithSPARQL(t *testing.T) {
+	srv := testServer(t)
+	var chart struct {
+		Bars []chartBarJSON `json:"bars"`
+	}
+	if code := getJSON(t, srv, "/api/chart?kind=subclass&sparql=1", &chart); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(chart.Bars) == 0 || !strings.Contains(chart.Bars[0].SPARQL, "SELECT DISTINCT") {
+		t.Errorf("per-bar SPARQL missing: %+v", chart.Bars[0])
+	}
+}
+
+func TestAPIConnections(t *testing.T) {
+	srv := testServer(t)
+	classIRI := url.QueryEscape(datagen.OntNS + "Philosopher")
+	propIRI := url.QueryEscape(datagen.OntNS + "influencedBy")
+	var chart struct {
+		Kind string         `json:"kind"`
+		Bars []chartBarJSON `json:"bars"`
+	}
+	code := getJSON(t, srv, "/api/connections?class="+classIRI+"&property="+propIRI, &chart)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	found := false
+	for _, b := range chart.Bars {
+		if b.Label == "Scientist" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Scientist bar missing: %+v", chart.Bars)
+	}
+	var dummy map[string]any
+	if code := getJSON(t, srv, "/api/connections?class="+classIRI, &dummy); code != http.StatusBadRequest {
+		t.Errorf("missing property status = %d", code)
+	}
+}
+
+func TestAPITable(t *testing.T) {
+	srv := testServer(t)
+	classIRI := url.QueryEscape(datagen.OntNS + "Philosopher")
+	bp := url.QueryEscape(datagen.OntNS + "birthPlace")
+	var table struct {
+		Columns []string `json:"columns"`
+		Rows    []struct {
+			Instance string     `json:"instance"`
+			Values   [][]string `json:"values"`
+		} `json:"rows"`
+		SPARQL string `json:"sparql"`
+	}
+	code := getJSON(t, srv, "/api/table?class="+classIRI+"&props="+bp, &table)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(table.Columns) != 1 || len(table.Rows) == 0 || table.SPARQL == "" {
+		t.Errorf("table = %+v", table)
+	}
+	var dummy map[string]any
+	if code := getJSON(t, srv, "/api/table?class="+classIRI, &dummy); code != http.StatusBadRequest {
+		t.Errorf("missing props status = %d", code)
+	}
+}
+
+func TestAPITableWithFilter(t *testing.T) {
+	srv := testServer(t)
+	classIRI := url.QueryEscape(datagen.OntNS + "Philosopher")
+	bp := url.QueryEscape(datagen.OntNS + "birthPlace")
+	var unfiltered, filtered struct {
+		Rows []json.RawMessage `json:"rows"`
+	}
+	getJSON(t, srv, "/api/table?class="+classIRI+"&props="+bp, &unfiltered)
+	code := getJSON(t, srv,
+		"/api/table?class="+classIRI+"&props="+bp+"&filterProp="+bp+"&filterContains=Place_1",
+		&filtered)
+	if code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(filtered.Rows) == 0 || len(filtered.Rows) >= len(unfiltered.Rows) {
+		t.Errorf("filter ineffective: %d vs %d rows", len(filtered.Rows), len(unfiltered.Rows))
+	}
+}
+
+func TestLoadTriplesFromFiles(t *testing.T) {
+	ds := elinda.GenerateDBpediaLike(elinda.DataConfig{Seed: 3, Persons: 50, PoliticianProps: 40})
+	dir := t.TempDir()
+
+	ntPath := dir + "/data.nt"
+	f, err := createAndWriteNT(ntPath, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = f
+	got, err := loadTriples(ntPath, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds.Triples) {
+		t.Errorf("loaded %d triples, want %d", len(got), len(ds.Triples))
+	}
+	if _, err := loadTriples(dir+"/missing.nt", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	// No path: generate.
+	gen, err := loadTriples("", 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gen) == 0 {
+		t.Error("generation path produced nothing")
+	}
+}
+
+func createAndWriteNT(path string, ds *datagen.Dataset) (string, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	if _, err := rdf.WriteNTriples(f, ds.Triples); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func TestUIServed(t *testing.T) {
+	mux := http.NewServeMux()
+	registerUI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Errorf("content type = %q", ct)
+	}
+	body := make([]byte, 1024)
+	n, _ := resp.Body.Read(body)
+	if !strings.Contains(string(body[:n]), "eLinda") {
+		t.Error("UI page missing title")
+	}
+	// Non-root paths 404.
+	resp2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("non-root status = %d", resp2.StatusCode)
+	}
+}
+
+func TestHVSPersistRoundtrip(t *testing.T) {
+	ds := elinda.GenerateDBpediaLike(elinda.DataConfig{Seed: 6, Persons: 100, PoliticianProps: 40})
+	sys, err := elinda.OpenWithOptions(ds.Triples, proxy.Options{HeavyThreshold: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := `SELECT ?s WHERE { ?s a <` + datagen.OntNS + `Philosopher> . }`
+	if _, err := sys.Proxy.Query(context.Background(), q); err != nil {
+		t.Fatal(err)
+	}
+	if sys.Proxy.HVS().Len() == 0 {
+		t.Fatal("nothing cached")
+	}
+	path := t.TempDir() + "/hvs.gob"
+	if err := saveHVS(sys, path); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh system over the same data restores the cache.
+	sys2, err := elinda.OpenWithOptions(ds.Triples, proxy.Options{HeavyThreshold: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restoreHVS(sys2, path); err != nil {
+		t.Fatal(err)
+	}
+	if sys2.Proxy.HVS().Len() != sys.Proxy.HVS().Len() {
+		t.Errorf("restored %d entries, want %d", sys2.Proxy.HVS().Len(), sys.Proxy.HVS().Len())
+	}
+	// Missing snapshot is a soft error.
+	if err := restoreHVS(sys2, t.TempDir()+"/none.gob"); err == nil {
+		t.Error("missing snapshot should report an error")
+	}
+}

@@ -1,0 +1,133 @@
+// Command elinda-server runs the eLinda backend: the reverse proxy of
+// Figure 3 (HVS + decomposer + generic engine) behind an HTTP server,
+// exposing
+//
+//	/sparql   — SPARQL endpoint (SPARQL 1.1 JSON results)
+//	/api/...  — the explorer JSON API the single-page frontend consumes
+//	/healthz  — liveness probe with store statistics
+//
+// The knowledge base is either loaded from a file (-load data.nt) or
+// generated synthetically (-persons N). Use -remote URL to proxy a remote
+// Virtuoso-style endpoint instead of the local engine (the paper's
+// remote-compatibility mode; the decomposer tier is disabled there since
+// local indexes cannot mirror remote data).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"elinda"
+	"elinda/internal/datagen"
+	"elinda/internal/endpoint"
+	"elinda/internal/proxy"
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		load      = flag.String("load", "", "load dataset from an .nt or .ttl file instead of generating")
+		persons   = flag.Int("persons", 2000, "synthetic dataset size (Person subtree)")
+		threshold = flag.Duration("heavy", time.Second, "HVS heaviness threshold")
+		noHVS     = flag.Bool("no-hvs", false, "disable the heavy query store")
+		noDecomp  = flag.Bool("no-decomposer", false, "disable the decomposer")
+		remote    = flag.String("remote", "", "route queries to a remote SPARQL endpoint URL")
+		warm      = flag.Bool("warm", true, "precompute level-zero aggregates at startup")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query execution timeout")
+		hvsSnap   = flag.String("hvs-snapshot", "", "persist the heavy query store to this file (restored at boot, saved on shutdown)")
+	)
+	flag.Parse()
+	log.SetFlags(log.LstdFlags)
+
+	triples, err := loadTriples(*load, *persons)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opts := proxy.Options{
+		HeavyThreshold:    *threshold,
+		DisableHVS:        *noHVS,
+		DisableDecomposer: *noDecomp || *remote != "",
+	}
+	var sys *elinda.System
+	if *remote == "" {
+		sys, err = elinda.OpenWithOptions(triples, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		st := store.New(len(triples))
+		if _, err := st.Load(triples); err != nil {
+			log.Fatal(err)
+		}
+		sys = &elinda.System{Store: st}
+		sys.Proxy = proxy.NewWithBackend(st, endpoint.NewClient(*remote), opts)
+	}
+
+	if *warm && *remote == "" {
+		start := time.Now()
+		sys.Warm()
+		log.Printf("warmed level-zero aggregates in %s", time.Since(start))
+	}
+
+	if *hvsSnap != "" {
+		if err := restoreHVS(sys, *hvsSnap); err != nil {
+			log.Printf("hvs snapshot restore skipped: %v", err)
+		} else {
+			log.Printf("hvs restored from %s (%d entries)", *hvsSnap, sys.Proxy.HVS().Len())
+		}
+		defer func() {
+			if err := saveHVS(sys, *hvsSnap); err != nil {
+				log.Printf("hvs snapshot save failed: %v", err)
+			}
+		}()
+		go persistOnSignal(sys, *hvsSnap)
+	}
+
+	sparqlSrv := sys.Endpoint()
+	sparqlSrv.Timeout = *timeout
+
+	mux := http.NewServeMux()
+	mux.Handle("/sparql", sparqlSrv)
+	api := newAPI(sys)
+	api.register(mux)
+	registerUI(mux)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		st := sys.Store.ComputeStats()
+		fmt.Fprintf(w, "ok triples=%d classes=%d generation=%d\n",
+			st.Triples, st.Classes, sys.Store.Generation())
+	})
+
+	log.Printf("eLinda server on %s (triples=%d hvs=%v decomposer=%v remote=%q)",
+		*addr, sys.Store.Len(), !opts.DisableHVS, !opts.DisableDecomposer, *remote)
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(srv.ListenAndServe())
+}
+
+func loadTriples(path string, persons int) ([]rdf.Triple, error) {
+	if path == "" {
+		cfg := elinda.DefaultDataConfig()
+		cfg.Persons = persons
+		return datagen.Generate(cfg).Triples, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("opening dataset: %w", err)
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".ttl") {
+		return rdf.ReadTurtle(f)
+	}
+	return rdf.ReadNTriples(f)
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"elinda"
+)
+
+// restoreHVS loads a heavy-query-store snapshot from path if one exists.
+// A missing file is not an error on first boot.
+func restoreHVS(sys *elinda.System, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("no snapshot at %s yet", path)
+		}
+		return err
+	}
+	defer f.Close()
+	return sys.Proxy.HVS().Restore(f)
+}
+
+// saveHVS writes the current cache to path atomically (write to a temp
+// file, then rename).
+func saveHVS(sys *elinda.System, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := sys.Proxy.HVS().Snapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// persistOnSignal saves the snapshot and exits on SIGINT/SIGTERM.
+func persistOnSignal(sys *elinda.System, path string) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	if err := saveHVS(sys, path); err != nil {
+		log.Printf("hvs snapshot save failed: %v", err)
+	} else {
+		log.Printf("hvs snapshot saved to %s", path)
+	}
+	os.Exit(0)
+}

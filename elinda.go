@@ -1,0 +1,129 @@
+// Package elinda is the public facade of the eLinda linked-data explorer,
+// a Go reproduction of "eLinda: Explorer for Linked Data" (Mishali, Yahav,
+// Kalinsky, Kimelfeld — EDBT 2018).
+//
+// eLinda explores an RDF graph through bar charts: each chart shows the
+// distribution of a URI set over classes or properties, and each bar can
+// be expanded further (subclass, property, and object expansions — see
+// internal/core for the formal model). The serving architecture combines
+// three responsiveness techniques from the paper: chunked incremental
+// evaluation, a heavy-query store (HVS), and a query decomposer backed by
+// specialized aggregate indexes.
+//
+// Quick start:
+//
+//	ds := elinda.GenerateDBpediaLike(elinda.DefaultDataConfig())
+//	sys, err := elinda.Open(ds.Triples)
+//	...
+//	chart := sys.Explorer.OpenRootPane().SubclassChart()
+//	fmt.Print(elinda.RenderChart(chart))
+package elinda
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"elinda/internal/core"
+	"elinda/internal/datagen"
+	"elinda/internal/endpoint"
+	"elinda/internal/proxy"
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+	"elinda/internal/viz"
+)
+
+// System bundles a loaded dataset with every component of the eLinda
+// architecture: the triple store, the explorer, and the query proxy
+// (HVS + decomposer + generic engine).
+type System struct {
+	// Store is the dictionary-encoded triple store.
+	Store *store.Store
+	// Explorer evaluates bar expansions (the paper's formal model).
+	Explorer *core.Explorer
+	// Proxy routes SPARQL queries through the HVS and decomposer tiers.
+	Proxy *proxy.Proxy
+}
+
+// Open loads triples and assembles the full system with default options
+// (1-second heaviness threshold, all tiers enabled).
+func Open(triples []rdf.Triple) (*System, error) {
+	return OpenWithOptions(triples, proxy.Options{})
+}
+
+// OpenWithOptions is Open with explicit proxy routing options.
+func OpenWithOptions(triples []rdf.Triple, opts proxy.Options) (*System, error) {
+	st := store.New(len(triples))
+	if _, err := st.Load(triples); err != nil {
+		return nil, fmt.Errorf("elinda: %w", err)
+	}
+	return &System{
+		Store:    st,
+		Explorer: core.NewExplorer(st),
+		Proxy:    proxy.New(st, opts),
+	}, nil
+}
+
+// OpenTurtle reads a Turtle document and assembles the system.
+func OpenTurtle(r io.Reader) (*System, error) {
+	triples, err := rdf.ReadTurtle(r)
+	if err != nil {
+		return nil, err
+	}
+	return Open(triples)
+}
+
+// OpenNTriples reads an N-Triples document and assembles the system.
+func OpenNTriples(r io.Reader) (*System, error) {
+	triples, err := rdf.ReadNTriples(r)
+	if err != nil {
+		return nil, err
+	}
+	return Open(triples)
+}
+
+// Endpoint returns an HTTP handler exposing the system's proxy as a
+// SPARQL endpoint (SPARQL 1.1 JSON results).
+func (s *System) Endpoint() *endpoint.Server {
+	return endpoint.NewServer(s.Proxy)
+}
+
+// Warm precomputes the level-zero property aggregates (both directions)
+// for the root class, like the paper's eLinda endpoint does for its
+// mirrored knowledge bases.
+func (s *System) Warm() {
+	h := s.Explorer.Hierarchy()
+	if root := h.Root(); root != rdf.NoID {
+		s.Proxy.Decomposer().Warm(root)
+	}
+}
+
+// --- Re-exported configuration and helpers ---
+
+// DataConfig configures the synthetic DBpedia-like dataset generator.
+type DataConfig = datagen.Config
+
+// DefaultDataConfig returns the test-scale generator configuration.
+func DefaultDataConfig() DataConfig { return datagen.DefaultConfig() }
+
+// GenerateDBpediaLike builds the synthetic DBpedia-like dataset whose
+// shape matches the statistics quoted in the paper.
+func GenerateDBpediaLike(cfg DataConfig) *datagen.Dataset { return datagen.Generate(cfg) }
+
+// GenerateLinkedGeoDataLike builds the rootless geographic dataset.
+func GenerateLinkedGeoDataLike(cfg datagen.LGDConfig) *datagen.Dataset {
+	return datagen.GenerateLGD(cfg)
+}
+
+// RenderChart renders a chart as a text bar chart with default options.
+func RenderChart(c *core.Chart) string {
+	return viz.Chart(c, viz.Options{})
+}
+
+// RenderChartCoverage renders a property chart with coverage percentages.
+func RenderChartCoverage(c *core.Chart) string {
+	return viz.Chart(c, viz.Options{ShowCoverage: true})
+}
+
+// DefaultHeavyThreshold is the paper's 1-second heaviness cutoff.
+const DefaultHeavyThreshold = time.Second

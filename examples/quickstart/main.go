@@ -1,0 +1,71 @@
+// Command quickstart reproduces Figure 1 of the paper: the initial
+// exploration pane over a DBpedia-like dataset — dataset statistics, the
+// subclass chart of owl:Thing with bars sorted by decreasing height, and
+// the hover pop-up for the Agent bar (instance count, 5 direct
+// subclasses, 277 subclasses in total).
+//
+// Usage:
+//
+//	go run ./examples/quickstart [-persons N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"elinda"
+	"elinda/internal/datagen"
+	"elinda/internal/ontology"
+	"elinda/internal/viz"
+)
+
+func main() {
+	persons := flag.Int("persons", 2000, "size of the Person subtree in the synthetic dataset")
+	flag.Parse()
+	log.SetFlags(0)
+
+	cfg := elinda.DefaultDataConfig()
+	cfg.Persons = *persons
+	ds := elinda.GenerateDBpediaLike(cfg)
+	sys, err := elinda.Open(ds.Triples)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// "The very first queries present the user with general statistics
+	// about the dataset" (Section 3.1).
+	stats := sys.Store.ComputeStats()
+	fmt.Printf("Dataset: %d triples, %d classes (%d declared), %d typed subjects\n\n",
+		stats.Triples, stats.Classes, stats.DeclaredClasses, stats.TypedSubjects)
+
+	// The initial pane: all subjects of type owl:Thing.
+	pane := sys.Explorer.OpenRootPane()
+	fmt.Print(viz.PaneHeader(pane))
+	chart := pane.SubclassChart()
+	fmt.Print(viz.Chart(chart, viz.Options{Width: 46, MaxBars: 12}))
+
+	// Hover pop-up for Agent (Figure 1's call-out).
+	agent, ok := chart.BarByText("Agent")
+	if !ok {
+		log.Fatal("Agent bar missing from the initial chart")
+	}
+	h := ontology.Build(sys.Store)
+	fmt.Println()
+	fmt.Print(viz.HoverInfo(sys.Store, h, *agent))
+
+	// The autocomplete search box (Section 3.2): find classes by name
+	// without drilling down.
+	fmt.Println("\nAutocomplete search for \"phil\":")
+	for _, id := range sys.Store.SearchClasses("phil") {
+		fmt.Printf("  %s\n", sys.Store.Label(id))
+	}
+
+	// Every bar exposes its generated SPARQL.
+	x := sys.Explorer.StartExploration()
+	src, err := x.BarSPARQL(datagen.Ont("Agent"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nGenerated SPARQL for the Agent bar:\n%s", src)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"elinda/internal/rdf"
+)
+
+func TestStartExplorationInitialChart(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExploration()
+	b0 := x.Initial()
+	if b0.Kind != SubclassExpansion {
+		t.Errorf("B0 kind = %v", b0.Kind)
+	}
+	if b0.SourceLabel != rdf.OWLThingIRI {
+		t.Errorf("B0 source = %v", b0.SourceLabel)
+	}
+	if x.Current() != b0 {
+		t.Error("Current should be B0 before any step")
+	}
+}
+
+// TestPaperExplorationPath walks the paper's Figure 2 path:
+// owl:Thing → Agent → Person → Philosopher, then influencedBy connections.
+func TestPaperExplorationPath(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExploration()
+
+	if _, err := x.Expand(ont("Agent"), SubclassExpansion); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Expand(ont("Person"), SubclassExpansion); err != nil {
+		t.Fatal(err)
+	}
+	philChart, err := x.Expand(ont("Philosopher"), SubclassExpansion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(philChart.Bars) != 0 {
+		t.Errorf("Philosopher has no subclasses, chart has %d bars", len(philChart.Bars))
+	}
+	if got := x.Breadcrumbs(); got != "Thing → Agent → Person → Philosopher" {
+		t.Errorf("breadcrumbs = %q", got)
+	}
+	if len(x.Steps()) != 3 {
+		t.Errorf("steps = %d", len(x.Steps()))
+	}
+}
+
+func TestExplorationPropertyThenObject(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExplorationAt(ont("Person"))
+	if _, err := x.Expand(ont("Philosopher"), PropertyExpansion); err != nil {
+		t.Fatal(err)
+	}
+	chart, err := x.Expand(ont("influencedBy"), ObjectExpansion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sci, ok := chart.Bar(ont("Scientist"))
+	if !ok || sci.Count != 2 {
+		t.Errorf("scientists influencing philosophers: %+v ok=%v", sci, ok)
+	}
+	if got := x.Breadcrumbs(); got != "Person → Philosopher → influencedBy" {
+		t.Errorf("breadcrumbs = %q", got)
+	}
+}
+
+func TestExpandRejectsUnknownLabel(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExploration()
+	if _, err := x.Expand(ont("NotThere"), SubclassExpansion); err == nil {
+		t.Error("unknown label accepted")
+	}
+	if _, err := x.ExpandByText("NotThere", SubclassExpansion); err == nil {
+		t.Error("unknown text label accepted")
+	}
+}
+
+func TestExpandRejectsInapplicableExpansion(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExploration()
+	// Agent is a class bar: object expansion is inapplicable.
+	if _, err := x.Expand(ont("Agent"), ObjectExpansion); err == nil {
+		t.Error("object expansion on class bar accepted")
+	}
+	// Failed steps must not be recorded.
+	if len(x.Steps()) != 0 {
+		t.Errorf("failed expansion recorded: %d steps", len(x.Steps()))
+	}
+}
+
+func TestExpandByText(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExploration()
+	chart, err := x.ExpandByText("Agent", SubclassExpansion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chart.Bars) != 1 || chart.Bars[0].LabelText != "Person" {
+		t.Errorf("Agent chart: %+v", chart.Bars)
+	}
+}
+
+func TestBack(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExploration()
+	x.Expand(ont("Agent"), SubclassExpansion)
+	x.Expand(ont("Person"), SubclassExpansion)
+	if !x.Back() {
+		t.Fatal("Back failed")
+	}
+	if got := x.Breadcrumbs(); got != "Thing → Agent" {
+		t.Errorf("after Back: %q", got)
+	}
+	x.Back()
+	if x.Back() {
+		t.Error("Back on empty path should report false")
+	}
+	if x.Current() != x.Initial() {
+		t.Error("after full unwind, current should be B0")
+	}
+}
+
+func TestBarSPARQLAlongPath(t *testing.T) {
+	e := testFixture(t)
+	x := e.StartExploration()
+	x.Expand(ont("Agent"), SubclassExpansion)
+	x.Expand(ont("Person"), SubclassExpansion)
+	src, err := x.BarSPARQL(ont("Philosopher"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"SELECT DISTINCT ?s", "owl#Thing", "Agent", "Person", "Philosopher"} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated SPARQL missing %q:\n%s", want, src)
+		}
+	}
+	if _, err := x.BarSPARQL(ont("Nope")); err == nil {
+		t.Error("BarSPARQL for unknown label should error")
+	}
+}
+
+func TestExplorationOnRootlessDataset(t *testing.T) {
+	st := testFixture(t).st // reuse typed fixture but start at a leaf class
+	e := NewExplorer(st)
+	x := e.StartExplorationAt(ont("Philosopher"))
+	if x.Breadcrumbs() != "Philosopher" {
+		t.Errorf("breadcrumbs = %q", x.Breadcrumbs())
+	}
+	if len(x.Initial().Bars) != 0 {
+		t.Errorf("leaf class initial chart has %d bars", len(x.Initial().Bars))
+	}
+}

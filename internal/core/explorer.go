@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"elinda/internal/decomposer"
+	"elinda/internal/ontology"
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+// DefaultCoverageThreshold is the paper's default 20% property-coverage
+// cutoff.
+const DefaultCoverageThreshold = 0.20
+
+// Explorer evaluates bar expansions over a store. It owns an ontology
+// snapshot (rebuilt automatically when the store changes) and a decomposer
+// for the fast property aggregates.
+type Explorer struct {
+	st  *store.Store
+	mu  sync.Mutex // guards h
+	h   *ontology.Hierarchy
+	dec *decomposer.Decomposer
+
+	// CoverageThreshold is the default property-chart cutoff.
+	CoverageThreshold float64
+}
+
+// NewExplorer builds an explorer over st.
+func NewExplorer(st *store.Store) *Explorer {
+	return &Explorer{
+		st:                st,
+		h:                 ontology.Build(st),
+		dec:               decomposer.New(st),
+		CoverageThreshold: DefaultCoverageThreshold,
+	}
+}
+
+// Store returns the underlying store.
+func (e *Explorer) Store() *store.Store { return e.st }
+
+// Hierarchy returns the (fresh) ontology snapshot. It is safe for
+// concurrent use: the snapshot is rebuilt under a lock when the store
+// changed since it was built.
+func (e *Explorer) Hierarchy() *ontology.Hierarchy {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.h.Stale() {
+		e.h = ontology.Build(e.st)
+	}
+	return e.h
+}
+
+// Decomposer returns the property-aggregate engine.
+func (e *Explorer) Decomposer() *decomposer.Decomposer { return e.dec }
+
+// label returns the display label for a term.
+func (e *Explorer) label(t rdf.Term) string {
+	if id, ok := e.st.Dict().Lookup(t); ok {
+		return e.st.Label(id)
+	}
+	return t.LocalName()
+}
+
+// RootBar returns the bar B = ⟨S, τ, class⟩ for the predefined root type τ
+// (owl:Thing when present), with S = all s with (s, rdf:type, τ). For
+// rootless datasets it returns a virtual bar whose set is every typed
+// subject and whose label is empty.
+func (e *Explorer) RootBar() *Bar {
+	h := e.Hierarchy()
+	root := h.Root()
+	if root != rdf.NoID {
+		return e.ClassBar(e.st.Dict().Term(root))
+	}
+	// Virtual root over all typed subjects (LinkedGeoData case). Subjects
+	// typed only as meta-classes (class/property declarations) are not
+	// instances and stay out of the set.
+	meta := map[rdf.ID]struct{}{}
+	for _, iri := range []rdf.Term{rdf.OWLClassIRI, rdf.RDFSClassIRI, rdf.NewIRI(rdf.RDFProperty)} {
+		if id, ok := e.st.Dict().Lookup(iri); ok {
+			meta[id] = struct{}{}
+		}
+	}
+	seen := map[rdf.ID]struct{}{}
+	var set []rdf.ID
+	e.st.Match(rdf.NoID, e.st.TypeID(), rdf.NoID, func(t rdf.EncodedTriple) bool {
+		if _, isMeta := meta[t.O]; isMeta {
+			return true
+		}
+		if _, dup := seen[t.S]; !dup {
+			seen[t.S] = struct{}{}
+			set = append(set, t.S)
+		}
+		return true
+	})
+	return &Bar{Set: set, Label: rdf.Term{}, Type: ClassBar, pattern: newPatternBuilder()}
+}
+
+// ClassBar returns the bar for a class: S is every subject with
+// (s, rdf:type, class).
+func (e *Explorer) ClassBar(class rdf.Term) *Bar {
+	var set []rdf.ID
+	if cid, ok := e.st.Dict().Lookup(class); ok {
+		set = e.st.SubjectsOfType(cid)
+	}
+	return &Bar{
+		Set:     set,
+		Label:   class,
+		Type:    ClassBar,
+		pattern: newPatternBuilder().withType(class),
+	}
+}
+
+// Expand applies the expansion kind to the bar. ObjectExpansion requires a
+// property bar; the others require a class bar (FilterExpansion accepts
+// any). The paper: "ηi is applicable to Bi−1[λi]".
+func (e *Explorer) Expand(b *Bar, kind ExpansionKind) (*Chart, error) {
+	switch kind {
+	case SubclassExpansion:
+		if b.Type != ClassBar {
+			return nil, fmt.Errorf("core: subclass expansion requires a class bar, got %s", b.Type)
+		}
+		return e.subclassExpansion(b), nil
+	case PropertyExpansion, IncomingPropertyExpansion:
+		if b.Type != ClassBar {
+			return nil, fmt.Errorf("core: property expansion requires a class bar, got %s", b.Type)
+		}
+		return e.propertyExpansion(b, kind == IncomingPropertyExpansion), nil
+	case ObjectExpansion, IncomingObjectExpansion:
+		if b.Type != PropertyBar {
+			return nil, fmt.Errorf("core: object expansion requires a property bar, got %s", b.Type)
+		}
+		return e.objectExpansion(b, kind == IncomingObjectExpansion), nil
+	default:
+		return nil, fmt.Errorf("core: expansion %s is not chart-producing", kind)
+	}
+}
+
+// subclassExpansion: labels(B) = direct subclasses τ of λ; B[τ] = members
+// of S of class τ.
+func (e *Explorer) subclassExpansion(b *Bar) *Chart {
+	h := e.Hierarchy()
+	chart := &Chart{Kind: SubclassExpansion, SourceLabel: b.Label, SourceSize: b.Len()}
+
+	var subclasses []rdf.ID
+	if b.Label.IsZero() {
+		subclasses = h.TopLevelClasses()
+	} else if cid, ok := e.st.Dict().Lookup(b.Label); ok {
+		subclasses = h.DirectSubclasses(cid)
+	}
+
+	inSet := idSet(b.Set)
+	for _, sub := range subclasses {
+		subTerm := e.st.Dict().Term(sub)
+		var members []rdf.ID
+		for _, s := range e.st.SubjectsOfType(sub) {
+			if _, in := inSet[s]; in {
+				members = append(members, s)
+			}
+		}
+		bar := &Bar{
+			Set:     members,
+			Label:   subTerm,
+			Type:    ClassBar,
+			pattern: b.pattern.withType(subTerm),
+		}
+		chart.Bars = append(chart.Bars, ChartBar{
+			Bar:       bar,
+			LabelText: e.st.Label(sub),
+			Count:     len(members),
+		})
+	}
+	sortBars(chart.Bars)
+	return chart
+}
+
+// propertyExpansion: labels(B) = properties π with (s, π, o) for s ∈ S
+// (or (o, π, s) when incoming); B[π] = members of S featuring π. Property
+// data "aggregates all properties found within instances in S" — no
+// ontology declarations consulted.
+func (e *Explorer) propertyExpansion(b *Bar, incoming bool) *Chart {
+	kind := PropertyExpansion
+	if incoming {
+		kind = IncomingPropertyExpansion
+	}
+	chart := &Chart{Kind: kind, SourceLabel: b.Label, SourceSize: b.Len()}
+
+	type agg struct {
+		members []rdf.ID
+		triples int
+	}
+	perProp := map[rdf.ID]*agg{}
+	for _, s := range b.Set {
+		var seen map[rdf.ID]bool
+		visit := func(t rdf.EncodedTriple) bool {
+			a := perProp[t.P]
+			if a == nil {
+				a = &agg{}
+				perProp[t.P] = a
+			}
+			a.triples++
+			if !seen[t.P] {
+				seen[t.P] = true
+				a.members = append(a.members, s)
+			}
+			return true
+		}
+		seen = map[rdf.ID]bool{}
+		if incoming {
+			e.st.Match(rdf.NoID, rdf.NoID, s, visit)
+		} else {
+			e.st.Match(s, rdf.NoID, rdf.NoID, visit)
+		}
+	}
+	denom := float64(b.Len())
+	for p, a := range perProp {
+		pTerm := e.st.Dict().Term(p)
+		bar := &Bar{
+			Set:     a.members,
+			Label:   pTerm,
+			Type:    PropertyBar,
+			pattern: b.pattern.withProperty(pTerm, incoming),
+		}
+		cb := ChartBar{
+			Bar:       bar,
+			LabelText: e.st.Label(p),
+			Count:     len(a.members),
+			Triples:   a.triples,
+		}
+		if denom > 0 {
+			cb.Coverage = float64(cb.Count) / denom
+		}
+		chart.Bars = append(chart.Bars, cb)
+	}
+	sortBars(chart.Bars)
+	return chart
+}
+
+// objectExpansion: for property bar B = ⟨S, λ, property⟩, labels(B) = the
+// classes τ of objects o with (s, λ, o), s ∈ S; B[τ] = those objects of
+// class τ. The incoming variant reads (o, λ, s).
+func (e *Explorer) objectExpansion(b *Bar, incoming bool) *Chart {
+	kind := ObjectExpansion
+	if incoming {
+		kind = IncomingObjectExpansion
+	}
+	chart := &Chart{Kind: kind, SourceLabel: b.Label, SourceSize: b.Len()}
+	propID, ok := e.st.Dict().Lookup(b.Label)
+	if !ok {
+		return chart
+	}
+	// Collect connected objects.
+	connected := map[rdf.ID]struct{}{}
+	for _, s := range b.Set {
+		if incoming {
+			for _, o := range e.st.Subjects(propID, s) {
+				connected[o] = struct{}{}
+			}
+		} else {
+			for _, o := range e.st.Objects(s, propID) {
+				connected[o] = struct{}{}
+			}
+		}
+	}
+	// Distribute by class.
+	perClass := map[rdf.ID][]rdf.ID{}
+	for o := range connected {
+		for _, c := range e.st.Objects(o, e.st.TypeID()) {
+			perClass[c] = append(perClass[c], o)
+		}
+	}
+	for c, members := range perClass {
+		cTerm := e.st.Dict().Term(c)
+		bar := &Bar{
+			Set:     members,
+			Label:   cTerm,
+			Type:    ClassBar,
+			pattern: b.pattern.hopObject(b.Label, incoming).withType(cTerm),
+		}
+		chart.Bars = append(chart.Bars, ChartBar{
+			Bar:       bar,
+			LabelText: e.st.Label(c),
+			Count:     len(members),
+		})
+	}
+	sortBars(chart.Bars)
+	return chart
+}
+
+// Filter applies the paper's filter operation: it "removes from each bar B
+// the URIs that violate the condition". Here it narrows one bar by a
+// predicate over terms, returning the narrowed bar Sf for a filter
+// expansion pane. The SPARQL condition mirrors the predicate for query
+// generation.
+func (e *Explorer) Filter(b *Bar, keep func(rdf.Term) bool, sparqlCond func(anchorVar string) sparqlExpr) *Bar {
+	var kept []rdf.ID
+	for _, id := range b.Set {
+		if t, ok := e.st.Dict().TermOK(id); ok && keep(t) {
+			kept = append(kept, id)
+		}
+	}
+	pattern := b.pattern
+	if sparqlCond != nil {
+		pattern = pattern.withFilter(func(anchor string) sparqlExpr { return sparqlCond(anchor) })
+	}
+	return &Bar{Set: kept, Label: b.Label, Type: b.Type, pattern: pattern}
+}
+
+// FilterByPropertyValue narrows a class bar to members whose property
+// value equals (or contains, when substring) the given literal/IRI — the
+// data filters of Section 3.3 ("view only those philosophers who were born
+// in Vienna"). The returned bar is Sf, ready for a filter-expansion pane.
+func (e *Explorer) FilterByPropertyValue(b *Bar, prop rdf.Term, value rdf.Term) *Bar {
+	propID, okP := e.st.Dict().Lookup(prop)
+	valID, okV := e.st.Dict().Lookup(value)
+	var kept []rdf.ID
+	if okP && okV {
+		for _, s := range b.Set {
+			if e.st.CountMatch(s, propID, valID) > 0 {
+				kept = append(kept, s)
+			}
+		}
+	}
+	pattern := b.pattern.clone()
+	v := pattern.freshVar("f")
+	pattern.triples = append(pattern.triples, tpVar(pattern.anchor, prop, v))
+	pattern.filters = append(pattern.filters, eqExpr(v, value))
+	return &Bar{Set: kept, Label: b.Label, Type: b.Type, pattern: pattern}
+}
+
+func idSet(ids []rdf.ID) map[rdf.ID]struct{} {
+	m := make(map[rdf.ID]struct{}, len(ids))
+	for _, id := range ids {
+		m[id] = struct{}{}
+	}
+	return m
+}

@@ -1,0 +1,90 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"elinda/internal/rdf"
+)
+
+// LGDNS is the namespace of the LinkedGeoData-like dataset.
+const LGDNS = "http://elinda.example/lgd/"
+
+// LGD returns a LinkedGeoData-style IRI term.
+func LGD(local string) rdf.Term { return rdf.NewIRI(LGDNS + local) }
+
+// LGDConfig controls the rootless geographic dataset generator. The paper
+// (Section 3.2, footnote 7): "We also handle the case of datasets with no
+// root class, as found in LinkedGeoData."
+type LGDConfig struct {
+	// Seed drives the pseudo-random choices.
+	Seed int64
+	// Nodes is the approximate number of geographic features.
+	Nodes int
+}
+
+// DefaultLGDConfig returns the test-scale configuration.
+func DefaultLGDConfig() LGDConfig { return LGDConfig{Seed: 7, Nodes: 1500} }
+
+// lgdTopClasses are the roots of the forest — deliberately with NO shared
+// superclass and no owl:Thing.
+var lgdTopClasses = map[string][]string{
+	"Amenity": {"Cafe", "Restaurant", "Pharmacy", "School", "Bank"},
+	"Highway": {"Motorway", "Residential", "Footpath"},
+	"Shop":    {"Bakery", "Supermarket", "Butcher"},
+	"Tourism": {"Hotel", "Museum", "Viewpoint"},
+	"Leisure": {"Park", "Playground"},
+}
+
+// GenerateLGD builds the rootless LinkedGeoData-like dataset.
+func GenerateLGD(cfg LGDConfig) *Dataset {
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = DefaultLGDConfig().Nodes
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var triples []rdf.Triple
+	add := func(s, p, o rdf.Term) {
+		triples = append(triples, rdf.Triple{S: s, P: p, O: o})
+	}
+
+	tops := make([]string, 0, len(lgdTopClasses))
+	for top := range lgdTopClasses {
+		tops = append(tops, top)
+	}
+	sort.Strings(tops)
+
+	var leaves []struct{ leaf, top string }
+	for _, top := range tops {
+		subs := lgdTopClasses[top]
+		add(LGD(top), rdf.TypeIRI, rdf.RDFSClassIRI)
+		add(LGD(top), rdf.LabelIRI, rdf.NewLangLiteral(top, "en"))
+		for _, sub := range subs {
+			add(LGD(sub), rdf.TypeIRI, rdf.RDFSClassIRI)
+			add(LGD(sub), rdf.SubClassOfIRI, LGD(top))
+			add(LGD(sub), rdf.LabelIRI, rdf.NewLangLiteral(sub, "en"))
+			leaves = append(leaves, struct{ leaf, top string }{sub, top})
+		}
+	}
+
+	for i := 0; i < cfg.Nodes; i++ {
+		pick := leaves[rng.Intn(len(leaves))]
+		node := LGD(fmt.Sprintf("node_%d", i))
+		add(node, rdf.TypeIRI, LGD(pick.leaf))
+		add(node, rdf.TypeIRI, LGD(pick.top))
+		add(node, LGD("lat"), rdf.NewTypedLiteral(
+			fmt.Sprintf("%.5f", -90+180*rng.Float64()), rdf.XSDDouble))
+		add(node, LGD("long"), rdf.NewTypedLiteral(
+			fmt.Sprintf("%.5f", -180+360*rng.Float64()), rdf.XSDDouble))
+		if rng.Float64() < 0.6 {
+			add(node, rdf.LabelIRI, rdf.NewLiteral(fmt.Sprintf("%s %d", pick.leaf, i)))
+		}
+		if rng.Float64() < 0.3 {
+			add(node, LGD("openingHours"), rdf.NewLiteral("Mo-Fr 09:00-18:00"))
+		}
+	}
+	return &Dataset{
+		Triples: triples,
+		Facts:   Facts{TopLevelClasses: len(lgdTopClasses), Triples: len(triples)},
+	}
+}

@@ -1,0 +1,117 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"elinda/internal/rdf"
+)
+
+// YagoNS is the namespace of the YAGO-like dataset.
+const YagoNS = "http://elinda.example/yago/"
+
+// Yago returns a YAGO-style IRI term.
+func Yago(local string) rdf.Term { return rdf.NewIRI(YagoNS + local) }
+
+// YagoConfig controls the YAGO-like generator. YAGO's taxonomy descends
+// from WordNet: it is much deeper than DBpedia's, classes frequently have
+// several superclasses, and instances are typed into leaf classes (the
+// upper levels are reached only through the rdfs:subClassOf closure).
+// That shape stresses exactly the parts of eLinda the DBpedia-like
+// dataset does not: deep drill-down paths, multi-parent breadcrumbs, and
+// subclass charts whose bars overlap.
+type YagoConfig struct {
+	// Seed drives the pseudo-random choices.
+	Seed int64
+	// Depth is the taxonomy depth below the root (YAGO: ~15; default 8).
+	Depth int
+	// Branching is the number of children per internal class (default 3).
+	Branching int
+	// MultiParentRate is the probability a class gains a second
+	// superclass from the level above (default 0.15).
+	MultiParentRate float64
+	// Instances is the number of entities, all typed into leaf classes.
+	Instances int
+}
+
+// DefaultYagoConfig returns the test-scale configuration.
+func DefaultYagoConfig() YagoConfig {
+	return YagoConfig{Seed: 5, Depth: 8, Branching: 3, MultiParentRate: 0.15, Instances: 3000}
+}
+
+// GenerateYago builds the deep-taxonomy dataset.
+func GenerateYago(cfg YagoConfig) *Dataset {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 8
+	}
+	if cfg.Branching <= 1 {
+		cfg.Branching = 3
+	}
+	if cfg.Instances <= 0 {
+		cfg.Instances = 3000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var triples []rdf.Triple
+	add := func(s, p, o rdf.Term) {
+		triples = append(triples, rdf.Triple{S: s, P: p, O: o})
+	}
+
+	add(rdf.OWLThingIRI, rdf.TypeIRI, rdf.OWLClassIRI)
+
+	// Build the class levels. To keep the class count bounded at depth 8
+	// with branching 3, each level has at most Branching^2 classes wide;
+	// children are attached to random parents of the previous level.
+	levels := make([][]rdf.Term, cfg.Depth+1)
+	levels[0] = []rdf.Term{rdf.OWLThingIRI}
+	classCount := 0
+	maxWidth := cfg.Branching * cfg.Branching * cfg.Branching
+	for d := 1; d <= cfg.Depth; d++ {
+		width := len(levels[d-1]) * cfg.Branching
+		if width > maxWidth {
+			width = maxWidth
+		}
+		for i := 0; i < width; i++ {
+			c := Yago(fmt.Sprintf("wordnet_c%d_%d", d, i))
+			parent := levels[d-1][rng.Intn(len(levels[d-1]))]
+			add(c, rdf.TypeIRI, rdf.OWLClassIRI)
+			add(c, rdf.SubClassOfIRI, parent)
+			add(c, rdf.LabelIRI, rdf.NewLangLiteral(fmt.Sprintf("concept %d-%d", d, i), "en"))
+			// Multiple inheritance: a second parent at the same level above.
+			if rng.Float64() < cfg.MultiParentRate && len(levels[d-1]) > 1 {
+				second := levels[d-1][rng.Intn(len(levels[d-1]))]
+				if second != parent {
+					add(c, rdf.SubClassOfIRI, second)
+				}
+			}
+			levels[d] = append(levels[d], c)
+			classCount++
+		}
+	}
+
+	// Instances: typed into a random leaf class only (plus owl:Thing, as
+	// YAGO materializes).
+	leaves := levels[cfg.Depth]
+	props := []rdf.Term{Yago("wasBornIn"), Yago("hasWonPrize"), Yago("isLocatedIn"), Yago("created")}
+	for i := 0; i < cfg.Instances; i++ {
+		e := Yago(fmt.Sprintf("entity_%d", i))
+		leaf := leaves[rng.Intn(len(leaves))]
+		add(e, rdf.TypeIRI, leaf)
+		add(e, rdf.TypeIRI, rdf.OWLThingIRI)
+		if rng.Float64() < 0.7 {
+			add(e, rdf.LabelIRI, rdf.NewLiteral(fmt.Sprintf("entity %d", i)))
+		}
+		for _, p := range props {
+			if rng.Float64() < 0.3 {
+				add(e, p, Yago(fmt.Sprintf("entity_%d", rng.Intn(cfg.Instances))))
+			}
+		}
+	}
+
+	return &Dataset{
+		Triples: triples,
+		Facts: Facts{
+			TopLevelClasses: len(levels[1]),
+			Triples:         len(triples),
+		},
+	}
+}

@@ -1,0 +1,96 @@
+package datagen
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"elinda/internal/ontology"
+	"elinda/internal/rdf"
+)
+
+func TestGenerateYagoDeterministic(t *testing.T) {
+	a := GenerateYago(YagoConfig{Seed: 9, Depth: 4, Branching: 2, Instances: 100})
+	b := GenerateYago(YagoConfig{Seed: 9, Depth: 4, Branching: 2, Instances: 100})
+	if !reflect.DeepEqual(a.Triples, b.Triples) {
+		t.Fatal("YAGO generation not deterministic")
+	}
+}
+
+func TestYagoDeepTaxonomy(t *testing.T) {
+	cfg := DefaultYagoConfig()
+	ds := GenerateYago(cfg)
+	st, err := ds.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ontology.Build(st)
+	root := h.Root()
+	if st.Dict().Term(root) != rdf.OWLThingIRI {
+		t.Fatalf("root = %v", st.Dict().Term(root))
+	}
+	// A leaf class must have a breadcrumb path of Depth+1 nodes.
+	var leaf rdf.ID
+	for _, c := range h.Classes() {
+		if !strings.HasPrefix(st.Dict().Term(c).Value, YagoNS) {
+			continue // skip owl:Thing / owl:Class meta nodes
+		}
+		if len(h.DirectSubclasses(c)) == 0 && h.DirectInstanceCount(c) > 0 {
+			leaf = c
+			break
+		}
+	}
+	if leaf == rdf.NoID {
+		t.Fatal("no populated leaf class found")
+	}
+	path := h.PathFromRoot(leaf)
+	if len(path) != cfg.Depth+1 {
+		t.Errorf("path length = %d, want %d", len(path), cfg.Depth+1)
+	}
+}
+
+func TestYagoMultipleInheritance(t *testing.T) {
+	ds := GenerateYago(DefaultYagoConfig())
+	st, err := ds.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ontology.Build(st)
+	multi := 0
+	for _, c := range h.Classes() {
+		if len(h.DirectSuperclasses(c)) > 1 {
+			multi++
+		}
+	}
+	if multi == 0 {
+		t.Error("no class has multiple superclasses")
+	}
+}
+
+func TestYagoInstancesOnlyAtLeaves(t *testing.T) {
+	ds := GenerateYago(YagoConfig{Seed: 2, Depth: 4, Branching: 2, Instances: 200})
+	st, err := ds.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := ontology.Build(st)
+	for _, c := range h.Classes() {
+		if len(h.DirectSubclasses(c)) > 0 && st.Dict().Term(c) != rdf.OWLThingIRI {
+			if n := h.DirectInstanceCount(c); n > 0 {
+				t.Errorf("internal class %s has %d direct instances", st.Label(c), n)
+			}
+		}
+	}
+	// Deep counts at the root still see every entity.
+	root := h.Root()
+	if h.DeepInstanceCount(root) < 200 {
+		t.Errorf("deep root count = %d", h.DeepInstanceCount(root))
+	}
+}
+
+func TestYagoZeroConfigDefaults(t *testing.T) {
+	ds := GenerateYago(YagoConfig{Seed: 1})
+	if ds.Facts.Triples == 0 {
+		t.Error("zero-config YAGO generation produced nothing")
+	}
+}

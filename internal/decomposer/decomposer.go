@@ -1,0 +1,466 @@
+// Package decomposer implements the eLinda decomposer (Section 4): it
+// detects the heavy property-expansion SPARQL queries that eLinda emits
+// and answers them from specialized aggregate indexes instead of routing
+// them through the generic engine, which would "include a complex join
+// with hundreds of millions of tuples as an intermediate result".
+//
+// The paper's example query (outgoing property expansion at owl:Thing):
+//
+//	SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+//	FROM {SELECT ?s ?p count(*) AS ?sp
+//	      FROM {?s a owl:Thing. ?s ?p ?o.}
+//	      GROUP BY ?s ?p} GROUP BY ?p
+//
+// The detector recognizes this two-level shape (and the equivalent
+// single-level COUNT(DISTINCT ?s) form) for both outgoing and incoming
+// directions, extracts the class constant, and computes the per-property
+// (subject count, triple count) aggregates with one pass over the class's
+// instances using the store's SPO/OSP indexes — the Go analogue of the
+// paper's "decomposition of SQL queries that utilizes the indexes".
+package decomposer
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+	"elinda/internal/store"
+)
+
+// Direction distinguishes outgoing from incoming property expansions.
+type Direction uint8
+
+const (
+	// Outgoing counts properties leaving the instance set (?s ?p ?o).
+	Outgoing Direction = iota
+	// Incoming counts properties entering the instance set (?o ?p ?s).
+	Incoming
+)
+
+// String returns "outgoing" or "incoming".
+func (d Direction) String() string {
+	if d == Incoming {
+		return "incoming"
+	}
+	return "outgoing"
+}
+
+// PropStat is the aggregate for one property over a class's instances.
+type PropStat struct {
+	// Property is the property ID.
+	Property rdf.ID
+	// Subjects is the number of distinct instances featuring the property
+	// (the COUNT(?p) of the outer query — one row per subject survives the
+	// inner GROUP BY ?s ?p).
+	Subjects int
+	// Triples is the total number of matching triples (the SUM(?sp)).
+	Triples int
+}
+
+// Decomposer answers detected property-expansion queries from indexes.
+// Computed aggregates are memoized per (class, direction) and invalidated
+// when the store generation moves — this memo is the "specialized index"
+// of the paper, built lazily.
+type Decomposer struct {
+	st *store.Store
+
+	mu         sync.Mutex
+	generation uint64
+	memo       map[memoKey][]PropStat
+
+	// stats
+	detected, answered, rejected int
+}
+
+type memoKey struct {
+	class rdf.ID
+	dir   Direction
+}
+
+// New returns a decomposer over st.
+func New(st *store.Store) *Decomposer {
+	return &Decomposer{st: st, memo: make(map[memoKey][]PropStat)}
+}
+
+// Detection is the outcome of analyzing a query.
+type Detection struct {
+	// Class is the constant class term of the type triple.
+	Class rdf.Term
+	// Dir is the expansion direction.
+	Dir Direction
+	// PropVar, CountVar, SumVar are the output variable names to use in
+	// the produced result (SumVar may be empty for single-level queries).
+	PropVar, CountVar, SumVar string
+}
+
+// Detect analyzes a parsed query and reports whether it is a property
+// expansion the decomposer can answer.
+func Detect(q *sparql.Query) (Detection, bool) {
+	if q == nil || q.Ask || q.Distinct || len(q.Having) > 0 {
+		return Detection{}, false
+	}
+	if len(q.GroupBy) != 1 {
+		return Detection{}, false
+	}
+	groupVar := q.GroupBy[0]
+
+	// Two-level (paper) form: subselect GROUP BY ?s ?p with COUNT(*).
+	if len(q.Where.SubSelects) == 1 && len(q.Where.Triples) == 0 &&
+		len(q.Where.Filters) == 0 && len(q.Where.Optionals) == 0 && len(q.Where.Unions) == 0 {
+		return detectTwoLevel(q, groupVar)
+	}
+	// Single-level form: SELECT ?p (COUNT(DISTINCT ?s) AS ?c) [ (COUNT(*) AS ?t) ]
+	if len(q.Where.SubSelects) == 0 && len(q.Where.Triples) == 2 &&
+		len(q.Where.Filters) == 0 && len(q.Where.Optionals) == 0 && len(q.Where.Unions) == 0 {
+		return detectSingleLevel(q, groupVar)
+	}
+	return Detection{}, false
+}
+
+func detectTwoLevel(q *sparql.Query, groupVar string) (Detection, bool) {
+	sub := q.Where.SubSelects[0]
+	if sub.Distinct || sub.Limit >= 0 || sub.Offset > 0 || len(sub.GroupBy) != 2 {
+		return Detection{}, false
+	}
+	if len(sub.Where.Triples) != 2 || len(sub.Where.SubSelects) != 0 ||
+		len(sub.Where.Filters) != 0 || len(sub.Where.Optionals) != 0 || len(sub.Where.Unions) != 0 {
+		return Detection{}, false
+	}
+	typeVar, class, propVar, dir, ok := classifyPatterns(sub.Where.Triples)
+	if !ok {
+		return Detection{}, false
+	}
+	// Inner grouping must be exactly {typeVar, propVar}.
+	if !sameSet(sub.GroupBy, []string{typeVar, propVar}) {
+		return Detection{}, false
+	}
+	// Inner projection: ?s, ?p, COUNT(*) AS ?sp.
+	innerSumVar := ""
+	for _, it := range sub.Items {
+		switch {
+		case it.Expr == nil && (it.Var == typeVar || it.Var == propVar):
+		case it.Expr != nil:
+			agg, isAgg := it.Expr.(*sparql.AggExpr)
+			if !isAgg || agg.Op != "COUNT" || !agg.Star || innerSumVar != "" {
+				return Detection{}, false
+			}
+			innerSumVar = it.Var
+		default:
+			return Detection{}, false
+		}
+	}
+	if innerSumVar == "" || groupVar != propVar {
+		return Detection{}, false
+	}
+	// Outer projection: ?p, COUNT(?p) AS ?count, SUM(?sp) AS ?sum.
+	det := Detection{Class: class, Dir: dir, PropVar: propVar}
+	for _, it := range q.Items {
+		switch e := it.Expr.(type) {
+		case nil:
+			if it.Var != propVar {
+				return Detection{}, false
+			}
+		case *sparql.AggExpr:
+			arg, isVar := e.Arg.(*sparql.VarExpr)
+			switch e.Op {
+			case "COUNT":
+				if e.Star {
+					// COUNT(*) over the grouped rows also counts subjects.
+					if det.CountVar != "" {
+						return Detection{}, false
+					}
+					det.CountVar = it.Var
+					continue
+				}
+				if !isVar || arg.Name != propVar && arg.Name != typeVar || det.CountVar != "" {
+					return Detection{}, false
+				}
+				det.CountVar = it.Var
+			case "SUM":
+				if !isVar || arg.Name != innerSumVar || det.SumVar != "" {
+					return Detection{}, false
+				}
+				det.SumVar = it.Var
+			default:
+				return Detection{}, false
+			}
+		default:
+			return Detection{}, false
+		}
+	}
+	if det.CountVar == "" {
+		return Detection{}, false
+	}
+	return det, true
+}
+
+func detectSingleLevel(q *sparql.Query, groupVar string) (Detection, bool) {
+	typeVar, class, propVar, dir, ok := classifyPatterns(q.Where.Triples)
+	if !ok || groupVar != propVar {
+		return Detection{}, false
+	}
+	det := Detection{Class: class, Dir: dir, PropVar: propVar}
+	for _, it := range q.Items {
+		switch e := it.Expr.(type) {
+		case nil:
+			if it.Var != propVar {
+				return Detection{}, false
+			}
+		case *sparql.AggExpr:
+			arg, isVar := e.Arg.(*sparql.VarExpr)
+			switch {
+			case e.Op == "COUNT" && e.Distinct && isVar && arg.Name == typeVar && det.CountVar == "":
+				det.CountVar = it.Var
+			case e.Op == "COUNT" && e.Star && det.SumVar == "":
+				det.SumVar = it.Var
+			default:
+				return Detection{}, false
+			}
+		default:
+			return Detection{}, false
+		}
+	}
+	if det.CountVar == "" {
+		return Detection{}, false
+	}
+	return det, true
+}
+
+// classifyPatterns inspects the two triple patterns of an expansion query
+// and extracts (typed variable, class constant, property variable,
+// direction).
+func classifyPatterns(tps []sparql.TriplePattern) (typeVar string, class rdf.Term, propVar string, dir Direction, ok bool) {
+	if len(tps) != 2 {
+		return "", rdf.Term{}, "", 0, false
+	}
+	var typeTP, propTP sparql.TriplePattern
+	found := false
+	for i, tp := range tps {
+		if !tp.P.IsVar && tp.P.Term.Value == rdf.RDFType && tp.S.IsVar && !tp.O.IsVar {
+			typeTP = tp
+			propTP = tps[1-i]
+			found = true
+			break
+		}
+	}
+	if !found {
+		return "", rdf.Term{}, "", 0, false
+	}
+	typeVar = typeTP.S.Name
+	class = typeTP.O.Term
+	if !propTP.P.IsVar || !propTP.S.IsVar || !propTP.O.IsVar {
+		return "", rdf.Term{}, "", 0, false
+	}
+	propVar = propTP.P.Name
+	switch {
+	case propTP.S.Name == typeVar && propTP.O.Name != typeVar && propTP.O.Name != propVar:
+		return typeVar, class, propVar, Outgoing, true
+	case propTP.O.Name == typeVar && propTP.S.Name != typeVar && propTP.S.Name != propVar:
+		return typeVar, class, propVar, Incoming, true
+	}
+	return "", rdf.Term{}, "", 0, false
+}
+
+func sameSet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	set := make(map[string]struct{}, len(a))
+	for _, x := range a {
+		set[x] = struct{}{}
+	}
+	for _, y := range b {
+		if _, ok := set[y]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// PropertyStats computes (or serves from the memo) the per-property
+// aggregates for the direct instances of class in the given direction,
+// sorted by descending subject count then property label.
+func (d *Decomposer) PropertyStats(class rdf.ID, dir Direction) []PropStat {
+	gen := d.st.Generation()
+	key := memoKey{class: class, dir: dir}
+
+	d.mu.Lock()
+	if d.generation != gen {
+		d.memo = make(map[memoKey][]PropStat)
+		d.generation = gen
+	}
+	if cached, ok := d.memo[key]; ok {
+		d.mu.Unlock()
+		return cached
+	}
+	d.mu.Unlock()
+
+	stats := d.computeStats(class, dir)
+
+	d.mu.Lock()
+	if d.generation == gen {
+		d.memo[key] = stats
+	}
+	d.mu.Unlock()
+	return stats
+}
+
+func (d *Decomposer) computeStats(class rdf.ID, dir Direction) []PropStat {
+	type agg struct {
+		subjects int
+		triples  int
+	}
+	perProp := make(map[rdf.ID]*agg)
+	subjects := d.st.SubjectsOfType(class)
+	seenProp := make(map[rdf.ID]bool)
+	for _, s := range subjects {
+		for p := range seenProp {
+			delete(seenProp, p)
+		}
+		visit := func(e rdf.EncodedTriple) bool {
+			a := perProp[e.P]
+			if a == nil {
+				a = &agg{}
+				perProp[e.P] = a
+			}
+			a.triples++
+			if !seenProp[e.P] {
+				seenProp[e.P] = true
+				a.subjects++
+			}
+			return true
+		}
+		if dir == Outgoing {
+			d.st.Match(s, rdf.NoID, rdf.NoID, visit)
+		} else {
+			d.st.Match(rdf.NoID, rdf.NoID, s, visit)
+		}
+	}
+	out := make([]PropStat, 0, len(perProp))
+	for p, a := range perProp {
+		out = append(out, PropStat{Property: p, Subjects: a.subjects, Triples: a.triples})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Subjects != out[j].Subjects {
+			return out[i].Subjects > out[j].Subjects
+		}
+		return d.st.Label(out[i].Property) < d.st.Label(out[j].Property)
+	})
+	return out
+}
+
+// TryExecute answers the query from indexes when it is a recognized
+// property expansion. ok=false means the caller must route the query to
+// the generic engine.
+func (d *Decomposer) TryExecute(q *sparql.Query) (*sparql.Result, bool) {
+	det, ok := Detect(q)
+	if !ok {
+		d.mu.Lock()
+		d.rejected++
+		d.mu.Unlock()
+		return nil, false
+	}
+	d.mu.Lock()
+	d.detected++
+	d.mu.Unlock()
+
+	classID, found := d.st.Dict().Lookup(det.Class)
+	var stats []PropStat
+	if found {
+		stats = d.PropertyStats(classID, det.Dir)
+	}
+
+	res := &sparql.Result{Vars: []string{det.PropVar, det.CountVar}}
+	if det.SumVar != "" {
+		res.Vars = append(res.Vars, det.SumVar)
+	}
+	for _, s := range stats {
+		row := sparql.Solution{
+			det.PropVar:  d.st.Dict().Term(s.Property),
+			det.CountVar: rdf.NewTypedLiteral(fmt.Sprint(s.Subjects), rdf.XSDInteger),
+		}
+		if det.SumVar != "" {
+			row[det.SumVar] = rdf.NewTypedLiteral(fmt.Sprint(s.Triples), rdf.XSDInteger)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	applyModifiers(res, q)
+
+	d.mu.Lock()
+	d.answered++
+	d.mu.Unlock()
+	return res, true
+}
+
+// applyModifiers honors ORDER BY / LIMIT / OFFSET of the original query on
+// the decomposed result.
+func applyModifiers(res *sparql.Result, q *sparql.Query) {
+	if len(q.OrderBy) > 0 {
+		sortResult(res, q.OrderBy)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(res.Rows) {
+			res.Rows = nil
+		} else {
+			res.Rows = res.Rows[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(res.Rows) {
+		res.Rows = res.Rows[:q.Limit]
+	}
+}
+
+func sortResult(res *sparql.Result, keys []sparql.OrderKey) {
+	sort.SliceStable(res.Rows, func(i, j int) bool {
+		for _, k := range keys {
+			vi := k.Expr.Eval(res.Rows[i])
+			vj := k.Expr.Eval(res.Rows[j])
+			li, iok := vi.AsNumber()
+			lj, jok := vj.AsNumber()
+			var cmp int
+			if iok && jok {
+				switch {
+				case li < lj:
+					cmp = -1
+				case li > lj:
+					cmp = 1
+				}
+			} else {
+				si, _ := vi.AsString()
+				sj, _ := vj.AsString()
+				switch {
+				case si < sj:
+					cmp = -1
+				case si > sj:
+					cmp = 1
+				}
+			}
+			if cmp == 0 {
+				continue
+			}
+			if k.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+}
+
+// Stats reports detector activity: queries detected as expansions,
+// answered from indexes, and rejected (routed to the generic engine).
+func (d *Decomposer) Stats() (detected, answered, rejected int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.detected, d.answered, d.rejected
+}
+
+// Warm precomputes the level-zero aggregates for the given class in both
+// directions — what the eLinda endpoint does for its mirrored knowledge
+// bases so the very first exploration pane is fast.
+func (d *Decomposer) Warm(class rdf.ID) {
+	d.PropertyStats(class, Outgoing)
+	d.PropertyStats(class, Incoming)
+}

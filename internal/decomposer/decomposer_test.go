@@ -1,0 +1,331 @@
+package decomposer
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+	"elinda/internal/store"
+)
+
+func ex(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+
+func fixture(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New(64)
+	_, err := st.Load([]rdf.Triple{
+		{S: ex("plato"), P: rdf.TypeIRI, O: ex("Philosopher")},
+		{S: ex("aristotle"), P: rdf.TypeIRI, O: ex("Philosopher")},
+		{S: ex("kant"), P: rdf.TypeIRI, O: ex("Philosopher")},
+		{S: ex("plato"), P: ex("born"), O: rdf.NewTypedLiteral("-427", rdf.XSDInteger)},
+		{S: ex("aristotle"), P: ex("born"), O: rdf.NewTypedLiteral("-384", rdf.XSDInteger)},
+		{S: ex("kant"), P: ex("influencedBy"), O: ex("hume")},
+		{S: ex("kant"), P: ex("influencedBy"), O: ex("rousseau")},
+		{S: ex("work1"), P: ex("author"), O: ex("plato")},
+		{S: ex("work2"), P: ex("author"), O: ex("plato")},
+		{S: ex("work3"), P: ex("author"), O: ex("kant")},
+		{S: ex("school"), P: ex("founder"), O: ex("plato")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+const paperOutgoing = `SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+FROM {SELECT ?s ?p count(*) AS ?sp
+FROM {?s a <http://example.org/Philosopher>. ?s ?p ?o.}
+GROUP BY ?s ?p} GROUP BY ?p`
+
+const paperIncoming = `SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+FROM {SELECT ?s ?p count(*) AS ?sp
+FROM {?s a <http://example.org/Philosopher>. ?o ?p ?s.}
+GROUP BY ?s ?p} GROUP BY ?p`
+
+func TestDetectPaperQuery(t *testing.T) {
+	q, err := sparql.Parse(paperOutgoing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, ok := Detect(q)
+	if !ok {
+		t.Fatal("paper query not detected")
+	}
+	if det.Dir != Outgoing {
+		t.Errorf("direction = %v", det.Dir)
+	}
+	if det.Class != ex("Philosopher") {
+		t.Errorf("class = %v", det.Class)
+	}
+	if det.PropVar != "p" || det.CountVar != "count" || det.SumVar != "sp" {
+		t.Errorf("vars = %q %q %q", det.PropVar, det.CountVar, det.SumVar)
+	}
+}
+
+func TestDetectIncoming(t *testing.T) {
+	q, err := sparql.Parse(paperIncoming)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, ok := Detect(q)
+	if !ok {
+		t.Fatal("incoming query not detected")
+	}
+	if det.Dir != Incoming {
+		t.Errorf("direction = %v", det.Dir)
+	}
+}
+
+func TestDetectSingleLevel(t *testing.T) {
+	q, err := sparql.Parse(`SELECT ?p (COUNT(DISTINCT ?s) AS ?c) (COUNT(*) AS ?t)
+WHERE { ?s a <http://example.org/Philosopher> . ?s ?p ?o . } GROUP BY ?p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det, ok := Detect(q)
+	if !ok {
+		t.Fatal("single-level query not detected")
+	}
+	if det.CountVar != "c" || det.SumVar != "t" {
+		t.Errorf("vars = %+v", det)
+	}
+}
+
+func TestDetectRejectsNonExpansions(t *testing.T) {
+	negatives := []string{
+		`SELECT ?s WHERE { ?s ?p ?o . }`,
+		`SELECT ?p (COUNT(?s) AS ?c) WHERE { ?s ?p ?o . } GROUP BY ?p`,                                                      // no type triple
+		`SELECT ?p (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s a ?cls . ?s ?p ?o . } GROUP BY ?p`,                                 // variable class
+		`SELECT ?p (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s a <http://x/C> . ?s ?p ?o . FILTER (?p != rdf:type) } GROUP BY ?p`, // filter present
+		`SELECT ?p (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s a <http://x/C> . ?s ?p ?s . } GROUP BY ?p`,                         // self-loop pattern
+		`SELECT DISTINCT ?p (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s a <http://x/C> . ?s ?p ?o . } GROUP BY ?p`,                // DISTINCT modifier
+		`SELECT ?p (SUM(?s) AS ?c) WHERE { ?s a <http://x/C> . ?s ?p ?o . } GROUP BY ?p`,                                    // wrong aggregate
+		`ASK { ?s ?p ?o }`,
+	}
+	for i, src := range negatives {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatalf("case %d: parse: %v", i, err)
+		}
+		if _, ok := Detect(q); ok {
+			t.Errorf("case %d: wrongly detected %q", i, src)
+		}
+	}
+}
+
+func TestPropertyStatsOutgoing(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	phil, _ := st.Dict().Lookup(ex("Philosopher"))
+	stats := d.PropertyStats(phil, Outgoing)
+	byProp := map[string]PropStat{}
+	for _, s := range stats {
+		byProp[st.Dict().Term(s.Property).Value] = s
+	}
+	if s := byProp[rdf.RDFType]; s.Subjects != 3 || s.Triples != 3 {
+		t.Errorf("rdf:type = %+v", s)
+	}
+	if s := byProp["http://example.org/born"]; s.Subjects != 2 || s.Triples != 2 {
+		t.Errorf("born = %+v", s)
+	}
+	if s := byProp["http://example.org/influencedBy"]; s.Subjects != 1 || s.Triples != 2 {
+		t.Errorf("influencedBy = %+v", s)
+	}
+	// Sorted by descending subject count.
+	for i := 1; i < len(stats); i++ {
+		if stats[i].Subjects > stats[i-1].Subjects {
+			t.Error("stats not sorted by subjects desc")
+		}
+	}
+}
+
+func TestPropertyStatsIncoming(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	phil, _ := st.Dict().Lookup(ex("Philosopher"))
+	stats := d.PropertyStats(phil, Incoming)
+	byProp := map[string]PropStat{}
+	for _, s := range stats {
+		byProp[st.Dict().Term(s.Property).Value] = s
+	}
+	// author enters plato and kant: 2 subjects, 3 triples.
+	if s := byProp["http://example.org/author"]; s.Subjects != 2 || s.Triples != 3 {
+		t.Errorf("author = %+v", s)
+	}
+	if s := byProp["http://example.org/founder"]; s.Subjects != 1 || s.Triples != 1 {
+		t.Errorf("founder = %+v", s)
+	}
+	// influencedBy enters hume/rousseau, not philosophers: absent.
+	if _, ok := byProp["http://example.org/influencedBy"]; ok {
+		t.Error("influencedBy should not appear as incoming for Philosopher")
+	}
+}
+
+// TestDecomposedEqualsGeneric is the central correctness property: the
+// decomposer's answer must be identical (as a set of rows) to running the
+// same query through the generic engine.
+func TestDecomposedEqualsGeneric(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	eng := sparql.NewEngine(st)
+	for _, src := range []string{paperOutgoing, paperIncoming} {
+		q, err := sparql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, ok := d.TryExecute(q)
+		if !ok {
+			t.Fatalf("not decomposed: %s", src)
+		}
+		slow, err := eng.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertSameRows(t, fast, slow)
+	}
+}
+
+// TestDecomposedEqualsGenericRandom fuzzes the equivalence on random
+// graphs.
+func TestDecomposedEqualsGenericRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		st := store.New(256)
+		nInst := 5 + r.Intn(20)
+		for i := 0; i < nInst; i++ {
+			inst := ex(fmt.Sprintf("i%d", i))
+			st.Add(rdf.Triple{S: inst, P: rdf.TypeIRI, O: ex("C")})
+			for j := 0; j < r.Intn(5); j++ {
+				p := ex(fmt.Sprintf("p%d", r.Intn(4)))
+				st.Add(rdf.Triple{S: inst, P: p, O: ex(fmt.Sprintf("o%d", r.Intn(10)))})
+			}
+			for j := 0; j < r.Intn(3); j++ {
+				p := ex(fmt.Sprintf("q%d", r.Intn(3)))
+				st.Add(rdf.Triple{S: ex(fmt.Sprintf("x%d", r.Intn(10))), P: p, O: inst})
+			}
+		}
+		d := New(st)
+		eng := sparql.NewEngine(st)
+		for _, dir := range []string{"?s ?p ?o.", "?o ?p ?s."} {
+			src := fmt.Sprintf(`SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+FROM {SELECT ?s ?p count(*) AS ?sp FROM {?s a <http://example.org/C>. %s} GROUP BY ?s ?p} GROUP BY ?p`, dir)
+			q, err := sparql.Parse(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast, ok := d.TryExecute(q)
+			if !ok {
+				t.Fatal("not decomposed")
+			}
+			slow, err := eng.Execute(context.Background(), q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameRows(t, fast, slow)
+		}
+	}
+}
+
+func assertSameRows(t *testing.T, a, b *sparql.Result) {
+	t.Helper()
+	key := func(rows []sparql.Solution) map[string]sparql.Solution {
+		m := map[string]sparql.Solution{}
+		for _, r := range rows {
+			m[r["p"].Value] = r
+		}
+		return m
+	}
+	ka, kb := key(a.Rows), key(b.Rows)
+	if len(ka) != len(kb) {
+		t.Fatalf("row counts differ: %d vs %d\nfast=%v\nslow=%v", len(ka), len(kb), a.Rows, b.Rows)
+	}
+	for p, ra := range ka {
+		rb, ok := kb[p]
+		if !ok {
+			t.Fatalf("property %s missing from generic result", p)
+		}
+		if !reflect.DeepEqual(ra, rb) {
+			t.Fatalf("rows differ for %s: fast=%v slow=%v", p, ra, rb)
+		}
+	}
+}
+
+func TestTryExecuteHonorsModifiers(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	src := paperOutgoing + ` ORDER BY DESC(?count) LIMIT 2`
+	q, err := sparql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := d.TryExecute(q)
+	if !ok {
+		t.Fatal("not decomposed")
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0]["p"].Value != rdf.RDFType {
+		t.Errorf("top property = %v, want rdf:type", res.Rows[0]["p"])
+	}
+}
+
+func TestTryExecuteUnknownClass(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	q, err := sparql.Parse(`SELECT ?p (COUNT(DISTINCT ?s) AS ?c)
+WHERE { ?s a <http://example.org/Never> . ?s ?p ?o . } GROUP BY ?p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := d.TryExecute(q)
+	if !ok {
+		t.Fatal("should still decompose")
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("rows = %d, want 0", len(res.Rows))
+	}
+}
+
+func TestMemoInvalidation(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	phil, _ := st.Dict().Lookup(ex("Philosopher"))
+	before := d.PropertyStats(phil, Outgoing)
+	// Add a new property triple and verify the memo refreshes.
+	st.Add(rdf.Triple{S: ex("plato"), P: ex("diedIn"), O: ex("athens")})
+	after := d.PropertyStats(phil, Outgoing)
+	if len(after) != len(before)+1 {
+		t.Errorf("memo not invalidated: %d -> %d properties", len(before), len(after))
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	q1, _ := sparql.Parse(paperOutgoing)
+	q2, _ := sparql.Parse(`SELECT ?s WHERE { ?s ?p ?o . }`)
+	d.TryExecute(q1)
+	d.TryExecute(q2)
+	detected, answered, rejected := d.Stats()
+	if detected != 1 || answered != 1 || rejected != 1 {
+		t.Errorf("stats = %d/%d/%d", detected, answered, rejected)
+	}
+}
+
+func TestWarm(t *testing.T) {
+	st := fixture(t)
+	d := New(st)
+	phil, _ := st.Dict().Lookup(ex("Philosopher"))
+	d.Warm(phil)
+	d.mu.Lock()
+	n := len(d.memo)
+	d.mu.Unlock()
+	if n != 2 {
+		t.Errorf("memo entries after Warm = %d, want 2", n)
+	}
+}

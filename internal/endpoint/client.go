@@ -1,0 +1,83 @@
+package endpoint
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"elinda/internal/sparql"
+)
+
+// Client queries a remote SPARQL endpoint over HTTP/JSON. It implements
+// Executor, so the explorer can treat a remote Virtuoso endpoint exactly
+// like the local engine — the paper's remote-compatibility mode, where
+// "the user [applies] eLinda to the exploration of such sources ... by
+// merely specifying the endpoint URL".
+type Client struct {
+	// URL is the endpoint address, e.g. "http://dbpedia.example/sparql".
+	URL string
+	// HTTPClient is the transport; http.DefaultClient when nil.
+	HTTPClient *http.Client
+	// UsePOST selects POST form submission instead of GET (needed for
+	// queries longer than typical URL limits).
+	UsePOST bool
+}
+
+// NewClient returns a client for the endpoint at rawURL.
+func NewClient(rawURL string) *Client {
+	return &Client{URL: rawURL, HTTPClient: &http.Client{Timeout: 60 * time.Second}}
+}
+
+// Query implements Executor by performing an HTTP round-trip.
+func (c *Client) Query(ctx context.Context, src string) (*sparql.Result, error) {
+	httpc := c.HTTPClient
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var req *http.Request
+	var err error
+	if c.UsePOST {
+		form := url.Values{"query": {src}}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, c.URL, strings.NewReader(form.Encode()))
+		if err == nil {
+			req.Header.Set("Content-Type", "application/x-www-form-urlencoded")
+		}
+	} else {
+		u := c.URL
+		if strings.Contains(u, "?") {
+			u += "&query=" + url.QueryEscape(src)
+		} else {
+			u += "?query=" + url.QueryEscape(src)
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: building request: %w", err)
+	}
+	req.Header.Set("Accept", ContentType)
+
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: request failed: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: reading response: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("endpoint: HTTP %d: %s", resp.StatusCode, truncate(string(body), 200))
+	}
+	return UnmarshalResult(body)
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}

@@ -1,0 +1,188 @@
+package endpoint
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"strings"
+
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+)
+
+// Media types for the SPARQL 1.1 results formats the server negotiates.
+const (
+	ContentTypeCSV = "text/csv"
+	ContentTypeTSV = "text/tab-separated-values"
+	ContentTypeXML = "application/sparql-results+xml"
+)
+
+// NegotiateFormat picks a result serializer for an Accept header value.
+// JSON is the default for empty, unknown, or wildcard values.
+func NegotiateFormat(accept string) (contentType string, marshal func(*sparql.Result) ([]byte, error)) {
+	for _, part := range strings.Split(accept, ",") {
+		media := strings.TrimSpace(strings.SplitN(part, ";", 2)[0])
+		switch media {
+		case ContentTypeCSV:
+			return ContentTypeCSV, MarshalCSV
+		case ContentTypeTSV:
+			return ContentTypeTSV, MarshalTSV
+		case ContentTypeXML:
+			return ContentTypeXML, MarshalXML
+		case ContentType, "application/json":
+			return ContentType, MarshalResult
+		}
+	}
+	return ContentType, MarshalResult
+}
+
+// MarshalCSV encodes results per the SPARQL 1.1 CSV format: a header of
+// variable names, values as plain strings (IRIs bare, literals by lexical
+// form), unbound cells empty.
+func MarshalCSV(res *sparql.Result) ([]byte, error) {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	if res.Ask {
+		if err := w.Write([]string{"boolean"}); err != nil {
+			return nil, fmt.Errorf("endpoint: csv: %w", err)
+		}
+		if err := w.Write([]string{fmt.Sprint(res.AskTrue)}); err != nil {
+			return nil, fmt.Errorf("endpoint: csv: %w", err)
+		}
+	} else {
+		if err := w.Write(res.Vars); err != nil {
+			return nil, fmt.Errorf("endpoint: csv: %w", err)
+		}
+		row := make([]string, len(res.Vars))
+		for _, sol := range res.Rows {
+			for i, v := range res.Vars {
+				if t, ok := sol[v]; ok {
+					row[i] = t.Value
+				} else {
+					row[i] = ""
+				}
+			}
+			if err := w.Write(row); err != nil {
+				return nil, fmt.Errorf("endpoint: csv: %w", err)
+			}
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return nil, fmt.Errorf("endpoint: csv: %w", err)
+	}
+	return []byte(sb.String()), nil
+}
+
+// MarshalTSV encodes results per the SPARQL 1.1 TSV format: variables
+// prefixed with '?', terms in N-Triples syntax, tab separators.
+func MarshalTSV(res *sparql.Result) ([]byte, error) {
+	var sb strings.Builder
+	if res.Ask {
+		sb.WriteString("?boolean\n")
+		fmt.Fprintf(&sb, "%v\n", res.AskTrue)
+		return []byte(sb.String()), nil
+	}
+	for i, v := range res.Vars {
+		if i > 0 {
+			sb.WriteByte('\t')
+		}
+		sb.WriteString("?" + v)
+	}
+	sb.WriteByte('\n')
+	for _, sol := range res.Rows {
+		for i, v := range res.Vars {
+			if i > 0 {
+				sb.WriteByte('\t')
+			}
+			if t, ok := sol[v]; ok {
+				sb.WriteString(tsvTerm(t))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return []byte(sb.String()), nil
+}
+
+func tsvTerm(t rdf.Term) string {
+	// N-Triples rendering, with tabs/newlines already escaped by
+	// Term.String for literals.
+	return t.String()
+}
+
+// xmlSparql mirrors the SPARQL Query Results XML Format.
+type xmlSparql struct {
+	XMLName xml.Name    `xml:"sparql"`
+	Xmlns   string      `xml:"xmlns,attr"`
+	Head    xmlHead     `xml:"head"`
+	Boolean *bool       `xml:"boolean,omitempty"`
+	Results *xmlResults `xml:"results,omitempty"`
+}
+
+type xmlHead struct {
+	Variables []xmlVariable `xml:"variable"`
+}
+
+type xmlVariable struct {
+	Name string `xml:"name,attr"`
+}
+
+type xmlResults struct {
+	Results []xmlResult `xml:"result"`
+}
+
+type xmlResult struct {
+	Bindings []xmlBinding `xml:"binding"`
+}
+
+type xmlBinding struct {
+	Name    string      `xml:"name,attr"`
+	URI     string      `xml:"uri,omitempty"`
+	BNode   string      `xml:"bnode,omitempty"`
+	Literal *xmlLiteral `xml:"literal,omitempty"`
+}
+
+type xmlLiteral struct {
+	Lang     string `xml:"xml:lang,attr,omitempty"`
+	Datatype string `xml:"datatype,attr,omitempty"`
+	Value    string `xml:",chardata"`
+}
+
+// MarshalXML encodes results per the SPARQL Query Results XML Format.
+func MarshalXML(res *sparql.Result) ([]byte, error) {
+	doc := xmlSparql{Xmlns: "http://www.w3.org/2005/sparql-results#"}
+	if res.Ask {
+		b := res.AskTrue
+		doc.Boolean = &b
+	} else {
+		for _, v := range res.Vars {
+			doc.Head.Variables = append(doc.Head.Variables, xmlVariable{Name: v})
+		}
+		doc.Results = &xmlResults{}
+		for _, sol := range res.Rows {
+			var r xmlResult
+			for _, v := range res.Vars {
+				t, ok := sol[v]
+				if !ok {
+					continue
+				}
+				b := xmlBinding{Name: v}
+				switch t.Kind {
+				case rdf.IRI:
+					b.URI = t.Value
+				case rdf.Blank:
+					b.BNode = t.Value
+				default:
+					b.Literal = &xmlLiteral{Lang: t.Lang, Datatype: t.Datatype, Value: t.Value}
+				}
+				r.Bindings = append(r.Bindings, b)
+			}
+			doc.Results.Results = append(doc.Results.Results, r)
+		}
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: xml: %w", err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}

@@ -1,0 +1,152 @@
+package endpoint
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+)
+
+func sampleResult() *sparql.Result {
+	return &sparql.Result{
+		Vars: []string{"s", "v"},
+		Rows: []sparql.Solution{
+			{"s": ex("plato"), "v": rdf.NewLangLiteral("Plato", "en")},
+			{"s": rdf.NewBlank("b0"), "v": rdf.NewTypedLiteral("7", rdf.XSDInteger)},
+			{"s": ex("partial")},
+		},
+	}
+}
+
+func TestMarshalCSV(t *testing.T) {
+	out, err := MarshalCSV(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "s,v" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "http://example.org/plato") || !strings.Contains(lines[1], "Plato") {
+		t.Errorf("row 1 = %q", lines[1])
+	}
+	// Unbound cell renders empty.
+	if !strings.HasSuffix(lines[3], ",") {
+		t.Errorf("unbound cell not empty: %q", lines[3])
+	}
+}
+
+func TestMarshalCSVAsk(t *testing.T) {
+	out, err := MarshalCSV(&sparql.Result{Ask: true, AskTrue: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "true") {
+		t.Errorf("ASK CSV = %q", out)
+	}
+}
+
+func TestMarshalTSV(t *testing.T) {
+	out, err := MarshalTSV(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(out)), "\n")
+	if lines[0] != "?s\t?v" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "<http://example.org/plato>") {
+		t.Errorf("IRIs must be N-Triples formatted: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], `"Plato"@en`) {
+		t.Errorf("literals must keep tags: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "_:b0") {
+		t.Errorf("bnode form: %q", lines[2])
+	}
+}
+
+func TestMarshalXML(t *testing.T) {
+	out, err := MarshalXML(sampleResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	for _, want := range []string{
+		`<variable name="s">`,
+		`<uri>http://example.org/plato</uri>`,
+		`xml:lang="en"`,
+		`<bnode>b0</bnode>`,
+		`datatype="` + rdf.XSDInteger + `"`,
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("XML missing %q:\n%s", want, s)
+		}
+	}
+	askOut, err := MarshalXML(&sparql.Result{Ask: true, AskTrue: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(askOut), "<boolean>false</boolean>") {
+		t.Errorf("ASK XML = %s", askOut)
+	}
+}
+
+func TestNegotiateFormat(t *testing.T) {
+	cases := []struct {
+		accept string
+		want   string
+	}{
+		{"", ContentType},
+		{"*/*", ContentType},
+		{"application/sparql-results+json", ContentType},
+		{"application/json", ContentType},
+		{"text/csv", ContentTypeCSV},
+		{"text/tab-separated-values", ContentTypeTSV},
+		{"application/sparql-results+xml", ContentTypeXML},
+		{"text/html, text/csv;q=0.9", ContentTypeCSV},
+		{"totally/bogus", ContentType},
+	}
+	for _, c := range cases {
+		got, marshal := NegotiateFormat(c.accept)
+		if got != c.want {
+			t.Errorf("Negotiate(%q) = %q, want %q", c.accept, got, c.want)
+		}
+		if marshal == nil {
+			t.Errorf("Negotiate(%q) returned nil marshaler", c.accept)
+		}
+	}
+}
+
+func TestServerContentNegotiation(t *testing.T) {
+	srv := httptest.NewServer(NewServer(newTestEngine(t)))
+	defer srv.Close()
+	q := url.QueryEscape(`SELECT ?s WHERE { ?s a <http://example.org/Philosopher> . } ORDER BY ?s`)
+	for accept, wantCT := range map[string]string{
+		"text/csv":                       ContentTypeCSV,
+		"text/tab-separated-values":      ContentTypeTSV,
+		"application/sparql-results+xml": ContentTypeXML,
+		"":                               ContentType,
+	} {
+		req, _ := http.NewRequest(http.MethodGet, srv.URL+"?query="+q, nil)
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if ct != wantCT {
+			t.Errorf("Accept %q: content type = %q, want %q", accept, ct, wantCT)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+// Package endpoint implements the HTTP SPARQL protocol layer of eLinda's
+// architecture (Figure 3): a server that plays the Virtuoso endpoint role,
+// speaking the SPARQL 1.1 Query Results JSON Format, and the matching
+// client used for "AJAX communication with the Virtuoso server via its
+// HTTP/JSON SPARQL interface" (Section 4, remote compatibility).
+package endpoint
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+)
+
+// jsonResults mirrors the SPARQL 1.1 Query Results JSON Format.
+type jsonResults struct {
+	Head    jsonHead      `json:"head"`
+	Results *jsonBindings `json:"results,omitempty"`
+	Boolean *bool         `json:"boolean,omitempty"`
+}
+
+type jsonHead struct {
+	Vars []string `json:"vars,omitempty"`
+}
+
+type jsonBindings struct {
+	Bindings []map[string]jsonTerm `json:"bindings"`
+}
+
+type jsonTerm struct {
+	Type     string `json:"type"` // uri | literal | bnode
+	Value    string `json:"value"`
+	Lang     string `json:"xml:lang,omitempty"`
+	Datatype string `json:"datatype,omitempty"`
+}
+
+// MarshalResult encodes a query result in SPARQL 1.1 JSON.
+func MarshalResult(res *sparql.Result) ([]byte, error) {
+	doc := jsonResults{}
+	if res.Ask {
+		b := res.AskTrue
+		doc.Boolean = &b
+	} else {
+		doc.Head.Vars = res.Vars
+		bindings := make([]map[string]jsonTerm, 0, len(res.Rows))
+		for _, row := range res.Rows {
+			m := make(map[string]jsonTerm, len(row))
+			for v, t := range row {
+				m[v] = termToJSON(t)
+			}
+			bindings = append(bindings, m)
+		}
+		doc.Results = &jsonBindings{Bindings: bindings}
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		return nil, fmt.Errorf("endpoint: marshaling results: %w", err)
+	}
+	return out, nil
+}
+
+// UnmarshalResult decodes a SPARQL 1.1 JSON document back to a Result.
+func UnmarshalResult(data []byte) (*sparql.Result, error) {
+	var doc jsonResults
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("endpoint: unmarshaling results: %w", err)
+	}
+	if doc.Boolean != nil {
+		return &sparql.Result{Ask: true, AskTrue: *doc.Boolean}, nil
+	}
+	if doc.Results == nil {
+		return nil, fmt.Errorf("endpoint: document has neither results nor boolean")
+	}
+	res := &sparql.Result{Vars: doc.Head.Vars}
+	for _, b := range doc.Results.Bindings {
+		row := sparql.Solution{}
+		for v, jt := range b {
+			t, err := jsonToTerm(jt)
+			if err != nil {
+				return nil, err
+			}
+			row[v] = t
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func termToJSON(t rdf.Term) jsonTerm {
+	switch t.Kind {
+	case rdf.IRI:
+		return jsonTerm{Type: "uri", Value: t.Value}
+	case rdf.Blank:
+		return jsonTerm{Type: "bnode", Value: t.Value}
+	default:
+		return jsonTerm{Type: "literal", Value: t.Value, Lang: t.Lang, Datatype: t.Datatype}
+	}
+}
+
+func jsonToTerm(jt jsonTerm) (rdf.Term, error) {
+	switch jt.Type {
+	case "uri":
+		return rdf.NewIRI(jt.Value), nil
+	case "bnode":
+		return rdf.NewBlank(jt.Value), nil
+	case "literal", "typed-literal":
+		switch {
+		case jt.Lang != "":
+			return rdf.NewLangLiteral(jt.Value, jt.Lang), nil
+		case jt.Datatype != "":
+			return rdf.NewTypedLiteral(jt.Value, jt.Datatype), nil
+		default:
+			return rdf.NewLiteral(jt.Value), nil
+		}
+	default:
+		return rdf.Term{}, fmt.Errorf("endpoint: unknown term type %q", jt.Type)
+	}
+}

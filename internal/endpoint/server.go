@@ -1,0 +1,92 @@
+package endpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"elinda/internal/sparql"
+)
+
+// ContentType is the media type of SPARQL JSON results.
+const ContentType = "application/sparql-results+json"
+
+// Executor answers SPARQL queries. *sparql.Engine satisfies it; the proxy
+// in internal/proxy wraps one Executor with caching and routing.
+type Executor interface {
+	Query(ctx context.Context, src string) (*sparql.Result, error)
+}
+
+// ExecutorFunc adapts a function to the Executor interface.
+type ExecutorFunc func(ctx context.Context, src string) (*sparql.Result, error)
+
+// Query implements Executor.
+func (f ExecutorFunc) Query(ctx context.Context, src string) (*sparql.Result, error) {
+	return f(ctx, src)
+}
+
+// Server is an HTTP handler exposing an Executor at /sparql, accepting the
+// query via GET ?query= or POST form field "query" (the two access methods
+// the SPARQL protocol defines that Virtuoso supports over AJAX).
+type Server struct {
+	exec Executor
+	// Timeout bounds each query's execution (0 = no bound).
+	Timeout time.Duration
+}
+
+// NewServer returns a Server over exec.
+func NewServer(exec Executor) *Server { return &Server{exec: exec} }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	var query string
+	switch r.Method {
+	case http.MethodGet:
+		query = r.URL.Query().Get("query")
+	case http.MethodPost:
+		if err := r.ParseForm(); err != nil {
+			http.Error(w, "bad form: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		query = r.PostForm.Get("query")
+	default:
+		w.Header().Set("Allow", "GET, POST")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if query == "" {
+		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+
+	ctx := r.Context()
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+
+	res, err := s.exec.Query(ctx, query)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			status = http.StatusGatewayTimeout
+		} else if errors.Is(err, sparql.ErrTooLarge) {
+			status = http.StatusInsufficientStorage
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	contentType, marshal := NegotiateFormat(r.Header.Get("Accept"))
+	body, err := marshal(res)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}

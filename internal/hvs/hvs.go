@@ -1,0 +1,210 @@
+// Package hvs implements eLinda's Heavy Query Store (Section 4):
+//
+//	"eLinda detects heavy queries and saves their results in a key-value
+//	store called heavy query store (HVS) on the eLinda endpoint. For each
+//	query to the eLinda endpoint, the system first checks if the HVS
+//	encountered it before and determined it to be heavy. If so, use the
+//	result from the HVS, otherwise route it to the Virtuoso endpoint.
+//	eLinda backend measures the run time of the routed queries. Queries
+//	with runtime bigger than one second are considered heavy and saved in
+//	the HVS. The HVS is cleared on any update to the eLinda knowledge
+//	bases."
+package hvs
+
+import (
+	"strings"
+	"sync"
+	"time"
+
+	"elinda/internal/sparql"
+)
+
+// DefaultThreshold is the paper's heaviness cutoff: one second.
+const DefaultThreshold = time.Second
+
+// Entry is a cached heavy-query result.
+type Entry struct {
+	// Result is the stored query result.
+	Result *sparql.Result
+	// Runtime is the execution time observed when the entry was stored.
+	Runtime time.Duration
+	// StoredAt is when the entry was created.
+	StoredAt time.Time
+	// Hits counts cache lookups served by this entry.
+	Hits int
+}
+
+// Stats summarizes store activity.
+type Stats struct {
+	// Entries is the current number of cached results.
+	Entries int
+	// Hits counts queries answered from the store.
+	Hits int
+	// Misses counts lookups that found nothing.
+	Misses int
+	// Stores counts results recorded as heavy.
+	Stores int
+	// Invalidations counts whole-store clears.
+	Invalidations int
+}
+
+// Store is a threshold-gated key-value cache of SPARQL results. It is safe
+// for concurrent use.
+type Store struct {
+	mu        sync.RWMutex
+	entries   map[string]*Entry
+	threshold time.Duration
+	// generation remembers the KB generation the cache contents belong to.
+	generation uint64
+	haveGen    bool
+
+	hits, misses, stores, invalidations int
+
+	// MaxEntries bounds the cache size; 0 means unlimited. When full, the
+	// least-hit entry is evicted (heavy queries are few, so a simple scan
+	// suffices).
+	MaxEntries int
+}
+
+// New returns a store with the given heaviness threshold
+// (DefaultThreshold when zero or negative).
+func New(threshold time.Duration) *Store {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	return &Store{
+		entries:   make(map[string]*Entry),
+		threshold: threshold,
+	}
+}
+
+// Threshold returns the heaviness cutoff.
+func (s *Store) Threshold() time.Duration {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.threshold
+}
+
+// SetThreshold changes the heaviness cutoff. Existing entries are kept:
+// they were observed heavy under the old policy and remain valid results.
+func (s *Store) SetThreshold(threshold time.Duration) {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.threshold = threshold
+}
+
+// Normalize canonicalizes query text so that trivially different spellings
+// of the same query share a cache slot (whitespace collapsing).
+func Normalize(query string) string {
+	fields := strings.Fields(query)
+	return strings.Join(fields, " ")
+}
+
+// Lookup returns a cached result for the query under the given KB
+// generation. A generation different from the one the cache was filled at
+// clears the store first ("The HVS is cleared on any update").
+func (s *Store) Lookup(query string, generation uint64) (*sparql.Result, bool) {
+	key := Normalize(query)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ensureGenerationLocked(generation)
+	e, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	e.Hits++
+	s.hits++
+	return e.Result, true
+}
+
+// Record reports an executed query with its observed runtime. The result
+// is stored only when the runtime exceeds the threshold. It returns
+// whether the query was classified heavy.
+func (s *Store) Record(query string, res *sparql.Result, runtime time.Duration, generation uint64) bool {
+	key := Normalize(query)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if runtime < s.threshold {
+		return false
+	}
+	s.ensureGenerationLocked(generation)
+	if s.MaxEntries > 0 && len(s.entries) >= s.MaxEntries {
+		if _, exists := s.entries[key]; !exists {
+			s.evictColdestLocked()
+		}
+	}
+	s.entries[key] = &Entry{Result: res, Runtime: runtime, StoredAt: time.Now()}
+	s.stores++
+	return true
+}
+
+// ensureGenerationLocked clears the cache if the KB generation moved.
+func (s *Store) ensureGenerationLocked(generation uint64) {
+	if s.haveGen && s.generation == generation {
+		return
+	}
+	if s.haveGen && len(s.entries) > 0 {
+		s.entries = make(map[string]*Entry)
+		s.invalidations++
+	}
+	s.generation = generation
+	s.haveGen = true
+}
+
+func (s *Store) evictColdestLocked() {
+	var coldKey string
+	coldHits := int(^uint(0) >> 1)
+	for k, e := range s.entries {
+		if e.Hits < coldHits {
+			coldHits = e.Hits
+			coldKey = k
+		}
+	}
+	if coldKey != "" {
+		delete(s.entries, coldKey)
+	}
+}
+
+// Invalidate clears every entry unconditionally.
+func (s *Store) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) > 0 {
+		s.entries = make(map[string]*Entry)
+		s.invalidations++
+	}
+	s.haveGen = false
+}
+
+// Len returns the number of cached entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.entries)
+}
+
+// Stats returns a snapshot of activity counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return Stats{
+		Entries:       len(s.entries),
+		Hits:          s.hits,
+		Misses:        s.misses,
+		Stores:        s.stores,
+		Invalidations: s.invalidations,
+	}
+}
+
+// Entry returns the cache entry for a query, if present, without counting
+// a hit. Intended for introspection and tests.
+func (s *Store) Entry(query string) (*Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.entries[Normalize(query)]
+	return e, ok
+}

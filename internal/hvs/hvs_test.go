@@ -1,0 +1,186 @@
+package hvs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+)
+
+func res(v string) *sparql.Result {
+	return &sparql.Result{
+		Vars: []string{"x"},
+		Rows: []sparql.Solution{{"x": rdf.NewIRI("http://x/" + v)}},
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	a := Normalize("SELECT ?s  WHERE {\n  ?s ?p ?o .\n}")
+	b := Normalize("SELECT ?s WHERE { ?s ?p ?o . }")
+	if a != b {
+		t.Errorf("normalization differs: %q vs %q", a, b)
+	}
+}
+
+func TestThresholdGating(t *testing.T) {
+	s := New(time.Second)
+	if s.Record("q1", res("a"), 500*time.Millisecond, 1) {
+		t.Error("sub-threshold query stored")
+	}
+	if s.Len() != 0 {
+		t.Error("store should be empty")
+	}
+	if !s.Record("q1", res("a"), 2*time.Second, 1) {
+		t.Error("heavy query not stored")
+	}
+	got, ok := s.Lookup("q1", 1)
+	if !ok || got.Rows[0]["x"].Value != "http://x/a" {
+		t.Errorf("Lookup = (%v, %v)", got, ok)
+	}
+}
+
+func TestDefaultThreshold(t *testing.T) {
+	if New(0).Threshold() != DefaultThreshold {
+		t.Error("zero threshold should default to 1s")
+	}
+	if New(-5).Threshold() != DefaultThreshold {
+		t.Error("negative threshold should default to 1s")
+	}
+	if New(10*time.Millisecond).Threshold() != 10*time.Millisecond {
+		t.Error("explicit threshold ignored")
+	}
+}
+
+func TestLookupNormalizesKeys(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Record("SELECT ?s WHERE { ?s ?p ?o }", res("a"), time.Second, 1)
+	if _, ok := s.Lookup("SELECT  ?s\nWHERE  { ?s ?p ?o }", 1); !ok {
+		t.Error("whitespace variant missed the cache")
+	}
+}
+
+func TestGenerationInvalidation(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Record("q", res("a"), time.Second, 1)
+	if _, ok := s.Lookup("q", 1); !ok {
+		t.Fatal("warm lookup missed")
+	}
+	// KB update: generation moves, cache must clear.
+	if _, ok := s.Lookup("q", 2); ok {
+		t.Error("stale entry served after KB update")
+	}
+	st := s.Stats()
+	if st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	if s.Len() != 0 {
+		t.Errorf("entries after invalidation = %d", s.Len())
+	}
+}
+
+func TestRecordAtNewGenerationClears(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Record("q1", res("a"), time.Second, 1)
+	s.Record("q2", res("b"), time.Second, 2) // generation moved
+	if s.Len() != 1 {
+		t.Errorf("entries = %d, want 1 (q1 invalidated)", s.Len())
+	}
+	if _, ok := s.Lookup("q1", 2); ok {
+		t.Error("q1 should be gone")
+	}
+	if _, ok := s.Lookup("q2", 2); !ok {
+		t.Error("q2 should survive")
+	}
+}
+
+func TestExplicitInvalidate(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Record("q", res("a"), time.Second, 1)
+	s.Invalidate()
+	if s.Len() != 0 {
+		t.Error("Invalidate did not clear")
+	}
+	if _, ok := s.Lookup("q", 1); ok {
+		t.Error("entry survived Invalidate")
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Lookup("missing", 1)
+	s.Record("q", res("a"), time.Second, 1)
+	s.Lookup("q", 1)
+	s.Lookup("q", 1)
+	st := s.Stats()
+	if st.Hits != 2 || st.Misses != 1 || st.Stores != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	e, ok := s.Entry("q")
+	if !ok || e.Hits != 2 || e.Runtime != time.Second {
+		t.Errorf("entry = %+v, ok=%v", e, ok)
+	}
+}
+
+func TestEviction(t *testing.T) {
+	s := New(time.Millisecond)
+	s.MaxEntries = 2
+	s.Record("q1", res("a"), time.Second, 1)
+	s.Record("q2", res("b"), time.Second, 1)
+	s.Lookup("q1", 1) // q1 now hot
+	s.Record("q3", res("c"), time.Second, 1)
+	if s.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", s.Len())
+	}
+	if _, ok := s.Entry("q2"); ok {
+		t.Error("coldest entry q2 should have been evicted")
+	}
+	if _, ok := s.Entry("q1"); !ok {
+		t.Error("hot entry q1 evicted")
+	}
+	// Overwriting an existing key when full must not evict.
+	s.Record("q1", res("a2"), time.Second, 1)
+	if s.Len() != 2 {
+		t.Errorf("overwrite changed size: %d", s.Len())
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New(time.Millisecond)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := fmt.Sprintf("q%d", i%10)
+				s.Record(q, res(q), time.Second, 1)
+				s.Lookup(q, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 10 {
+		t.Errorf("entries = %d, want 10", s.Len())
+	}
+}
+
+func TestSetThreshold(t *testing.T) {
+	s := New(time.Hour)
+	if s.Record("q", res("a"), time.Second, 1) {
+		t.Fatal("stored under 1h threshold")
+	}
+	s.SetThreshold(time.Millisecond)
+	if s.Threshold() != time.Millisecond {
+		t.Fatalf("threshold = %v", s.Threshold())
+	}
+	if !s.Record("q", res("a"), time.Second, 1) {
+		t.Error("not stored after lowering threshold")
+	}
+	s.SetThreshold(0)
+	if s.Threshold() != DefaultThreshold {
+		t.Error("zero threshold should reset to default")
+	}
+}

@@ -1,0 +1,67 @@
+package hvs
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+)
+
+// snapshotDoc is the on-disk representation of the store.
+type snapshotDoc struct {
+	// Version guards against format drift.
+	Version int
+	// Generation is the KB generation the entries belong to.
+	Generation uint64
+	HaveGen    bool
+	Threshold  time.Duration
+	Entries    map[string]*Entry
+}
+
+const snapshotVersion = 1
+
+// Snapshot serializes the cache contents with encoding/gob, so an eLinda
+// endpoint can persist its heavy-query results across restarts (the
+// mirrored knowledge bases change rarely; recomputing minutes-long
+// queries on every boot would defeat the HVS).
+func (s *Store) Snapshot(w io.Writer) error {
+	s.mu.RLock()
+	doc := snapshotDoc{
+		Version:    snapshotVersion,
+		Generation: s.generation,
+		HaveGen:    s.haveGen,
+		Threshold:  s.threshold,
+		Entries:    make(map[string]*Entry, len(s.entries)),
+	}
+	for k, e := range s.entries {
+		copied := *e
+		doc.Entries[k] = &copied
+	}
+	s.mu.RUnlock()
+	if err := gob.NewEncoder(w).Encode(doc); err != nil {
+		return fmt.Errorf("hvs: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the cache contents from a snapshot, keeping the
+// store's current threshold. The snapshot's generation is kept so that
+// the first Lookup against a changed KB still invalidates correctly.
+func (s *Store) Restore(r io.Reader) error {
+	var doc snapshotDoc
+	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
+		return fmt.Errorf("hvs: decoding snapshot: %w", err)
+	}
+	if doc.Version != snapshotVersion {
+		return fmt.Errorf("hvs: unsupported snapshot version %d", doc.Version)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if doc.Entries == nil {
+		doc.Entries = map[string]*Entry{}
+	}
+	s.entries = doc.Entries
+	s.generation = doc.Generation
+	s.haveGen = doc.HaveGen
+	return nil
+}

@@ -1,0 +1,102 @@
+package hvs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSnapshotRestoreRoundtrip(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Record("q1", res("a"), time.Second, 7)
+	s.Record("q2", res("b"), 2*time.Second, 7)
+	s.Lookup("q1", 7)
+
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(time.Millisecond)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Fatalf("restored entries = %d", restored.Len())
+	}
+	got, ok := restored.Lookup("q1", 7)
+	if !ok || got.Rows[0]["x"].Value != "http://x/a" {
+		t.Errorf("restored lookup = (%v, %v)", got, ok)
+	}
+	e, ok := restored.Entry("q2")
+	if !ok || e.Runtime != 2*time.Second {
+		t.Errorf("restored entry metadata = %+v", e)
+	}
+}
+
+func TestRestoreInvalidatesOnGenerationMismatch(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Record("q", res("a"), time.Second, 7)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(time.Millisecond)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// KB moved on while we were down: the restored entries must clear.
+	if _, ok := restored.Lookup("q", 8); ok {
+		t.Error("stale snapshot entry served after KB update")
+	}
+	if restored.Len() != 0 {
+		t.Error("stale entries kept")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	s := New(time.Millisecond)
+	if err := s.Restore(strings.NewReader("not a gob stream")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestSnapshotEmptyStore(t *testing.T) {
+	s := New(time.Millisecond)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(time.Millisecond)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 0 {
+		t.Error("empty snapshot produced entries")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	// Mutating the live store after Snapshot must not corrupt the bytes
+	// already produced, and restored entries must be independent copies.
+	s := New(time.Millisecond)
+	s.Record("q", res("a"), time.Second, 1)
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s.Invalidate()
+	restored := New(time.Millisecond)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 1 {
+		t.Error("snapshot affected by later mutation")
+	}
+	// Hitting the restored store must not mutate the original.
+	restored.Lookup("q", 1)
+	if s.Len() != 0 {
+		t.Error("restore aliased the original store")
+	}
+}

@@ -1,0 +1,33 @@
+package incremental
+
+import (
+	"context"
+	"testing"
+)
+
+func BenchmarkChunkedScan(b *testing.B) {
+	st, _ := buildGraphB(b, 77, 5000)
+	for _, chunk := range []int{1000, 10000, 100000} {
+		b.Run(sizeName(chunk), func(b *testing.B) {
+			ev := New(st, Config{ChunkSize: chunk})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				agg := NewPropertyAggregator(nil, false)
+				if _, err := ev.Run(context.Background(), agg, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 100000:
+		return "N=100k"
+	case n >= 10000:
+		return "N=10k"
+	default:
+		return "N=1k"
+	}
+}

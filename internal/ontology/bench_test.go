@@ -1,0 +1,80 @@
+package ontology
+
+import (
+	"fmt"
+	"testing"
+
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+func benchHierarchyStore(classes, instances int) *store.Store {
+	st := store.New(classes*3 + instances*2)
+	var ts []rdf.Triple
+	ts = append(ts, rdf.Triple{S: rdf.OWLThingIRI, P: rdf.TypeIRI, O: rdf.OWLClassIRI})
+	for i := 0; i < classes; i++ {
+		c := iri(fmt.Sprintf("C%d", i))
+		parent := rdf.OWLThingIRI
+		if i > 0 {
+			parent = iri(fmt.Sprintf("C%d", (i-1)/3)) // ternary tree
+		}
+		ts = append(ts, rdf.Triple{S: c, P: rdf.TypeIRI, O: rdf.OWLClassIRI})
+		ts = append(ts, rdf.Triple{S: c, P: rdf.SubClassOfIRI, O: parent})
+	}
+	for i := 0; i < instances; i++ {
+		ts = append(ts, rdf.Triple{
+			S: iri(fmt.Sprintf("inst%d", i)),
+			P: rdf.TypeIRI,
+			O: iri(fmt.Sprintf("C%d", i%classes)),
+		})
+	}
+	st.Load(ts)
+	return st
+}
+
+func BenchmarkBuild(b *testing.B) {
+	st := benchHierarchyStore(500, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := Build(st)
+		if h.Root() == rdf.NoID {
+			b.Fatal("no root")
+		}
+	}
+}
+
+func BenchmarkSubclassClosure(b *testing.B) {
+	st := benchHierarchyStore(500, 10000)
+	h := Build(st)
+	root := h.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := h.SubclassClosure(root); len(got) != 500 {
+			b.Fatalf("closure = %d", len(got))
+		}
+	}
+}
+
+func BenchmarkDeepInstanceCount(b *testing.B) {
+	st := benchHierarchyStore(500, 10000)
+	h := Build(st)
+	root := h.Root()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := h.DeepInstanceCount(root); got != 10000 {
+			b.Fatalf("deep = %d", got)
+		}
+	}
+}
+
+func BenchmarkPathFromRoot(b *testing.B) {
+	st := benchHierarchyStore(500, 100)
+	h := Build(st)
+	leaf, _ := st.Dict().Lookup(iri("C499"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if p := h.PathFromRoot(leaf); len(p) == 0 {
+			b.Fatal("no path")
+		}
+	}
+}

@@ -1,0 +1,218 @@
+// Package proxy implements the reverse proxy of eLinda's architecture
+// (Figure 3). Every query from the frontend passes through it:
+//
+//  1. If the HVS holds the (heavy) query's result, serve it from the cache.
+//  2. Otherwise, if the decomposer recognizes the query as a property
+//     expansion, answer it from the specialized indexes.
+//  3. Otherwise route it to the backing SPARQL executor (local engine or
+//     remote Virtuoso endpoint), measure its runtime, and record heavy
+//     queries (> threshold) into the HVS.
+//
+// The proxy implements endpoint.Executor, so it can be served over HTTP by
+// endpoint.Server, giving the full browser → proxy → cache/DB pipeline.
+package proxy
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"elinda/internal/decomposer"
+	"elinda/internal/endpoint"
+	"elinda/internal/hvs"
+	"elinda/internal/sparql"
+	"elinda/internal/store"
+)
+
+// Route identifies which tier answered a query.
+type Route uint8
+
+const (
+	// RouteHVS means the answer came from the heavy query store.
+	RouteHVS Route = iota
+	// RouteDecomposer means the decomposer answered from indexes.
+	RouteDecomposer
+	// RouteBackend means the generic executor ran the query.
+	RouteBackend
+)
+
+// String names the route.
+func (r Route) String() string {
+	switch r {
+	case RouteHVS:
+		return "hvs"
+	case RouteDecomposer:
+		return "decomposer"
+	default:
+		return "backend"
+	}
+}
+
+// Options configure a Proxy.
+type Options struct {
+	// HeavyThreshold is the HVS heaviness cutoff (paper: 1 s).
+	HeavyThreshold time.Duration
+	// DisableHVS turns the cache tier off (for the demo's "solutions
+	// turned on and off" scenario and the Fig. 4 ablation).
+	DisableHVS bool
+	// DisableDecomposer turns the index tier off.
+	DisableDecomposer bool
+}
+
+// Proxy is the query router. It is safe for concurrent use.
+type Proxy struct {
+	backend endpoint.Executor
+	st      *store.Store
+	cache   *hvs.Store
+	dec     *decomposer.Decomposer
+	opts    Options
+
+	mu   sync.Mutex
+	log  []Trace
+	hits map[Route]int
+}
+
+// Trace records one answered query for diagnostics and benchmarking.
+type Trace struct {
+	// Query is the normalized query text.
+	Query string
+	// Route is the tier that produced the answer.
+	Route Route
+	// Runtime is the wall-clock execution time of this request.
+	Runtime time.Duration
+	// Heavy reports whether the query was (re)classified heavy.
+	Heavy bool
+}
+
+// New builds a proxy over a local store. The backend executor is the
+// generic engine over the same store; use NewWithBackend to route to a
+// remote endpoint instead.
+func New(st *store.Store, opts Options) *Proxy {
+	return NewWithBackend(st, sparql.NewEngine(st), opts)
+}
+
+// NewWithBackend builds a proxy whose cache/index tiers use st but whose
+// fallback tier is the given executor (e.g. an endpoint.Client for the
+// remote-compatibility mode; the decomposer tier should then be disabled
+// since local indexes may not mirror the remote data).
+func NewWithBackend(st *store.Store, backend endpoint.Executor, opts Options) *Proxy {
+	if opts.HeavyThreshold <= 0 {
+		opts.HeavyThreshold = hvs.DefaultThreshold
+	}
+	return &Proxy{
+		backend: backend,
+		st:      st,
+		cache:   hvs.New(opts.HeavyThreshold),
+		dec:     decomposer.New(st),
+		opts:    opts,
+		hits:    make(map[Route]int),
+	}
+}
+
+// Query implements endpoint.Executor with the three-tier routing.
+func (p *Proxy) Query(ctx context.Context, src string) (*sparql.Result, error) {
+	res, _, err := p.QueryTraced(ctx, src)
+	return res, err
+}
+
+// QueryTraced is Query plus the route/runtime trace for the request.
+func (p *Proxy) QueryTraced(ctx context.Context, src string) (*sparql.Result, Trace, error) {
+	start := time.Now()
+	gen := p.st.Generation()
+
+	// Tier 1: HVS.
+	if !p.opts.DisableHVS {
+		if cached, ok := p.cache.Lookup(src, gen); ok {
+			tr := Trace{Query: hvs.Normalize(src), Route: RouteHVS, Runtime: time.Since(start), Heavy: true}
+			p.record(tr)
+			return cached, tr, nil
+		}
+	}
+
+	// Tier 2: decomposer (needs a parsed query; parse errors fall through
+	// to the backend so that remote dialects we cannot parse still work).
+	if !p.opts.DisableDecomposer {
+		if q, err := sparql.Parse(src); err == nil {
+			if res, ok := p.dec.TryExecute(q); ok {
+				runtime := time.Since(start)
+				tr := Trace{Query: hvs.Normalize(src), Route: RouteDecomposer, Runtime: runtime}
+				// Even decomposed answers can be heavy on cold indexes;
+				// cache them so repeats hit tier 1.
+				if !p.opts.DisableHVS {
+					tr.Heavy = p.cache.Record(src, res, runtime, gen)
+				}
+				p.record(tr)
+				return res, tr, nil
+			}
+		}
+	}
+
+	// Tier 3: backend.
+	res, err := p.backend.Query(ctx, src)
+	runtime := time.Since(start)
+	if err != nil {
+		return nil, Trace{Query: hvs.Normalize(src), Route: RouteBackend, Runtime: runtime}, err
+	}
+	tr := Trace{Query: hvs.Normalize(src), Route: RouteBackend, Runtime: runtime}
+	if !p.opts.DisableHVS {
+		tr.Heavy = p.cache.Record(src, res, runtime, gen)
+	}
+	p.record(tr)
+	return res, tr, nil
+}
+
+func (p *Proxy) record(tr Trace) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.hits[tr.Route]++
+	if len(p.log) < 10000 {
+		p.log = append(p.log, tr)
+	}
+}
+
+// HVS exposes the cache tier (for stats and explicit invalidation).
+func (p *Proxy) HVS() *hvs.Store { return p.cache }
+
+// Decomposer exposes the index tier (for warming).
+func (p *Proxy) Decomposer() *decomposer.Decomposer { return p.dec }
+
+// RouteCounts returns how many queries each tier answered.
+func (p *Proxy) RouteCounts() map[Route]int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[Route]int, len(p.hits))
+	for k, v := range p.hits {
+		out[k] = v
+	}
+	return out
+}
+
+// Traces returns a copy of the request log.
+func (p *Proxy) Traces() []Trace {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Trace, len(p.log))
+	copy(out, p.log)
+	return out
+}
+
+// SetOptions atomically replaces the routing options — used by the demo
+// scenarios that toggle the HVS and decomposer on and off live. A changed
+// heaviness threshold is propagated to the cache tier.
+func (p *Proxy) SetOptions(opts Options) {
+	p.mu.Lock()
+	if opts.HeavyThreshold <= 0 {
+		opts.HeavyThreshold = p.opts.HeavyThreshold
+	}
+	p.opts = opts
+	threshold := opts.HeavyThreshold
+	p.mu.Unlock()
+	p.cache.SetThreshold(threshold)
+}
+
+// Options returns the current routing options.
+func (p *Proxy) Options() Options {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opts
+}

@@ -1,0 +1,260 @@
+package proxy
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"elinda/internal/endpoint"
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+	"elinda/internal/store"
+)
+
+func ex(s string) rdf.Term { return rdf.NewIRI("http://example.org/" + s) }
+
+func fixture(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New(64)
+	_, err := st.Load([]rdf.Triple{
+		{S: ex("plato"), P: rdf.TypeIRI, O: ex("Philosopher")},
+		{S: ex("aristotle"), P: rdf.TypeIRI, O: ex("Philosopher")},
+		{S: ex("plato"), P: ex("born"), O: rdf.NewTypedLiteral("-427", rdf.XSDInteger)},
+		{S: ex("work1"), P: ex("author"), O: ex("plato")},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+const expansionQuery = `SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+FROM {SELECT ?s ?p count(*) AS ?sp
+FROM {?s a <http://example.org/Philosopher>. ?s ?p ?o.}
+GROUP BY ?s ?p} GROUP BY ?p`
+
+const plainQuery = `SELECT ?s WHERE { ?s a <http://example.org/Philosopher> . }`
+
+func TestRoutingDecomposerFirst(t *testing.T) {
+	p := New(fixture(t), Options{HeavyThreshold: time.Hour})
+	_, tr, err := p.QueryTraced(context.Background(), expansionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Route != RouteDecomposer {
+		t.Errorf("route = %v, want decomposer", tr.Route)
+	}
+	_, tr, err = p.QueryTraced(context.Background(), plainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Route != RouteBackend {
+		t.Errorf("plain query route = %v, want backend", tr.Route)
+	}
+}
+
+func TestHVSServesRepeats(t *testing.T) {
+	// Tiny threshold so everything is heavy.
+	p := New(fixture(t), Options{HeavyThreshold: time.Nanosecond})
+	_, tr1, err := p.QueryTraced(context.Background(), plainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr1.Route != RouteBackend || !tr1.Heavy {
+		t.Fatalf("first: %+v", tr1)
+	}
+	res, tr2, err := p.QueryTraced(context.Background(), plainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Route != RouteHVS {
+		t.Errorf("repeat route = %v, want hvs", tr2.Route)
+	}
+	if len(res.Rows) != 2 {
+		t.Errorf("cached rows = %d", len(res.Rows))
+	}
+}
+
+func TestHVSDisabled(t *testing.T) {
+	p := New(fixture(t), Options{HeavyThreshold: time.Nanosecond, DisableHVS: true})
+	p.Query(context.Background(), plainQuery)
+	_, tr, _ := p.QueryTraced(context.Background(), plainQuery)
+	if tr.Route != RouteBackend {
+		t.Errorf("route with HVS off = %v", tr.Route)
+	}
+	if p.HVS().Len() != 0 {
+		t.Error("HVS stored entries while disabled")
+	}
+}
+
+func TestDecomposerDisabled(t *testing.T) {
+	p := New(fixture(t), Options{HeavyThreshold: time.Hour, DisableDecomposer: true})
+	_, tr, err := p.QueryTraced(context.Background(), expansionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Route != RouteBackend {
+		t.Errorf("route with decomposer off = %v", tr.Route)
+	}
+}
+
+func TestKBUpdateInvalidatesCache(t *testing.T) {
+	st := fixture(t)
+	p := New(st, Options{HeavyThreshold: time.Nanosecond})
+	p.Query(context.Background(), plainQuery)
+	// KB update.
+	st.Add(rdf.Triple{S: ex("kant"), P: rdf.TypeIRI, O: ex("Philosopher")})
+	res, tr, err := p.QueryTraced(context.Background(), plainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Route != RouteBackend {
+		t.Errorf("route after update = %v, want backend (cache cleared)", tr.Route)
+	}
+	if len(res.Rows) != 3 {
+		t.Errorf("rows after update = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestDecomposedResultsCachedAsHeavy(t *testing.T) {
+	p := New(fixture(t), Options{HeavyThreshold: time.Nanosecond})
+	_, tr1, _ := p.QueryTraced(context.Background(), expansionQuery)
+	if tr1.Route != RouteDecomposer || !tr1.Heavy {
+		t.Fatalf("first: %+v", tr1)
+	}
+	_, tr2, _ := p.QueryTraced(context.Background(), expansionQuery)
+	if tr2.Route != RouteHVS {
+		t.Errorf("repeat route = %v, want hvs", tr2.Route)
+	}
+}
+
+func TestBackendErrorPropagates(t *testing.T) {
+	boom := endpoint.ExecutorFunc(func(ctx context.Context, src string) (*sparql.Result, error) {
+		return nil, errors.New("backend down")
+	})
+	p := NewWithBackend(fixture(t), boom, Options{DisableDecomposer: true})
+	if _, err := p.Query(context.Background(), plainQuery); err == nil {
+		t.Error("backend error swallowed")
+	}
+	// Errors must not populate the cache.
+	if p.HVS().Len() != 0 {
+		t.Error("error result cached")
+	}
+}
+
+func TestParseErrorFallsThroughToBackend(t *testing.T) {
+	// A dialect query our parser rejects must still reach the backend.
+	called := false
+	backend := endpoint.ExecutorFunc(func(ctx context.Context, src string) (*sparql.Result, error) {
+		called = true
+		return &sparql.Result{}, nil
+	})
+	p := NewWithBackend(fixture(t), backend, Options{})
+	if _, err := p.Query(context.Background(), "DESCRIBE <http://x>"); err != nil {
+		t.Fatal(err)
+	}
+	if !called {
+		t.Error("backend not consulted for unparseable query")
+	}
+}
+
+func TestRouteCountsAndTraces(t *testing.T) {
+	p := New(fixture(t), Options{HeavyThreshold: time.Nanosecond})
+	p.Query(context.Background(), plainQuery)     // backend
+	p.Query(context.Background(), plainQuery)     // hvs
+	p.Query(context.Background(), expansionQuery) // decomposer
+	counts := p.RouteCounts()
+	if counts[RouteBackend] != 1 || counts[RouteHVS] != 1 || counts[RouteDecomposer] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	traces := p.Traces()
+	if len(traces) != 3 {
+		t.Errorf("traces = %d", len(traces))
+	}
+}
+
+func TestSetOptionsLive(t *testing.T) {
+	p := New(fixture(t), Options{HeavyThreshold: time.Nanosecond})
+	p.Query(context.Background(), plainQuery)
+	p.SetOptions(Options{DisableHVS: true})
+	_, tr, _ := p.QueryTraced(context.Background(), plainQuery)
+	if tr.Route != RouteBackend {
+		t.Errorf("route after disabling HVS = %v", tr.Route)
+	}
+	if p.Options().HeavyThreshold != time.Nanosecond {
+		t.Error("SetOptions with zero threshold should keep the old one")
+	}
+}
+
+func TestProxyOverHTTP(t *testing.T) {
+	// Full Figure-3 stack: HTTP client -> endpoint.Server -> proxy ->
+	// engine, exercising both cache tiers through real HTTP.
+	p := New(fixture(t), Options{HeavyThreshold: time.Nanosecond})
+	srv := httptest.NewServer(endpoint.NewServer(p))
+	defer srv.Close()
+	c := endpoint.NewClient(srv.URL)
+	res1, err := c.Query(context.Background(), expansionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := c.Query(context.Background(), expansionQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res1.Rows) != len(res2.Rows) {
+		t.Errorf("cold/warm row mismatch: %d vs %d", len(res1.Rows), len(res2.Rows))
+	}
+	counts := p.RouteCounts()
+	if counts[RouteHVS] != 1 || counts[RouteDecomposer] != 1 {
+		t.Errorf("counts over HTTP = %v", counts)
+	}
+}
+
+func TestConcurrentProxyQueries(t *testing.T) {
+	p := New(fixture(t), Options{HeavyThreshold: time.Nanosecond})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if _, err := p.Query(context.Background(), plainQuery); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := p.Query(context.Background(), expansionQuery); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	counts := p.RouteCounts()
+	total := counts[RouteBackend] + counts[RouteHVS] + counts[RouteDecomposer]
+	if total != 800 {
+		t.Errorf("total routed = %d, want 800", total)
+	}
+}
+
+func TestSetOptionsPropagatesThreshold(t *testing.T) {
+	// Regression test: changing the heaviness threshold via SetOptions
+	// must reach the cache tier, or ablation sweeps silently measure the
+	// construction-time threshold.
+	p := New(fixture(t), Options{HeavyThreshold: time.Hour, DisableDecomposer: true})
+	p.Query(context.Background(), plainQuery)
+	if p.HVS().Len() != 0 {
+		t.Fatal("query cached under 1h threshold")
+	}
+	p.SetOptions(Options{HeavyThreshold: time.Nanosecond, DisableDecomposer: true})
+	if p.HVS().Threshold() != time.Nanosecond {
+		t.Fatalf("threshold not propagated: %v", p.HVS().Threshold())
+	}
+	p.Query(context.Background(), plainQuery)
+	if p.HVS().Len() != 1 {
+		t.Error("query not cached after lowering the threshold")
+	}
+}

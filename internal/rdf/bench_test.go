@@ -1,0 +1,91 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func benchDoc(n int) string {
+	var b bytes.Buffer
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "<http://example.org/s%d> <http://example.org/p%d> \"value %d\"@en .\n", i, i%10, i)
+	}
+	return b.String()
+}
+
+func BenchmarkParseNTriples(b *testing.B) {
+	doc := benchDoc(10_000)
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts, err := ParseNTriples(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts) != 10_000 {
+			b.Fatalf("parsed %d", len(ts))
+		}
+	}
+}
+
+func BenchmarkWriteNTriples(b *testing.B) {
+	ts, err := ParseNTriples(benchDoc(10_000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if _, err := WriteNTriples(&buf, ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseTurtle(b *testing.B) {
+	var sb bytes.Buffer
+	sb.WriteString("@prefix ex: <http://example.org/> .\n")
+	for i := 0; i < 5000; i++ {
+		fmt.Fprintf(&sb, "ex:s%d a ex:C%d ; ex:name \"n%d\" ; ex:knows ex:s%d .\n", i, i%7, i, (i+1)%5000)
+	}
+	doc := sb.String()
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts, err := ParseTurtle(doc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ts) != 15_000 {
+			b.Fatalf("parsed %d", len(ts))
+		}
+	}
+}
+
+func BenchmarkDictIntern(b *testing.B) {
+	terms := make([]Term, 1000)
+	for i := range terms {
+		terms[i] = NewIRI(fmt.Sprintf("http://example.org/t%d", i))
+	}
+	d := NewDict(len(terms))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Intern(terms[i%len(terms)])
+	}
+}
+
+func BenchmarkDictLookupHit(b *testing.B) {
+	d := NewDict(1000)
+	terms := make([]Term, 1000)
+	for i := range terms {
+		terms[i] = NewIRI(fmt.Sprintf("http://example.org/t%d", i))
+		d.Intern(terms[i])
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Lookup(terms[i%len(terms)]); !ok {
+			b.Fatal("miss")
+		}
+	}
+}

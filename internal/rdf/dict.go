@@ -1,0 +1,108 @@
+package rdf
+
+import (
+	"fmt"
+	"sync"
+)
+
+// ID is a compact dictionary identifier for a term. ID 0 is reserved and
+// never assigned, so it can serve as "no term" in index structures.
+type ID uint32
+
+// NoID is the reserved null identifier.
+const NoID ID = 0
+
+// Dict interns RDF terms, assigning each distinct term a dense ID starting
+// at 1. It is safe for concurrent use: lookups take a read lock, inserts a
+// write lock. The store keeps one Dict per dataset; dictionary encoding is
+// what lets the decomposer's aggregate indexes fit in memory (see DESIGN.md
+// "Dictionary encoding" ablation).
+type Dict struct {
+	mu    sync.RWMutex
+	byID  []Term      // byID[i-1] is the term with ID i
+	byVal map[Term]ID // reverse mapping
+}
+
+// NewDict returns an empty dictionary with capacity hint n terms.
+func NewDict(n int) *Dict {
+	return &Dict{
+		byID:  make([]Term, 0, n),
+		byVal: make(map[Term]ID, n),
+	}
+}
+
+// Intern returns the ID for t, assigning a fresh one if t is new.
+func (d *Dict) Intern(t Term) ID {
+	d.mu.RLock()
+	id, ok := d.byVal[t]
+	d.mu.RUnlock()
+	if ok {
+		return id
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok = d.byVal[t]; ok {
+		return id
+	}
+	d.byID = append(d.byID, t)
+	id = ID(len(d.byID))
+	d.byVal[t] = id
+	return id
+}
+
+// Lookup returns the ID for t without inserting. The second result reports
+// whether t is interned.
+func (d *Dict) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	id, ok := d.byVal[t]
+	return id, ok
+}
+
+// LookupIRI is a convenience wrapper around Lookup(NewIRI(iri)).
+func (d *Dict) LookupIRI(iri string) (ID, bool) {
+	return d.Lookup(NewIRI(iri))
+}
+
+// Term returns the term for id. It panics on NoID or an unassigned ID,
+// which always indicates a programming error in index code.
+func (d *Dict) Term(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoID || int(id) > len(d.byID) {
+		panic(fmt.Sprintf("rdf: dictionary lookup of invalid ID %d (size %d)", id, len(d.byID)))
+	}
+	return d.byID[id-1]
+}
+
+// TermOK is like Term but reports failure instead of panicking.
+func (d *Dict) TermOK(id ID) (Term, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if id == NoID || int(id) > len(d.byID) {
+		return Term{}, false
+	}
+	return d.byID[id-1], true
+}
+
+// Len returns the number of interned terms.
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.byID)
+}
+
+// EncodedTriple is a dictionary-encoded triple.
+type EncodedTriple struct {
+	S, P, O ID
+}
+
+// Encode interns all three components of t.
+func (d *Dict) Encode(t Triple) EncodedTriple {
+	return EncodedTriple{S: d.Intern(t.S), P: d.Intern(t.P), O: d.Intern(t.O)}
+}
+
+// Decode maps an encoded triple back to its term form.
+func (d *Dict) Decode(e EncodedTriple) Triple {
+	return Triple{S: d.Term(e.S), P: d.Term(e.P), O: d.Term(e.O)}
+}

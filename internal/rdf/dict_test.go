@@ -1,0 +1,114 @@
+package rdf
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestDictInternAssignsDenseIDs(t *testing.T) {
+	d := NewDict(4)
+	a := d.Intern(NewIRI("http://x/a"))
+	b := d.Intern(NewIRI("http://x/b"))
+	if a != 1 || b != 2 {
+		t.Errorf("IDs not dense from 1: a=%d b=%d", a, b)
+	}
+	if got := d.Intern(NewIRI("http://x/a")); got != a {
+		t.Errorf("re-intern returned %d, want %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+}
+
+func TestDictLookupDoesNotInsert(t *testing.T) {
+	d := NewDict(1)
+	if _, ok := d.Lookup(NewIRI("http://x/a")); ok {
+		t.Error("Lookup found a term in empty dict")
+	}
+	if d.Len() != 0 {
+		t.Error("Lookup must not insert")
+	}
+	d.Intern(NewIRI("http://x/a"))
+	if id, ok := d.LookupIRI("http://x/a"); !ok || id != 1 {
+		t.Errorf("LookupIRI = (%d,%v)", id, ok)
+	}
+}
+
+func TestDictTermPanicsOnInvalid(t *testing.T) {
+	d := NewDict(0)
+	for _, id := range []ID{NoID, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Term(%d) did not panic", id)
+				}
+			}()
+			d.Term(id)
+		}()
+	}
+	if _, ok := d.TermOK(NoID); ok {
+		t.Error("TermOK(NoID) should fail")
+	}
+}
+
+func TestDictEncodeDecodeRoundtrip(t *testing.T) {
+	d := NewDict(8)
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 300; i++ {
+		in := Triple{
+			S: randomTerm(r, false),
+			P: NewIRI("http://example.org/" + randIdent(r)),
+			O: randomTerm(r, true),
+		}
+		if got := d.Decode(d.Encode(in)); got != in {
+			t.Fatalf("roundtrip mismatch: %v -> %v", in, got)
+		}
+	}
+}
+
+func TestDictInternIdempotentProperty(t *testing.T) {
+	d := NewDict(16)
+	f := func(iri string) bool {
+		t1 := NewIRI("http://q/" + iri)
+		id1 := d.Intern(t1)
+		id2 := d.Intern(t1)
+		back := d.Term(id1)
+		return id1 == id2 && back == t1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDictConcurrentIntern(t *testing.T) {
+	d := NewDict(0)
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	ids := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, perG)
+			for i := 0; i < perG; i++ {
+				// All goroutines intern the same term sequence; IDs must agree.
+				ids[g][i] = d.Intern(NewIRI("http://x/shared"))
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := ids[0][0]
+	for g := range ids {
+		for i := range ids[g] {
+			if ids[g][i] != want {
+				t.Fatalf("goroutine %d saw ID %d, want %d", g, ids[g][i], want)
+			}
+		}
+	}
+	if d.Len() != 1 {
+		t.Errorf("Len = %d, want 1", d.Len())
+	}
+}

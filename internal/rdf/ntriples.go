@@ -1,0 +1,234 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error with its line number.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rdf: parse error at line %d: %s", e.Line, e.Msg)
+}
+
+// ReadNTriples parses an N-Triples document from r and returns the triples
+// in document order. Comment lines (#...) and blank lines are skipped.
+// The parser is strict about term structure but lenient about surrounding
+// whitespace.
+func ReadNTriples(r io.Reader) ([]Triple, error) {
+	var out []Triple
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		t, ok, err := parseNTLine(sc.Text(), line)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, t)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("rdf: reading n-triples: %w", err)
+	}
+	return out, nil
+}
+
+// ParseNTriples parses an N-Triples document from a string.
+func ParseNTriples(s string) ([]Triple, error) {
+	return ReadNTriples(strings.NewReader(s))
+}
+
+func parseNTLine(s string, line int) (Triple, bool, error) {
+	p := &ntParser{s: s, line: line}
+	p.skipWS()
+	if p.eof() || p.peek() == '#' {
+		return Triple{}, false, nil
+	}
+	subj, err := p.term()
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p.skipWS()
+	pred, err := p.term()
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p.skipWS()
+	obj, err := p.term()
+	if err != nil {
+		return Triple{}, false, err
+	}
+	p.skipWS()
+	if p.eof() || p.peek() != '.' {
+		return Triple{}, false, p.errf("expected terminating '.'")
+	}
+	p.pos++
+	p.skipWS()
+	if !p.eof() && p.peek() != '#' {
+		return Triple{}, false, p.errf("trailing content after '.'")
+	}
+	t := Triple{S: subj, P: pred, O: obj}
+	if err := t.Validate(); err != nil {
+		return Triple{}, false, p.errf("%v", err)
+	}
+	return t, true, nil
+}
+
+type ntParser struct {
+	s    string
+	pos  int
+	line int
+}
+
+func (p *ntParser) eof() bool  { return p.pos >= len(p.s) }
+func (p *ntParser) peek() byte { return p.s[p.pos] }
+func (p *ntParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *ntParser) skipWS() {
+	for !p.eof() && (p.peek() == ' ' || p.peek() == '\t' || p.peek() == '\r') {
+		p.pos++
+	}
+}
+
+func (p *ntParser) term() (Term, error) {
+	if p.eof() {
+		return Term{}, p.errf("unexpected end of line, expected term")
+	}
+	switch p.peek() {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	default:
+		return Term{}, p.errf("unexpected character %q, expected term", p.peek())
+	}
+}
+
+func (p *ntParser) iri() (Term, error) {
+	end := strings.IndexByte(p.s[p.pos:], '>')
+	if end < 0 {
+		return Term{}, p.errf("unterminated IRI")
+	}
+	v := p.s[p.pos+1 : p.pos+end]
+	p.pos += end + 1
+	if v == "" {
+		return Term{}, p.errf("empty IRI")
+	}
+	if strings.ContainsAny(v, " \t\"{}|^`") {
+		return Term{}, p.errf("invalid character in IRI %q", v)
+	}
+	return NewIRI(v), nil
+}
+
+func (p *ntParser) blank() (Term, error) {
+	if p.pos+1 >= len(p.s) || p.s[p.pos+1] != ':' {
+		return Term{}, p.errf("malformed blank node")
+	}
+	start := p.pos + 2
+	i := start
+	for i < len(p.s) && !isWS(p.s[i]) && p.s[i] != '.' {
+		i++
+	}
+	if i == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	label := p.s[start:i]
+	p.pos = i
+	return NewBlank(label), nil
+}
+
+func (p *ntParser) literal() (Term, error) {
+	// Find the closing quote, honoring backslash escapes.
+	i := p.pos + 1
+	for i < len(p.s) {
+		if p.s[i] == '\\' {
+			i += 2
+			continue
+		}
+		if p.s[i] == '"' {
+			break
+		}
+		i++
+	}
+	if i >= len(p.s) {
+		return Term{}, p.errf("unterminated literal")
+	}
+	lex := unescapeLiteral(p.s[p.pos+1 : i])
+	p.pos = i + 1
+	if !p.eof() && p.peek() == '@' {
+		start := p.pos + 1
+		j := start
+		for j < len(p.s) && (isAlnum(p.s[j]) || p.s[j] == '-') {
+			j++
+		}
+		if j == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		lang := p.s[start:j]
+		p.pos = j
+		return NewLangLiteral(lex, lang), nil
+	}
+	if p.pos+1 < len(p.s) && p.s[p.pos] == '^' && p.s[p.pos+1] == '^' {
+		p.pos += 2
+		if p.eof() || p.peek() != '<' {
+			return Term{}, p.errf("expected datatype IRI after ^^")
+		}
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func isWS(c byte) bool { return c == ' ' || c == '\t' || c == '\r' || c == '\n' }
+func isAlnum(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9'
+}
+
+// WriteNTriples serializes triples to w in N-Triples syntax, one per line,
+// in the order given. It returns the number of bytes written.
+func WriteNTriples(w io.Writer, triples []Triple) (int, error) {
+	bw := bufio.NewWriter(w)
+	n := 0
+	for _, t := range triples {
+		m, err := bw.WriteString(t.String())
+		n += m
+		if err != nil {
+			return n, fmt.Errorf("rdf: writing n-triples: %w", err)
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return n, fmt.Errorf("rdf: writing n-triples: %w", err)
+		}
+		n++
+	}
+	if err := bw.Flush(); err != nil {
+		return n, fmt.Errorf("rdf: flushing n-triples: %w", err)
+	}
+	return n, nil
+}
+
+// FormatNTriples renders triples as an N-Triples string.
+func FormatNTriples(triples []Triple) string {
+	var b strings.Builder
+	for _, t := range triples {
+		b.WriteString(t.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,135 @@
+package rdf
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseNTriplesBasic(t *testing.T) {
+	doc := `
+# a comment
+<http://x/s> <http://x/p> <http://x/o> .
+<http://x/s> <http://x/p> "plain" .
+<http://x/s> <http://x/p> "tagged"@en .
+<http://x/s> <http://x/p> "7"^^<http://www.w3.org/2001/XMLSchema#integer> .
+_:b1 <http://x/p> _:b2 .
+`
+	ts, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("parsed %d triples, want 5", len(ts))
+	}
+	if ts[1].O != NewLiteral("plain") {
+		t.Errorf("plain literal: %+v", ts[1].O)
+	}
+	if ts[2].O != NewLangLiteral("tagged", "en") {
+		t.Errorf("lang literal: %+v", ts[2].O)
+	}
+	if ts[3].O != NewTypedLiteral("7", XSDInteger) {
+		t.Errorf("typed literal: %+v", ts[3].O)
+	}
+	if ts[4].S != NewBlank("b1") || ts[4].O != NewBlank("b2") {
+		t.Errorf("blank nodes: %+v", ts[4])
+	}
+}
+
+func TestParseNTriplesEscapes(t *testing.T) {
+	doc := `<http://x/s> <http://x/p> "line1\nline2\t\"quoted\" \\ back" .` + "\n"
+	ts, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "line1\nline2\t\"quoted\" \\ back"
+	if ts[0].O.Value != want {
+		t.Errorf("unescaped to %q, want %q", ts[0].O.Value, want)
+	}
+}
+
+func TestParseNTriplesErrors(t *testing.T) {
+	bad := []string{
+		`<http://x/s> <http://x/p> <http://x/o>`,         // missing dot
+		`<http://x/s> <http://x/p> .`,                    // missing object
+		`<http://x/s> "lit" <http://x/o> .`,              // literal predicate
+		`"lit" <http://x/p> <http://x/o> .`,              // literal subject
+		`<http://x/s> <http://x/p> <http://x/o> . extra`, // trailing garbage
+		`<http://x/s <http://x/p> <http://x/o> .`,        // unterminated IRI
+		`<http://x/s> <http://x/p> "unterminated .`,      // unterminated literal
+		`<http://x/s> <http://x/p> "x"@ .`,               // empty lang tag
+		`<http://x/s> <http://x/p> "x"^^foo .`,           // bad datatype
+		`<http://x/s> <http://x/p> <http://x/o x> .`,     // space in IRI
+		`_: <http://x/p> <http://x/o> .`,                 // empty blank label
+	}
+	for i, doc := range bad {
+		if _, err := ParseNTriples(doc + "\n"); err == nil {
+			t.Errorf("case %d: no error for %q", i, doc)
+		} else if pe, ok := err.(*ParseError); !ok {
+			t.Errorf("case %d: error type %T, want *ParseError", i, err)
+		} else if pe.Line != 1 {
+			t.Errorf("case %d: line = %d, want 1", i, pe.Line)
+		}
+	}
+}
+
+func TestParseErrorLineNumbers(t *testing.T) {
+	doc := "<http://x/s> <http://x/p> <http://x/o> .\n\nbroken line\n"
+	_, err := ParseNTriples(doc)
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 3") {
+		t.Errorf("Error() should mention the line: %q", pe.Error())
+	}
+}
+
+func TestWriteReadNTriplesRoundtrip(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	var in []Triple
+	for i := 0; i < 400; i++ {
+		in = append(in, Triple{
+			S: randomTerm(r, false),
+			P: NewIRI("http://example.org/p/" + randIdent(r)),
+			O: randomTerm(r, true),
+		})
+	}
+	var buf bytes.Buffer
+	if _, err := WriteNTriples(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatal("round-trip mismatch")
+	}
+}
+
+func TestFormatNTriples(t *testing.T) {
+	ts := []Triple{tr("http://x/a", "http://x/p", "http://x/o")}
+	got := FormatNTriples(ts)
+	want := "<http://x/a> <http://x/p> <http://x/o> .\n"
+	if got != want {
+		t.Errorf("FormatNTriples = %q, want %q", got, want)
+	}
+}
+
+func TestReadNTriplesLongLine(t *testing.T) {
+	long := strings.Repeat("x", 200_000)
+	doc := `<http://x/s> <http://x/p> "` + long + `" .` + "\n"
+	ts, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts[0].O.Value) != len(long) {
+		t.Error("long literal truncated")
+	}
+}

@@ -1,0 +1,50 @@
+package rdf
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestTurtleParserNeverPanics feeds random fragments to the Turtle parser;
+// rejection is fine, panics are not.
+func TestTurtleParserNeverPanics(t *testing.T) {
+	fragments := []string{
+		"@prefix", "ex:", "<http://x/a>", "a", ";", ",", ".", "owl:Class",
+		`"literal"`, "@en", "^^", "42", "-3.5", "true", "_:b1", "{", "}",
+		"@base", "PREFIX", "rdfs:subClassOf",
+	}
+	r := rand.New(rand.NewSource(41))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(15)
+		src := ""
+		for j := 0; j < n; j++ {
+			src += fragments[r.Intn(len(fragments))] + " "
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("turtle parser panicked on %q: %v", src, rec)
+				}
+			}()
+			ParseTurtle(src)
+		}()
+	}
+}
+
+// TestTurtleParserRandomBytes goes fully random.
+func TestTurtleParserRandomBytes(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if rec := recover(); rec != nil {
+				t.Fatalf("panicked on %q: %v", src, rec)
+			}
+		}()
+		ParseTurtle(src)
+		ParseNTriples(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

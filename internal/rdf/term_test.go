@@ -1,0 +1,188 @@
+package rdf
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermKindString(t *testing.T) {
+	cases := map[TermKind]string{IRI: "iri", Literal: "literal", Blank: "blank", TermKind(9): "TermKind(9)"}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("TermKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestTermConstructors(t *testing.T) {
+	iri := NewIRI("http://example.org/a")
+	if !iri.IsIRI() || iri.IsLiteral() || iri.IsBlank() {
+		t.Errorf("NewIRI kind flags wrong: %+v", iri)
+	}
+	lit := NewLiteral("hello")
+	if !lit.IsLiteral() {
+		t.Errorf("NewLiteral kind wrong: %+v", lit)
+	}
+	lang := NewLangLiteral("hallo", "de")
+	if lang.Lang != "de" {
+		t.Errorf("NewLangLiteral lang = %q", lang.Lang)
+	}
+	typed := NewTypedLiteral("42", XSDInteger)
+	if typed.Datatype != XSDInteger {
+		t.Errorf("NewTypedLiteral datatype = %q", typed.Datatype)
+	}
+	b := NewBlank("b1")
+	if !b.IsBlank() {
+		t.Errorf("NewBlank kind wrong: %+v", b)
+	}
+}
+
+func TestTermIsZero(t *testing.T) {
+	var z Term
+	if !z.IsZero() {
+		t.Error("zero Term should report IsZero")
+	}
+	if NewIRI("x").IsZero() {
+		t.Error("non-empty IRI should not be zero")
+	}
+	if NewLiteral("").IsZero() {
+		t.Error("empty plain literal is a valid term, not zero")
+	}
+}
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		in   Term
+		want string
+	}{
+		{NewIRI("http://x/a"), "<http://x/a>"},
+		{NewBlank("n1"), "_:n1"},
+		{NewLiteral("hi"), `"hi"`},
+		{NewLangLiteral("hi", "en"), `"hi"@en`},
+		{NewTypedLiteral("3", XSDInteger), `"3"^^<` + XSDInteger + `>`},
+		{NewLiteral("a\"b\\c\nd"), `"a\"b\\c\nd"`},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%+v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTermCompare(t *testing.T) {
+	a := NewIRI("http://x/a")
+	b := NewIRI("http://x/b")
+	if a.Compare(b) >= 0 || b.Compare(a) <= 0 || a.Compare(a) != 0 {
+		t.Error("IRI ordering broken")
+	}
+	if NewIRI("z").Compare(NewLiteral("a")) >= 0 {
+		t.Error("IRIs must sort before literals")
+	}
+	if NewLangLiteral("x", "de").Compare(NewLangLiteral("x", "en")) >= 0 {
+		t.Error("language tags must participate in ordering")
+	}
+	if NewTypedLiteral("x", "dtA").Compare(NewTypedLiteral("x", "dtB")) >= 0 {
+		t.Error("datatypes must participate in ordering")
+	}
+}
+
+func TestLocalName(t *testing.T) {
+	cases := []struct {
+		in, want string
+	}{
+		{"http://example.org/onto#Person", "Person"},
+		{"http://example.org/resource/Plato", "Plato"},
+		{"http://example.org/", "http://example.org/"},
+		{"urn:isbn:123", "urn:isbn:123"},
+	}
+	for _, c := range cases {
+		if got := NewIRI(c.in).LocalName(); got != c.want {
+			t.Errorf("LocalName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+	if got := NewLiteral("lex").LocalName(); got != "lex" {
+		t.Errorf("literal LocalName = %q", got)
+	}
+}
+
+func TestEscapeUnescapeRoundtrip(t *testing.T) {
+	f := func(s string) bool {
+		return unescapeLiteral(escapeLiteral(s)) == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnescapeUnicode(t *testing.T) {
+	if got := unescapeLiteral(`café`); got != "café" {
+		t.Errorf("unicode escape: got %q", got)
+	}
+	if got := unescapeLiteral(`bad\u00g9`); !strings.Contains(got, "u") {
+		t.Errorf("malformed unicode escape should be kept lenient, got %q", got)
+	}
+}
+
+// randomTerm produces an arbitrary structurally valid term for property
+// tests. Only characters legal in our N-Triples output are used for IRIs.
+func randomTerm(r *rand.Rand, allowLiteral bool) Term {
+	kindMax := 2
+	if allowLiteral {
+		kindMax = 3
+	}
+	switch r.Intn(kindMax) {
+	case 0:
+		return NewIRI("http://example.org/" + randIdent(r))
+	case 1:
+		return NewBlank(randIdent(r))
+	default:
+		switch r.Intn(3) {
+		case 0:
+			return NewLiteral(randText(r))
+		case 1:
+			return NewLangLiteral(randText(r), []string{"en", "de", "fr"}[r.Intn(3)])
+		default:
+			return NewTypedLiteral(randText(r), XSDString)
+		}
+	}
+}
+
+func randIdent(r *rand.Rand) string {
+	const chars = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	n := 1 + r.Intn(12)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = chars[r.Intn(len(chars))]
+	}
+	return string(b)
+}
+
+func randText(r *rand.Rand) string {
+	const chars = "abc \"\\\n\tXYZ123é"
+	n := r.Intn(16)
+	var b strings.Builder
+	rs := []rune(chars)
+	for i := 0; i < n; i++ {
+		b.WriteRune(rs[r.Intn(len(rs))])
+	}
+	return b.String()
+}
+
+func TestRandomTermStringParse(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		s := randomTerm(r, false)
+		o := randomTerm(r, true)
+		tr := Triple{S: s, P: NewIRI("http://example.org/p"), O: o}
+		parsed, err := ParseNTriples(tr.String() + "\n")
+		if err != nil {
+			t.Fatalf("round-trip parse failed for %s: %v", tr, err)
+		}
+		if len(parsed) != 1 || !reflect.DeepEqual(parsed[0], tr) {
+			t.Fatalf("round-trip mismatch: %s -> %+v", tr, parsed)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package rdf
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func tr(s, p, o string) Triple {
+	return Triple{S: NewIRI(s), P: NewIRI(p), O: NewIRI(o)}
+}
+
+func TestTripleValidate(t *testing.T) {
+	ok := Triple{S: NewIRI("http://x/s"), P: NewIRI("http://x/p"), O: NewLiteral("v")}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid triple rejected: %v", err)
+	}
+	blankSubj := Triple{S: NewBlank("b"), P: NewIRI("http://x/p"), O: NewIRI("http://x/o")}
+	if err := blankSubj.Validate(); err != nil {
+		t.Errorf("blank subject should be admitted: %v", err)
+	}
+	bad := []Triple{
+		{S: NewLiteral("x"), P: NewIRI("p"), O: NewIRI("o")},
+		{S: Term{}, P: NewIRI("p"), O: NewIRI("o")},
+		{S: NewIRI("s"), P: NewLiteral("p"), O: NewIRI("o")},
+		{S: NewIRI("s"), P: NewBlank("p"), O: NewIRI("o")},
+		{S: NewIRI("s"), P: NewIRI("p"), O: Term{}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid triple accepted: %v", i, b)
+		}
+	}
+}
+
+func TestTripleCompareTotalOrder(t *testing.T) {
+	ts := []Triple{
+		tr("http://x/b", "http://x/p", "http://x/o"),
+		tr("http://x/a", "http://x/q", "http://x/o"),
+		tr("http://x/a", "http://x/p", "http://x/z"),
+		tr("http://x/a", "http://x/p", "http://x/o"),
+	}
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	want := []Triple{
+		tr("http://x/a", "http://x/p", "http://x/o"),
+		tr("http://x/a", "http://x/p", "http://x/z"),
+		tr("http://x/a", "http://x/q", "http://x/o"),
+		tr("http://x/b", "http://x/p", "http://x/o"),
+	}
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, ts[i], want[i])
+		}
+	}
+}
+
+func TestGraphAddDeduplicates(t *testing.T) {
+	g := NewGraph(4)
+	a := tr("http://x/s", "http://x/p", "http://x/o")
+	if !g.Add(a) {
+		t.Error("first Add should report true")
+	}
+	if g.Add(a) {
+		t.Error("duplicate Add should report false")
+	}
+	if g.Len() != 1 {
+		t.Errorf("Len = %d, want 1", g.Len())
+	}
+	if !g.Contains(a) {
+		t.Error("Contains should find the added triple")
+	}
+	n := g.AddAll([]Triple{a, tr("http://x/s", "http://x/p", "http://x/o2")})
+	if n != 1 {
+		t.Errorf("AddAll added %d, want 1", n)
+	}
+}
+
+func TestGraphURIsAndLiterals(t *testing.T) {
+	g := NewGraph(4)
+	g.Add(Triple{S: NewIRI("http://x/s"), P: NewIRI("http://x/p"), O: NewLiteral("lit")})
+	g.Add(Triple{S: NewBlank("b"), P: NewIRI("http://x/q"), O: NewIRI("http://x/o")})
+	uris := g.URIs()
+	for _, want := range []string{"http://x/s", "http://x/p", "http://x/q", "http://x/o"} {
+		if _, ok := uris[NewIRI(want)]; !ok {
+			t.Errorf("URIs missing %s", want)
+		}
+	}
+	if _, ok := uris[NewBlank("b")]; ok {
+		t.Error("URIs should not include blank nodes")
+	}
+	lits := g.Literals()
+	if len(lits) != 1 {
+		t.Errorf("Literals size = %d, want 1", len(lits))
+	}
+	if _, ok := lits[NewLiteral("lit")]; !ok {
+		t.Error("Literals missing the object literal")
+	}
+}
+
+func TestGraphStringCanonical(t *testing.T) {
+	g := NewGraph(2)
+	g.Add(tr("http://x/b", "http://x/p", "http://x/o"))
+	g.Add(tr("http://x/a", "http://x/p", "http://x/o"))
+	s := g.String()
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("String produced %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "<http://x/a>") {
+		t.Errorf("canonical order broken: %q first", lines[0])
+	}
+}

@@ -1,0 +1,170 @@
+package rdf
+
+import (
+	"bytes"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestParseTurtleBasic(t *testing.T) {
+	doc := `
+@prefix ex: <http://example.org/> .
+@prefix foaf: <http://xmlns.com/foaf/0.1/> .
+
+ex:plato a ex:Philosopher ;
+    foaf:name "Plato"@en ;
+    ex:born 427 ;
+    ex:influenced ex:aristotle, ex:plotinus .
+`
+	ts, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 5 {
+		t.Fatalf("parsed %d triples, want 5:\n%s", len(ts), FormatNTriples(ts))
+	}
+	if ts[0].P != TypeIRI {
+		t.Errorf("'a' should expand to rdf:type, got %s", ts[0].P)
+	}
+	if ts[0].O != NewIRI("http://example.org/Philosopher") {
+		t.Errorf("prefixed name wrong: %s", ts[0].O)
+	}
+	if ts[1].O != NewLangLiteral("Plato", "en") {
+		t.Errorf("lang literal wrong: %+v", ts[1].O)
+	}
+	if ts[2].O != NewTypedLiteral("427", XSDInteger) {
+		t.Errorf("integer shorthand wrong: %+v", ts[2].O)
+	}
+	if ts[3].O != NewIRI("http://example.org/aristotle") || ts[4].O != NewIRI("http://example.org/plotinus") {
+		t.Errorf("object list wrong: %+v / %+v", ts[3].O, ts[4].O)
+	}
+}
+
+func TestParseTurtleSPARQLStylePrefix(t *testing.T) {
+	doc := `PREFIX ex: <http://example.org/>
+ex:a ex:p ex:b .`
+	ts, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("parsed %d triples", len(ts))
+	}
+}
+
+func TestParseTurtleWellKnownPrefixesPreloaded(t *testing.T) {
+	doc := `<http://x/C> a owl:Class ; rdfs:subClassOf owl:Thing ; rdfs:label "C" .`
+	ts, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 3 {
+		t.Fatalf("parsed %d triples, want 3", len(ts))
+	}
+	if ts[0].O != OWLClassIRI {
+		t.Errorf("owl:Class = %s", ts[0].O)
+	}
+	if ts[1].P != SubClassOfIRI || ts[1].O != OWLThingIRI {
+		t.Errorf("subclass triple wrong: %v", ts[1])
+	}
+}
+
+func TestParseTurtleNumericAndBoolean(t *testing.T) {
+	doc := `@prefix ex: <http://example.org/> .
+ex:a ex:i 42 ; ex:neg -7 ; ex:f 3.14 ; ex:e 1e9 ; ex:t true ; ex:fa false .`
+	ts, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Term{
+		NewTypedLiteral("42", XSDInteger),
+		NewTypedLiteral("-7", XSDInteger),
+		NewTypedLiteral("3.14", XSDDouble),
+		NewTypedLiteral("1e9", XSDDouble),
+		NewTypedLiteral("true", XSDBoolean),
+		NewTypedLiteral("false", XSDBoolean),
+	}
+	for i, w := range want {
+		if ts[i].O != w {
+			t.Errorf("object %d = %+v, want %+v", i, ts[i].O, w)
+		}
+	}
+}
+
+func TestParseTurtleBase(t *testing.T) {
+	doc := `@base <http://example.org/data/> .
+<s1> <p1> <o1> .`
+	ts, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].S != NewIRI("http://example.org/data/s1") {
+		t.Errorf("base resolution wrong: %s", ts[0].S)
+	}
+}
+
+func TestParseTurtleDanglingSemicolon(t *testing.T) {
+	doc := `@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b ; .`
+	ts, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 {
+		t.Fatalf("parsed %d triples, want 1", len(ts))
+	}
+}
+
+func TestParseTurtleErrors(t *testing.T) {
+	bad := []string{
+		`ex:a ex:p ex:b .`, // undeclared prefix
+		`@prefix ex: <http://x/> . ex:a ex:p [ ex:q 1 ] .`, // bnode property list
+		`@prefix ex: <http://x/> . ex:a ex:p (1 2) .`,      // collection
+		`@prefix ex: <http://x/> . ex:a ex:p `,             // truncated
+		`@prefix ex: <http://x/> . ex:a ex:p ex:b`,         // missing dot
+		`@prefix ex <http://x/> .`,                         // malformed prefix decl
+		`@unknown foo .`,                                   // unknown directive
+		`@prefix ex: <http://x/> . ex:a ex:p "unclosed .`,  // unterminated literal
+	}
+	for i, doc := range bad {
+		if _, err := ParseTurtle(doc); err == nil {
+			t.Errorf("case %d: no error for %q", i, doc)
+		}
+	}
+}
+
+func TestWriteTurtleRoundtrip(t *testing.T) {
+	in := []Triple{
+		{S: NewIRI("http://example.org/plato"), P: TypeIRI, O: NewIRI("http://example.org/Philosopher")},
+		{S: NewIRI("http://example.org/plato"), P: LabelIRI, O: NewLangLiteral("Plato", "en")},
+		{S: NewIRI("http://example.org/plato"), P: NewIRI("http://example.org/born"), O: NewTypedLiteral("-427", XSDInteger)},
+		{S: NewIRI("http://example.org/aristotle"), P: TypeIRI, O: NewIRI("http://example.org/Philosopher")},
+	}
+	var buf bytes.Buffer
+	if err := WriteTurtle(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseTurtle(buf.String())
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, buf.String())
+	}
+	sortTriples(in)
+	sortTriples(out)
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round-trip mismatch:\nin:\n%s\nout:\n%s", FormatNTriples(in), FormatNTriples(out))
+	}
+}
+
+func TestQName(t *testing.T) {
+	if got := QName(RDFType); got != "rdf:type" {
+		t.Errorf("QName(rdf:type) = %q", got)
+	}
+	if got := QName("http://unknown.example/x"); got != "<http://unknown.example/x>" {
+		t.Errorf("QName fallback = %q", got)
+	}
+}
+
+func sortTriples(ts []Triple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

@@ -1,0 +1,83 @@
+package rdf
+
+// Well-known vocabulary IRIs used by eLinda. Section 3.1 of the paper:
+// class hierarchies are declared with owl:Class / rdfs:Class and
+// rdfs:subClassOf; instance typing with rdf:type; human-readable labels
+// with rdfs:label.
+const (
+	// RDFNS is the RDF namespace.
+	RDFNS = "http://www.w3.org/1999/02/22-rdf-syntax-ns#"
+	// RDFSNS is the RDF Schema namespace.
+	RDFSNS = "http://www.w3.org/2000/01/rdf-schema#"
+	// OWLNS is the OWL namespace.
+	OWLNS = "http://www.w3.org/2002/07/owl#"
+	// XSDNS is the XML Schema datatypes namespace.
+	XSDNS = "http://www.w3.org/2001/XMLSchema#"
+
+	// RDFType is rdf:type — "a URI u is said to be of class c if
+	// (u, rdf:type, c) ∈ G".
+	RDFType = RDFNS + "type"
+	// RDFProperty is rdf:Property.
+	RDFProperty = RDFNS + "Property"
+	// RDFSSubClassOf is rdfs:subClassOf, the edge relation of the class DAG.
+	RDFSSubClassOf = RDFSNS + "subClassOf"
+	// RDFSLabel is rdfs:label, used for display labels.
+	RDFSLabel = RDFSNS + "label"
+	// RDFSClass is rdfs:Class.
+	RDFSClass = RDFSNS + "Class"
+	// RDFSComment is rdfs:comment.
+	RDFSComment = RDFSNS + "comment"
+	// OWLClass is owl:Class.
+	OWLClass = OWLNS + "Class"
+	// OWLThing is owl:Thing, the paper's sensible choice of root type τ.
+	OWLThing = OWLNS + "Thing"
+
+	// XSDInteger is xsd:integer.
+	XSDInteger = XSDNS + "integer"
+	// XSDDouble is xsd:double.
+	XSDDouble = XSDNS + "double"
+	// XSDString is xsd:string.
+	XSDString = XSDNS + "string"
+	// XSDDate is xsd:date.
+	XSDDate = XSDNS + "date"
+	// XSDBoolean is xsd:boolean.
+	XSDBoolean = XSDNS + "boolean"
+)
+
+// TypeIRI is rdf:type as a Term.
+var TypeIRI = NewIRI(RDFType)
+
+// SubClassOfIRI is rdfs:subClassOf as a Term.
+var SubClassOfIRI = NewIRI(RDFSSubClassOf)
+
+// LabelIRI is rdfs:label as a Term.
+var LabelIRI = NewIRI(RDFSLabel)
+
+// OWLThingIRI is owl:Thing as a Term.
+var OWLThingIRI = NewIRI(OWLThing)
+
+// OWLClassIRI is owl:Class as a Term.
+var OWLClassIRI = NewIRI(OWLClass)
+
+// RDFSClassIRI is rdfs:Class as a Term.
+var RDFSClassIRI = NewIRI(RDFSClass)
+
+// WellKnownPrefixes maps conventional prefix names to their namespaces.
+// Used by the Turtle parser default environment and the SPARQL generator.
+var WellKnownPrefixes = map[string]string{
+	"rdf":  RDFNS,
+	"rdfs": RDFSNS,
+	"owl":  OWLNS,
+	"xsd":  XSDNS,
+}
+
+// QName compacts an IRI using the well-known prefixes, falling back to the
+// angle-bracketed full form. Useful for readable SPARQL and chart labels.
+func QName(iri string) string {
+	for pfx, ns := range WellKnownPrefixes {
+		if len(iri) > len(ns) && iri[:len(ns)] == ns {
+			return pfx + ":" + iri[len(ns):]
+		}
+	}
+	return "<" + iri + ">"
+}

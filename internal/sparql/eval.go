@@ -1,0 +1,567 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+// Solution is one variable binding row.
+type Solution map[string]rdf.Term
+
+// clone copies the solution.
+func (s Solution) clone() Solution {
+	out := make(Solution, len(s)+1)
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Result is the outcome of executing a query: the projected variable names
+// in order and the solution rows. For ASK queries, Ask holds the answer
+// and Rows is empty.
+type Result struct {
+	Vars    []string
+	Rows    []Solution
+	Ask     bool
+	AskTrue bool
+}
+
+// Engine executes parsed queries against a store with a generic
+// join-then-aggregate plan. This is the "Virtuoso SPARQL" path of
+// Figure 3/4: correct on the whole subset, but it materializes the full
+// intermediate join ("a complex join with hundreds of millions of tuples as
+// an intermediate result, which delays the response") that the decomposer
+// exists to avoid.
+type Engine struct {
+	st *store.Store
+	// MaxIntermediate bounds the intermediate result size (0 = unlimited);
+	// exceeding it aborts with ErrTooLarge to protect the endpoint.
+	MaxIntermediate int
+	// DisablePlanner turns off selectivity-based join ordering (for the
+	// planner ablation bench).
+	DisablePlanner bool
+}
+
+// ErrTooLarge is returned when an intermediate result exceeds the
+// engine's configured bound.
+var ErrTooLarge = fmt.Errorf("sparql: intermediate result exceeds configured bound")
+
+// NewEngine returns an engine over st.
+func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
+
+// Store returns the underlying store.
+func (e *Engine) Store() *store.Store { return e.st }
+
+// Query parses and executes src.
+func (e *Engine) Query(ctx context.Context, src string) (*Result, error) {
+	q, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(ctx, q)
+}
+
+// Execute runs a parsed query.
+func (e *Engine) Execute(ctx context.Context, q *Query) (*Result, error) {
+	rows, err := e.evalGroup(ctx, q.Where)
+	if err != nil {
+		return nil, err
+	}
+	if q.Ask {
+		return &Result{Ask: true, AskTrue: len(rows) > 0}, nil
+	}
+	return e.finish(q, rows)
+}
+
+// finish applies grouping, projection, distinct, order and slice.
+func (e *Engine) finish(q *Query, rows []Solution) (*Result, error) {
+	var out []Solution
+	var vars []string
+
+	grouped := len(q.GroupBy) > 0 || q.HasAggregates()
+	if grouped {
+		groups := groupRows(rows, q.GroupBy)
+		if len(q.Items) == 0 && !q.Star {
+			return nil, fmt.Errorf("sparql: grouped query requires explicit projection")
+		}
+		for _, it := range q.Items {
+			vars = append(vars, it.Var)
+		}
+		for _, g := range groups {
+			// HAVING constraints.
+			keep := true
+			for _, h := range q.Having {
+				b, ok := evalWithGroup(h, g.rows).AsBool()
+				if !ok || !b {
+					keep = false
+					break
+				}
+			}
+			if !keep {
+				continue
+			}
+			row := Solution{}
+			for _, it := range q.Items {
+				var v Value
+				if it.Expr != nil {
+					v = evalWithGroup(it.Expr, g.rows)
+				} else {
+					v = (&VarExpr{Name: it.Var}).Eval(first(g.rows))
+				}
+				if t, ok := valueToTerm(v); ok {
+					row[it.Var] = t
+				}
+			}
+			out = append(out, row)
+		}
+	} else {
+		switch {
+		case q.Star:
+			seen := map[string]struct{}{}
+			for _, r := range rows {
+				for v := range r {
+					if _, dup := seen[v]; !dup {
+						seen[v] = struct{}{}
+						vars = append(vars, v)
+					}
+				}
+			}
+			sort.Strings(vars)
+			out = rows
+		default:
+			for _, it := range q.Items {
+				vars = append(vars, it.Var)
+			}
+			out = make([]Solution, 0, len(rows))
+			for _, r := range rows {
+				row := Solution{}
+				for _, it := range q.Items {
+					if it.Expr != nil {
+						if t, ok := valueToTerm(it.Expr.Eval(r)); ok {
+							row[it.Var] = t
+						}
+					} else if t, ok := r[it.Var]; ok {
+						row[it.Var] = t
+					}
+				}
+				out = append(out, row)
+			}
+		}
+	}
+
+	if q.Distinct {
+		out = dedupRows(out, vars)
+	}
+	if len(q.OrderBy) > 0 {
+		sortRows(out, q.OrderBy)
+	}
+	if q.Offset > 0 {
+		if q.Offset >= len(out) {
+			out = nil
+		} else {
+			out = out[q.Offset:]
+		}
+	}
+	if q.Limit >= 0 && q.Limit < len(out) {
+		out = out[:q.Limit]
+	}
+	return &Result{Vars: vars, Rows: out}, nil
+}
+
+func valueToTerm(v Value) (rdf.Term, bool) {
+	switch v.Kind {
+	case VTerm:
+		return v.Term, true
+	case VNum:
+		s := trimFloat(v.Num)
+		if strings.ContainsAny(s, ".eE") {
+			return rdf.NewTypedLiteral(s, rdf.XSDDouble), true
+		}
+		return rdf.NewTypedLiteral(s, rdf.XSDInteger), true
+	case VBool:
+		if v.Bool {
+			return rdf.NewTypedLiteral("true", rdf.XSDBoolean), true
+		}
+		return rdf.NewTypedLiteral("false", rdf.XSDBoolean), true
+	case VStr:
+		return rdf.NewLiteral(v.Str), true
+	}
+	return rdf.Term{}, false
+}
+
+func trimFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return fmt.Sprintf("%d", int64(f))
+	}
+	return fmt.Sprintf("%g", f)
+}
+
+type group struct {
+	key  string
+	rows []Solution
+}
+
+func groupRows(rows []Solution, by []string) []group {
+	if len(by) == 0 {
+		if len(rows) == 0 {
+			// Aggregates over an empty pattern still yield one group so
+			// COUNT(*) returns 0.
+			return []group{{rows: nil}}
+		}
+		return []group{{rows: rows}}
+	}
+	idx := map[string]int{}
+	var out []group
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range by {
+			if t, ok := r[v]; ok {
+				b.WriteString(t.String())
+			}
+			b.WriteByte('\x00')
+		}
+		key := b.String()
+		i, ok := idx[key]
+		if !ok {
+			i = len(out)
+			idx[key] = i
+			out = append(out, group{key: key})
+		}
+		out[i].rows = append(out[i].rows, r)
+	}
+	return out
+}
+
+func dedupRows(rows []Solution, vars []string) []Solution {
+	seen := map[string]struct{}{}
+	out := rows[:0]
+	for _, r := range rows {
+		var b strings.Builder
+		for _, v := range vars {
+			if t, ok := r[v]; ok {
+				b.WriteString(t.String())
+			}
+			b.WriteByte('\x00')
+		}
+		key := b.String()
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, r)
+	}
+	return out
+}
+
+func sortRows(rows []Solution, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		for _, k := range keys {
+			vi := k.Expr.Eval(rows[i])
+			vj := k.Expr.Eval(rows[j])
+			cmp, ok := compareValues(vi, vj)
+			if !ok {
+				// Unbound sorts first (ascending).
+				switch {
+				case vi.Kind == VUnbound && vj.Kind != VUnbound:
+					cmp = -1
+				case vi.Kind != VUnbound && vj.Kind == VUnbound:
+					cmp = 1
+				default:
+					continue
+				}
+			}
+			if cmp == 0 {
+				continue
+			}
+			if k.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+}
+
+// evalGroup evaluates a group graph pattern to a list of solutions.
+func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern) ([]Solution, error) {
+	rows := []Solution{{}}
+	var err error
+
+	// Subselects join first (they are usually the most selective part of
+	// eLinda's generated queries).
+	for _, sub := range g.SubSelects {
+		subRes, serr := e.Execute(ctx, sub)
+		if serr != nil {
+			return nil, serr
+		}
+		rows, err = e.hashJoin(rows, subRes.Rows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Triple patterns: nested-loop joins with index-backed pattern lookup,
+	// ordered by estimated selectivity.
+	for _, tp := range e.planPatterns(g.Triples) {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sparql: %w", err)
+		}
+		rows, err = e.joinPattern(ctx, rows, tp)
+		if err != nil {
+			return nil, err
+		}
+		if e.MaxIntermediate > 0 && len(rows) > e.MaxIntermediate {
+			return nil, ErrTooLarge
+		}
+	}
+
+	// VALUES blocks: compatibility join with the inline data. UNDEF
+	// entries leave the variable unbound, so a plain hash join on shared
+	// variables would be wrong — each inline row may bind a different
+	// subset. VALUES tables are small; the pairwise product is fine.
+	for _, vb := range g.Values {
+		var inline []Solution
+		for _, row := range vb.Rows {
+			sol := Solution{}
+			for i, v := range vb.Vars {
+				if i < len(row) && !row[i].IsZero() {
+					sol[v] = row[i]
+				}
+			}
+			inline = append(inline, sol)
+		}
+		var joined []Solution
+		for _, l := range rows {
+			for _, r := range inline {
+				if !compatible(l, r) {
+					continue
+				}
+				m := l.clone()
+				for k, v := range r {
+					m[k] = v
+				}
+				joined = append(joined, m)
+				if e.MaxIntermediate > 0 && len(joined) > e.MaxIntermediate {
+					return nil, ErrTooLarge
+				}
+			}
+		}
+		rows = joined
+	}
+
+	// UNION branches.
+	for _, branches := range g.Unions {
+		var unionRows []Solution
+		for _, br := range branches {
+			brRows, berr := e.evalGroup(ctx, br)
+			if berr != nil {
+				return nil, berr
+			}
+			unionRows = append(unionRows, brRows...)
+		}
+		rows, err = e.hashJoin(rows, unionRows)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// OPTIONAL: left joins.
+	for _, opt := range g.Optionals {
+		optRows, oerr := e.evalGroup(ctx, opt)
+		if oerr != nil {
+			return nil, oerr
+		}
+		rows = leftJoin(rows, optRows)
+	}
+
+	// FILTER constraints.
+	for _, f := range g.Filters {
+		kept := rows[:0]
+		for _, r := range rows {
+			if b, ok := f.Eval(r).AsBool(); ok && b {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	return rows, nil
+}
+
+// joinPattern extends each solution with bindings from matching triples.
+func (e *Engine) joinPattern(ctx context.Context, rows []Solution, tp TriplePattern) ([]Solution, error) {
+	d := e.st.Dict()
+	var out []Solution
+	for _, row := range rows {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sparql: %w", err)
+		}
+		sid, sOK, sBound := resolvePos(d, row, tp.S)
+		pid, pOK, pBound := resolvePos(d, row, tp.P)
+		oid, oOK, oBound := resolvePos(d, row, tp.O)
+		if !sOK || !pOK || !oOK {
+			// A bound term that is not in the dictionary matches nothing.
+			continue
+		}
+		e.st.Match(sid, pid, oid, func(tr rdf.EncodedTriple) bool {
+			sol := row.clone()
+			if !sBound && tp.S.IsVar {
+				sol[tp.S.Name] = d.Term(tr.S)
+			}
+			if !pBound && tp.P.IsVar {
+				sol[tp.P.Name] = d.Term(tr.P)
+			}
+			if !oBound && tp.O.IsVar {
+				sol[tp.O.Name] = d.Term(tr.O)
+			}
+			// Repeated variables within the pattern must agree.
+			if !consistent(d, sol, tp, tr) {
+				return true
+			}
+			out = append(out, sol)
+			return true
+		})
+	}
+	return out, nil
+}
+
+// resolvePos maps a pattern position to a concrete ID (or NoID wildcard).
+// ok=false means the term cannot match anything in this store. bound
+// reports whether the position was already fixed (term or bound variable).
+func resolvePos(d *rdf.Dict, row Solution, tv TermOrVar) (id rdf.ID, ok, bound bool) {
+	if tv.IsVar {
+		if t, has := row[tv.Name]; has {
+			id, found := d.Lookup(t)
+			return id, found, true
+		}
+		return rdf.NoID, true, false
+	}
+	id, found := d.Lookup(tv.Term)
+	return id, found, true
+}
+
+// consistent verifies repeated-variable constraints like ?x ?p ?x.
+func consistent(d *rdf.Dict, sol Solution, tp TriplePattern, tr rdf.EncodedTriple) bool {
+	check := func(tv TermOrVar, got rdf.ID) bool {
+		if !tv.IsVar {
+			return true
+		}
+		want, ok := sol[tv.Name]
+		if !ok {
+			return true
+		}
+		return want == d.Term(got)
+	}
+	return check(tp.S, tr.S) && check(tp.P, tr.P) && check(tp.O, tr.O)
+}
+
+// hashJoin joins two solution sets on their shared variables.
+func (e *Engine) hashJoin(left, right []Solution) ([]Solution, error) {
+	if len(left) == 1 && len(left[0]) == 0 {
+		return right, nil
+	}
+	if len(right) == 0 || len(left) == 0 {
+		return nil, nil
+	}
+	shared := sharedVars(left[0], right)
+	if len(shared) == 0 {
+		// Cross product.
+		var out []Solution
+		for _, l := range left {
+			for _, r := range right {
+				m := l.clone()
+				for k, v := range r {
+					m[k] = v
+				}
+				out = append(out, m)
+				if e.MaxIntermediate > 0 && len(out) > e.MaxIntermediate {
+					return nil, ErrTooLarge
+				}
+			}
+		}
+		return out, nil
+	}
+	index := map[string][]Solution{}
+	for _, r := range right {
+		index[joinKey(r, shared)] = append(index[joinKey(r, shared)], r)
+	}
+	var out []Solution
+	for _, l := range left {
+		for _, r := range index[joinKey(l, shared)] {
+			if !compatible(l, r) {
+				continue
+			}
+			m := l.clone()
+			for k, v := range r {
+				m[k] = v
+			}
+			out = append(out, m)
+			if e.MaxIntermediate > 0 && len(out) > e.MaxIntermediate {
+				return nil, ErrTooLarge
+			}
+		}
+	}
+	return out, nil
+}
+
+// leftJoin implements OPTIONAL semantics: keep every left row, extend with
+// compatible right rows when any exist.
+func leftJoin(left, right []Solution) []Solution {
+	var out []Solution
+	for _, l := range left {
+		matched := false
+		for _, r := range right {
+			if compatible(l, r) {
+				m := l.clone()
+				for k, v := range r {
+					m[k] = v
+				}
+				out = append(out, m)
+				matched = true
+			}
+		}
+		if !matched {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func compatible(a, b Solution) bool {
+	for k, v := range a {
+		if w, ok := b[k]; ok && w != v {
+			return false
+		}
+	}
+	return true
+}
+
+func sharedVars(sample Solution, right []Solution) []string {
+	if len(right) == 0 {
+		return nil
+	}
+	var shared []string
+	for v := range sample {
+		if _, ok := right[0][v]; ok {
+			shared = append(shared, v)
+		}
+	}
+	sort.Strings(shared)
+	return shared
+}
+
+func joinKey(s Solution, vars []string) string {
+	var b strings.Builder
+	for _, v := range vars {
+		if t, ok := s[v]; ok {
+			b.WriteString(t.String())
+		}
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}

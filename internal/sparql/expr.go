@@ -1,0 +1,673 @@
+package sparql
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"elinda/internal/rdf"
+)
+
+// Value is the result of evaluating an expression: an RDF term, a number,
+// a boolean, or an error sentinel (unbound).
+type Value struct {
+	Kind ValueKind
+	Term rdf.Term
+	Num  float64
+	Bool bool
+	Str  string
+}
+
+// ValueKind discriminates expression values.
+type ValueKind uint8
+
+const (
+	// VUnbound marks an unbound/erroneous value; comparisons propagate it.
+	VUnbound ValueKind = iota
+	// VTerm is an RDF term value.
+	VTerm
+	// VNum is a numeric value.
+	VNum
+	// VBool is a boolean value.
+	VBool
+	// VStr is a plain string value (result of STR, LANG, ...).
+	VStr
+)
+
+// TermValue wraps a term as a Value, eagerly recognizing numeric literals.
+func TermValue(t rdf.Term) Value { return Value{Kind: VTerm, Term: t} }
+
+// NumValue wraps a float.
+func NumValue(f float64) Value { return Value{Kind: VNum, Num: f} }
+
+// BoolValue wraps a bool.
+func BoolValue(b bool) Value { return Value{Kind: VBool, Bool: b} }
+
+// StrValue wraps a string.
+func StrValue(s string) Value { return Value{Kind: VStr, Str: s} }
+
+// Unbound is the error/unbound sentinel.
+var Unbound = Value{Kind: VUnbound}
+
+// AsNumber coerces the value to a float64 when possible.
+func (v Value) AsNumber() (float64, bool) {
+	switch v.Kind {
+	case VNum:
+		return v.Num, true
+	case VTerm:
+		if v.Term.IsLiteral() {
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v.Term.Value), 64); err == nil {
+				return f, true
+			}
+		}
+	case VBool:
+		if v.Bool {
+			return 1, true
+		}
+		return 0, true
+	case VStr:
+		if f, err := strconv.ParseFloat(strings.TrimSpace(v.Str), 64); err == nil {
+			return f, true
+		}
+	}
+	return 0, false
+}
+
+// AsBool implements SPARQL effective boolean value semantics (EBV).
+func (v Value) AsBool() (bool, bool) {
+	switch v.Kind {
+	case VBool:
+		return v.Bool, true
+	case VNum:
+		return v.Num != 0, true
+	case VStr:
+		return v.Str != "", true
+	case VTerm:
+		if v.Term.IsLiteral() {
+			if v.Term.Datatype == rdf.XSDBoolean {
+				return v.Term.Value == "true" || v.Term.Value == "1", true
+			}
+			if f, ok := v.AsNumber(); ok {
+				return f != 0, true
+			}
+			return v.Term.Value != "", true
+		}
+	}
+	return false, false
+}
+
+// AsString coerces to a string (the STR() view of the value).
+func (v Value) AsString() (string, bool) {
+	switch v.Kind {
+	case VStr:
+		return v.Str, true
+	case VTerm:
+		return v.Term.Value, true
+	case VNum:
+		return strconv.FormatFloat(v.Num, 'g', -1, 64), true
+	case VBool:
+		return strconv.FormatBool(v.Bool), true
+	}
+	return "", false
+}
+
+// Expr is a SPARQL expression node.
+type Expr interface {
+	fmt.Stringer
+	// Eval computes the value under the given solution.
+	Eval(sol Solution) Value
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ Name string }
+
+// Eval implements Expr.
+func (e *VarExpr) Eval(sol Solution) Value {
+	t, ok := sol[e.Name]
+	if !ok {
+		return Unbound
+	}
+	return TermValue(t)
+}
+
+func (e *VarExpr) String() string { return "?" + e.Name }
+
+// ConstExpr is a constant term.
+type ConstExpr struct{ Term rdf.Term }
+
+// Eval implements Expr.
+func (e *ConstExpr) Eval(Solution) Value { return TermValue(e.Term) }
+
+func (e *ConstExpr) String() string { return e.Term.String() }
+
+// NumExpr is a numeric constant.
+type NumExpr struct{ Val float64 }
+
+// Eval implements Expr.
+func (e *NumExpr) Eval(Solution) Value { return NumValue(e.Val) }
+
+func (e *NumExpr) String() string { return strconv.FormatFloat(e.Val, 'g', -1, 64) }
+
+// BoolExpr is a boolean constant.
+type BoolExpr struct{ Val bool }
+
+// Eval implements Expr.
+func (e *BoolExpr) Eval(Solution) Value { return BoolValue(e.Val) }
+
+func (e *BoolExpr) String() string { return strconv.FormatBool(e.Val) }
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Op          string // = != < > <= >= && || + - * /
+	Left, Right Expr
+}
+
+// Eval implements Expr.
+func (e *BinaryExpr) Eval(sol Solution) Value {
+	switch e.Op {
+	case "&&":
+		lb, lok := e.Left.Eval(sol).AsBool()
+		if lok && !lb {
+			return BoolValue(false)
+		}
+		rb, rok := e.Right.Eval(sol).AsBool()
+		if !lok || !rok {
+			return Unbound
+		}
+		return BoolValue(lb && rb)
+	case "||":
+		lb, lok := e.Left.Eval(sol).AsBool()
+		if lok && lb {
+			return BoolValue(true)
+		}
+		rb, rok := e.Right.Eval(sol).AsBool()
+		if !lok || !rok {
+			return Unbound
+		}
+		return BoolValue(lb || rb)
+	}
+	l := e.Left.Eval(sol)
+	r := e.Right.Eval(sol)
+	if l.Kind == VUnbound || r.Kind == VUnbound {
+		return Unbound
+	}
+	switch e.Op {
+	case "+", "-", "*", "/":
+		lf, lok := l.AsNumber()
+		rf, rok := r.AsNumber()
+		if !lok || !rok {
+			return Unbound
+		}
+		switch e.Op {
+		case "+":
+			return NumValue(lf + rf)
+		case "-":
+			return NumValue(lf - rf)
+		case "*":
+			return NumValue(lf * rf)
+		default:
+			if rf == 0 {
+				return Unbound
+			}
+			return NumValue(lf / rf)
+		}
+	case "=", "!=", "<", ">", "<=", ">=":
+		cmp, ok := compareValues(l, r)
+		if !ok {
+			// SPARQL: = and != are defined on all terms; order is not.
+			if e.Op == "=" || e.Op == "!=" {
+				eq := valueEqual(l, r)
+				if e.Op == "=" {
+					return BoolValue(eq)
+				}
+				return BoolValue(!eq)
+			}
+			return Unbound
+		}
+		switch e.Op {
+		case "=":
+			return BoolValue(cmp == 0)
+		case "!=":
+			return BoolValue(cmp != 0)
+		case "<":
+			return BoolValue(cmp < 0)
+		case ">":
+			return BoolValue(cmp > 0)
+		case "<=":
+			return BoolValue(cmp <= 0)
+		default:
+			return BoolValue(cmp >= 0)
+		}
+	}
+	return Unbound
+}
+
+func (e *BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// compareValues orders two values when an order is defined: numerically
+// when both coerce to numbers, else lexically on strings.
+func compareValues(l, r Value) (int, bool) {
+	if lf, lok := l.AsNumber(); lok {
+		if rf, rok := r.AsNumber(); rok {
+			switch {
+			case lf < rf:
+				return -1, true
+			case lf > rf:
+				return 1, true
+			default:
+				return 0, true
+			}
+		}
+	}
+	ls, lok := l.AsString()
+	rs, rok := r.AsString()
+	if lok && rok {
+		return strings.Compare(ls, rs), true
+	}
+	return 0, false
+}
+
+func valueEqual(l, r Value) bool {
+	if l.Kind == VTerm && r.Kind == VTerm {
+		return l.Term == r.Term
+	}
+	if cmp, ok := compareValues(l, r); ok {
+		return cmp == 0
+	}
+	return false
+}
+
+// NotExpr negates its operand.
+type NotExpr struct{ X Expr }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(sol Solution) Value {
+	b, ok := e.X.Eval(sol).AsBool()
+	if !ok {
+		return Unbound
+	}
+	return BoolValue(!b)
+}
+
+func (e *NotExpr) String() string { return "!" + e.X.String() }
+
+// FuncExpr is a builtin function call: BOUND, STR, LANG, DATATYPE, isIRI,
+// isLiteral, isBlank, REGEX, CONTAINS, STRSTARTS, STRENDS.
+type FuncExpr struct {
+	Name string // uppercased
+	Args []Expr
+}
+
+// Eval implements Expr.
+func (e *FuncExpr) Eval(sol Solution) Value {
+	switch e.Name {
+	case "BOUND":
+		if v, ok := e.Args[0].(*VarExpr); ok {
+			_, bound := sol[v.Name]
+			return BoolValue(bound)
+		}
+		return Unbound
+	case "STR":
+		s, ok := e.Args[0].Eval(sol).AsString()
+		if !ok {
+			return Unbound
+		}
+		return StrValue(s)
+	case "LANG":
+		v := e.Args[0].Eval(sol)
+		if v.Kind == VTerm && v.Term.IsLiteral() {
+			return StrValue(v.Term.Lang)
+		}
+		return Unbound
+	case "DATATYPE":
+		v := e.Args[0].Eval(sol)
+		if v.Kind == VTerm && v.Term.IsLiteral() {
+			dt := v.Term.Datatype
+			if dt == "" {
+				dt = rdf.XSDString
+			}
+			return TermValue(rdf.NewIRI(dt))
+		}
+		return Unbound
+	case "ISIRI", "ISURI":
+		v := e.Args[0].Eval(sol)
+		return BoolValue(v.Kind == VTerm && v.Term.IsIRI())
+	case "ISLITERAL":
+		v := e.Args[0].Eval(sol)
+		return BoolValue(v.Kind == VTerm && v.Term.IsLiteral())
+	case "ISBLANK":
+		v := e.Args[0].Eval(sol)
+		return BoolValue(v.Kind == VTerm && v.Term.IsBlank())
+	case "CONTAINS", "STRSTARTS", "STRENDS":
+		ls, lok := e.Args[0].Eval(sol).AsString()
+		rs, rok := e.Args[1].Eval(sol).AsString()
+		if !lok || !rok {
+			return Unbound
+		}
+		switch e.Name {
+		case "CONTAINS":
+			return BoolValue(strings.Contains(ls, rs))
+		case "STRSTARTS":
+			return BoolValue(strings.HasPrefix(ls, rs))
+		default:
+			return BoolValue(strings.HasSuffix(ls, rs))
+		}
+	case "REGEX":
+		s, sok := e.Args[0].Eval(sol).AsString()
+		pat, pok := e.Args[1].Eval(sol).AsString()
+		if !sok || !pok {
+			return Unbound
+		}
+		flags := ""
+		if len(e.Args) > 2 {
+			flags, _ = e.Args[2].Eval(sol).AsString()
+		}
+		if strings.Contains(flags, "i") {
+			pat = "(?i)" + pat
+		}
+		re, err := regexp.Compile(pat)
+		if err != nil {
+			return Unbound
+		}
+		return BoolValue(re.MatchString(s))
+	case "STRLEN":
+		s, ok := e.Args[0].Eval(sol).AsString()
+		if !ok {
+			return Unbound
+		}
+		return NumValue(float64(len([]rune(s))))
+	case "UCASE", "LCASE":
+		s, ok := e.Args[0].Eval(sol).AsString()
+		if !ok {
+			return Unbound
+		}
+		if e.Name == "UCASE" {
+			return StrValue(strings.ToUpper(s))
+		}
+		return StrValue(strings.ToLower(s))
+	case "STRBEFORE", "STRAFTER":
+		s, sok := e.Args[0].Eval(sol).AsString()
+		sep, pok := e.Args[1].Eval(sol).AsString()
+		if !sok || !pok {
+			return Unbound
+		}
+		i := strings.Index(s, sep)
+		if i < 0 {
+			return StrValue("")
+		}
+		if e.Name == "STRBEFORE" {
+			return StrValue(s[:i])
+		}
+		return StrValue(s[i+len(sep):])
+	case "IF":
+		cond, ok := e.Args[0].Eval(sol).AsBool()
+		if !ok {
+			return Unbound
+		}
+		if cond {
+			return e.Args[1].Eval(sol)
+		}
+		return e.Args[2].Eval(sol)
+	case "COALESCE":
+		for _, arg := range e.Args {
+			if v := arg.Eval(sol); v.Kind != VUnbound {
+				return v
+			}
+		}
+		return Unbound
+	case "SAMETERM":
+		l := e.Args[0].Eval(sol)
+		r := e.Args[1].Eval(sol)
+		if l.Kind != VTerm || r.Kind != VTerm {
+			return Unbound
+		}
+		return BoolValue(l.Term == r.Term)
+	case "ABS", "CEIL", "FLOOR", "ROUND":
+		f, ok := e.Args[0].Eval(sol).AsNumber()
+		if !ok {
+			return Unbound
+		}
+		switch e.Name {
+		case "ABS":
+			if f < 0 {
+				f = -f
+			}
+		case "CEIL":
+			if f != float64(int64(f)) && f > 0 {
+				f = float64(int64(f)) + 1
+			} else {
+				f = float64(int64(f))
+			}
+		case "FLOOR":
+			if f != float64(int64(f)) && f < 0 {
+				f = float64(int64(f)) - 1
+			} else {
+				f = float64(int64(f))
+			}
+		case "ROUND":
+			if f >= 0 {
+				f = float64(int64(f + 0.5))
+			} else {
+				f = float64(int64(f - 0.5))
+			}
+		}
+		return NumValue(f)
+	}
+	return Unbound
+}
+
+func (e *FuncExpr) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	return e.Name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// AggExpr is an aggregate application, only valid in projections/HAVING of
+// grouped queries.
+type AggExpr struct {
+	Op       string // COUNT SUM AVG MIN MAX SAMPLE GROUP_CONCAT
+	Distinct bool
+	Star     bool // COUNT(*)
+	Arg      Expr // nil when Star
+	// Separator is the GROUP_CONCAT separator (default " ").
+	Separator string
+}
+
+// Eval implements Expr: an aggregate has no row-level value.
+func (e *AggExpr) Eval(Solution) Value { return Unbound }
+
+func (e *AggExpr) String() string {
+	inner := "*"
+	if !e.Star && e.Arg != nil {
+		inner = e.Arg.String()
+	}
+	if e.Distinct {
+		inner = "DISTINCT " + inner
+	}
+	if e.Op == "GROUP_CONCAT" && e.Separator != "" && e.Separator != " " {
+		return fmt.Sprintf("%s(%s; SEPARATOR=%q)", e.Op, inner, e.Separator)
+	}
+	return e.Op + "(" + inner + ")"
+}
+
+// Apply computes the aggregate over a group of solutions.
+func (e *AggExpr) Apply(group []Solution) Value {
+	if e.Star && e.Op == "COUNT" {
+		return NumValue(float64(len(group)))
+	}
+	var vals []Value
+	for _, sol := range group {
+		v := e.Arg.Eval(sol)
+		if v.Kind == VUnbound {
+			continue
+		}
+		vals = append(vals, v)
+	}
+	if e.Distinct {
+		vals = dedupValues(vals)
+	}
+	switch e.Op {
+	case "COUNT":
+		return NumValue(float64(len(vals)))
+	case "SUM":
+		total := 0.0
+		for _, v := range vals {
+			if f, ok := v.AsNumber(); ok {
+				total += f
+			}
+		}
+		return NumValue(total)
+	case "AVG":
+		if len(vals) == 0 {
+			return NumValue(0)
+		}
+		total := 0.0
+		n := 0
+		for _, v := range vals {
+			if f, ok := v.AsNumber(); ok {
+				total += f
+				n++
+			}
+		}
+		if n == 0 {
+			return Unbound
+		}
+		return NumValue(total / float64(n))
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return Unbound
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp, ok := compareValues(v, best)
+			if !ok {
+				continue
+			}
+			if e.Op == "MIN" && cmp < 0 || e.Op == "MAX" && cmp > 0 {
+				best = v
+			}
+		}
+		return best
+	case "SAMPLE":
+		if len(vals) == 0 {
+			return Unbound
+		}
+		return vals[0]
+	case "GROUP_CONCAT":
+		sep := e.Separator
+		if sep == "" {
+			sep = " "
+		}
+		parts := make([]string, 0, len(vals))
+		for _, v := range vals {
+			if s, ok := v.AsString(); ok {
+				parts = append(parts, s)
+			}
+		}
+		return StrValue(strings.Join(parts, sep))
+	}
+	return Unbound
+}
+
+func dedupValues(vals []Value) []Value {
+	seen := map[string]struct{}{}
+	out := vals[:0]
+	for _, v := range vals {
+		key := valueKey(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+func valueKey(v Value) string {
+	switch v.Kind {
+	case VTerm:
+		return "t" + v.Term.String()
+	case VNum:
+		return "n" + strconv.FormatFloat(v.Num, 'g', -1, 64)
+	case VBool:
+		return "b" + strconv.FormatBool(v.Bool)
+	case VStr:
+		return "s" + v.Str
+	}
+	return "u"
+}
+
+func exprHasAggregate(e Expr) bool {
+	switch x := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return exprHasAggregate(x.Left) || exprHasAggregate(x.Right)
+	case *NotExpr:
+		return exprHasAggregate(x.X)
+	case *FuncExpr:
+		for _, a := range x.Args {
+			if exprHasAggregate(a) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// evalWithGroup evaluates e over a group: aggregates apply to the whole
+// group, other subexpressions take their value from the group's first row.
+func evalWithGroup(e Expr, group []Solution) Value {
+	switch x := e.(type) {
+	case *AggExpr:
+		return x.Apply(group)
+	case *BinaryExpr:
+		tmp := &BinaryExpr{Op: x.Op,
+			Left:  liftGroup(x.Left, group),
+			Right: liftGroup(x.Right, group)}
+		return tmp.Eval(first(group))
+	case *NotExpr:
+		tmp := &NotExpr{X: liftGroup(x.X, group)}
+		return tmp.Eval(first(group))
+	default:
+		return e.Eval(first(group))
+	}
+}
+
+// liftGroup replaces aggregate subtrees with their computed constants.
+func liftGroup(e Expr, group []Solution) Expr {
+	switch x := e.(type) {
+	case *AggExpr:
+		v := x.Apply(group)
+		switch v.Kind {
+		case VNum:
+			return &NumExpr{Val: v.Num}
+		case VBool:
+			return &BoolExpr{Val: v.Bool}
+		case VTerm:
+			return &ConstExpr{Term: v.Term}
+		case VStr:
+			return &ConstExpr{Term: rdf.NewLiteral(v.Str)}
+		default:
+			return &ConstExpr{Term: rdf.Term{}}
+		}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, Left: liftGroup(x.Left, group), Right: liftGroup(x.Right, group)}
+	case *NotExpr:
+		return &NotExpr{X: liftGroup(x.X, group)}
+	default:
+		return e
+	}
+}
+
+func first(group []Solution) Solution {
+	if len(group) == 0 {
+		return Solution{}
+	}
+	return group[0]
+}

@@ -1,0 +1,125 @@
+package sparql
+
+import (
+	"context"
+	"testing"
+
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+// builtinEval evaluates a single FILTER expression against one solution.
+func builtinEval(t *testing.T, expr string, sol Solution) Value {
+	t.Helper()
+	q, err := Parse("SELECT ?x WHERE { ?x ?p ?o . FILTER (" + expr + ") }")
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return q.Where.Filters[0].Eval(sol)
+}
+
+func TestBuiltinStringFunctions(t *testing.T) {
+	sol := Solution{"n": rdf.NewLiteral("Philosopher")}
+	cases := []struct {
+		expr string
+		want Value
+	}{
+		{`STRLEN(?n) = 11`, BoolValue(true)},
+		{`UCASE(?n) = "PHILOSOPHER"`, BoolValue(true)},
+		{`LCASE(?n) = "philosopher"`, BoolValue(true)},
+		{`STRBEFORE(?n, "oso") = "Phil"`, BoolValue(true)},
+		{`STRAFTER(?n, "oso") = "pher"`, BoolValue(true)},
+		{`STRBEFORE(?n, "zz") = ""`, BoolValue(true)},
+	}
+	for _, c := range cases {
+		got := builtinEval(t, c.expr, sol)
+		if got.Kind != VBool || !got.Bool {
+			t.Errorf("%s = %+v, want true", c.expr, got)
+		}
+	}
+}
+
+func TestBuiltinIfCoalesceSameterm(t *testing.T) {
+	sol := Solution{"a": rdf.NewIRI("http://x/a"), "n": rdf.NewTypedLiteral("5", rdf.XSDInteger)}
+	if got := builtinEval(t, `IF(?n > 3, 10, 20) = 10`, sol); !got.Bool {
+		t.Errorf("IF true branch: %+v", got)
+	}
+	if got := builtinEval(t, `IF(?n > 9, 10, 20) = 20`, sol); !got.Bool {
+		t.Errorf("IF false branch: %+v", got)
+	}
+	if got := builtinEval(t, `COALESCE(?missing, ?n) = 5`, sol); !got.Bool {
+		t.Errorf("COALESCE: %+v", got)
+	}
+	if got := builtinEval(t, `SAMETERM(?a, ?a)`, sol); !got.Bool {
+		t.Errorf("SAMETERM: %+v", got)
+	}
+	if got := builtinEval(t, `SAMETERM(?a, ?n)`, sol); got.Bool {
+		t.Errorf("SAMETERM different terms: %+v", got)
+	}
+}
+
+func TestBuiltinNumericFunctions(t *testing.T) {
+	sol := Solution{"n": rdf.NewTypedLiteral("-2.5", rdf.XSDDouble)}
+	cases := map[string]float64{
+		`ABS(?n)`:   2.5,
+		`CEIL(?n)`:  -2,
+		`FLOOR(?n)`: -3,
+		`ROUND(?n)`: -3,
+	}
+	for expr, want := range cases {
+		got := builtinEval(t, expr+" = "+trimFloat(want), sol)
+		if got.Kind != VBool || !got.Bool {
+			t.Errorf("%s should equal %g: %+v", expr, want, got)
+		}
+	}
+	pos := Solution{"n": rdf.NewTypedLiteral("2.5", rdf.XSDDouble)}
+	if got := builtinEval(t, `ROUND(?n) = 3`, pos); !got.Bool {
+		t.Errorf("ROUND(2.5): %+v", got)
+	}
+	if got := builtinEval(t, `CEIL(?n) = 3`, pos); !got.Bool {
+		t.Errorf("CEIL(2.5): %+v", got)
+	}
+}
+
+func TestBuiltinUnboundPropagation(t *testing.T) {
+	empty := Solution{}
+	for _, expr := range []string{`STRLEN(?x) > 0`, `ABS(?x) > 0`, `UCASE(?x) = "A"`} {
+		if got := builtinEval(t, expr, empty); got.Kind != VUnbound {
+			t.Errorf("%s on unbound = %+v, want unbound", expr, got)
+		}
+	}
+	// COALESCE over all-unbound is unbound.
+	if got := builtinEval(t, `COALESCE(?x) = 1`, empty); got.Kind != VUnbound {
+		t.Errorf("COALESCE all-unbound: %+v", got)
+	}
+}
+
+func TestBuiltinsInFullQuery(t *testing.T) {
+	st := store.New(8)
+	st.Load([]rdf.Triple{
+		{S: ex("a"), P: ex("name"), O: rdf.NewLiteral("Immanuel Kant")},
+		{S: ex("b"), P: ex("name"), O: rdf.NewLiteral("Plato")},
+	})
+	e := NewEngine(st)
+	res, err := e.Query(context.Background(), `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:name ?n . FILTER (STRLEN(?n) > 6 && CONTAINS(UCASE(?n), "KANT")) }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0]["s"] != ex("a") {
+		t.Errorf("rows = %+v", res.Rows)
+	}
+}
+
+func TestBuiltinArityChecked(t *testing.T) {
+	bad := []string{
+		`SELECT ?x WHERE { ?x ?p ?o . FILTER (STRLEN(?x, ?o) > 0) }`,
+		`SELECT ?x WHERE { ?x ?p ?o . FILTER (IF(?x, ?o)) }`,
+		`SELECT ?x WHERE { ?x ?p ?o . FILTER (SAMETERM(?x)) }`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("bad arity accepted: %s", src)
+		}
+	}
+}

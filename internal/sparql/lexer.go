@@ -1,0 +1,314 @@
+// Package sparql implements the SPARQL subset that eLinda generates and
+// executes: SELECT queries with basic graph patterns, FILTER, OPTIONAL,
+// subqueries, GROUP BY with COUNT/SUM/AVG/MIN/MAX aggregates, DISTINCT,
+// ORDER BY and LIMIT/OFFSET. The generic evaluator (Engine) executes these
+// with a join-then-aggregate plan, reproducing the cost profile of the
+// remote Virtuoso endpoint in the paper; the fast path for the heavy
+// property-expansion queries lives in internal/decomposer.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF          tokenKind = iota
+	tokIRI                    // <http://...>
+	tokPrefixedName           // ex:foo or ex:
+	tokVar                    // ?x or $x
+	tokLiteral                // "..." with optional @lang / ^^type captured separately
+	tokNumber                 // 42, 3.14, -7
+	tokKeyword                // SELECT, WHERE, FILTER, ... (uppercased)
+	tokA                      // the 'a' shorthand for rdf:type
+	tokPunct                  // { } ( ) . ; , * = != < > <= >= && || ! + - / ^^ @
+	tokBlank                  // _:label
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokIRI:
+		return "IRI"
+	case tokPrefixedName:
+		return "PrefixedName"
+	case tokVar:
+		return "Var"
+	case tokLiteral:
+		return "Literal"
+	case tokNumber:
+		return "Number"
+	case tokKeyword:
+		return "Keyword"
+	case tokA:
+		return "a"
+	case tokPunct:
+		return "Punct"
+	case tokBlank:
+		return "Blank"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokenKind
+	text string // normalized: keyword uppercased, IRI without <>, var without ?/$
+	lang string // literal language tag
+	dt   string // literal datatype (raw, may be prefixed name or IRI)
+	pos  int    // byte offset for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "WHERE": true, "FILTER": true, "OPTIONAL": true,
+	"PREFIX": true, "BASE": true, "DISTINCT": true, "REDUCED": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"ASC": true, "DESC": true, "LIMIT": true, "OFFSET": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"AS": true, "UNION": true, "ASK": true, "FROM": true,
+	"BOUND": true, "ISIRI": true, "ISURI": true, "ISLITERAL": true,
+	"ISBLANK": true, "STR": true, "LANG": true, "DATATYPE": true,
+	"REGEX": true, "CONTAINS": true, "STRSTARTS": true, "STRENDS": true,
+	"NOT": true, "IN": true, "TRUE": true, "FALSE": true, "VALUES": true,
+	"STRLEN": true, "UCASE": true, "LCASE": true, "STRBEFORE": true,
+	"STRAFTER": true, "IF": true, "COALESCE": true, "SAMETERM": true,
+	"ABS": true, "CEIL": true, "FLOOR": true, "ROUND": true,
+	"SAMPLE": true, "GROUP_CONCAT": true, "UNDEF": true, "SEPARATOR": true,
+}
+
+// lexError is a scan-time error with position information.
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sparql: lex error at offset %d: %s", e.pos, e.msg)
+}
+
+// lex scans the whole query into tokens.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '<':
+			// '<' is ambiguous: IRI open bracket or less-than. Treat it as
+			// an IRI only when a '>' closes it before any whitespace.
+			if i+1 < n && src[i+1] == '=' {
+				toks = append(toks, token{kind: tokPunct, text: "<=", pos: i})
+				i += 2
+				continue
+			}
+			j := i + 1
+			for j < n && src[j] != '>' && src[j] != ' ' && src[j] != '\t' && src[j] != '\n' && src[j] != '\r' && src[j] != '"' {
+				j++
+			}
+			if j < n && src[j] == '>' {
+				toks = append(toks, token{kind: tokIRI, text: src[i+1 : j], pos: i})
+				i = j + 1
+			} else {
+				toks = append(toks, token{kind: tokPunct, text: "<", pos: i})
+				i++
+			}
+		case c == '?' || c == '$':
+			j := i + 1
+			for j < n && isVarChar(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, &lexError{i, "empty variable name"}
+			}
+			toks = append(toks, token{kind: tokVar, text: src[i+1 : j], pos: i})
+			i = j
+		case c == '"' || c == '\'':
+			tok, next, err := lexLiteral(src, i)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, tok)
+			i = next
+		case c == '_' && i+1 < n && src[i+1] == ':':
+			j := i + 2
+			for j < n && isVarChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokBlank, text: src[i+2 : j], pos: i})
+			i = j
+		case c >= '0' && c <= '9' || (c == '-' || c == '+') && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			if c == '-' || c == '+' {
+				j++
+			}
+			sawDot := false
+			for j < n && (src[j] >= '0' && src[j] <= '9' || src[j] == '.' && !sawDot && j+1 < n && src[j+1] >= '0' && src[j+1] <= '9') {
+				if src[j] == '.' {
+					sawDot = true
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tokNumber, text: src[i:j], pos: i})
+			i = j
+		case isNameStart(c):
+			j := i
+			for j < n && isNameChar(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			// Prefixed name? Requires a ':' immediately after.
+			if j < n && src[j] == ':' {
+				k := j + 1
+				for k < n && isLocalChar(src[k]) {
+					k++
+				}
+				// A local name may contain dots but not end with one: the
+				// trailing dot terminates the triple (owl:Thing. lexes as
+				// owl:Thing then '.').
+				for k > j+1 && src[k-1] == '.' {
+					k--
+				}
+				toks = append(toks, token{kind: tokPrefixedName, text: src[i:k], pos: i})
+				i = k
+				break
+			}
+			upper := strings.ToUpper(word)
+			if word == "a" {
+				toks = append(toks, token{kind: tokA, text: "a", pos: i})
+			} else if keywords[upper] {
+				toks = append(toks, token{kind: tokKeyword, text: upper, pos: i})
+			} else {
+				return nil, &lexError{i, fmt.Sprintf("unexpected identifier %q", word)}
+			}
+			i = j
+		case c == ':':
+			// Default-prefix name ":local".
+			k := i + 1
+			for k < n && isLocalChar(src[k]) {
+				k++
+			}
+			for k > i+1 && src[k-1] == '.' {
+				k--
+			}
+			toks = append(toks, token{kind: tokPrefixedName, text: src[i:k], pos: i})
+			i = k
+		default:
+			// Punctuation, with two-char operators first.
+			if i+1 < n {
+				two := src[i : i+2]
+				switch two {
+				case "<=", ">=", "!=", "&&", "||", "^^":
+					toks = append(toks, token{kind: tokPunct, text: two, pos: i})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case '{', '}', '(', ')', '.', ';', ',', '*', '=', '<', '>', '!', '+', '-', '/', '@':
+				toks = append(toks, token{kind: tokPunct, text: string(c), pos: i})
+				i++
+			default:
+				return nil, &lexError{i, fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: n})
+	return toks, nil
+}
+
+func lexLiteral(src string, start int) (token, int, error) {
+	quote := src[start]
+	i := start + 1
+	n := len(src)
+	var b strings.Builder
+	for i < n {
+		c := src[i]
+		if c == '\\' && i+1 < n {
+			switch src[i+1] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\'':
+				b.WriteByte('\'')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(src[i+1])
+			}
+			i += 2
+			continue
+		}
+		if c == quote {
+			break
+		}
+		if c == '\n' {
+			return token{}, 0, &lexError{start, "newline in literal"}
+		}
+		b.WriteByte(c)
+		i++
+	}
+	if i >= n {
+		return token{}, 0, &lexError{start, "unterminated literal"}
+	}
+	tok := token{kind: tokLiteral, text: b.String(), pos: start}
+	i++ // closing quote
+	if i < n && src[i] == '@' {
+		j := i + 1
+		for j < n && (isNameChar(src[j]) || src[j] == '-') {
+			j++
+		}
+		if j == i+1 {
+			return token{}, 0, &lexError{i, "empty language tag"}
+		}
+		tok.lang = src[i+1 : j]
+		i = j
+	} else if i+1 < n && src[i] == '^' && src[i+1] == '^' {
+		i += 2
+		if i < n && src[i] == '<' {
+			j := strings.IndexByte(src[i:], '>')
+			if j < 0 {
+				return token{}, 0, &lexError{i, "unterminated datatype IRI"}
+			}
+			tok.dt = src[i+1 : i+j]
+			i += j + 1
+		} else {
+			j := i
+			for j < n && (isNameChar(src[j]) || src[j] == ':') {
+				j++
+			}
+			tok.dt = src[i:j]
+			i = j
+		}
+	}
+	return tok, i, nil
+}
+
+func isVarChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}
+
+func isLocalChar(c byte) bool {
+	return isNameChar(c) || c == '-' || c == '.'
+}

@@ -1,0 +1,29 @@
+package sparql
+
+import (
+	"context"
+	"testing"
+)
+
+// TestPrefixedNameTrailingDot is the regression test for the lexer bug
+// where "owl:Thing." swallowed the statement terminator into the local
+// name, making the paper's exact query (which writes "?s a owl:Thing.")
+// match nothing.
+func TestPrefixedNameTrailingDot(t *testing.T) {
+	e := benchEngine(5)
+	res, err := e.Query(context.Background(),
+		`SELECT ?s ?p (COUNT(*) AS ?sp) WHERE {?s a owl:Thing. ?s ?p ?o.} GROUP BY ?s ?p`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("prefixed name with trailing dot matched nothing")
+	}
+	full, err := e.Query(context.Background(), benchQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Rows) == 0 {
+		t.Fatal("paper query with owl:Thing. returned no rows")
+	}
+}

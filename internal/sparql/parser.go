@@ -1,0 +1,901 @@
+package sparql
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"elinda/internal/rdf"
+)
+
+// SyntaxError is a parse-time error with byte offset information.
+type SyntaxError struct {
+	Pos int
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("sparql: syntax error at offset %d: %s", e.Pos, e.Msg)
+}
+
+// Parse parses a SPARQL SELECT or ASK query.
+func Parse(src string) (*Query, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	for k, v := range rdf.WellKnownPrefixes {
+		p.prefixes[k] = v
+	}
+	q, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing content %q", p.cur().text)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	prefixes map[string]string
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) errf(format string, args ...any) error {
+	return &SyntaxError{Pos: p.cur().pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if p.cur().kind != tokKeyword || p.cur().text != kw {
+		return p.errf("expected %s, found %q", kw, p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expectPunct(s string) error {
+	if p.cur().kind != tokPunct || p.cur().text != s {
+		return p.errf("expected %q, found %q", s, p.cur().text)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) isPunct(s string) bool {
+	return p.cur().kind == tokPunct && p.cur().text == s
+}
+
+func (p *parser) isKeyword(kw string) bool {
+	return p.cur().kind == tokKeyword && p.cur().text == kw
+}
+
+func (p *parser) query() (*Query, error) {
+	// Prologue: PREFIX / BASE declarations.
+	for p.isKeyword("PREFIX") || p.isKeyword("BASE") {
+		if p.isKeyword("BASE") {
+			p.pos++
+			if p.cur().kind != tokIRI {
+				return nil, p.errf("expected IRI after BASE")
+			}
+			p.pos++ // base IRIs are accepted and ignored; we only see absolute IRIs
+			continue
+		}
+		p.pos++
+		if p.cur().kind != tokPrefixedName || !strings.HasSuffix(p.cur().text, ":") {
+			return nil, p.errf("expected prefix name after PREFIX, found %q", p.cur().text)
+		}
+		name := strings.TrimSuffix(p.next().text, ":")
+		if p.cur().kind != tokIRI {
+			return nil, p.errf("expected namespace IRI in PREFIX")
+		}
+		p.prefixes[name] = p.next().text
+	}
+	q, err := p.selectQuery()
+	if err != nil {
+		return nil, err
+	}
+	q.Prefixes = p.prefixes
+	return q, nil
+}
+
+func (p *parser) selectQuery() (*Query, error) {
+	q := &Query{Limit: -1}
+	switch {
+	case p.isKeyword("SELECT"):
+		p.pos++
+	case p.isKeyword("ASK"):
+		p.pos++
+		q.Ask = true
+	default:
+		return nil, p.errf("expected SELECT or ASK, found %q", p.cur().text)
+	}
+	if !q.Ask {
+		if p.isKeyword("DISTINCT") {
+			q.Distinct = true
+			p.pos++
+		} else if p.isKeyword("REDUCED") {
+			p.pos++ // treat REDUCED as DISTINCT-less passthrough
+		}
+		if p.isPunct("*") {
+			q.Star = true
+			p.pos++
+		} else {
+			for {
+				item, ok, err := p.selectItem()
+				if err != nil {
+					return nil, err
+				}
+				if !ok {
+					break
+				}
+				q.Items = append(q.Items, item)
+			}
+			if len(q.Items) == 0 {
+				return nil, p.errf("SELECT requires at least one projection")
+			}
+		}
+	}
+	// WHERE keyword is optional before '{'. Virtuoso's dialect (used in the
+	// paper's Section 4 query) writes FROM where standard SPARQL has WHERE.
+	if p.isKeyword("WHERE") || p.isKeyword("FROM") {
+		p.pos++
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	where, err := p.groupPattern()
+	if err != nil {
+		return nil, err
+	}
+	q.Where = where
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	// Solution modifiers.
+	if p.isKeyword("GROUP") {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for p.cur().kind == tokVar {
+			q.GroupBy = append(q.GroupBy, p.next().text)
+		}
+		if len(q.GroupBy) == 0 {
+			return nil, p.errf("GROUP BY requires at least one variable")
+		}
+	}
+	for p.isKeyword("HAVING") {
+		p.pos++
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		q.Having = append(q.Having, e)
+	}
+	if p.isKeyword("ORDER") {
+		p.pos++
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			key, ok, err := p.orderKey()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			q.OrderBy = append(q.OrderBy, key)
+		}
+		if len(q.OrderBy) == 0 {
+			return nil, p.errf("ORDER BY requires at least one key")
+		}
+	}
+	for p.isKeyword("LIMIT") || p.isKeyword("OFFSET") {
+		kw := p.next().text
+		if p.cur().kind != tokNumber {
+			return nil, p.errf("expected number after %s", kw)
+		}
+		n, err := strconv.Atoi(p.next().text)
+		if err != nil || n < 0 {
+			return nil, p.errf("invalid %s value", kw)
+		}
+		if kw == "LIMIT" {
+			q.Limit = n
+		} else {
+			q.Offset = n
+		}
+	}
+	return q, nil
+}
+
+func (p *parser) selectItem() (SelectItem, bool, error) {
+	switch {
+	case p.cur().kind == tokVar:
+		return SelectItem{Var: p.next().text}, true, nil
+	case p.isPunct("("):
+		p.pos++
+		e, err := p.expression()
+		if err != nil {
+			return SelectItem{}, false, err
+		}
+		if err := p.expectKeyword("AS"); err != nil {
+			return SelectItem{}, false, err
+		}
+		if p.cur().kind != tokVar {
+			return SelectItem{}, false, p.errf("expected variable after AS")
+		}
+		name := p.next().text
+		if err := p.expectPunct(")"); err != nil {
+			return SelectItem{}, false, err
+		}
+		return SelectItem{Var: name, Expr: e}, true, nil
+	case p.cur().kind == tokKeyword && isAggKeyword(p.cur().text):
+		// Virtuoso-style bare aggregate: COUNT(?p) AS ?count (no parens
+		// around the whole item). The paper's example query uses this form.
+		e, err := p.primaryExpr()
+		if err != nil {
+			return SelectItem{}, false, err
+		}
+		if p.isKeyword("AS") {
+			p.pos++
+			if p.cur().kind != tokVar {
+				return SelectItem{}, false, p.errf("expected variable after AS")
+			}
+			return SelectItem{Var: p.next().text, Expr: e}, true, nil
+		}
+		return SelectItem{Var: fmt.Sprintf("agg%d", p.pos), Expr: e}, true, nil
+	default:
+		return SelectItem{}, false, nil
+	}
+}
+
+func isAggKeyword(kw string) bool {
+	switch kw {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX", "SAMPLE", "GROUP_CONCAT":
+		return true
+	}
+	return false
+}
+
+func (p *parser) orderKey() (OrderKey, bool, error) {
+	switch {
+	case p.isKeyword("ASC"), p.isKeyword("DESC"):
+		desc := p.next().text == "DESC"
+		if err := p.expectPunct("("); err != nil {
+			return OrderKey{}, false, err
+		}
+		e, err := p.expression()
+		if err != nil {
+			return OrderKey{}, false, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return OrderKey{}, false, err
+		}
+		return OrderKey{Expr: e, Desc: desc}, true, nil
+	case p.cur().kind == tokVar:
+		return OrderKey{Expr: &VarExpr{Name: p.next().text}}, true, nil
+	case p.isPunct("("):
+		p.pos++
+		e, err := p.expression()
+		if err != nil {
+			return OrderKey{}, false, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return OrderKey{}, false, err
+		}
+		return OrderKey{Expr: e}, true, nil
+	default:
+		return OrderKey{}, false, nil
+	}
+}
+
+// groupPattern parses the inside of { ... } (without the braces).
+func (p *parser) groupPattern() (*GroupPattern, error) {
+	g := &GroupPattern{}
+	for {
+		switch {
+		case p.isPunct("}"):
+			return g, nil
+		case p.cur().kind == tokEOF:
+			return nil, p.errf("unexpected end of query inside group")
+		case p.isKeyword("FILTER"):
+			p.pos++
+			withParens := p.isPunct("(")
+			if withParens {
+				p.pos++
+			}
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if withParens {
+				if err := p.expectPunct(")"); err != nil {
+					return nil, err
+				}
+			}
+			g.Filters = append(g.Filters, e)
+			p.skipDot()
+		case p.isKeyword("OPTIONAL"):
+			p.pos++
+			if err := p.expectPunct("{"); err != nil {
+				return nil, err
+			}
+			inner, err := p.groupPattern()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			g.Optionals = append(g.Optionals, inner)
+			p.skipDot()
+		case p.isKeyword("VALUES"):
+			p.pos++
+			vb, err := p.valuesBlock()
+			if err != nil {
+				return nil, err
+			}
+			g.Values = append(g.Values, vb)
+			p.skipDot()
+		case p.isKeyword("FROM"):
+			// The paper writes "FROM {SELECT ...}" for subqueries (a
+			// Virtuoso-ism). Accept FROM followed by a braced group as an
+			// alias for a plain nested group.
+			p.pos++
+			if !p.isPunct("{") {
+				return nil, p.errf("expected '{' after FROM")
+			}
+			continue
+		case p.isKeyword("SELECT"):
+			// Inline subselect without extra braces, as written in the
+			// paper's "FROM {SELECT ...}" form.
+			sub, err := p.selectQuery()
+			if err != nil {
+				return nil, err
+			}
+			g.SubSelects = append(g.SubSelects, sub)
+			p.skipDot()
+		case p.isPunct("{"):
+			p.pos++
+			// Nested group: either a subselect or a plain group (possibly
+			// the first branch of a UNION).
+			if p.isKeyword("SELECT") {
+				sub, err := p.selectQuery()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("}"); err != nil {
+					return nil, err
+				}
+				g.SubSelects = append(g.SubSelects, sub)
+				p.skipDot()
+				continue
+			}
+			branch, err := p.groupPattern()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct("}"); err != nil {
+				return nil, err
+			}
+			branches := []*GroupPattern{branch}
+			for p.isKeyword("UNION") {
+				p.pos++
+				if err := p.expectPunct("{"); err != nil {
+					return nil, err
+				}
+				alt, err := p.groupPattern()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectPunct("}"); err != nil {
+					return nil, err
+				}
+				branches = append(branches, alt)
+			}
+			if len(branches) == 1 {
+				// Plain nested group: splice its contents.
+				g.Triples = append(g.Triples, branch.Triples...)
+				g.Filters = append(g.Filters, branch.Filters...)
+				g.SubSelects = append(g.SubSelects, branch.SubSelects...)
+				g.Optionals = append(g.Optionals, branch.Optionals...)
+				g.Unions = append(g.Unions, branch.Unions...)
+			} else {
+				g.Unions = append(g.Unions, branches)
+			}
+			p.skipDot()
+		default:
+			if err := p.triplesBlock(g); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+// valuesBlock parses the body of a VALUES clause: either the single-var
+// form `?x { term... }` or the full form `(?x ?y) { (t t)... }`. UNDEF
+// entries become zero terms.
+func (p *parser) valuesBlock() (*ValuesBlock, error) {
+	vb := &ValuesBlock{}
+	single := false
+	switch {
+	case p.cur().kind == tokVar:
+		vb.Vars = []string{p.next().text}
+		single = true
+	case p.isPunct("("):
+		p.pos++
+		for p.cur().kind == tokVar {
+			vb.Vars = append(vb.Vars, p.next().text)
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		if len(vb.Vars) == 0 {
+			return nil, p.errf("VALUES requires at least one variable")
+		}
+	default:
+		return nil, p.errf("expected variable or '(' after VALUES")
+	}
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	for !p.isPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unexpected end of query in VALUES")
+		}
+		if single {
+			term, err := p.valuesTerm()
+			if err != nil {
+				return nil, err
+			}
+			vb.Rows = append(vb.Rows, []rdf.Term{term})
+			continue
+		}
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		var row []rdf.Term
+		for !p.isPunct(")") {
+			term, err := p.valuesTerm()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, term)
+		}
+		p.pos++ // ')'
+		if len(row) != len(vb.Vars) {
+			return nil, p.errf("VALUES row has %d entries for %d variables", len(row), len(vb.Vars))
+		}
+		vb.Rows = append(vb.Rows, row)
+	}
+	p.pos++ // '}'
+	return vb, nil
+}
+
+// valuesTerm parses one VALUES data entry (no variables allowed).
+func (p *parser) valuesTerm() (rdf.Term, error) {
+	if p.isKeyword("UNDEF") {
+		p.pos++
+		return rdf.Term{}, nil
+	}
+	tv, err := p.termOrVar(false)
+	if err != nil {
+		return rdf.Term{}, err
+	}
+	if tv.IsVar {
+		return rdf.Term{}, p.errf("variables are not allowed inside VALUES data")
+	}
+	return tv.Term, nil
+}
+
+func (p *parser) skipDot() {
+	if p.isPunct(".") {
+		p.pos++
+	}
+}
+
+// triplesBlock parses subject predicate object with ';' and ',' lists.
+func (p *parser) triplesBlock(g *GroupPattern) error {
+	subj, err := p.termOrVar(false)
+	if err != nil {
+		return err
+	}
+	for {
+		pred, err := p.termOrVar(true)
+		if err != nil {
+			return err
+		}
+		for {
+			obj, err := p.termOrVar(false)
+			if err != nil {
+				return err
+			}
+			g.Triples = append(g.Triples, TriplePattern{S: subj, P: pred, O: obj})
+			if p.isPunct(",") {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.isPunct(";") {
+			p.pos++
+			if p.isPunct(".") || p.isPunct("}") { // dangling semicolon
+				break
+			}
+			continue
+		}
+		break
+	}
+	p.skipDot()
+	return nil
+}
+
+// termOrVar parses one triple-pattern position.
+func (p *parser) termOrVar(isPredicate bool) (TermOrVar, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.pos++
+		return V(t.text), nil
+	case tokIRI:
+		p.pos++
+		return T(rdf.NewIRI(t.text)), nil
+	case tokA:
+		if !isPredicate {
+			return TermOrVar{}, p.errf("'a' is only valid as a predicate")
+		}
+		p.pos++
+		return T(rdf.TypeIRI), nil
+	case tokPrefixedName:
+		iri, err := p.expandPrefixed(t.text)
+		if err != nil {
+			return TermOrVar{}, err
+		}
+		p.pos++
+		return T(rdf.NewIRI(iri)), nil
+	case tokLiteral:
+		if isPredicate {
+			return TermOrVar{}, p.errf("literal cannot be a predicate")
+		}
+		p.pos++
+		return T(p.literalTerm(t)), nil
+	case tokNumber:
+		if isPredicate {
+			return TermOrVar{}, p.errf("number cannot be a predicate")
+		}
+		p.pos++
+		if strings.ContainsAny(t.text, ".eE") {
+			return T(rdf.NewTypedLiteral(t.text, rdf.XSDDouble)), nil
+		}
+		return T(rdf.NewTypedLiteral(t.text, rdf.XSDInteger)), nil
+	case tokBlank:
+		if isPredicate {
+			return TermOrVar{}, p.errf("blank node cannot be a predicate")
+		}
+		p.pos++
+		return T(rdf.NewBlank(t.text)), nil
+	case tokKeyword:
+		if t.text == "TRUE" || t.text == "FALSE" {
+			p.pos++
+			return T(rdf.NewTypedLiteral(strings.ToLower(t.text), rdf.XSDBoolean)), nil
+		}
+	}
+	return TermOrVar{}, p.errf("expected term or variable, found %q", t.text)
+}
+
+func (p *parser) literalTerm(t token) rdf.Term {
+	switch {
+	case t.lang != "":
+		return rdf.NewLangLiteral(t.text, t.lang)
+	case t.dt != "":
+		dt := t.dt
+		if !strings.Contains(dt, "://") {
+			if exp, err := p.expandPrefixed(dt); err == nil {
+				dt = exp
+			}
+		}
+		return rdf.NewTypedLiteral(t.text, dt)
+	default:
+		return rdf.NewLiteral(t.text)
+	}
+}
+
+func (p *parser) expandPrefixed(name string) (string, error) {
+	i := strings.IndexByte(name, ':')
+	if i < 0 {
+		return "", p.errf("malformed prefixed name %q", name)
+	}
+	pfx, local := name[:i], name[i+1:]
+	ns, ok := p.prefixes[pfx]
+	if !ok {
+		return "", p.errf("undeclared prefix %q", pfx)
+	}
+	return ns + local, nil
+}
+
+// --- expressions (precedence climbing: || < && < comparison < additive <
+// multiplicative < unary) ---
+
+func (p *parser) expression() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	left, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("||") {
+		p.pos++
+		right, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "||", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	left, err := p.cmpExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("&&") {
+		p.pos++
+		right, err := p.cmpExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: "&&", Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	left, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.cur().kind == tokPunct {
+		op := p.cur().text
+		switch op {
+		case "=", "!=", "<", ">", "<=", ">=":
+			p.pos++
+			right, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			left = &BinaryExpr{Op: op, Left: left, Right: right}
+		default:
+			return left, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	left, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.next().text
+		right, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	left, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") {
+		op := p.next().text
+		right, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		left = &BinaryExpr{Op: op, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	if p.isPunct("!") {
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{X: x}, nil
+	}
+	if p.isPunct("-") {
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &BinaryExpr{Op: "-", Left: &NumExpr{Val: 0}, Right: x}, nil
+	}
+	return p.primaryExpr()
+}
+
+func (p *parser) primaryExpr() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokVar:
+		p.pos++
+		return &VarExpr{Name: t.text}, nil
+	case tokNumber:
+		p.pos++
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errf("bad number %q", t.text)
+		}
+		return &NumExpr{Val: f}, nil
+	case tokLiteral:
+		p.pos++
+		return &ConstExpr{Term: p.literalTerm(t)}, nil
+	case tokIRI:
+		p.pos++
+		return &ConstExpr{Term: rdf.NewIRI(t.text)}, nil
+	case tokPrefixedName:
+		iri, err := p.expandPrefixed(t.text)
+		if err != nil {
+			return nil, err
+		}
+		p.pos++
+		return &ConstExpr{Term: rdf.NewIRI(iri)}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	case tokKeyword:
+		switch {
+		case t.text == "TRUE":
+			p.pos++
+			return &BoolExpr{Val: true}, nil
+		case t.text == "FALSE":
+			p.pos++
+			return &BoolExpr{Val: false}, nil
+		case isAggKeyword(t.text):
+			return p.aggExpr()
+		case isBuiltinFunc(t.text):
+			return p.funcExpr()
+		}
+	}
+	return nil, p.errf("expected expression, found %q", t.text)
+}
+
+func isBuiltinFunc(kw string) bool {
+	switch kw {
+	case "BOUND", "STR", "LANG", "DATATYPE", "ISIRI", "ISURI",
+		"ISLITERAL", "ISBLANK", "REGEX", "CONTAINS", "STRSTARTS", "STRENDS",
+		"STRLEN", "UCASE", "LCASE", "STRBEFORE", "STRAFTER", "IF",
+		"COALESCE", "SAMETERM", "ABS", "CEIL", "FLOOR", "ROUND":
+		return true
+	}
+	return false
+}
+
+func (p *parser) aggExpr() (Expr, error) {
+	op := p.next().text
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	agg := &AggExpr{Op: op}
+	if p.isKeyword("DISTINCT") {
+		agg.Distinct = true
+		p.pos++
+	}
+	if p.isPunct("*") {
+		if op != "COUNT" {
+			return nil, p.errf("only COUNT accepts *")
+		}
+		agg.Star = true
+		p.pos++
+	} else {
+		arg, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		agg.Arg = arg
+	}
+	// GROUP_CONCAT(?x; SEPARATOR="...") — the separator clause.
+	if p.isPunct(";") {
+		if agg.Op != "GROUP_CONCAT" {
+			return nil, p.errf("';' inside aggregate is only valid in GROUP_CONCAT")
+		}
+		p.pos++
+		if p.cur().kind != tokKeyword || p.cur().text != "SEPARATOR" {
+			return nil, p.errf("expected SEPARATOR, found %q", p.cur().text)
+		}
+		p.pos++
+		if err := p.expectPunct("="); err != nil {
+			return nil, err
+		}
+		if p.cur().kind != tokLiteral {
+			return nil, p.errf("expected string literal after SEPARATOR=")
+		}
+		agg.Separator = p.next().text
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return agg, nil
+}
+
+func (p *parser) funcExpr() (Expr, error) {
+	name := p.next().text
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	fn := &FuncExpr{Name: name}
+	if !p.isPunct(")") {
+		for {
+			arg, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			fn.Args = append(fn.Args, arg)
+			if p.isPunct(",") {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	if err := checkArity(fn); err != nil {
+		return nil, p.errf("%v", err)
+	}
+	return fn, nil
+}
+
+func checkArity(fn *FuncExpr) error {
+	want := map[string][2]int{
+		"BOUND": {1, 1}, "STR": {1, 1}, "LANG": {1, 1}, "DATATYPE": {1, 1},
+		"ISIRI": {1, 1}, "ISURI": {1, 1}, "ISLITERAL": {1, 1}, "ISBLANK": {1, 1},
+		"REGEX": {2, 3}, "CONTAINS": {2, 2}, "STRSTARTS": {2, 2}, "STRENDS": {2, 2},
+		"STRLEN": {1, 1}, "UCASE": {1, 1}, "LCASE": {1, 1},
+		"STRBEFORE": {2, 2}, "STRAFTER": {2, 2}, "IF": {3, 3},
+		"COALESCE": {1, 16}, "SAMETERM": {2, 2},
+		"ABS": {1, 1}, "CEIL": {1, 1}, "FLOOR": {1, 1}, "ROUND": {1, 1},
+	}
+	lim, ok := want[fn.Name]
+	if !ok {
+		return fmt.Errorf("unknown function %s", fn.Name)
+	}
+	if len(fn.Args) < lim[0] || len(fn.Args) > lim[1] {
+		return fmt.Errorf("%s expects %d..%d arguments, got %d", fn.Name, lim[0], lim[1], len(fn.Args))
+	}
+	return nil
+}

@@ -1,0 +1,285 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"elinda/internal/rdf"
+)
+
+func mustParse(t *testing.T, src string) *Query {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q) failed: %v", src, err)
+	}
+	return q
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	q := mustParse(t, `SELECT ?s WHERE { ?s a <http://x/Person> . }`)
+	if q.Star || len(q.Items) != 1 || q.Items[0].Var != "s" {
+		t.Errorf("projection wrong: %+v", q.Items)
+	}
+	if len(q.Where.Triples) != 1 {
+		t.Fatalf("triples = %d", len(q.Where.Triples))
+	}
+	tp := q.Where.Triples[0]
+	if !tp.S.IsVar || tp.S.Name != "s" {
+		t.Errorf("subject: %+v", tp.S)
+	}
+	if tp.P.IsVar || tp.P.Term != rdf.TypeIRI {
+		t.Errorf("'a' predicate: %+v", tp.P)
+	}
+	if tp.O.Term != rdf.NewIRI("http://x/Person") {
+		t.Errorf("object: %+v", tp.O)
+	}
+}
+
+func TestParsePrefixes(t *testing.T) {
+	q := mustParse(t, `PREFIX ex: <http://example.org/>
+SELECT ?s WHERE { ?s ex:knows ex:alice . }`)
+	tp := q.Where.Triples[0]
+	if tp.P.Term.Value != "http://example.org/knows" {
+		t.Errorf("prefixed predicate: %s", tp.P.Term.Value)
+	}
+	if tp.O.Term.Value != "http://example.org/alice" {
+		t.Errorf("prefixed object: %s", tp.O.Term.Value)
+	}
+}
+
+func TestParseWellKnownPrefixesImplicit(t *testing.T) {
+	q := mustParse(t, `SELECT ?s WHERE { ?s rdfs:subClassOf owl:Thing . }`)
+	tp := q.Where.Triples[0]
+	if tp.P.Term != rdf.SubClassOfIRI || tp.O.Term != rdf.OWLThingIRI {
+		t.Errorf("implicit prefixes: %+v", tp)
+	}
+}
+
+func TestParsePredicateObjectLists(t *testing.T) {
+	q := mustParse(t, `SELECT * WHERE { ?s a owl:Thing ; ?p ?o , ?o2 . }`)
+	if len(q.Where.Triples) != 3 {
+		t.Fatalf("triples = %d, want 3", len(q.Where.Triples))
+	}
+	if !q.Star {
+		t.Error("SELECT * not detected")
+	}
+}
+
+func TestParseAggregatesAndGroupBy(t *testing.T) {
+	q := mustParse(t, `SELECT ?p (COUNT(?s) AS ?cnt) (SUM(?n) AS ?total)
+WHERE { ?s ?p ?n . } GROUP BY ?p`)
+	if len(q.Items) != 3 {
+		t.Fatalf("items = %d", len(q.Items))
+	}
+	agg, ok := q.Items[1].Expr.(*AggExpr)
+	if !ok || agg.Op != "COUNT" {
+		t.Errorf("COUNT item: %+v", q.Items[1].Expr)
+	}
+	if q.Items[1].Var != "cnt" {
+		t.Errorf("AS name: %q", q.Items[1].Var)
+	}
+	if len(q.GroupBy) != 1 || q.GroupBy[0] != "p" {
+		t.Errorf("GroupBy: %v", q.GroupBy)
+	}
+	if !q.HasAggregates() {
+		t.Error("HasAggregates should be true")
+	}
+}
+
+func TestParseVirtuosoStyleBareAggregates(t *testing.T) {
+	// The paper's exact decomposer example query shape.
+	src := `SELECT ?p COUNT(?p) AS ?count SUM(?sp) AS ?sp
+FROM {SELECT ?s ?p count(*) AS ?sp
+FROM {?s a owl:Thing. ?s ?p ?o.}
+GROUP BY ?s ?p} GROUP BY ?p`
+	q := mustParse(t, src)
+	if len(q.Items) != 3 {
+		t.Fatalf("items = %d, want 3", len(q.Items))
+	}
+	if q.Items[1].Var != "count" || q.Items[2].Var != "sp" {
+		t.Errorf("AS names: %q %q", q.Items[1].Var, q.Items[2].Var)
+	}
+	if len(q.Where.SubSelects) != 1 {
+		t.Fatalf("subselects = %d, want 1", len(q.Where.SubSelects))
+	}
+	sub := q.Where.SubSelects[0]
+	if len(sub.Where.Triples) != 2 {
+		t.Errorf("inner triples = %d, want 2", len(sub.Where.Triples))
+	}
+	if len(sub.GroupBy) != 2 {
+		t.Errorf("inner GroupBy = %v", sub.GroupBy)
+	}
+}
+
+func TestParseFilterExpressions(t *testing.T) {
+	q := mustParse(t, `SELECT ?s WHERE {
+  ?s ?p ?n .
+  FILTER (?n > 5 && ?n <= 10 || !(?n = 7))
+  FILTER (CONTAINS(STR(?s), "phil"))
+  FILTER REGEX(STR(?s), "^http", "i")
+}`)
+	if len(q.Where.Filters) != 3 {
+		t.Fatalf("filters = %d", len(q.Where.Filters))
+	}
+}
+
+func TestParseOptional(t *testing.T) {
+	q := mustParse(t, `SELECT ?s ?lbl WHERE {
+  ?s a owl:Thing .
+  OPTIONAL { ?s rdfs:label ?lbl . }
+}`)
+	if len(q.Where.Optionals) != 1 {
+		t.Fatalf("optionals = %d", len(q.Where.Optionals))
+	}
+	if len(q.Where.Optionals[0].Triples) != 1 {
+		t.Errorf("optional triples = %d", len(q.Where.Optionals[0].Triples))
+	}
+}
+
+func TestParseUnion(t *testing.T) {
+	q := mustParse(t, `SELECT ?x WHERE {
+  { ?x a <http://x/A> . } UNION { ?x a <http://x/B> . }
+}`)
+	if len(q.Where.Unions) != 1 || len(q.Where.Unions[0]) != 2 {
+		t.Fatalf("unions = %+v", q.Where.Unions)
+	}
+}
+
+func TestParseNestedGroupSplicing(t *testing.T) {
+	q := mustParse(t, `SELECT ?x WHERE { { ?x a <http://x/A> . } }`)
+	if len(q.Where.Triples) != 1 {
+		t.Errorf("nested group should splice, triples = %d", len(q.Where.Triples))
+	}
+}
+
+func TestParseModifiers(t *testing.T) {
+	q := mustParse(t, `SELECT DISTINCT ?s WHERE { ?s ?p ?o . }
+ORDER BY DESC(?s) ?p LIMIT 10 OFFSET 5`)
+	if !q.Distinct {
+		t.Error("DISTINCT missing")
+	}
+	if len(q.OrderBy) != 2 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc {
+		t.Errorf("OrderBy: %+v", q.OrderBy)
+	}
+	if q.Limit != 10 || q.Offset != 5 {
+		t.Errorf("limit/offset = %d/%d", q.Limit, q.Offset)
+	}
+}
+
+func TestParseHaving(t *testing.T) {
+	q := mustParse(t, `SELECT ?p (COUNT(*) AS ?c) WHERE { ?s ?p ?o . }
+GROUP BY ?p HAVING (COUNT(*) > 2)`)
+	if len(q.Having) != 1 {
+		t.Fatalf("having = %d", len(q.Having))
+	}
+}
+
+func TestParseAsk(t *testing.T) {
+	q := mustParse(t, `ASK { <http://x/a> ?p ?o . }`)
+	if !q.Ask {
+		t.Error("ASK not detected")
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	q := mustParse(t, `SELECT ?s WHERE {
+  ?s <http://x/name> "Plato" .
+  ?s <http://x/name2> "Platon"@de .
+  ?s <http://x/born> "427"^^xsd:integer .
+  ?s <http://x/num> 42 .
+  ?s <http://x/f> 3.14 .
+  ?s <http://x/ok> true .
+}`)
+	ts := q.Where.Triples
+	if ts[0].O.Term != rdf.NewLiteral("Plato") {
+		t.Errorf("plain literal: %+v", ts[0].O.Term)
+	}
+	if ts[1].O.Term != rdf.NewLangLiteral("Platon", "de") {
+		t.Errorf("lang literal: %+v", ts[1].O.Term)
+	}
+	if ts[2].O.Term != rdf.NewTypedLiteral("427", rdf.XSDInteger) {
+		t.Errorf("typed literal: %+v", ts[2].O.Term)
+	}
+	if ts[3].O.Term != rdf.NewTypedLiteral("42", rdf.XSDInteger) {
+		t.Errorf("int shorthand: %+v", ts[3].O.Term)
+	}
+	if ts[4].O.Term != rdf.NewTypedLiteral("3.14", rdf.XSDDouble) {
+		t.Errorf("double shorthand: %+v", ts[4].O.Term)
+	}
+	if ts[5].O.Term != rdf.NewTypedLiteral("true", rdf.XSDBoolean) {
+		t.Errorf("bool shorthand: %+v", ts[5].O.Term)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`SELECT WHERE { ?s ?p ?o . }`,
+		`SELECT ?s WHERE { ?s ?p }`,
+		`SELECT ?s WHERE { ?s ?p ?o`,
+		`SELECT ?s { ?s unknown:p ?o }`,
+		`SELECT ?s WHERE { "lit" ?p ?o }`, /* literal subject is admitted per grammar? we allow term; it parses — actually our termOrVar allows literal subjects */
+		`SELECT ?s WHERE { ?s a ?o . } GROUP BY`,
+		`SELECT ?s WHERE { ?s a ?o . } LIMIT x`,
+		`SELECT (COUNT(?x) ?y) WHERE { ?x a ?y }`,
+		`SELECT ?s WHERE { ?s ?p ?o . FILTER (?x >) }`,
+		`SELECT ?s WHERE { ?s ?p ?o . } trailing`,
+		`SELECT (SUM(*) AS ?x) WHERE { ?s ?p ?o }`,
+		`SELECT ?s WHERE { ?s ?p ?o . FILTER BOUND(?x, ?y) }`,
+	}
+	for i, src := range bad {
+		if i == 5 {
+			continue // literal subjects parse; engine returns no matches
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: no error for %q", i, src)
+		}
+	}
+}
+
+func TestQueryStringRoundtrip(t *testing.T) {
+	srcs := []string{
+		`SELECT ?s WHERE { ?s a owl:Thing . }`,
+		`SELECT ?p (COUNT(?s) AS ?c) WHERE { ?s ?p ?o . } GROUP BY ?p ORDER BY DESC(?c) LIMIT 20`,
+		`SELECT DISTINCT ?s ?lbl WHERE { ?s a <http://x/C> . OPTIONAL { ?s rdfs:label ?lbl . } FILTER (BOUND(?lbl)) }`,
+		`SELECT ?p ?c WHERE { { SELECT ?p (COUNT(*) AS ?c) WHERE { ?s ?p ?o . } GROUP BY ?p } FILTER (?c > 3) }`,
+	}
+	for _, src := range srcs {
+		q1 := mustParse(t, src)
+		rendered := q1.String()
+		q2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of rendered query failed: %v\n%s", err, rendered)
+		}
+		if q2.String() != rendered {
+			t.Errorf("String not idempotent:\nfirst:  %s\nsecond: %s", rendered, q2.String())
+		}
+	}
+}
+
+func TestSyntaxErrorMessage(t *testing.T) {
+	_, err := Parse(`SELECT ?s WHERE { ?s ?p ?o`)
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "sparql") {
+		t.Errorf("error lacks package context: %v", err)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	bad := []string{
+		`SELECT ?s WHERE { ?s ?p <unterminated }`,
+		`SELECT ? WHERE { }`,
+		`SELECT ?s WHERE { ?s ?p "unterminated }`,
+		"SELECT ?s WHERE { ?s ?p \"multi\nline\" }",
+		`SELECT ?s WHERE { ?s ?p ~bad }`,
+		`SELECT ?s WHERE { ?s ?p "x"@ }`,
+	}
+	for i, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: no error for %q", i, src)
+		}
+	}
+}

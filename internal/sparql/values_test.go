@@ -1,0 +1,132 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+func valuesFixture(t *testing.T) *Engine {
+	t.Helper()
+	st := store.New(16)
+	_, err := st.Load([]rdf.Triple{
+		{S: ex("plato"), P: ex("born"), O: rdf.NewTypedLiteral("-427", rdf.XSDInteger)},
+		{S: ex("kant"), P: ex("born"), O: rdf.NewTypedLiteral("1724", rdf.XSDInteger)},
+		{S: ex("hume"), P: ex("born"), O: rdf.NewTypedLiteral("1711", rdf.XSDInteger)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(st)
+}
+
+func TestValuesSingleVar(t *testing.T) {
+	e := valuesFixture(t)
+	res := runQ(t, e, `PREFIX ex: <http://example.org/>
+SELECT ?s ?y WHERE {
+  VALUES ?s { ex:plato ex:kant }
+  ?s ex:born ?y .
+} ORDER BY ?y`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(res.Rows))
+	}
+	if res.Rows[0]["s"] != ex("plato") || res.Rows[1]["s"] != ex("kant") {
+		t.Errorf("rows = %+v", res.Rows)
+	}
+}
+
+func TestValuesMultiVar(t *testing.T) {
+	e := valuesFixture(t)
+	res := runQ(t, e, `PREFIX ex: <http://example.org/>
+SELECT ?s ?tag WHERE {
+  VALUES (?s ?tag) { (ex:plato "ancient") (ex:kant "modern") (ex:missing "none") }
+  ?s ex:born ?y .
+} ORDER BY ?tag`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 (missing has no data)", len(res.Rows))
+	}
+	if res.Rows[0]["tag"].Value != "ancient" {
+		t.Errorf("tags: %+v", res.Rows)
+	}
+}
+
+func TestValuesUndef(t *testing.T) {
+	e := valuesFixture(t)
+	res := runQ(t, e, `PREFIX ex: <http://example.org/>
+SELECT ?s ?tag WHERE {
+  VALUES (?s ?tag) { (ex:plato "ancient") (UNDEF "wildcard") }
+  ?s ex:born ?y .
+}`)
+	// UNDEF ?s joins with every born subject: 3 wildcard rows + 1 plato.
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4:\n%+v", len(res.Rows), res.Rows)
+	}
+}
+
+func TestValuesRowArityChecked(t *testing.T) {
+	if _, err := Parse(`SELECT ?s WHERE { VALUES (?s ?t) { (<http://x/a>) } }`); err == nil {
+		t.Error("short VALUES row accepted")
+	}
+	if _, err := Parse(`SELECT ?s WHERE { VALUES ?s { ?v } }`); err == nil {
+		t.Error("variable inside VALUES data accepted")
+	}
+	if _, err := Parse(`SELECT ?s WHERE { VALUES () { } }`); err == nil {
+		t.Error("empty VALUES vars accepted")
+	}
+}
+
+func TestValuesStringRoundtrip(t *testing.T) {
+	src := `SELECT ?s WHERE { VALUES (?s) { (<http://x/a>) (UNDEF) } ?s ?p ?o . }`
+	q1, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := q1.String()
+	q2, err := Parse(rendered)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, rendered)
+	}
+	if len(q2.Where.Values) != 1 || len(q2.Where.Values[0].Rows) != 2 {
+		t.Errorf("round-trip lost VALUES: %s", rendered)
+	}
+}
+
+func TestGroupConcat(t *testing.T) {
+	e := valuesFixture(t)
+	res := runQ(t, e, `PREFIX ex: <http://example.org/>
+SELECT (GROUP_CONCAT(?y; SEPARATOR=", ") AS ?years) WHERE { ?s ex:born ?y . }`)
+	got := res.Rows[0]["years"].Value
+	// All three years, comma-separated (order follows store iteration but
+	// every value must appear).
+	for _, want := range []string{"-427", "1724", "1711"} {
+		if !containsStr(got, want) {
+			t.Errorf("GROUP_CONCAT missing %s: %q", want, got)
+		}
+	}
+	if countStr(got, ", ") != 2 {
+		t.Errorf("separator count wrong: %q", got)
+	}
+}
+
+func TestGroupConcatDefaultSeparator(t *testing.T) {
+	e := valuesFixture(t)
+	res := runQ(t, e, `PREFIX ex: <http://example.org/>
+SELECT (GROUP_CONCAT(?y) AS ?years) WHERE { ?s ex:born ?y . }`)
+	if countStr(res.Rows[0]["years"].Value, " ") != 2 {
+		t.Errorf("default separator: %q", res.Rows[0]["years"].Value)
+	}
+}
+
+func TestGroupConcatSeparatorOnlyThere(t *testing.T) {
+	if _, err := Parse(`SELECT (COUNT(?x; SEPARATOR=",") AS ?c) WHERE { ?x ?p ?o }`); err == nil {
+		t.Error("SEPARATOR on COUNT accepted")
+	}
+	if _, err := Parse(`SELECT (GROUP_CONCAT(?x; SEP="x") AS ?c) WHERE { ?x ?p ?o }`); err == nil {
+		t.Error("bad separator keyword accepted")
+	}
+}
+
+func containsStr(s, sub string) bool { return len(s) >= len(sub) && strings.Contains(s, sub) }
+func countStr(s, sub string) int     { return strings.Count(s, sub) }

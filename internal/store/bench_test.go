@@ -1,0 +1,89 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"elinda/internal/rdf"
+)
+
+func benchTriples(n int) []rdf.Triple {
+	out := make([]rdf.Triple, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, rdf.Triple{
+			S: iri(fmt.Sprintf("s%d", i%1000)),
+			P: iri(fmt.Sprintf("p%d", i%20)),
+			O: iri(fmt.Sprintf("o%d", i)),
+		})
+	}
+	return out
+}
+
+// BenchmarkLoad measures bulk insertion with dictionary encoding — the
+// "dictionary encoding" ablation's cost side.
+func BenchmarkLoad(b *testing.B) {
+	ts := benchTriples(50_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st := New(len(ts))
+		if _, err := st.Load(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(ts)))
+}
+
+func BenchmarkMatchBySubject(b *testing.B) {
+	st := New(0)
+	st.Load(benchTriples(50_000))
+	s, _ := st.Dict().Lookup(iri("s42"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		st.Match(s, rdf.NoID, rdf.NoID, func(rdf.EncodedTriple) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkMatchByPredicate(b *testing.B) {
+	st := New(0)
+	st.Load(benchTriples(50_000))
+	p, _ := st.Dict().Lookup(iri("p7"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		st.Match(rdf.NoID, p, rdf.NoID, func(rdf.EncodedTriple) bool { n++; return true })
+		if n == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+func BenchmarkScanChunked(b *testing.B) {
+	st := New(0)
+	st.Load(benchTriples(50_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		offset := 0
+		for {
+			n := st.Scan(offset, 4096, func(rdf.EncodedTriple) bool { return true })
+			if n == 0 {
+				break
+			}
+			offset += n
+		}
+	}
+}
+
+func BenchmarkComputeStats(b *testing.B) {
+	st := New(0)
+	st.Load(benchTriples(50_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := st.ComputeStats(); s.Triples == 0 {
+			b.Fatal("empty stats")
+		}
+	}
+}

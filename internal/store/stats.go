@@ -1,0 +1,156 @@
+package store
+
+import (
+	"sort"
+
+	"elinda/internal/rdf"
+)
+
+// Stats summarizes a dataset. The paper (Section 3.1): "The very first
+// queries present the user with general statistics about the dataset such
+// as the total number of RDF triples, and the number of classes the
+// dataset has."
+type Stats struct {
+	// Triples is the total number of RDF triples.
+	Triples int
+	// Subjects is the number of distinct subjects.
+	Subjects int
+	// Predicates is the number of distinct predicates.
+	Predicates int
+	// Objects is the number of distinct objects (URIs and literals).
+	Objects int
+	// Classes is the number of distinct classes, collected as all subjects
+	// of type owl:Class or rdfs:Class plus every object of rdf:type.
+	Classes int
+	// DeclaredClasses counts only explicitly declared classes
+	// (owl:Class / rdfs:Class), the list behind the autocomplete box.
+	DeclaredClasses int
+	// TypedSubjects is the number of subjects with at least one rdf:type.
+	TypedSubjects int
+	// Literals is the number of distinct literal objects.
+	Literals int
+}
+
+// ComputeStats walks the store once and derives the dataset statistics.
+func (s *Store) ComputeStats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+
+	var st Stats
+	st.Triples = len(s.log)
+	st.Subjects = len(s.spo)
+	st.Predicates = len(s.pos)
+	st.Objects = len(s.osp)
+
+	classSet := make(map[rdf.ID]struct{})
+	declared := make(map[rdf.ID]struct{})
+	typed := make(map[rdf.ID]struct{})
+	litCount := 0
+
+	owlClassID, okOwl := s.dict.Lookup(rdf.OWLClassIRI)
+	rdfsClassID, okRdfs := s.dict.Lookup(rdf.RDFSClassIRI)
+
+	for o := range s.osp {
+		if t, ok := s.dict.TermOK(o); ok && t.IsLiteral() {
+			litCount++
+		}
+	}
+	st.Literals = litCount
+
+	if byO, ok := s.pos[s.typeID]; ok {
+		for class, subs := range byO {
+			classSet[class] = struct{}{}
+			for _, sub := range subs {
+				typed[sub] = struct{}{}
+			}
+			if okOwl && class == owlClassID || okRdfs && class == rdfsClassID {
+				for _, sub := range subs {
+					declared[sub] = struct{}{}
+					classSet[sub] = struct{}{}
+				}
+			}
+		}
+	}
+	// Classes mentioned only in the subclass hierarchy also count.
+	if byO, ok := s.pos[s.subClassID]; ok {
+		for super, subs := range byO {
+			classSet[super] = struct{}{}
+			for _, sub := range subs {
+				classSet[sub] = struct{}{}
+			}
+		}
+	}
+
+	st.Classes = len(classSet)
+	st.DeclaredClasses = len(declared)
+	st.TypedSubjects = len(typed)
+	return st
+}
+
+// DeclaredClassList returns the IDs of every subject declared as
+// owl:Class or rdfs:Class, sorted by label. This populates the paper's
+// autocomplete search box (Section 3.2).
+func (s *Store) DeclaredClassList() []rdf.ID {
+	set := make(map[rdf.ID]struct{})
+	for _, classIRI := range []rdf.Term{rdf.OWLClassIRI, rdf.RDFSClassIRI} {
+		cid, ok := s.dict.Lookup(classIRI)
+		if !ok {
+			continue
+		}
+		for _, sub := range s.Subjects(s.typeID, cid) {
+			set[sub] = struct{}{}
+		}
+	}
+	out := make([]rdf.ID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.Label(out[i]) < s.Label(out[j]) })
+	return out
+}
+
+// SearchClasses returns declared classes whose label contains the query
+// (case-sensitive substring match by label prefix-insensitivity is handled
+// by the caller lowering both sides). Empty query returns all classes.
+func (s *Store) SearchClasses(query string) []rdf.ID {
+	all := s.DeclaredClassList()
+	if query == "" {
+		return all
+	}
+	var out []rdf.ID
+	for _, id := range all {
+		if containsFold(s.Label(id), query) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// containsFold reports whether substr occurs in s under ASCII case folding.
+func containsFold(s, substr string) bool {
+	if len(substr) == 0 {
+		return true
+	}
+	if len(substr) > len(s) {
+		return false
+	}
+	lower := func(c byte) byte {
+		if c >= 'A' && c <= 'Z' {
+			return c + 'a' - 'A'
+		}
+		return c
+	}
+	for i := 0; i+len(substr) <= len(s); i++ {
+		match := true
+		for j := 0; j < len(substr); j++ {
+			if lower(s[i+j]) != lower(substr[j]) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,360 @@
+// Package store implements eLinda's dictionary-encoded in-memory triple
+// store. It plays the role of the Virtuoso database in the paper's
+// architecture (Figure 3): the generic SPARQL evaluator in internal/sparql
+// runs against it, the decomposer's specialized indexes are built from it,
+// and the incremental evaluator scans it in chunks of N triples.
+//
+// The store keeps three permutation indexes (SPO, POS, OSP) so that any
+// triple pattern with at least one bound position is answered by index
+// lookup, plus the insertion-order triple log that incremental evaluation
+// needs ("compute the chart on the first N triples, then the next N").
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"elinda/internal/rdf"
+)
+
+// Store is a triple store over dictionary-encoded triples. All read methods
+// are safe for concurrent use with each other; Add/Load take an exclusive
+// lock. A monotonically increasing Generation lets caches (the HVS) detect
+// knowledge-base updates: "The HVS is cleared on any update to the eLinda
+// knowledge bases."
+type Store struct {
+	mu   sync.RWMutex
+	dict *rdf.Dict
+
+	// log holds triples in insertion order for chunked scans.
+	log []rdf.EncodedTriple
+	// seen deduplicates triples.
+	seen map[rdf.EncodedTriple]struct{}
+
+	// Permutation indexes. spo[s][p] = sorted list of o, etc.
+	spo map[rdf.ID]map[rdf.ID][]rdf.ID
+	pos map[rdf.ID]map[rdf.ID][]rdf.ID
+	osp map[rdf.ID]map[rdf.ID][]rdf.ID
+
+	generation uint64
+
+	// Frequently used IDs, resolved once.
+	typeID     rdf.ID
+	subClassID rdf.ID
+	labelID    rdf.ID
+}
+
+// New returns an empty store with capacity hint n triples.
+func New(n int) *Store {
+	s := &Store{
+		dict: rdf.NewDict(n / 4),
+		log:  make([]rdf.EncodedTriple, 0, n),
+		seen: make(map[rdf.EncodedTriple]struct{}, n),
+		spo:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
+		pos:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
+		osp:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
+	}
+	s.typeID = s.dict.Intern(rdf.TypeIRI)
+	s.subClassID = s.dict.Intern(rdf.SubClassOfIRI)
+	s.labelID = s.dict.Intern(rdf.LabelIRI)
+	return s
+}
+
+// Dict exposes the store's term dictionary.
+func (s *Store) Dict() *rdf.Dict { return s.dict }
+
+// TypeID returns the interned ID of rdf:type.
+func (s *Store) TypeID() rdf.ID { return s.typeID }
+
+// SubClassOfID returns the interned ID of rdfs:subClassOf.
+func (s *Store) SubClassOfID() rdf.ID { return s.subClassID }
+
+// LabelID returns the interned ID of rdfs:label.
+func (s *Store) LabelID() rdf.ID { return s.labelID }
+
+// Generation returns the update counter. It increases on every successful
+// Add or Load, so equality of generations implies an unchanged KB.
+func (s *Store) Generation() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.generation
+}
+
+// Add inserts one term-level triple, returning whether it was new.
+func (s *Store) Add(t rdf.Triple) (bool, error) {
+	if err := t.Validate(); err != nil {
+		return false, fmt.Errorf("store: %w", err)
+	}
+	e := s.dict.Encode(t)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addLocked(e), nil
+}
+
+// Load bulk-inserts triples, skipping duplicates, and returns the number
+// actually added. Invalid triples abort the load with an error; triples
+// added before the failure remain (the generation still advances).
+func (s *Store) Load(ts []rdf.Triple) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for i, t := range ts {
+		if err := t.Validate(); err != nil {
+			return n, fmt.Errorf("store: triple %d: %w", i, err)
+		}
+		if s.addLocked(s.dict.Encode(t)) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+func (s *Store) addLocked(e rdf.EncodedTriple) bool {
+	if _, dup := s.seen[e]; dup {
+		return false
+	}
+	s.seen[e] = struct{}{}
+	s.log = append(s.log, e)
+	insertIdx(s.spo, e.S, e.P, e.O)
+	insertIdx(s.pos, e.P, e.O, e.S)
+	insertIdx(s.osp, e.O, e.S, e.P)
+	s.generation++
+	return true
+}
+
+func insertIdx(idx map[rdf.ID]map[rdf.ID][]rdf.ID, a, b, c rdf.ID) {
+	m, ok := idx[a]
+	if !ok {
+		m = make(map[rdf.ID][]rdf.ID, 2)
+		idx[a] = m
+	}
+	m[b] = append(m[b], c)
+}
+
+// Len returns the number of distinct triples.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// Contains reports whether the encoded triple is present.
+func (s *Store) Contains(e rdf.EncodedTriple) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.seen[e]
+	return ok
+}
+
+// ContainsTriple reports whether the term-level triple is present.
+func (s *Store) ContainsTriple(t rdf.Triple) bool {
+	st, ok1 := s.dict.Lookup(t.S)
+	pt, ok2 := s.dict.Lookup(t.P)
+	ot, ok3 := s.dict.Lookup(t.O)
+	if !ok1 || !ok2 || !ok3 {
+		return false
+	}
+	return s.Contains(rdf.EncodedTriple{S: st, P: pt, O: ot})
+}
+
+// Scan invokes fn on triples in insertion order, starting at offset, for at
+// most limit triples (limit <= 0 means all remaining). It returns the number
+// visited. This is the primitive behind incremental evaluation.
+func (s *Store) Scan(offset, limit int, fn func(rdf.EncodedTriple) bool) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if offset < 0 {
+		offset = 0
+	}
+	if offset >= len(s.log) {
+		return 0
+	}
+	end := len(s.log)
+	if limit > 0 && offset+limit < end {
+		end = offset + limit
+	}
+	n := 0
+	for _, e := range s.log[offset:end] {
+		n++
+		if !fn(e) {
+			break
+		}
+	}
+	return n
+}
+
+// Match iterates over every triple matching the pattern (s, p, o) where
+// rdf.NoID is a wildcard. fn returning false stops the iteration early.
+// The callback must not call back into the store's write methods.
+func (s *Store) Match(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.matchLocked(sub, pred, obj, fn)
+}
+
+func (s *Store) matchLocked(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) {
+	switch {
+	case sub != rdf.NoID:
+		byP, ok := s.spo[sub]
+		if !ok {
+			return
+		}
+		if pred != rdf.NoID {
+			for _, o := range byP[pred] {
+				if obj != rdf.NoID && o != obj {
+					continue
+				}
+				if !fn(rdf.EncodedTriple{S: sub, P: pred, O: o}) {
+					return
+				}
+			}
+			return
+		}
+		for p, objs := range byP {
+			for _, o := range objs {
+				if obj != rdf.NoID && o != obj {
+					continue
+				}
+				if !fn(rdf.EncodedTriple{S: sub, P: p, O: o}) {
+					return
+				}
+			}
+		}
+	case pred != rdf.NoID:
+		byO, ok := s.pos[pred]
+		if !ok {
+			return
+		}
+		if obj != rdf.NoID {
+			for _, sid := range byO[obj] {
+				if !fn(rdf.EncodedTriple{S: sid, P: pred, O: obj}) {
+					return
+				}
+			}
+			return
+		}
+		for o, subs := range byO {
+			for _, sid := range subs {
+				if !fn(rdf.EncodedTriple{S: sid, P: pred, O: o}) {
+					return
+				}
+			}
+		}
+	case obj != rdf.NoID:
+		byS, ok := s.osp[obj]
+		if !ok {
+			return
+		}
+		for sid, preds := range byS {
+			for _, p := range preds {
+				if !fn(rdf.EncodedTriple{S: sid, P: p, O: obj}) {
+					return
+				}
+			}
+		}
+	default:
+		for _, e := range s.log {
+			if !fn(e) {
+				return
+			}
+		}
+	}
+}
+
+// CountMatch returns the number of triples matching the pattern.
+func (s *Store) CountMatch(sub, pred, obj rdf.ID) int {
+	n := 0
+	s.Match(sub, pred, obj, func(rdf.EncodedTriple) bool { n++; return true })
+	return n
+}
+
+// Objects returns the object IDs of triples (sub, pred, ?). The returned
+// slice is a copy.
+func (s *Store) Objects(sub, pred rdf.ID) []rdf.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byP, ok := s.spo[sub]
+	if !ok {
+		return nil
+	}
+	objs := byP[pred]
+	out := make([]rdf.ID, len(objs))
+	copy(out, objs)
+	return out
+}
+
+// Subjects returns the subject IDs of triples (?, pred, obj). The returned
+// slice is a copy.
+func (s *Store) Subjects(pred, obj rdf.ID) []rdf.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byO, ok := s.pos[pred]
+	if !ok {
+		return nil
+	}
+	subs := byO[obj]
+	out := make([]rdf.ID, len(subs))
+	copy(out, subs)
+	return out
+}
+
+// SubjectsOfType returns the subjects s with (s, rdf:type, class) — the
+// paper's "URI u is of class c" relation.
+func (s *Store) SubjectsOfType(class rdf.ID) []rdf.ID {
+	return s.Subjects(s.typeID, class)
+}
+
+// PredicatesOf returns the distinct predicate IDs on subject sub.
+func (s *Store) PredicatesOf(sub rdf.ID) []rdf.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byP, ok := s.spo[sub]
+	if !ok {
+		return nil
+	}
+	out := make([]rdf.ID, 0, len(byP))
+	for p := range byP {
+		out = append(out, p)
+	}
+	return out
+}
+
+// PredicatesInto returns the distinct predicate IDs arriving at object obj.
+func (s *Store) PredicatesInto(obj rdf.ID) []rdf.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byS, ok := s.osp[obj]
+	if !ok {
+		return nil
+	}
+	set := make(map[rdf.ID]struct{})
+	for _, preds := range byS {
+		for _, p := range preds {
+			set[p] = struct{}{}
+		}
+	}
+	out := make([]rdf.ID, 0, len(set))
+	for p := range set {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Triple decodes e back to term form.
+func (s *Store) Triple(e rdf.EncodedTriple) rdf.Triple { return s.dict.Decode(e) }
+
+// Label returns the rdfs:label of the node if one exists, otherwise the
+// IRI's local name (Section 3.1: "eLinda makes extensive use of standard
+// rdfs:label properties").
+func (s *Store) Label(id rdf.ID) string {
+	objs := s.Objects(id, s.labelID)
+	for _, o := range objs {
+		if t, ok := s.dict.TermOK(o); ok && t.IsLiteral() {
+			return t.Value
+		}
+	}
+	if t, ok := s.dict.TermOK(id); ok {
+		return t.LocalName()
+	}
+	return ""
+}

@@ -1,0 +1,118 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RuntimeSeries is one configuration's runtimes in a runtime comparison
+// chart (the shape of the paper's Figure 4: grouped log-scale bars).
+type RuntimeSeries struct {
+	// Name is the configuration label (e.g. "Virtuoso", "eLinda", "HVS").
+	Name string
+	// ByGroup maps group labels ("outgoing", "incoming") to runtimes.
+	ByGroup map[string]time.Duration
+}
+
+// RuntimeChart renders grouped runtime bars on a logarithmic scale,
+// mirroring Figure 4's presentation. Groups appear in the given order;
+// series keep their slice order.
+func RuntimeChart(title string, groups []string, series []RuntimeSeries, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+
+	// Log scale across every value present.
+	minV, maxV := math.MaxFloat64, 0.0
+	for _, s := range series {
+		for _, g := range groups {
+			if d, ok := s.ByGroup[g]; ok && d > 0 {
+				v := float64(d)
+				if v < minV {
+					minV = v
+				}
+				if v > maxV {
+					maxV = v
+				}
+			}
+		}
+	}
+	if maxV == 0 {
+		sb.WriteString("  (no data)\n")
+		return sb.String()
+	}
+	// One decade of headroom below the minimum so the smallest bar is
+	// visible.
+	floor := math.Log10(minV) - 1
+	span := math.Log10(maxV) - floor
+	if span <= 0 {
+		span = 1
+	}
+
+	nameW := 4
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+
+	for _, g := range groups {
+		fmt.Fprintf(&sb, "%s:\n", g)
+		for _, s := range series {
+			d, ok := s.ByGroup[g]
+			if !ok {
+				continue
+			}
+			frac := (math.Log10(float64(d)) - floor) / span
+			if frac < 0 {
+				frac = 0
+			}
+			n := int(frac * float64(width))
+			if n == 0 && d > 0 {
+				n = 1
+			}
+			fmt.Fprintf(&sb, "  %-*s %s %s\n", nameW, s.Name,
+				strings.Repeat("▒", n), d.Round(time.Microsecond))
+		}
+	}
+	fmt.Fprintf(&sb, "(log scale, %s .. %s)\n",
+		time.Duration(minV).Round(time.Microsecond), time.Duration(maxV).Round(time.Microsecond))
+	return sb.String()
+}
+
+// SpeedupTable renders a two-configuration comparison with speedup
+// factors, sorted by descending speedup.
+func SpeedupTable(title, baseName, fastName string, rows map[string][2]time.Duration) string {
+	var sb strings.Builder
+	sb.WriteString(title + "\n")
+	type row struct {
+		label   string
+		base    time.Duration
+		fast    time.Duration
+		speedup float64
+	}
+	var rs []row
+	labelW := 5
+	for label, pair := range rows {
+		r := row{label: label, base: pair[0], fast: pair[1]}
+		if pair[1] > 0 {
+			r.speedup = float64(pair[0]) / float64(pair[1])
+		}
+		rs = append(rs, r)
+		if len(label) > labelW {
+			labelW = len(label)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].speedup > rs[j].speedup })
+	fmt.Fprintf(&sb, "  %-*s %14s %14s %9s\n", labelW, "case", baseName, fastName, "speedup")
+	for _, r := range rs {
+		fmt.Fprintf(&sb, "  %-*s %14s %14s %8.1fx\n", labelW, r.label,
+			r.base.Round(time.Microsecond), r.fast.Round(time.Microsecond), r.speedup)
+	}
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRuntimeChart(t *testing.T) {
+	series := []RuntimeSeries{
+		{Name: "Virtuoso", ByGroup: map[string]time.Duration{
+			"outgoing": 454 * time.Second, "incoming": 124 * time.Second}},
+		{Name: "eLinda", ByGroup: map[string]time.Duration{
+			"outgoing": 1500 * time.Millisecond, "incoming": 1200 * time.Millisecond}},
+		{Name: "HVS", ByGroup: map[string]time.Duration{
+			"outgoing": 80 * time.Millisecond, "incoming": 80 * time.Millisecond}},
+	}
+	out := RuntimeChart("Figure 4", []string{"outgoing", "incoming"}, series, 40)
+	for _, want := range []string{"Figure 4", "outgoing:", "incoming:", "Virtuoso", "HVS", "log scale"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	// Longer runtimes must draw longer bars.
+	lines := strings.Split(out, "\n")
+	barLen := func(name string) int {
+		for _, l := range lines {
+			if strings.Contains(l, name) && strings.Contains(l, "▒") {
+				return strings.Count(l, "▒")
+			}
+		}
+		return -1
+	}
+	if barLen("Virtuoso") <= barLen("eLinda") || barLen("eLinda") <= barLen("HVS") {
+		t.Errorf("bar ordering wrong:\n%s", out)
+	}
+}
+
+func TestRuntimeChartEmpty(t *testing.T) {
+	out := RuntimeChart("empty", []string{"g"}, nil, 10)
+	if !strings.Contains(out, "no data") {
+		t.Errorf("empty chart output: %s", out)
+	}
+}
+
+func TestSpeedupTable(t *testing.T) {
+	out := SpeedupTable("A2", "generic", "decomposed", map[string][2]time.Duration{
+		"Thing":  {450 * time.Millisecond, 7 * time.Millisecond},
+		"Person": {270 * time.Millisecond, 9 * time.Millisecond},
+	})
+	if !strings.Contains(out, "64.3x") && !strings.Contains(out, "64.2x") {
+		t.Errorf("speedup missing:\n%s", out)
+	}
+	// Sorted descending by speedup: Thing first.
+	iThing := strings.Index(out, "Thing")
+	iPerson := strings.Index(out, "Person")
+	if iThing < 0 || iPerson < 0 || iThing > iPerson {
+		t.Errorf("sort order wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,205 @@
+// Package viz renders eLinda's bar charts, pane headers, pop-up info
+// boxes and data tables as text — the terminal counterpart of the
+// single-page web frontend (Figures 1 and 2). The rendering is plain
+// ASCII/Unicode so example programs and the CLI work everywhere.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"elinda/internal/core"
+	"elinda/internal/ontology"
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+// Options control chart rendering.
+type Options struct {
+	// Width is the maximum bar width in characters (default 50).
+	Width int
+	// MaxBars limits how many bars are drawn (default 20, the "visible
+	// part of the chart" widget; 0 keeps the default, negative = all).
+	MaxBars int
+	// ShowCoverage appends coverage percentages (property charts).
+	ShowCoverage bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 50
+	}
+	if o.MaxBars == 0 {
+		o.MaxBars = 20
+	}
+	return o
+}
+
+// Chart renders a bar chart as text: one line per bar, height mapped to
+// bar length, sorted as the chart is (by decreasing count).
+func Chart(c *core.Chart, opts Options) string {
+	opts = opts.withDefaults()
+	bars := c.Bars
+	truncated := 0
+	if opts.MaxBars > 0 && len(bars) > opts.MaxBars {
+		truncated = len(bars) - opts.MaxBars
+		bars = bars[:opts.MaxBars]
+	}
+	maxCount := 0
+	labelWidth := 0
+	for _, b := range bars {
+		if b.Count > maxCount {
+			maxCount = b.Count
+		}
+		if len(b.LabelText) > labelWidth {
+			labelWidth = len(b.LabelText)
+		}
+	}
+	if labelWidth > 28 {
+		labelWidth = 28
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s expansion of %s (%d bars, source |S| = %d)\n",
+		titleCase(c.Kind.String()), labelOrAll(c.SourceLabel), len(c.Bars), c.SourceSize)
+	for _, b := range bars {
+		bar := barString(b.Count, maxCount, opts.Width)
+		label := clip(b.LabelText, labelWidth)
+		if opts.ShowCoverage {
+			fmt.Fprintf(&sb, "  %-*s %s %d (%.0f%%)\n", labelWidth, label, bar, b.Count, b.Coverage*100)
+		} else {
+			fmt.Fprintf(&sb, "  %-*s %s %d\n", labelWidth, label, bar, b.Count)
+		}
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&sb, "  ... and %d more bars (use the range widget to reveal them)\n", truncated)
+	}
+	return sb.String()
+}
+
+func barString(count, maxCount, width int) string {
+	if maxCount <= 0 {
+		return ""
+	}
+	n := count * width / maxCount
+	if n == 0 && count > 0 {
+		n = 1
+	}
+	return strings.Repeat("█", n)
+}
+
+func clip(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	if w <= 1 {
+		return s[:w]
+	}
+	return s[:w-1] + "…"
+}
+
+func labelOrAll(t rdf.Term) string {
+	if t.IsZero() {
+		return "all instances"
+	}
+	return t.LocalName()
+}
+
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// PaneHeader renders the upper-left statistics of a pane: instance count
+// and direct/indirect subclass counts (Section 3.2).
+func PaneHeader(p *core.Pane) string {
+	st := p.Stats()
+	return fmt.Sprintf("━━ Pane: %s ━━ instances: %d │ direct subclasses: %d │ indirect: %d\n",
+		p.Title, st.Instances, st.DirectSubclasses, st.IndirectSubclasses)
+}
+
+// HoverInfo renders the pop-up box shown when hovering a bar (Figure 1's
+// Agent example: instance count, direct subclasses, total subclasses).
+func HoverInfo(st *store.Store, h *ontology.Hierarchy, b core.ChartBar) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "┌─ %s\n", b.LabelText)
+	fmt.Fprintf(&sb, "│ instances: %d\n", b.Count)
+	if cid, ok := st.Dict().Lookup(b.Bar.Label); ok && h.IsClass(cid) {
+		direct, total := h.SubclassCounts(cid)
+		fmt.Fprintf(&sb, "│ direct subclasses: %d\n", direct)
+		fmt.Fprintf(&sb, "│ subclasses in total: %d\n", total)
+	}
+	sb.WriteString("└─\n")
+	return sb.String()
+}
+
+// Table renders a data table with one column per property.
+func Table(t *core.DataTable, maxRows int) string {
+	var sb strings.Builder
+	header := []string{"instance"}
+	for _, c := range t.Columns {
+		header = append(header, c.LocalName())
+	}
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	rows := t.Rows
+	truncated := 0
+	if maxRows > 0 && len(rows) > maxRows {
+		truncated = len(rows) - maxRows
+		rows = rows[:maxRows]
+	}
+	cells := make([][]string, len(rows))
+	for r, row := range rows {
+		cells[r] = make([]string, len(header))
+		cells[r][0] = row.Instance.LocalName()
+		for c := range t.Columns {
+			var vals []string
+			for _, v := range row.Values[c] {
+				vals = append(vals, v.LocalName())
+			}
+			cells[r][c+1] = strings.Join(vals, ", ")
+		}
+		for c, cell := range cells[r] {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for c := range widths {
+		if widths[c] > 30 {
+			widths[c] = 30
+		}
+	}
+	writeRow := func(cols []string) {
+		for c, cell := range cols {
+			fmt.Fprintf(&sb, "│ %-*s ", widths[c], clip(cell, widths[c]))
+		}
+		sb.WriteString("│\n")
+	}
+	writeRow(header)
+	sb.WriteString("├" + strings.Repeat("─", sumWidths(widths)) + "┤\n")
+	for _, row := range cells {
+		writeRow(row)
+	}
+	if truncated > 0 {
+		fmt.Fprintf(&sb, "... %d more rows\n", truncated)
+	}
+	return sb.String()
+}
+
+func sumWidths(ws []int) int {
+	total := 0
+	for _, w := range ws {
+		total += w + 2
+	}
+	return total + len(ws) - 1
+}
+
+// Breadcrumbs renders the exploration trail with an arrow separator, as
+// in Figure 2's colored trails.
+func Breadcrumbs(x *core.Exploration) string {
+	return "◈ " + x.Breadcrumbs() + "\n"
+}

@@ -1,0 +1,141 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"elinda/internal/core"
+	"elinda/internal/datagen"
+	"elinda/internal/ontology"
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+func smallExplorer(t *testing.T) (*core.Explorer, *store.Store) {
+	t.Helper()
+	ds := datagen.Generate(datagen.Config{Seed: 2, Persons: 200, PoliticianProps: 40})
+	st, err := ds.NewStore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.NewExplorer(st), st
+}
+
+func TestChartRendering(t *testing.T) {
+	e, _ := smallExplorer(t)
+	chart := e.OpenRootPane().SubclassChart()
+	out := Chart(chart, Options{Width: 30, MaxBars: 5})
+	if !strings.Contains(out, "Subclass expansion of Thing") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "Agent") {
+		t.Errorf("missing Agent bar:\n%s", out)
+	}
+	if !strings.Contains(out, "more bars") {
+		t.Errorf("missing truncation note for 49 top classes:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Errorf("no bars drawn:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 { // title + 5 bars + truncation
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestChartCoverageMode(t *testing.T) {
+	e, _ := smallExplorer(t)
+	pane := e.OpenPane(datagen.Ont("Philosopher"))
+	chart := pane.PropertyChart(false, 0)
+	out := Chart(chart, Options{ShowCoverage: true, MaxBars: -1})
+	if !strings.Contains(out, "%)") {
+		t.Errorf("coverage not rendered:\n%s", out)
+	}
+}
+
+func TestChartEmpty(t *testing.T) {
+	e, _ := smallExplorer(t)
+	chart := e.OpenPane(datagen.Ont("EmptyClass01")).SubclassChart()
+	out := Chart(chart, Options{})
+	if !strings.Contains(out, "0 bars") {
+		t.Errorf("empty chart header wrong:\n%s", out)
+	}
+}
+
+func TestPaneHeader(t *testing.T) {
+	e, _ := smallExplorer(t)
+	out := PaneHeader(e.OpenPane(datagen.Ont("Agent")))
+	for _, want := range []string{"Agent", "direct subclasses: 5", "indirect: 272"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("header missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHoverInfo(t *testing.T) {
+	e, st := smallExplorer(t)
+	chart := e.OpenRootPane().SubclassChart()
+	agent, ok := chart.BarByText("Agent")
+	if !ok {
+		t.Fatal("Agent bar missing")
+	}
+	h := ontology.Build(st)
+	out := HoverInfo(st, h, *agent)
+	for _, want := range []string{"Agent", "direct subclasses: 5", "subclasses in total: 277"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("hover missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	e, _ := smallExplorer(t)
+	pane := e.OpenPane(datagen.Ont("Philosopher"))
+	table := pane.DataTable([]rdf.Term{datagen.Ont("birthPlace"), datagen.Ont("influencedBy")}, nil)
+	out := Table(table, 5)
+	if !strings.Contains(out, "instance") || !strings.Contains(out, "birthPlace") {
+		t.Errorf("table header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "more rows") {
+		t.Errorf("missing truncation:\n%s", out)
+	}
+}
+
+func TestBreadcrumbs(t *testing.T) {
+	e, _ := smallExplorer(t)
+	x := e.StartExploration()
+	if _, err := x.Expand(datagen.Ont("Agent"), core.SubclassExpansion); err != nil {
+		t.Fatal(err)
+	}
+	out := Breadcrumbs(x)
+	if !strings.Contains(out, "Thing → Agent") {
+		t.Errorf("breadcrumbs = %q", out)
+	}
+}
+
+func TestClip(t *testing.T) {
+	if got := clip("abcdef", 4); got != "abc…" {
+		t.Errorf("clip = %q", got)
+	}
+	if got := clip("ab", 4); got != "ab" {
+		t.Errorf("clip short = %q", got)
+	}
+	if got := clip("abcdef", 1); got != "a" {
+		t.Errorf("clip w=1 = %q", got)
+	}
+}
+
+func TestBarString(t *testing.T) {
+	if got := barString(0, 10, 20); got != "" {
+		t.Errorf("zero count bar = %q", got)
+	}
+	if got := barString(1, 1000, 20); got != "█" {
+		t.Errorf("tiny nonzero bar should be visible, got %q", got)
+	}
+	if got := barString(10, 10, 20); len([]rune(got)) != 20 {
+		t.Errorf("full bar runes = %d", len([]rune(got)))
+	}
+	if got := barString(5, 0, 20); got != "" {
+		t.Errorf("max=0 bar = %q", got)
+	}
+}
