@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build test race vet bench check server
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# check runs the tier-1 gate plus vet and the race detector as one command.
+check: build vet test race
+
+server: build
+	$(GO) run ./cmd/elinda-server

@@ -42,6 +42,10 @@ func main() {
 		warm      = flag.Bool("warm", true, "precompute level-zero aggregates at startup")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query execution timeout")
 		hvsSnap   = flag.String("hvs-snapshot", "", "persist the heavy query store to this file (restored at boot, saved on shutdown)")
+
+		incChunk   = flag.Int("inc-chunk", 0, "incremental evaluation chunk size N (0 = library default)")
+		incRounds  = flag.Int("inc-rounds", 0, "incremental evaluation round limit k (0 = run to completion)")
+		incWorkers = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
@@ -70,6 +74,12 @@ func main() {
 		sys = &elinda.System{Store: st}
 		sys.Proxy = proxy.NewWithBackend(st, endpoint.NewClient(*remote), opts)
 	}
+
+	sys.SetIncrementalDefaults(elinda.IncrementalOptions{
+		ChunkSize: *incChunk,
+		MaxRounds: *incRounds,
+		Workers:   *incWorkers,
+	})
 
 	if *warm && *remote == "" {
 		start := time.Now()

@@ -1,0 +1,3 @@
+module elinda
+
+go 1.24

@@ -25,6 +25,26 @@ type Explorer struct {
 
 	// CoverageThreshold is the default property-chart cutoff.
 	CoverageThreshold float64
+
+	// IncrementalDefaults fills in the administrator-configured N, k, and
+	// parallel worker count for streaming chart evaluations whose caller
+	// left the corresponding IncrementalOptions field zero.
+	IncrementalDefaults IncrementalOptions
+}
+
+// fillIncremental overlays the explorer-wide incremental defaults onto
+// zero fields of opts.
+func (e *Explorer) fillIncremental(opts IncrementalOptions) IncrementalOptions {
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = e.IncrementalDefaults.ChunkSize
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = e.IncrementalDefaults.MaxRounds
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = e.IncrementalDefaults.Workers
+	}
+	return opts
 }
 
 // NewExplorer builds an explorer over st.

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"elinda/internal/incremental"
 	"elinda/internal/rdf"
 	"elinda/internal/sparql"
 )
@@ -105,6 +107,122 @@ func (p *Pane) ConnectionsChart(prop rdf.Term, incoming bool) (*Chart, error) {
 		kind = IncomingObjectExpansion
 	}
 	return p.expl.Expand(bar.Bar, kind)
+}
+
+// --- Streaming charts (Section 4 wired into the pane's tabs) ---
+
+// nonNilSet returns the pane's set, never nil: the subclass and property
+// aggregators read a nil set as "all subjects", while an empty pane must
+// count nothing.
+func (p *Pane) nonNilSet() []rdf.ID {
+	if p.bar.Set == nil {
+		return []rdf.ID{}
+	}
+	return p.bar.Set
+}
+
+// streamChart drives an incremental evaluation of agg, rebuilding the
+// chart from the aggregator state after each round. build is called with
+// the round's state already folded in; onPartial returning false stops the
+// stream early. The chart of the final observed state is returned.
+func (p *Pane) streamChart(ctx context.Context, opts IncrementalOptions, agg incremental.Aggregator, build func() *Chart, onPartial func(*Chart, incremental.Snapshot) bool) (*Chart, error) {
+	ev := incremental.New(p.expl.st, opts.config())
+	var final *Chart
+	_, err := ev.Run(ctx, agg, func(s incremental.Snapshot) bool {
+		chart := build()
+		if s.Complete {
+			final = chart
+		}
+		if onPartial != nil {
+			return onPartial(chart, s)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	if final == nil {
+		final = build()
+	}
+	return final, nil
+}
+
+// StreamSubclassChart computes the pane's subclass chart incrementally,
+// invoking onPartial after every chunk of N triples. Bars carry labels and
+// counts but not member sets (counting is what the chunked scan buys);
+// candidate subclasses that have not yet been seen show with count zero,
+// exactly like the direct SubclassChart.
+func (p *Pane) StreamSubclassChart(ctx context.Context, opts IncrementalOptions, onPartial func(*Chart, incremental.Snapshot) bool) (*Chart, error) {
+	st := p.expl.st
+	h := p.expl.Hierarchy()
+	opts = p.expl.fillIncremental(opts)
+
+	var subclasses []rdf.ID
+	if p.bar.Label.IsZero() {
+		subclasses = h.TopLevelClasses()
+	} else if cid, ok := st.Dict().Lookup(p.bar.Label); ok {
+		subclasses = h.DirectSubclasses(cid)
+	}
+	agg := incremental.NewSubclassAggregator(st.TypeID(), p.nonNilSet(), subclasses)
+
+	build := func() *Chart {
+		counts := agg.Counts()
+		chart := &Chart{Kind: SubclassExpansion, SourceLabel: p.bar.Label, SourceSize: p.bar.Len()}
+		for _, sub := range subclasses {
+			subTerm := st.Dict().Term(sub)
+			chart.Bars = append(chart.Bars, ChartBar{
+				Bar: &Bar{
+					Label:   subTerm,
+					Type:    ClassBar,
+					pattern: p.bar.pattern.withType(subTerm),
+				},
+				LabelText: st.Label(sub),
+				Count:     counts[sub],
+			})
+		}
+		sortBars(chart.Bars)
+		return chart
+	}
+	return p.streamChart(ctx, opts, agg, build, onPartial)
+}
+
+// StreamConnectionsChart computes the Connections tab's chart (the object
+// expansion for the chosen property) incrementally. Unlike
+// ConnectionsChart it does not first materialize the property bar, so it
+// reports the pane's |S| as SourceSize and yields an empty chart — not an
+// error — for a property the set does not feature.
+func (p *Pane) StreamConnectionsChart(ctx context.Context, prop rdf.Term, incoming bool, opts IncrementalOptions, onPartial func(*Chart, incremental.Snapshot) bool) (*Chart, error) {
+	st := p.expl.st
+	opts = p.expl.fillIncremental(opts)
+	kind := ObjectExpansion
+	if incoming {
+		kind = IncomingObjectExpansion
+	}
+	propID, ok := st.Dict().Lookup(prop)
+	if !ok {
+		return &Chart{Kind: kind, SourceLabel: prop, SourceSize: p.bar.Len()}, nil
+	}
+	agg := incremental.NewObjectAggregator(st.TypeID(), propID, p.bar.Set, incoming)
+	pattern := p.bar.pattern.withProperty(prop, incoming).hopObject(prop, incoming)
+
+	build := func() *Chart {
+		chart := &Chart{Kind: kind, SourceLabel: prop, SourceSize: p.bar.Len()}
+		for c, n := range agg.Counts() {
+			cTerm := st.Dict().Term(c)
+			chart.Bars = append(chart.Bars, ChartBar{
+				Bar: &Bar{
+					Label:   cTerm,
+					Type:    ClassBar,
+					pattern: pattern.withType(cTerm),
+				},
+				LabelText: st.Label(c),
+				Count:     n,
+			})
+		}
+		sortBars(chart.Bars)
+		return chart
+	}
+	return p.streamChart(ctx, opts, agg, build, onPartial)
 }
 
 // --- Data table (Section 3.3, "Browse instance data") ---

@@ -126,6 +126,15 @@ type IncrementalOptions struct {
 	ChunkSize int
 	// MaxRounds is the administrator's k (0 = run to completion).
 	MaxRounds int
+	// Workers is the parallel shard count per round: each chunk is split
+	// into Workers contiguous shards aggregated concurrently and merged.
+	// Values <= 1 evaluate sequentially.
+	Workers int
+}
+
+// config converts the options to the evaluator's configuration.
+func (o IncrementalOptions) config() incremental.Config {
+	return incremental.Config{ChunkSize: o.ChunkSize, MaxRounds: o.MaxRounds, Workers: o.Workers}
 }
 
 // StreamPropertyChart computes the pane's property chart incrementally,
@@ -135,17 +144,18 @@ type IncrementalOptions struct {
 // latency for user interaction".
 func (p *Pane) StreamPropertyChart(ctx context.Context, incoming bool, opts IncrementalOptions, onPartial func(*Chart, incremental.Snapshot) bool) (*Chart, error) {
 	st := p.expl.st
-	ev := incremental.New(st, incremental.Config{ChunkSize: opts.ChunkSize, MaxRounds: opts.MaxRounds})
-	agg := incremental.NewPropertyAggregator(p.bar.Set, incoming)
+	opts = p.expl.fillIncremental(opts)
+	agg := incremental.NewPropertyAggregator(p.nonNilSet(), incoming)
 
 	kind := PropertyExpansion
 	if incoming {
 		kind = IncomingPropertyExpansion
 	}
-	build := func(counts map[rdf.ID]int, triples map[rdf.ID]int) *Chart {
+	build := func() *Chart {
+		triples := agg.TripleCounts()
 		chart := &Chart{Kind: kind, SourceLabel: p.bar.Label, SourceSize: p.bar.Len()}
 		denom := float64(p.bar.Len())
-		for prop, n := range counts {
+		for prop, n := range agg.Counts() {
 			propTerm := st.Dict().Term(prop)
 			cb := ChartBar{
 				Bar: &Bar{
@@ -165,23 +175,5 @@ func (p *Pane) StreamPropertyChart(ctx context.Context, incoming bool, opts Incr
 		sortBars(chart.Bars)
 		return chart
 	}
-
-	var final *Chart
-	_, err := ev.Run(ctx, agg, func(s incremental.Snapshot) bool {
-		chart := build(s.Counts, agg.TripleCounts())
-		if s.Complete {
-			final = chart
-		}
-		if onPartial != nil {
-			return onPartial(chart, s)
-		}
-		return true
-	})
-	if err != nil {
-		return nil, err
-	}
-	if final == nil {
-		final = build(agg.Counts(), agg.TripleCounts())
-	}
-	return final, nil
+	return p.streamChart(ctx, opts, agg, build, onPartial)
 }

@@ -189,6 +189,144 @@ func TestStreamPropertyChartIncomingBars(t *testing.T) {
 	}
 }
 
+func TestStreamSubclassChartConvergesToDirect(t *testing.T) {
+	e := testFixture(t)
+	for _, class := range []rdf.Term{rdf.OWLThingIRI, ont("Agent"), ont("Person")} {
+		pane := e.OpenPane(class)
+		direct := pane.SubclassChart()
+		for _, chunk := range []int{1, 5, 1000} {
+			final, err := pane.StreamSubclassChart(context.Background(),
+				IncrementalOptions{ChunkSize: chunk}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !chartsEqual(final, direct) {
+				t.Fatalf("%s chunk %d: streamed subclass chart differs from direct", class, chunk)
+			}
+		}
+	}
+}
+
+func TestStreamConnectionsChartConvergesToDirect(t *testing.T) {
+	e := testFixture(t)
+	pane := e.OpenPane(ont("Philosopher"))
+	direct, err := pane.ConnectionsChart(ont("influencedBy"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 7, 1000} {
+		final, err := pane.StreamConnectionsChart(context.Background(), ont("influencedBy"), false,
+			IncrementalOptions{ChunkSize: chunk}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chartsEqual(final, direct) {
+			t.Fatalf("chunk %d: streamed connections chart differs from direct", chunk)
+		}
+	}
+	// A property the set does not feature yields an empty chart, not an error.
+	empty, err := pane.StreamConnectionsChart(context.Background(), ont("nosuchprop"), false,
+		IncrementalOptions{ChunkSize: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty.Bars) != 0 {
+		t.Errorf("absent property produced %d bars", len(empty.Bars))
+	}
+}
+
+// TestStreamChartsParallelWorkers: every streamed chart kind converges to
+// its direct counterpart when evaluated by a worker pool.
+func TestStreamChartsParallelWorkers(t *testing.T) {
+	e := testFixture(t)
+	pane := e.OpenPane(ont("Philosopher"))
+	for _, workers := range []int{2, 4, 8} {
+		opts := IncrementalOptions{ChunkSize: 3, Workers: workers}
+		prop, err := pane.StreamPropertyChart(context.Background(), false, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chartsEqual(prop, pane.PropertyChart(false, -1)) {
+			t.Errorf("workers=%d: parallel property chart differs from direct", workers)
+		}
+		sub, err := pane.StreamSubclassChart(context.Background(), opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chartsEqual(sub, pane.SubclassChart()) {
+			t.Errorf("workers=%d: parallel subclass chart differs from direct", workers)
+		}
+		direct, err := pane.ConnectionsChart(ont("influencedBy"), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conn, err := pane.StreamConnectionsChart(context.Background(), ont("influencedBy"), false, opts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !chartsEqual(conn, direct) {
+			t.Errorf("workers=%d: parallel connections chart differs from direct", workers)
+		}
+	}
+}
+
+// TestStreamChartsEmptyPane: a pane over a class with no instances has a
+// nil set, which must stream an empty chart — not fall into the
+// aggregators' "nil means all subjects" mode and chart the whole store.
+func TestStreamChartsEmptyPane(t *testing.T) {
+	e := testFixture(t)
+	pane := e.OpenPane(ont("NoSuchClass"))
+	prop, err := pane.StreamPropertyChart(context.Background(), false, IncrementalOptions{ChunkSize: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prop.Bars) != 0 {
+		t.Errorf("empty pane streamed %d property bars", len(prop.Bars))
+	}
+	sub, err := pane.StreamSubclassChart(context.Background(), IncrementalOptions{ChunkSize: 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sub.Bars {
+		if b.Count != 0 {
+			t.Errorf("empty pane streamed subclass bar %s=%d", b.LabelText, b.Count)
+		}
+	}
+}
+
+// TestExplorerIncrementalDefaults: zero option fields inherit the
+// explorer-wide administrator configuration.
+func TestExplorerIncrementalDefaults(t *testing.T) {
+	e := testFixture(t)
+	e.IncrementalDefaults = IncrementalOptions{ChunkSize: 3, Workers: 4}
+	pane := e.OpenPane(ont("Philosopher"))
+	rounds := 0
+	final, err := pane.StreamPropertyChart(context.Background(), false, IncrementalOptions{},
+		func(c *Chart, s incremental.Snapshot) bool {
+			rounds = s.Round
+			return true
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rounds < 2 {
+		t.Errorf("default ChunkSize not applied: %d rounds", rounds)
+	}
+	if !chartsEqual(final, pane.PropertyChart(false, -1)) {
+		t.Error("defaulted stream differs from direct")
+	}
+	// Explicit options still win over the defaults.
+	rounds = 0
+	if _, err := pane.StreamPropertyChart(context.Background(), false,
+		IncrementalOptions{ChunkSize: 1 << 20},
+		func(c *Chart, s incremental.Snapshot) bool { rounds = s.Round; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if rounds != 1 {
+		t.Errorf("explicit ChunkSize overridden: %d rounds", rounds)
+	}
+}
+
 func TestExplorerConcurrentHierarchy(t *testing.T) {
 	e := testFixture(t)
 	var wg sync.WaitGroup

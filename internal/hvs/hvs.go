@@ -155,16 +155,22 @@ func (s *Store) ensureGenerationLocked(generation uint64) {
 	s.haveGen = true
 }
 
+// evictColdestLocked removes the least-hit entry. A found flag tracks
+// whether any entry was seen: the empty string is a legitimate key (a
+// whitespace-only query normalizes to ""), so it cannot double as the
+// "no entry" sentinel without letting the cache exceed MaxEntries.
 func (s *Store) evictColdestLocked() {
 	var coldKey string
-	coldHits := int(^uint(0) >> 1)
+	found := false
+	coldHits := 0
 	for k, e := range s.entries {
-		if e.Hits < coldHits {
+		if !found || e.Hits < coldHits {
+			found = true
 			coldHits = e.Hits
 			coldKey = k
 		}
 	}
-	if coldKey != "" {
+	if found {
 		delete(s.entries, coldKey)
 	}
 }

@@ -147,6 +147,71 @@ func TestEviction(t *testing.T) {
 	}
 }
 
+// TestEvictionEmptyKey is the regression test for the "" sentinel bug: a
+// whitespace-only query normalizes to the empty string, which is a
+// legitimate cache key; when it is also the coldest entry, eviction must
+// still happen, or the cache exceeds MaxEntries.
+func TestEvictionEmptyKey(t *testing.T) {
+	s := New(time.Millisecond)
+	s.MaxEntries = 2
+	s.Record("   ", res("empty"), time.Second, 1) // key normalizes to ""
+	if _, ok := s.Entry(""); !ok {
+		t.Fatal("whitespace-only query not cached under the empty key")
+	}
+	s.Record("q1", res("a"), time.Second, 1)
+	s.Lookup("q1", 1) // "" is now the coldest entry
+	s.Record("q2", res("b"), time.Second, 1)
+	if s.Len() != 2 {
+		t.Fatalf("entries = %d, want 2 (empty-key entry not evicted)", s.Len())
+	}
+	if _, ok := s.Entry(""); ok {
+		t.Error("coldest entry (empty key) should have been evicted")
+	}
+	if _, ok := s.Entry("q2"); !ok {
+		t.Error("new entry q2 missing")
+	}
+}
+
+// TestConcurrentGenerationChurn exercises the documented contract between
+// the store's generation counter and HVS invalidation: readers may Lookup
+// and Record under any generation while the KB generation advances; the
+// cache must never serve an entry recorded under a different generation
+// than the lookup's. Every recorded result embeds the generation it was
+// recorded under, so a hit can verify which generation produced it.
+func TestConcurrentGenerationChurn(t *testing.T) {
+	s := New(time.Millisecond)
+	var gen uint64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				mu.Lock()
+				if g == 0 && i%20 == 0 {
+					gen++ // the writer: a KB update bumps the generation
+				}
+				cur := gen
+				mu.Unlock()
+				q := fmt.Sprintf("q%d", i%5)
+				s.Record(q, res(fmt.Sprintf("%s@gen%d", q, cur)), time.Second, cur)
+				if got, ok := s.Lookup(q, cur); ok {
+					want := fmt.Sprintf("http://x/%s@gen%d", q, cur)
+					if v := got.Rows[0]["x"].Value; v != want {
+						t.Errorf("lookup under generation %d served %q", cur, v)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := s.Stats(); st.Invalidations == 0 {
+		t.Error("generation churn caused no invalidations")
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	s := New(time.Millisecond)
 	var wg sync.WaitGroup

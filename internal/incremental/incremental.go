@@ -12,11 +12,22 @@
 // user interaction". It works against any triple source that supports
 // offset scans, which is why it also functions in the remote compatibility
 // mode (a remote endpoint can serve OFFSET/LIMIT windows).
+//
+// When Config.Workers > 1 each round's chunk is partitioned into
+// contiguous shards scanned concurrently, one fresh aggregator clone per
+// shard; the clones are merged into the round aggregator in shard order.
+// All three chart aggregators have order-independent counting state
+// (deduplicating pair sets, and for the object expansion the
+// connected/classOf candidate sets that already tolerate either arrival
+// order of a link and its type assertion), which is what makes the merge
+// exact: a merged round is indistinguishable from a sequential scan of
+// the same chunk.
 package incremental
 
 import (
 	"context"
 	"fmt"
+	"sync"
 
 	"elinda/internal/rdf"
 	"elinda/internal/store"
@@ -30,6 +41,13 @@ type Config struct {
 	// MaxRounds is k, the number of rounds before the evaluator stops even
 	// if the scan is incomplete. 0 means scan to completion.
 	MaxRounds int
+	// Workers is P, the number of goroutines scanning each round's chunk.
+	// Each worker aggregates one contiguous shard of the chunk into a
+	// fresh clone of the round aggregator; the clones are merged in shard
+	// order once the round's scan completes. Values <= 1 select the
+	// sequential path, whose snapshot sequence is identical to the
+	// pre-parallel evaluator.
+	Workers int
 }
 
 // DefaultChunkSize is the default N.
@@ -43,6 +61,21 @@ type Aggregator interface {
 	// Counts returns the current per-label counts. The returned map is a
 	// snapshot; the aggregator keeps ownership of its internal state.
 	Counts() map[rdf.ID]int
+	// CloneEmpty returns a fresh aggregator with the receiver's
+	// configuration (query parameters, candidate sets) but empty counting
+	// state, for use as a shard worker. Configuration must be shared
+	// strictly read-only: clones and the parent may all observe triples
+	// concurrently with one another (the evaluator scans one shard with
+	// the parent itself).
+	CloneEmpty() Aggregator
+	// Merge folds the counting state of other — which must be a clone of
+	// the receiver observing the same configuration — into the receiver.
+	// Double counting is impossible: merged state deduplicates against
+	// what the receiver has already seen. An empty receiver may adopt
+	// other's state wholesale, so other must not be observed again after
+	// the merge. Merging an aggregator of a different concrete type or
+	// configuration panics.
+	Merge(other Aggregator)
 }
 
 // Snapshot is the state published after each round.
@@ -75,6 +108,10 @@ func New(st *store.Store, cfg Config) *Evaluator {
 // onRound with a snapshot; returning false stops the evaluation early.
 // The final snapshot is returned. Run honors ctx cancellation between
 // rounds.
+//
+// Completeness is judged by the scan position against the log length, not
+// by a short round: a log whose length is an exact multiple of ChunkSize
+// completes on its last full round instead of burning an extra empty one.
 func (ev *Evaluator) Run(ctx context.Context, agg Aggregator, onRound func(Snapshot) bool) (Snapshot, error) {
 	offset := 0
 	round := 0
@@ -82,20 +119,13 @@ func (ev *Evaluator) Run(ctx context.Context, agg Aggregator, onRound func(Snaps
 		if err := ctx.Err(); err != nil {
 			return Snapshot{}, fmt.Errorf("incremental: %w", err)
 		}
-		n := ev.st.Scan(offset, ev.cfg.ChunkSize, func(e rdf.EncodedTriple) bool {
-			agg.Observe(e)
-			return true
-		})
-		offset += n
+		offset += ev.scanRound(agg, offset)
 		round++
 		snap := Snapshot{
 			Round:       round,
 			TriplesSeen: offset,
 			Counts:      agg.Counts(),
-			Complete:    n < ev.cfg.ChunkSize,
-		}
-		if n == 0 {
-			snap.Complete = true
+			Complete:    offset >= ev.st.Len(),
 		}
 		stop := snap.Complete ||
 			(ev.cfg.MaxRounds > 0 && round >= ev.cfg.MaxRounds)
@@ -106,6 +136,93 @@ func (ev *Evaluator) Run(ctx context.Context, agg Aggregator, onRound func(Snaps
 			return snap, nil
 		}
 	}
+}
+
+// scanRound feeds one chunk starting at offset to agg and returns the
+// number of triples scanned. With Workers <= 1 it is a single sequential
+// Scan; otherwise the available window is fixed up front (the log is
+// append-only, so triples inside it cannot move), partitioned into
+// contiguous shards scanned by one goroutine each — the first directly
+// into agg, the rest into fresh clones that are then folded into agg.
+func (ev *Evaluator) scanRound(agg Aggregator, offset int) int {
+	if ev.cfg.Workers <= 1 {
+		return ev.st.Scan(offset, ev.cfg.ChunkSize, func(e rdf.EncodedTriple) bool {
+			agg.Observe(e)
+			return true
+		})
+	}
+	// Fix the round's window before sharding so that concurrent appends
+	// cannot open holes between shards: every shard range lies fully
+	// within the log observed here.
+	avail := ev.st.Len() - offset
+	if avail > ev.cfg.ChunkSize {
+		avail = ev.cfg.ChunkSize
+	}
+	if avail <= 0 {
+		return 0
+	}
+	workers := ev.cfg.Workers
+	if workers > avail {
+		workers = avail
+	}
+	shard := (avail + workers - 1) / workers
+	clones := make([]Aggregator, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		start := offset + i*shard
+		limit := shard
+		if rest := avail - i*shard; rest < limit {
+			limit = rest
+		}
+		if limit <= 0 {
+			break
+		}
+		// Shard 0 observes directly into agg — nobody else touches agg
+		// during the scan phase, and deduplicating against the
+		// accumulated state once is cheaper than a clone insert plus a
+		// merge re-insert.
+		c := agg
+		if i > 0 {
+			c = agg.CloneEmpty()
+		}
+		clones[i] = c
+		wg.Add(1)
+		go func(start, limit int, c Aggregator) {
+			defer wg.Done()
+			ev.st.Scan(start, limit, func(e rdf.EncodedTriple) bool {
+				c.Observe(e)
+				return true
+			})
+		}(start, limit, c)
+	}
+	wg.Wait()
+	live := make([]Aggregator, 0, len(clones)-1)
+	for _, c := range clones[1:] {
+		if c != nil {
+			live = append(live, c)
+		}
+	}
+	// Fold the clones as a pairwise tree — each level merges
+	// concurrently, so the sequential tail is one merge plus the fold
+	// into agg. Merge order cannot affect the result: all counting state
+	// is order-independent.
+	for len(live) > 1 {
+		half := (len(live) + 1) / 2
+		var mg sync.WaitGroup
+		for i := 0; i+half < len(live); i++ {
+			mg.Add(1)
+			go func(dst, src Aggregator) {
+				defer mg.Done()
+				dst.Merge(src)
+			}(live[i], live[i+half])
+		}
+		mg.Wait()
+		live = live[:half]
+	}
+	if len(live) == 1 {
+		agg.Merge(live[0])
+	}
+	return avail
 }
 
 // --- Concrete aggregators for the three expansions of Section 2 ---
@@ -162,6 +279,35 @@ func (a *SubclassAggregator) Observe(e rdf.EncodedTriple) {
 // Counts implements Aggregator.
 func (a *SubclassAggregator) Counts() map[rdf.ID]int { return copyCounts(a.counts) }
 
+// CloneEmpty implements Aggregator: the clone shares the read-only typeID,
+// URI set, and subclass label set, with fresh counting state.
+func (a *SubclassAggregator) CloneEmpty() Aggregator {
+	return &SubclassAggregator{
+		typeID:     a.typeID,
+		s:          a.s,
+		subclasses: a.subclasses,
+		seen:       make(map[[2]rdf.ID]struct{}),
+		counts:     make(map[rdf.ID]int),
+	}
+}
+
+// Merge implements Aggregator: the union of the deduplicating
+// (subject, class) pair sets determines the merged counts.
+func (a *SubclassAggregator) Merge(other Aggregator) {
+	b := other.(*SubclassAggregator)
+	if len(a.seen) == 0 {
+		a.seen, a.counts = b.seen, b.counts
+		return
+	}
+	for key := range b.seen {
+		if _, dup := a.seen[key]; dup {
+			continue
+		}
+		a.seen[key] = struct{}{}
+		a.counts[key[1]]++
+	}
+}
+
 // PropertyAggregator counts, per property, the distinct members of S that
 // feature the property (outgoing) or are targeted by it (incoming) — the
 // coverage numerator of the property chart.
@@ -214,6 +360,39 @@ func (a *PropertyAggregator) Counts() map[rdf.ID]int { return copyCounts(a.count
 // TripleCounts returns the per-property triple totals (the SUM(?sp) of the
 // paper's query).
 func (a *PropertyAggregator) TripleCounts() map[rdf.ID]int { return copyCounts(a.triples) }
+
+// CloneEmpty implements Aggregator: the clone shares the read-only URI set
+// and direction, with fresh counting state.
+func (a *PropertyAggregator) CloneEmpty() Aggregator {
+	return &PropertyAggregator{
+		s:        a.s,
+		incoming: a.incoming,
+		seen:     make(map[[2]rdf.ID]struct{}),
+		counts:   make(map[rdf.ID]int),
+		triples:  make(map[rdf.ID]int),
+	}
+}
+
+// Merge implements Aggregator: per-property triple totals add (shards scan
+// disjoint triples), while the member counts are determined by the union
+// of the deduplicating (anchor, property) pair sets.
+func (a *PropertyAggregator) Merge(other Aggregator) {
+	b := other.(*PropertyAggregator)
+	if len(a.seen) == 0 && len(a.triples) == 0 {
+		a.seen, a.counts, a.triples = b.seen, b.counts, b.triples
+		return
+	}
+	for p, n := range b.triples {
+		a.triples[p] += n
+	}
+	for key := range b.seen {
+		if _, dup := a.seen[key]; dup {
+			continue
+		}
+		a.seen[key] = struct{}{}
+		a.counts[key[1]]++
+	}
+}
 
 // ObjectAggregator implements the object expansion: for a fixed property
 // λ and subject set S, it counts objects o of each class τ with
@@ -289,6 +468,51 @@ func (a *ObjectAggregator) count(obj, class rdf.ID) {
 
 // Counts implements Aggregator.
 func (a *ObjectAggregator) Counts() map[rdf.ID]int { return copyCounts(a.counts) }
+
+// CloneEmpty implements Aggregator: the clone shares the read-only query
+// parameters and URI set, with fresh candidate and counting state.
+func (a *ObjectAggregator) CloneEmpty() Aggregator {
+	return &ObjectAggregator{
+		typeID:    a.typeID,
+		property:  a.property,
+		s:         a.s,
+		incoming:  a.incoming,
+		connected: make(map[rdf.ID]struct{}),
+		classOf:   make(map[rdf.ID][]rdf.ID),
+		counted:   make(map[[2]rdf.ID]struct{}),
+		counts:    make(map[rdf.ID]int),
+	}
+}
+
+// Merge implements Aggregator. The connecting triple and the type
+// assertion of an object may land in different shards, so neither side
+// alone counted the pair; merging unions the candidate sets first and then
+// re-derives every (object, class) pair that gained a side, with the
+// counted set suppressing pairs either party already counted.
+func (a *ObjectAggregator) Merge(other Aggregator) {
+	b := other.(*ObjectAggregator)
+	if len(a.connected) == 0 && len(a.classOf) == 0 {
+		a.connected, a.classOf, a.counted, a.counts = b.connected, b.classOf, b.counted, b.counts
+		return
+	}
+	for o, cs := range b.classOf {
+		a.classOf[o] = append(a.classOf[o], cs...)
+	}
+	for o := range b.connected {
+		a.connected[o] = struct{}{}
+		for _, c := range a.classOf[o] {
+			a.count(o, c)
+		}
+	}
+	for o, cs := range b.classOf {
+		if _, conn := a.connected[o]; !conn {
+			continue
+		}
+		for _, c := range cs {
+			a.count(o, c)
+		}
+	}
+}
 
 // ConnectedObjects returns the set Osp of objects connected to S via the
 // property, for continuing the exploration on the narrowed set.
