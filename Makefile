@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench check server
+.PHONY: all build test race vet bench benchjson check server
 
 all: check
 
@@ -18,6 +18,11 @@ vet:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# benchjson runs the query-engine experiment and writes the
+# machine-readable BENCH_query.json trajectory file.
+benchjson: build
+	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 5000
 
 # check runs the tier-1 gate plus vet and the race detector as one command.
 check: build vet test race

@@ -14,10 +14,12 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"maps"
+	"os"
 	"runtime"
 	"time"
 
@@ -35,9 +37,10 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | all")
+		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | all")
 		persons    = flag.Int("persons", 20000, "synthetic dataset size for timing experiments")
 		factsSize  = flag.Int("facts-persons", 2000, "dataset size for the text-fact experiments")
+		jsonOut    = flag.String("json-out", "BENCH_query.json", "machine-readable output path for the query-engine experiment")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -57,6 +60,8 @@ func main() {
 		runAblationDecomposer(*persons)
 	case "ablation-planner":
 		runAblationPlanner(*persons)
+	case "query-engine":
+		runQueryEngine(*persons, *jsonOut)
 	case "all":
 		runFacts(*factsSize)
 		fmt.Println()
@@ -71,6 +76,8 @@ func main() {
 		runAblationDecomposer(*persons)
 		fmt.Println()
 		runAblationPlanner(*persons)
+		fmt.Println()
+		runQueryEngine(*persons, *jsonOut)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
@@ -330,6 +337,110 @@ func runIncrementalParallel(persons int) {
 		}
 	}
 	fmt.Println("\ninvariant verified: every worker count converges to the sequential chart")
+}
+
+// queryBenchRow is one workload measurement in BENCH_query.json.
+type queryBenchRow struct {
+	Name     string  `json:"name"`
+	Rows     int     `json:"rows"`
+	StreamNs int64   `json:"stream_ns"`
+	LegacyNs int64   `json:"legacy_ns"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// queryBenchReport is the machine-readable result of the query-engine
+// experiment; it seeds the perf trajectory for the execution pipeline.
+type queryBenchReport struct {
+	Experiment  string          `json:"experiment"`
+	GeneratedAt string          `json:"generated_at"`
+	Persons     int             `json:"persons"`
+	Triples     int             `json:"triples"`
+	Workloads   []queryBenchRow `json:"workloads"`
+}
+
+// runQueryEngine measures the ID-space streaming executor against the
+// legacy map-based path on BGP-join, DISTINCT, GROUP BY and
+// expansion-shaped workloads, and writes BENCH_query.json.
+func runQueryEngine(persons int, jsonOut string) {
+	fmt.Println("== Query engine: ID-space streaming executor vs legacy map-based path ==")
+	sys := buildSystem(persons)
+	fmt.Printf("dataset: %d triples (persons=%d)\n\n", sys.Store.Len(), persons)
+
+	workloads := []struct {
+		name string
+		src  string
+	}{
+		{"bgp-join2", `SELECT ?s ?o WHERE {
+  ?s a <` + datagen.OntNS + `Person> .
+  ?s <` + datagen.OntNS + `birthPlace> ?o . }`},
+		{"bgp-join3", `SELECT ?s ?o ?l WHERE {
+  ?s a <` + datagen.OntNS + `Person> .
+  ?s <` + datagen.OntNS + `birthPlace> ?o .
+  ?s <` + rdf.LabelIRI.Value + `> ?l . }`},
+		{"distinct-pairs", `SELECT DISTINCT ?p ?o WHERE { ?s ?p ?o . }`},
+		{"expansion-person", core.PropertyExpansionSPARQL(datagen.Ont("Person"), false)},
+		{"groupby-pred", `SELECT ?p (COUNT(?s) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?p ORDER BY DESC(?n)`},
+	}
+
+	stream := sparql.NewEngine(sys.Store)
+	legacy := sparql.NewEngine(sys.Store)
+	legacy.UseLegacy = true
+
+	const iters = 3
+	measure := func(e *sparql.Engine, q *sparql.Query) (time.Duration, int) {
+		best := time.Duration(0)
+		rows := 0
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			res, err := e.Execute(context.Background(), q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+			rows = len(res.Rows)
+		}
+		return best, rows
+	}
+
+	report := queryBenchReport{
+		Experiment:  "query-engine",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Persons:     persons,
+		Triples:     sys.Store.Len(),
+	}
+	fmt.Printf("%-18s %10s %14s %14s %9s\n", "workload", "rows", "stream", "legacy", "speedup")
+	for _, w := range workloads {
+		q, err := sparql.Parse(w.src)
+		if err != nil {
+			log.Fatalf("%s: %v", w.name, err)
+		}
+		streamT, rowsS := measure(stream, q)
+		legacyT, rowsL := measure(legacy, q)
+		if rowsS != rowsL {
+			log.Fatalf("%s: executor row counts diverge: stream=%d legacy=%d", w.name, rowsS, rowsL)
+		}
+		speedup := float64(legacyT) / float64(streamT)
+		fmt.Printf("%-18s %10d %14s %14s %8.2fx\n", w.name, rowsS,
+			streamT.Round(time.Microsecond), legacyT.Round(time.Microsecond), speedup)
+		report.Workloads = append(report.Workloads, queryBenchRow{
+			Name:     w.name,
+			Rows:     rowsS,
+			StreamNs: streamT.Nanoseconds(),
+			LegacyNs: legacyT.Nanoseconds(),
+			Speedup:  speedup,
+		})
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
 }
 
 // runAblationHVS reproduces A1: heaviness-threshold sensitivity.

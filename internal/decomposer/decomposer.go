@@ -395,58 +395,13 @@ func (d *Decomposer) TryExecute(q *sparql.Query) (*sparql.Result, bool) {
 }
 
 // applyModifiers honors ORDER BY / LIMIT / OFFSET of the original query on
-// the decomposed result.
+// the decomposed result, using the engine's exported solution modifiers so
+// the fast path orders and slices exactly like the generic evaluator.
 func applyModifiers(res *sparql.Result, q *sparql.Query) {
 	if len(q.OrderBy) > 0 {
-		sortResult(res, q.OrderBy)
+		sparql.SortSolutions(res.Rows, q.OrderBy)
 	}
-	if q.Offset > 0 {
-		if q.Offset >= len(res.Rows) {
-			res.Rows = nil
-		} else {
-			res.Rows = res.Rows[q.Offset:]
-		}
-	}
-	if q.Limit >= 0 && q.Limit < len(res.Rows) {
-		res.Rows = res.Rows[:q.Limit]
-	}
-}
-
-func sortResult(res *sparql.Result, keys []sparql.OrderKey) {
-	sort.SliceStable(res.Rows, func(i, j int) bool {
-		for _, k := range keys {
-			vi := k.Expr.Eval(res.Rows[i])
-			vj := k.Expr.Eval(res.Rows[j])
-			li, iok := vi.AsNumber()
-			lj, jok := vj.AsNumber()
-			var cmp int
-			if iok && jok {
-				switch {
-				case li < lj:
-					cmp = -1
-				case li > lj:
-					cmp = 1
-				}
-			} else {
-				si, _ := vi.AsString()
-				sj, _ := vj.AsString()
-				switch {
-				case si < sj:
-					cmp = -1
-				case si > sj:
-					cmp = 1
-				}
-			}
-			if cmp == 0 {
-				continue
-			}
-			if k.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
-	})
+	res.Rows = sparql.SliceSolutions(res.Rows, q.Offset, q.Limit)
 }
 
 // Stats reports detector activity: queries detected as expansions,

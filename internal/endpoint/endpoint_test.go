@@ -261,3 +261,37 @@ func TestEndToEndRemoteMode(t *testing.T) {
 		}
 	}
 }
+
+// TestServerHonorsCancellationMidQuery checks that a query whose context
+// dies mid-execution is cut off with 504 instead of running (and
+// serializing) to completion: the engine's in-loop context checks must
+// surface through the HTTP handler.
+func TestServerHonorsCancellationMidQuery(t *testing.T) {
+	st := store.New(4096)
+	var ts []rdf.Triple
+	for i := 0; i < 1500; i++ {
+		ts = append(ts, rdf.Triple{
+			S: ex(fmt.Sprintf("s%d", i)), P: ex("p"), O: ex(fmt.Sprintf("o%d", i)),
+		})
+	}
+	if _, err := st.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sparql.NewEngine(st))
+	srv.Timeout = 20 * time.Millisecond
+
+	// Three unconstrained patterns: ~3x10^9 intermediate rows, which only
+	// terminates promptly because cancellation fires inside the join loop.
+	q := url.QueryEscape(`SELECT ?a ?b ?c WHERE { ?a ?p1 ?x . ?b ?p2 ?y . ?c ?p3 ?z . }`)
+	req := httptest.NewRequest(http.MethodGet, "/sparql?query="+q, nil)
+	rec := httptest.NewRecorder()
+	start := time.Now()
+	srv.ServeHTTP(rec, req)
+	elapsed := time.Since(start)
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504 (body: %s)", rec.Code, rec.Body.String())
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s, want prompt abort", elapsed)
+	}
+}

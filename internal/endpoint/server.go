@@ -79,6 +79,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), status)
 		return
 	}
+	// The engine checks the context inside its join loops, so a timeout or
+	// client disconnect surfaces here promptly; it can also land exactly
+	// between query completion and serialization — don't spend marshal
+	// work on a request whose context is already dead.
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		http.Error(w, ctxErr.Error(), http.StatusGatewayTimeout)
+		return
+	}
 	contentType, marshal := NegotiateFormat(r.Header.Get("Accept"))
 	body, err := marshal(res)
 	if err != nil {

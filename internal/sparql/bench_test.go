@@ -97,3 +97,49 @@ func BenchmarkExecuteGroupByAggregate(b *testing.B) {
 		}
 	}
 }
+
+// queryEngineWorkloads cover the shapes that matter for the ID-space
+// executor: multi-pattern BGP joins, DISTINCT, OPTIONAL+FILTER, and the
+// expansion-shaped aggregation query from the paper. (The elinda-bench
+// query-engine experiment measures its own analogous workloads against
+// the generated DBpedia-like dataset; this list drives the in-package
+// allocation benchmarks.)
+var queryEngineWorkloads = []struct {
+	Name  string
+	Query string
+}{
+	{"bgp-join2", `SELECT ?s ?o WHERE { ?s a owl:Thing . ?s <http://example.org/p3> ?o . }`},
+	{"bgp-join3", `SELECT ?s ?o ?n WHERE { ?s a owl:Thing . ?s <http://example.org/p3> ?o . ?s <http://example.org/name> ?n . }`},
+	{"distinct", `SELECT DISTINCT ?p ?o WHERE { ?s ?p ?o . }`},
+	{"expansion", benchQuery},
+	{"groupby-order", `SELECT ?p (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o . } GROUP BY ?p ORDER BY DESC(?n)`},
+	{"optional-filter", `SELECT ?s ?o WHERE { ?s a owl:Thing . OPTIONAL { ?s <http://example.org/p3> ?o . } FILTER (BOUND(?o)) }`},
+}
+
+// BenchmarkQueryEngine measures the ID-space streaming executor against
+// the legacy map-based path on identical workloads. The streaming path
+// must show at least 2x fewer allocs/op on the multi-pattern BGP joins.
+func BenchmarkQueryEngine(b *testing.B) {
+	stream := benchEngine(2000)
+	legacy := NewEngine(stream.Store())
+	legacy.UseLegacy = true
+	for _, w := range queryEngineWorkloads {
+		q, err := Parse(w.Query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, cfg := range []struct {
+			name string
+			e    *Engine
+		}{{"stream", stream}, {"legacy", legacy}} {
+			b.Run(w.Name+"/"+cfg.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := cfg.e.Execute(context.Background(), q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}

@@ -32,12 +32,18 @@ type Result struct {
 	AskTrue bool
 }
 
-// Engine executes parsed queries against a store with a generic
-// join-then-aggregate plan. This is the "Virtuoso SPARQL" path of
-// Figure 3/4: correct on the whole subset, but it materializes the full
-// intermediate join ("a complex join with hundreds of millions of tuples as
-// an intermediate result, which delays the response") that the decomposer
-// exists to avoid.
+// Engine executes parsed queries against a store. This is the "Virtuoso
+// SPARQL" path of Figure 3/4: correct on the whole subset, but — unlike
+// the decomposer — it still evaluates the query's join structure, so heavy
+// expansion queries pay for their intermediate results.
+//
+// By default execution runs in ID space (see idexec.go): rows are compact
+// []rdf.ID slot vectors flowing through a streaming pattern-join pipeline,
+// and IDs decode to terms only at projection. The historical map-based
+// evaluator below is kept behind UseLegacy as the differential-testing
+// oracle; it materializes a map[string]rdf.Term per row per join step
+// ("a complex join with hundreds of millions of tuples as an intermediate
+// result, which delays the response").
 type Engine struct {
 	st *store.Store
 	// MaxIntermediate bounds the intermediate result size (0 = unlimited);
@@ -46,6 +52,11 @@ type Engine struct {
 	// DisablePlanner turns off selectivity-based join ordering (for the
 	// planner ablation bench).
 	DisablePlanner bool
+	// UseLegacy routes execution through the map-based evaluator instead
+	// of the ID-space streaming executor. Both must return identical row
+	// sets; the legacy path exists as the oracle for differential tests
+	// and as the baseline for BenchmarkQueryEngine.
+	UseLegacy bool
 }
 
 // ErrTooLarge is returned when an intermediate result exceeds the
@@ -67,8 +78,18 @@ func (e *Engine) Query(ctx context.Context, src string) (*Result, error) {
 	return e.Execute(ctx, q)
 }
 
-// Execute runs a parsed query.
+// Execute runs a parsed query on the ID-space streaming executor, or on
+// the legacy map-based evaluator when UseLegacy is set.
 func (e *Engine) Execute(ctx context.Context, q *Query) (*Result, error) {
+	if e.UseLegacy {
+		return e.executeLegacy(ctx, q)
+	}
+	return e.executeStream(ctx, q)
+}
+
+// executeLegacy is the map-based evaluation path (the differential-test
+// oracle).
+func (e *Engine) executeLegacy(ctx context.Context, q *Query) (*Result, error) {
 	rows, err := e.evalGroup(ctx, q.Where)
 	if err != nil {
 		return nil, err
@@ -161,17 +182,31 @@ func (e *Engine) finish(q *Query, rows []Solution) (*Result, error) {
 	if len(q.OrderBy) > 0 {
 		sortRows(out, q.OrderBy)
 	}
-	if q.Offset > 0 {
-		if q.Offset >= len(out) {
-			out = nil
+	out = SliceSolutions(out, q.Offset, q.Limit)
+	return &Result{Vars: vars, Rows: out}, nil
+}
+
+// SortSolutions sorts rows in place by the ORDER BY keys using the
+// engine's comparison semantics (numeric when both sides coerce, else
+// lexical; unbound sorts first ascending). It is exported so result
+// producers outside the engine — the decomposer's index-backed fast path —
+// apply exactly the same ordering the generic evaluator would.
+func SortSolutions(rows []Solution, keys []OrderKey) { sortRows(rows, keys) }
+
+// SliceSolutions applies OFFSET/LIMIT solution modifiers (limit < 0 means
+// unlimited).
+func SliceSolutions(rows []Solution, offset, limit int) []Solution {
+	if offset > 0 {
+		if offset >= len(rows) {
+			rows = nil
 		} else {
-			out = out[q.Offset:]
+			rows = rows[offset:]
 		}
 	}
-	if q.Limit >= 0 && q.Limit < len(out) {
-		out = out[:q.Limit]
+	if limit >= 0 && limit < len(rows) {
+		rows = rows[:limit]
 	}
-	return &Result{Vars: vars, Rows: out}, nil
+	return rows
 }
 
 func valueToTerm(v Value) (rdf.Term, bool) {
@@ -397,6 +432,7 @@ func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern) ([]Solution, er
 func (e *Engine) joinPattern(ctx context.Context, rows []Solution, tp TriplePattern) ([]Solution, error) {
 	d := e.st.Dict()
 	var out []Solution
+	visits := 0
 	for _, row := range rows {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sparql: %w", err)
@@ -408,7 +444,16 @@ func (e *Engine) joinPattern(ctx context.Context, rows []Solution, tp TriplePatt
 			// A bound term that is not in the dictionary matches nothing.
 			continue
 		}
+		stop := false
 		e.st.Match(sid, pid, oid, func(tr rdf.EncodedTriple) bool {
+			// A single pattern can scan a large share of the store, so the
+			// per-row context check above is not enough for prompt
+			// cancellation; re-check periodically inside the scan too.
+			visits++
+			if visits%cancelCheckInterval == 0 && ctx.Err() != nil {
+				stop = true
+				return false
+			}
 			sol := row.clone()
 			if !sBound && tp.S.IsVar {
 				sol[tp.S.Name] = d.Term(tr.S)
@@ -426,6 +471,9 @@ func (e *Engine) joinPattern(ctx context.Context, rows []Solution, tp TriplePatt
 			out = append(out, sol)
 			return true
 		})
+		if stop {
+			return nil, fmt.Errorf("sparql: %w", ctx.Err())
+		}
 	}
 	return out, nil
 }

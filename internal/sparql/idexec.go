@@ -1,0 +1,1374 @@
+package sparql
+
+// This file implements the engine's default execution path: an ID-space
+// streaming executor. Queries compile to a slot table (variable name →
+// column index) and evaluate as flat []rdf.ID binding rows flowing through
+// a push-based operator pipeline (pattern scan → index-backed join →
+// filter → distinct/group). IDs decode back to rdf.Term only at
+// projection time in finishIDs — "decode at the edge" — so the hot join
+// loops never allocate per-row maps, never render Term.String() keys, and
+// compare bindings by integer equality.
+//
+// The historical map-based evaluator (evalGroup in eval.go) is kept,
+// behind Engine.UseLegacy, as the differential-testing oracle: both paths
+// must produce identical row sets (see differential_test.go).
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"elinda/internal/rdf"
+)
+
+// slotTable assigns each variable name a dense column index in ID rows.
+type slotTable struct {
+	names []string
+	index map[string]int
+}
+
+func newSlotTable() *slotTable { return &slotTable{index: make(map[string]int)} }
+
+// slot returns the column for name, allocating one on first use.
+func (t *slotTable) slot(name string) int {
+	if i, ok := t.index[name]; ok {
+		return i
+	}
+	i := len(t.names)
+	t.names = append(t.names, name)
+	t.index[name] = i
+	return i
+}
+
+// lookup returns the column for name without allocating.
+func (t *slotTable) lookup(name string) (int, bool) {
+	i, ok := t.index[name]
+	return i, ok
+}
+
+func (t *slotTable) width() int { return len(t.names) }
+
+// overflowBase is the first ID of the query-local overflow range. Store
+// dictionary IDs are dense from 1; values materialized during a query
+// (VALUES literals absent from the store, subselect expression outputs)
+// get IDs from 1<<31 up so the two ranges can never collide.
+const overflowBase rdf.ID = 1 << 31
+
+// execEnv is the per-execution encode/decode environment: the store
+// dictionary plus a query-local overflow table for terms that are not in
+// the store. Within one execution, equal terms always map to equal IDs,
+// so ID equality is term equality everywhere in the pipeline.
+type execEnv struct {
+	dict    *rdf.Dict
+	over    []rdf.Term
+	overIdx map[rdf.Term]rdf.ID
+}
+
+func newExecEnv(d *rdf.Dict) *execEnv { return &execEnv{dict: d} }
+
+// encode returns the ID for t, interning it in the overflow table when the
+// store dictionary does not know it.
+func (env *execEnv) encode(t rdf.Term) rdf.ID {
+	if id, ok := env.dict.Lookup(t); ok {
+		return id
+	}
+	if id, ok := env.overIdx[t]; ok {
+		return id
+	}
+	if env.overIdx == nil {
+		env.overIdx = make(map[rdf.Term]rdf.ID)
+	}
+	id := overflowBase + rdf.ID(len(env.over))
+	env.over = append(env.over, t)
+	env.overIdx[t] = id
+	return id
+}
+
+// decode maps an ID back to its term. id must not be NoID.
+func (env *execEnv) decode(id rdf.ID) rdf.Term {
+	if id >= overflowBase {
+		return env.over[id-overflowBase]
+	}
+	return env.dict.Term(id)
+}
+
+// idRows is a compact row set: n rows of width w stored back to back in
+// one []rdf.ID block. rdf.NoID marks an unbound variable.
+type idRows struct {
+	w    int
+	n    int
+	data []rdf.ID
+}
+
+func newIDRows(w int) *idRows { return &idRows{w: w} }
+
+func (r *idRows) row(i int) []rdf.ID { return r.data[i*r.w : (i+1)*r.w] }
+
+func (r *idRows) push(row []rdf.ID) {
+	r.data = append(r.data, row...)
+	r.n++
+}
+
+// allUnbound reports whether every slot of row is NoID.
+func allUnbound(row []rdf.ID) bool {
+	for _, id := range row {
+		if id != rdf.NoID {
+			return false
+		}
+	}
+	return true
+}
+
+// idCompatible mirrors compatible: two rows agree when no slot is bound to
+// different IDs in both.
+func idCompatible(a, b []rdf.ID) bool {
+	for i, v := range a {
+		if v != rdf.NoID && b[i] != rdf.NoID && b[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeInto writes the merge of l and r (r's bindings win) into dst.
+func mergeInto(dst, l, r []rdf.ID) {
+	copy(dst, l)
+	for i, v := range r {
+		if v != rdf.NoID {
+			dst[i] = v
+		}
+	}
+}
+
+// groupSlots collects every variable a group graph pattern can bind:
+// triple patterns, subselect projections, VALUES variables, and the same
+// recursively for OPTIONAL groups and UNION branches. Filters cannot bind
+// variables, so their names need no slots.
+func groupSlots(g *GroupPattern) *slotTable {
+	t := newSlotTable()
+	var walk func(g *GroupPattern)
+	walk = func(g *GroupPattern) {
+		for _, tp := range g.Triples {
+			for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+				if tv.IsVar {
+					t.slot(tv.Name)
+				}
+			}
+		}
+		for _, sub := range g.SubSelects {
+			if sub.Star {
+				// A star subselect projects every variable its body binds.
+				walk(sub.Where)
+				continue
+			}
+			for _, it := range sub.Items {
+				t.slot(it.Var)
+			}
+		}
+		for _, vb := range g.Values {
+			for _, v := range vb.Vars {
+				t.slot(v)
+			}
+		}
+		for _, opt := range g.Optionals {
+			walk(opt)
+		}
+		for _, branches := range g.Unions {
+			for _, br := range branches {
+				walk(br)
+			}
+		}
+	}
+	walk(g)
+	return t
+}
+
+// executeStream is the ID-space execution entry point.
+func (e *Engine) executeStream(ctx context.Context, q *Query) (*Result, error) {
+	env := newExecEnv(e.st.Dict())
+	rows, slots, err := e.evalGroupIDs(ctx, q.Where, env)
+	if err != nil {
+		return nil, err
+	}
+	if q.Ask {
+		return &Result{Ask: true, AskTrue: rows.n > 0}, nil
+	}
+	return e.finishIDs(q, rows, slots, env)
+}
+
+// evalGroupIDs evaluates a group graph pattern to an ID row set over the
+// group's slot table. The operator order mirrors evalGroup exactly so the
+// two paths stay differentially testable.
+func (e *Engine) evalGroupIDs(ctx context.Context, g *GroupPattern, env *execEnv) (*idRows, *slotTable, error) {
+	slots := groupSlots(g)
+	w := slots.width()
+	rows := newIDRows(w)
+	rows.push(make([]rdf.ID, w))
+
+	// Subselects join first.
+	for _, sub := range g.SubSelects {
+		right, err := e.subselectIDs(ctx, sub, env, slots)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows, err = e.idHashJoin(ctx, rows, right)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Triple patterns: a single streaming pass pushes each binding row
+	// through the whole planned pattern chain depth first, so the joined
+	// intermediate result is never materialized as maps.
+	out := newIDRows(w)
+	if err := e.runBGP(ctx, rows, e.planPatterns(g.Triples), slots, out); err != nil {
+		return nil, nil, err
+	}
+	rows = out
+
+	// VALUES blocks: compatibility join with the inline data.
+	for _, vb := range g.Values {
+		inline := newIDRows(w)
+		for _, vrow := range vb.Rows {
+			idrow := make([]rdf.ID, w)
+			for i, v := range vb.Vars {
+				if i < len(vrow) && !vrow[i].IsZero() {
+					idrow[slots.index[v]] = env.encode(vrow[i])
+				}
+			}
+			inline.push(idrow)
+		}
+		joined := newIDRows(w)
+		scratch := make([]rdf.ID, w)
+		visits := 0
+		for i := 0; i < rows.n; i++ {
+			l := rows.row(i)
+			for j := 0; j < inline.n; j++ {
+				if visits++; visits%cancelCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, nil, fmt.Errorf("sparql: %w", err)
+					}
+				}
+				r := inline.row(j)
+				if !idCompatible(l, r) {
+					continue
+				}
+				mergeInto(scratch, l, r)
+				joined.push(scratch)
+				if e.MaxIntermediate > 0 && joined.n > e.MaxIntermediate {
+					return nil, nil, ErrTooLarge
+				}
+			}
+		}
+		rows = joined
+	}
+
+	// UNION branches.
+	for _, branches := range g.Unions {
+		unionRows := newIDRows(w)
+		for _, br := range branches {
+			brRows, brSlots, err := e.evalGroupIDs(ctx, br, env)
+			if err != nil {
+				return nil, nil, err
+			}
+			remapRows(brRows, brSlots, slots, unionRows)
+		}
+		var err error
+		rows, err = e.idHashJoin(ctx, rows, unionRows)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// OPTIONAL: left joins.
+	for _, opt := range g.Optionals {
+		optRows, optSlots, err := e.evalGroupIDs(ctx, opt, env)
+		if err != nil {
+			return nil, nil, err
+		}
+		remapped := newIDRows(w)
+		remapRows(optRows, optSlots, slots, remapped)
+		rows, err = idLeftJoin(ctx, rows, remapped, w)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// FILTER constraints: bridge to the expression evaluator through a
+	// reusable scratch solution holding only the variables the filter
+	// actually references.
+	for _, f := range g.Filters {
+		refs := filterRefs(f, slots)
+		scratch := make(Solution, len(refs))
+		kept := newIDRows(w)
+		for i := 0; i < rows.n; i++ {
+			if i%cancelCheckInterval == cancelCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, fmt.Errorf("sparql: %w", err)
+				}
+			}
+			row := rows.row(i)
+			for k := range scratch {
+				delete(scratch, k)
+			}
+			for _, ref := range refs {
+				if id := row[ref.slot]; id != rdf.NoID {
+					scratch[ref.name] = env.decode(id)
+				}
+			}
+			if b, ok := f.Eval(scratch).AsBool(); ok && b {
+				kept.push(row)
+			}
+		}
+		rows = kept
+	}
+	return rows, slots, nil
+}
+
+// slotRef pairs a variable name with its column.
+type slotRef struct {
+	name string
+	slot int
+}
+
+// filterRefs resolves the variables an expression references to slots.
+// Variables without a slot can never be bound and are omitted (exactly the
+// legacy behavior, where they are simply absent from the solution map).
+func filterRefs(f Expr, slots *slotTable) []slotRef {
+	var refs []slotRef
+	for _, name := range exprVars(f) {
+		if i, ok := slots.lookup(name); ok {
+			refs = append(refs, slotRef{name: name, slot: i})
+		}
+	}
+	return refs
+}
+
+// exprVars returns the distinct variable names referenced by e, in first
+// appearance order.
+func exprVars(e Expr) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *VarExpr:
+			if _, dup := seen[x.Name]; !dup {
+				seen[x.Name] = struct{}{}
+				out = append(out, x.Name)
+			}
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *NotExpr:
+			walk(x.X)
+		case *FuncExpr:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *AggExpr:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	walk(e)
+	return out
+}
+
+// encodeSolutions converts term-level rows (a subselect result) to ID rows
+// over the given slot table.
+func encodeSolutions(sols []Solution, slots *slotTable, env *execEnv) *idRows {
+	out := newIDRows(slots.width())
+	row := make([]rdf.ID, slots.width())
+	for _, sol := range sols {
+		for i := range row {
+			row[i] = rdf.NoID
+		}
+		for name, t := range sol {
+			if i, ok := slots.lookup(name); ok {
+				row[i] = env.encode(t)
+			}
+		}
+		out.push(row)
+	}
+	return out
+}
+
+// remapRows appends src's rows to dst, translating src's columns to dst's
+// slot table. Every src variable has a dst slot by construction
+// (groupSlots covers nested groups).
+func remapRows(src *idRows, srcSlots *slotTable, dstSlots *slotTable, dst *idRows) {
+	mapping := make([]int, srcSlots.width())
+	for j, name := range srcSlots.names {
+		mapping[j] = dstSlots.index[name]
+	}
+	row := make([]rdf.ID, dst.w)
+	for i := 0; i < src.n; i++ {
+		for k := range row {
+			row[k] = rdf.NoID
+		}
+		s := src.row(i)
+		for j, v := range s {
+			row[mapping[j]] = v
+		}
+		dst.push(row)
+	}
+}
+
+// compiledPattern is a triple pattern resolved against the slot table and
+// dictionary once, instead of per row: constants become IDs up front.
+type compiledPattern struct {
+	slot [3]int    // slot index per position, -1 for constants
+	id   [3]rdf.ID // constant ID per position (when slot < 0)
+	dead bool      // a constant is not in the dictionary: matches nothing
+}
+
+func compilePattern(tp TriplePattern, slots *slotTable, d *rdf.Dict) compiledPattern {
+	var cp compiledPattern
+	for i, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+		if tv.IsVar {
+			cp.slot[i] = slots.index[tv.Name]
+			continue
+		}
+		cp.slot[i] = -1
+		id, ok := d.Lookup(tv.Term)
+		if !ok {
+			cp.dead = true
+		}
+		cp.id[i] = id
+	}
+	return cp
+}
+
+// cancelCheckInterval is how many pattern-match visits pass between
+// context checks inside the join loops, so even a single huge scan aborts
+// promptly on cancellation.
+const cancelCheckInterval = 2048
+
+// runBGP streams every input row through the planned pattern chain depth
+// first and appends the fully joined rows to out. Per-depth row counts are
+// tracked so MaxIntermediate triggers on exactly the stage sizes the
+// legacy stage-at-a-time evaluator would have materialized.
+func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, slots *slotTable, out *idRows) error {
+	if len(tps) == 0 {
+		out.data = append(out.data, in.data...)
+		out.n += in.n
+		return nil
+	}
+	// Merge join: when several leaf patterns constrain the same single
+	// variable, intersect their sorted posting lists directly instead of
+	// scanning one and probing the rest row by row. Gated to
+	// MaxIntermediate == 0 because it skips the per-stage intermediate
+	// rows the size guard is defined over.
+	if e.MaxIntermediate == 0 && in.n == 1 && allUnbound(in.row(0)) {
+		in, tps = e.mergeLeafPatterns(in, tps, slots)
+		if len(tps) == 0 {
+			out.data = append(out.data, in.data...)
+			out.n += in.n
+			return nil
+		}
+	}
+	pats := make([]compiledPattern, len(tps))
+	for i, tp := range tps {
+		pats[i] = compilePattern(tp, slots, e.st.Dict())
+	}
+
+	counts := make([]int, len(pats))
+	bufs := make([][]rdf.EncodedTriple, len(pats))
+	cur := make([]rdf.ID, in.w)
+	visits := 0
+
+	var step func(depth int) error
+	step = func(depth int) error {
+		if depth == len(pats) {
+			out.push(cur)
+			return nil
+		}
+		visits++
+		if visits%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sparql: %w", err)
+			}
+		}
+		cp := pats[depth]
+		if cp.dead {
+			return nil
+		}
+		var want [3]rdf.ID // NoID = free position
+		free := false
+		for i := 0; i < 3; i++ {
+			if cp.slot[i] < 0 {
+				want[i] = cp.id[i]
+			} else if v := cur[cp.slot[i]]; v != rdf.NoID {
+				want[i] = v
+			} else {
+				free = true
+			}
+		}
+
+		advance := func() error {
+			counts[depth]++
+			if e.MaxIntermediate > 0 && counts[depth] > e.MaxIntermediate {
+				return ErrTooLarge
+			}
+			return step(depth + 1)
+		}
+
+		if !free {
+			// Fully bound: an O(log n) membership probe instead of a scan.
+			if e.st.ContainsID(want[0], want[1], want[2]) {
+				return advance()
+			}
+			return nil
+		}
+
+		// Collect this row's matches first (the store callback runs under
+		// the store's read lock; recursing inside it could deadlock with a
+		// concurrent writer), then extend the row with each match.
+		buf := bufs[depth][:0]
+		stop := false
+		e.st.Match(want[0], want[1], want[2], func(tr rdf.EncodedTriple) bool {
+			buf = append(buf, tr)
+			visits++
+			if visits%cancelCheckInterval == 0 && ctx.Err() != nil {
+				stop = true
+				return false
+			}
+			return true
+		})
+		bufs[depth] = buf
+		if stop {
+			return fmt.Errorf("sparql: %w", ctx.Err())
+		}
+		var touched [3]int
+		for _, tr := range buf {
+			got := [3]rdf.ID{tr.S, tr.P, tr.O}
+			nt := 0
+			ok := true
+			for i := 0; i < 3; i++ {
+				s := cp.slot[i]
+				if s < 0 {
+					continue
+				}
+				if cur[s] == rdf.NoID {
+					// Binds the position; repeated variables within the
+					// pattern hit the bound branch on their second
+					// occurrence and must agree in ID space.
+					cur[s] = got[i]
+					touched[nt] = s
+					nt++
+				} else if cur[s] != got[i] {
+					ok = false
+					break
+				}
+			}
+			var err error
+			if ok {
+				err = advance()
+			}
+			for i := 0; i < nt; i++ {
+				cur[touched[i]] = rdf.NoID
+			}
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	for i := 0; i < in.n; i++ {
+		copy(cur, in.row(i))
+		if err := step(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeLeafPatterns looks for the first variable constrained by two or
+// more single-variable patterns (all other positions constant), fetches
+// each pattern's sorted posting list from the store, and merge-intersects
+// them into seed rows binding that variable. The consumed patterns are
+// removed from the chain; every triple is distinct, so each pattern
+// contributes a value at most once and the intersection is exactly the
+// join the pattern chain would have produced.
+func (e *Engine) mergeLeafPatterns(in *idRows, tps []TriplePattern, slots *slotTable) (*idRows, []TriplePattern) {
+	d := e.st.Dict()
+	singleVar := func(tp TriplePattern) (string, bool) {
+		name, n := "", 0
+		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+			if tv.IsVar {
+				name = tv.Name
+				n++
+			}
+		}
+		return name, n == 1
+	}
+	byVar := map[string][]int{}
+	target := ""
+	for i, tp := range tps {
+		v, ok := singleVar(tp)
+		if !ok {
+			continue
+		}
+		byVar[v] = append(byVar[v], i)
+		if target == "" && len(byVar[v]) == 2 {
+			target = v
+		}
+	}
+	if target == "" {
+		return in, tps
+	}
+
+	var merged []rdf.ID
+	for k, i := range byVar[target] {
+		var pat [3]rdf.ID
+		dead := false
+		for j, tv := range []TermOrVar{tps[i].S, tps[i].P, tps[i].O} {
+			if tv.IsVar {
+				pat[j] = rdf.NoID
+				continue
+			}
+			id, ok := d.Lookup(tv.Term)
+			if !ok {
+				dead = true
+				break
+			}
+			pat[j] = id
+		}
+		var ids []rdf.ID
+		if !dead {
+			ids, _ = e.st.Postings(pat[0], pat[1], pat[2])
+		}
+		if k == 0 {
+			merged = ids
+		} else {
+			merged = intersectSorted(merged, ids)
+		}
+		if len(merged) == 0 {
+			break
+		}
+	}
+
+	slot := slots.index[target]
+	seeded := newIDRows(in.w)
+	row := make([]rdf.ID, in.w)
+	for _, id := range merged {
+		row[slot] = id
+		seeded.push(row)
+	}
+	rest := make([]TriplePattern, 0, len(tps))
+	consumed := make(map[int]bool, len(byVar[target]))
+	for _, i := range byVar[target] {
+		consumed[i] = true
+	}
+	for i, tp := range tps {
+		if !consumed[i] {
+			rest = append(rest, tp)
+		}
+	}
+	return seeded, rest
+}
+
+// intersectSorted linearly merges two sorted ID lists into their
+// intersection.
+func intersectSorted(a, b []rdf.ID) []rdf.ID {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// idHashJoin joins two ID row sets on the slots bound in both sides'
+// first rows, mirroring the legacy hashJoin sample-based semantics.
+func (e *Engine) idHashJoin(ctx context.Context, left, right *idRows) (*idRows, error) {
+	if left.n == 1 && allUnbound(left.row(0)) {
+		return right, nil
+	}
+	w := left.w
+	out := newIDRows(w)
+	if right.n == 0 || left.n == 0 {
+		return out, nil
+	}
+	var shared []int
+	l0, r0 := left.row(0), right.row(0)
+	for i := 0; i < w; i++ {
+		if l0[i] != rdf.NoID && r0[i] != rdf.NoID {
+			shared = append(shared, i)
+		}
+	}
+	scratch := make([]rdf.ID, w)
+	visits := 0
+	if len(shared) == 0 {
+		// Cross product.
+		for i := 0; i < left.n; i++ {
+			l := left.row(i)
+			for j := 0; j < right.n; j++ {
+				if visits++; visits%cancelCheckInterval == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, fmt.Errorf("sparql: %w", err)
+					}
+				}
+				mergeInto(scratch, l, right.row(j))
+				out.push(scratch)
+				if e.MaxIntermediate > 0 && out.n > e.MaxIntermediate {
+					return nil, ErrTooLarge
+				}
+			}
+		}
+		return out, nil
+	}
+	emit := func(l, r []rdf.ID) error {
+		if visits++; visits%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return fmt.Errorf("sparql: %w", err)
+			}
+		}
+		if !idCompatible(l, r) {
+			return nil
+		}
+		mergeInto(scratch, l, r)
+		out.push(scratch)
+		if e.MaxIntermediate > 0 && out.n > e.MaxIntermediate {
+			return ErrTooLarge
+		}
+		return nil
+	}
+	if len(shared) <= 2 {
+		// Packed uint64 join keys: no per-row allocation.
+		var pair [2]rdf.ID
+		pack := func(row []rdf.ID) uint64 {
+			for j, c := range shared {
+				pair[j] = row[c]
+			}
+			return packPair(pair[:], len(shared))
+		}
+		index := make(map[uint64][]int, right.n)
+		for j := 0; j < right.n; j++ {
+			key := pack(right.row(j))
+			index[key] = append(index[key], j)
+		}
+		for i := 0; i < left.n; i++ {
+			l := left.row(i)
+			for _, j := range index[pack(l)] {
+				if err := emit(l, right.row(j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		return out, nil
+	}
+	keyer := newIDKeyer(len(shared))
+	index := make(map[string][]int, right.n)
+	for j := 0; j < right.n; j++ {
+		key := keyer.key(right.row(j), shared)
+		index[key] = append(index[key], j)
+	}
+	for i := 0; i < left.n; i++ {
+		l := left.row(i)
+		for _, j := range index[keyer.key(l, shared)] {
+			if err := emit(l, right.row(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// idLeftJoin implements OPTIONAL semantics over ID rows. The nested loop
+// is quadratic in the worst case, so it checks the context periodically
+// for prompt cancellation (the legacy leftJoin it mirrors has no
+// intermediate-size guard, so none is applied here either).
+func idLeftJoin(ctx context.Context, left, right *idRows, w int) (*idRows, error) {
+	out := newIDRows(w)
+	scratch := make([]rdf.ID, w)
+	visits := 0
+	for i := 0; i < left.n; i++ {
+		l := left.row(i)
+		matched := false
+		for j := 0; j < right.n; j++ {
+			if visits++; visits%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sparql: %w", err)
+				}
+			}
+			r := right.row(j)
+			if idCompatible(l, r) {
+				mergeInto(scratch, l, r)
+				out.push(scratch)
+				matched = true
+			}
+		}
+		if !matched {
+			out.push(l)
+		}
+	}
+	return out, nil
+}
+
+// idKeyer renders the IDs at the chosen columns of a row into a hashable
+// key. It reuses one byte buffer across calls; the string conversion is
+// the only per-row allocation in the join/distinct/group hash paths, and
+// at 4 bytes per column it is far cheaper than the Term.String() keys the
+// legacy path rendered.
+type idKeyer struct {
+	buf []byte
+}
+
+func newIDKeyer(cols int) *idKeyer { return &idKeyer{buf: make([]byte, 4*cols)} }
+
+func (k *idKeyer) key(row []rdf.ID, cols []int) string {
+	for i, c := range cols {
+		binary.LittleEndian.PutUint32(k.buf[4*i:], uint32(row[c]))
+	}
+	return string(k.buf)
+}
+
+// keyAll renders every column of a projected row.
+func (k *idKeyer) keyAll(row []rdf.ID) string {
+	for i, id := range row {
+		binary.LittleEndian.PutUint32(k.buf[4*i:], uint32(id))
+	}
+	return string(k.buf)
+}
+
+// subselectIDs evaluates a subselect and returns its rows in ID space,
+// remapped onto the parent group's slot table. When the subselect has no
+// solution modifiers and only simple aggregates, the rows never leave ID
+// space — no decode to terms and re-encode on the way into the parent
+// join. Otherwise it falls back to the full term-level finish.
+func (e *Engine) subselectIDs(ctx context.Context, sub *Query, env *execEnv, parentSlots *slotTable) (*idRows, error) {
+	subRows, subSlots, err := e.evalGroupIDs(ctx, sub.Where, env)
+	if err != nil {
+		return nil, err
+	}
+	if len(sub.OrderBy) == 0 && sub.Limit < 0 && sub.Offset == 0 {
+		if proj, vars, ok := e.projectStream(sub, subRows, subSlots, env); ok {
+			return remapProj(proj, vars, parentSlots), nil
+		}
+	}
+	res, err := e.finishIDs(sub, subRows, subSlots, env)
+	if err != nil {
+		return nil, err
+	}
+	return encodeSolutions(res.Rows, parentSlots, env), nil
+}
+
+// remapProj spreads projected columns (named by vars) onto the parent
+// slot table. Duplicate projection names collapse to the last value,
+// matching the legacy map-based rows.
+func remapProj(proj *idRows, vars []string, parentSlots *slotTable) *idRows {
+	out := newIDRows(parentSlots.width())
+	mapping := make([]int, len(vars))
+	for j, name := range vars {
+		mapping[j] = -1
+		if i, ok := parentSlots.lookup(name); ok {
+			mapping[j] = i
+		}
+	}
+	row := make([]rdf.ID, out.w)
+	for i := 0; i < proj.n; i++ {
+		for k := range row {
+			row[k] = rdf.NoID
+		}
+		p := proj.row(i)
+		for j, v := range p {
+			if mapping[j] >= 0 {
+				row[mapping[j]] = v
+			}
+		}
+		out.push(row)
+	}
+	return out
+}
+
+// finishIDs applies grouping, projection, distinct, order and slice to ID
+// rows, decoding to terms only where expressions or the final result
+// require them.
+func (e *Engine) finishIDs(q *Query, rows *idRows, slots *slotTable, env *execEnv) (*Result, error) {
+	var out []Solution
+	var vars []string
+	if proj, pvars, ok := e.projectStream(q, rows, slots, env); ok {
+		// Decode at the edge: terms materialize only here.
+		vars = pvars
+		out = make([]Solution, proj.n)
+		for i := 0; i < proj.n; i++ {
+			row := proj.row(i)
+			sol := make(Solution, len(vars))
+			for j, name := range vars {
+				if id := row[j]; id != rdf.NoID {
+					sol[name] = env.decode(id)
+				}
+			}
+			out[i] = sol
+		}
+	} else {
+		var err error
+		out, vars, err = e.finishGroupedGeneral(q, rows, slots, env)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(q.OrderBy) > 0 {
+		sortRows(out, q.OrderBy)
+	}
+	out = SliceSolutions(out, q.Offset, q.Limit)
+	return &Result{Vars: vars, Rows: out}, nil
+}
+
+// projectStream computes the projected ID rows (DISTINCT applied) without
+// materializing term-level solutions. ok=false means the query needs the
+// general grouped path: HAVING constraints or aggregate expressions more
+// complex than <agg>(?var).
+func (e *Engine) projectStream(q *Query, rows *idRows, slots *slotTable, env *execEnv) (proj *idRows, vars []string, ok bool) {
+	grouped := len(q.GroupBy) > 0 || q.HasAggregates()
+	switch {
+	case grouped:
+		if len(q.Items) == 0 && !q.Star {
+			return nil, nil, false // surfaces the projection error downstream
+		}
+		if !simpleAggItems(q) {
+			return nil, nil, false
+		}
+		for _, it := range q.Items {
+			vars = append(vars, it.Var)
+		}
+		proj = newIDRows(len(q.Items))
+		prow := make([]rdf.ID, len(q.Items))
+		for _, g := range groupIDRows(rows, q.GroupBy, slots) {
+			for j, it := range q.Items {
+				prow[j] = rdf.NoID
+				if it.Expr == nil {
+					// Legacy semantics: the value from the group's first row.
+					if s, has := slots.lookup(it.Var); has && len(g) > 0 {
+						prow[j] = rows.row(g[0])[s]
+					}
+					continue
+				}
+				v := applyAggIDs(it.Expr.(*AggExpr), g, rows, slots, env)
+				if t, tok := valueToTerm(v); tok {
+					prow[j] = env.encode(t)
+				}
+			}
+			proj.push(prow)
+		}
+	case q.Star:
+		boundSlots, starVars := boundColumns(rows, slots)
+		vars = starVars
+		proj = newIDRows(len(boundSlots))
+		prow := make([]rdf.ID, len(boundSlots))
+		for i := 0; i < rows.n; i++ {
+			row := rows.row(i)
+			for j, s := range boundSlots {
+				prow[j] = row[s]
+			}
+			proj.push(prow)
+		}
+	default:
+		// Expression values are interned through the overflow dictionary
+		// so DISTINCT can still key on raw ID columns.
+		for _, it := range q.Items {
+			vars = append(vars, it.Var)
+		}
+		proj = newIDRows(len(q.Items))
+		prow := make([]rdf.ID, len(q.Items))
+		var exprScratch Solution
+		var exprRefs [][]slotRef
+		for j, it := range q.Items {
+			if it.Expr != nil {
+				if exprScratch == nil {
+					exprScratch = Solution{}
+					exprRefs = make([][]slotRef, len(q.Items))
+				}
+				exprRefs[j] = filterRefs(it.Expr, slots)
+			}
+		}
+		for i := 0; i < rows.n; i++ {
+			row := rows.row(i)
+			for j, it := range q.Items {
+				prow[j] = rdf.NoID
+				if it.Expr != nil {
+					for k := range exprScratch {
+						delete(exprScratch, k)
+					}
+					for _, ref := range exprRefs[j] {
+						if id := row[ref.slot]; id != rdf.NoID {
+							exprScratch[ref.name] = env.decode(id)
+						}
+					}
+					if t, tok := valueToTerm(it.Expr.Eval(exprScratch)); tok {
+						prow[j] = env.encode(t)
+					}
+				} else if s, sok := slots.lookup(it.Var); sok {
+					prow[j] = row[s]
+				}
+			}
+			proj.push(prow)
+		}
+	}
+	if q.Distinct {
+		proj = dedupIDRows(proj)
+	}
+	return proj, vars, true
+}
+
+// simpleAggItems reports whether every projection item is a plain
+// variable or an aggregate over a plain variable (or COUNT(*)), with no
+// HAVING — the shapes applyAggIDs computes directly over ID rows.
+func simpleAggItems(q *Query) bool {
+	if len(q.Having) > 0 {
+		return false
+	}
+	for _, it := range q.Items {
+		if it.Expr == nil {
+			continue
+		}
+		agg, ok := it.Expr.(*AggExpr)
+		if !ok {
+			return false
+		}
+		if agg.Star {
+			if agg.Op != "COUNT" {
+				return false
+			}
+			continue
+		}
+		if _, ok := agg.Arg.(*VarExpr); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// applyAggIDs mirrors AggExpr.Apply over a group of ID rows: bound IDs
+// stand in for values (term equality is ID equality under one execEnv),
+// and terms decode one at a time only where numeric or string views are
+// needed — never into per-row solution maps.
+func applyAggIDs(agg *AggExpr, group []int, rows *idRows, slots *slotTable, env *execEnv) Value {
+	if agg.Star && agg.Op == "COUNT" {
+		return NumValue(float64(len(group)))
+	}
+	var ids []rdf.ID
+	if slot, ok := slots.lookup(agg.Arg.(*VarExpr).Name); ok {
+		for _, ri := range group {
+			if id := rows.row(ri)[slot]; id != rdf.NoID {
+				ids = append(ids, id)
+			}
+		}
+	}
+	if agg.Distinct && len(ids) > 1 {
+		seen := make(map[rdf.ID]struct{}, len(ids))
+		kept := ids[:0]
+		for _, id := range ids {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			kept = append(kept, id)
+		}
+		ids = kept
+	}
+	switch agg.Op {
+	case "COUNT":
+		return NumValue(float64(len(ids)))
+	case "SUM":
+		total := 0.0
+		for _, id := range ids {
+			if f, ok := TermValue(env.decode(id)).AsNumber(); ok {
+				total += f
+			}
+		}
+		return NumValue(total)
+	case "AVG":
+		if len(ids) == 0 {
+			return NumValue(0)
+		}
+		total := 0.0
+		n := 0
+		for _, id := range ids {
+			if f, ok := TermValue(env.decode(id)).AsNumber(); ok {
+				total += f
+				n++
+			}
+		}
+		if n == 0 {
+			return Unbound
+		}
+		return NumValue(total / float64(n))
+	case "MIN", "MAX":
+		if len(ids) == 0 {
+			return Unbound
+		}
+		best := TermValue(env.decode(ids[0]))
+		for _, id := range ids[1:] {
+			v := TermValue(env.decode(id))
+			cmp, ok := compareValues(v, best)
+			if !ok {
+				continue
+			}
+			if agg.Op == "MIN" && cmp < 0 || agg.Op == "MAX" && cmp > 0 {
+				best = v
+			}
+		}
+		return best
+	case "SAMPLE":
+		if len(ids) == 0 {
+			return Unbound
+		}
+		return TermValue(env.decode(ids[0]))
+	case "GROUP_CONCAT":
+		sep := agg.Separator
+		if sep == "" {
+			sep = " "
+		}
+		var b []byte
+		for i, id := range ids {
+			if s, ok := TermValue(env.decode(id)).AsString(); ok {
+				if i > 0 {
+					b = append(b, sep...)
+				}
+				b = append(b, s...)
+			}
+		}
+		return StrValue(string(b))
+	}
+	return Unbound
+}
+
+// finishGroupedGeneral is the grouped fallback for HAVING and complex
+// aggregate expressions: groups key on raw ID columns, and only the
+// variables the projection and HAVING expressions reference decode into
+// the per-group solutions evalWithGroup needs.
+func (e *Engine) finishGroupedGeneral(q *Query, rows *idRows, slots *slotTable, env *execEnv) ([]Solution, []string, error) {
+	if len(q.Items) == 0 && !q.Star {
+		return nil, nil, fmt.Errorf("sparql: grouped query requires explicit projection")
+	}
+	var out []Solution
+	var vars []string
+	for _, it := range q.Items {
+		vars = append(vars, it.Var)
+	}
+	needed := neededRefs(q, slots)
+	for _, g := range groupIDRows(rows, q.GroupBy, slots) {
+		sols := make([]Solution, len(g))
+		for i, ri := range g {
+			row := rows.row(ri)
+			sol := make(Solution, len(needed))
+			for _, ref := range needed {
+				if id := row[ref.slot]; id != rdf.NoID {
+					sol[ref.name] = env.decode(id)
+				}
+			}
+			sols[i] = sol
+		}
+		keep := true
+		for _, h := range q.Having {
+			b, ok := evalWithGroup(h, sols).AsBool()
+			if !ok || !b {
+				keep = false
+				break
+			}
+		}
+		if !keep {
+			continue
+		}
+		row := Solution{}
+		for _, it := range q.Items {
+			var v Value
+			if it.Expr != nil {
+				v = evalWithGroup(it.Expr, sols)
+			} else {
+				v = (&VarExpr{Name: it.Var}).Eval(first(sols))
+			}
+			if t, ok := valueToTerm(v); ok {
+				row[it.Var] = t
+			}
+		}
+		out = append(out, row)
+	}
+	if q.Distinct {
+		out = dedupRows(out, vars)
+	}
+	return out, vars, nil
+}
+
+// dedupIDRows removes duplicate projected rows, keying on the raw ID
+// columns: a packed uint64 for one- and two-column projections (the
+// common DISTINCT shapes, no per-row allocation), a byte-packed string
+// otherwise.
+func dedupIDRows(proj *idRows) *idRows {
+	if proj.w == 0 {
+		// Every row is the empty solution.
+		if proj.n > 1 {
+			proj.n = 1
+		}
+		return proj
+	}
+	out := newIDRows(proj.w)
+	if proj.w <= 2 {
+		seen := make(map[uint64]struct{}, proj.n)
+		for i := 0; i < proj.n; i++ {
+			row := proj.row(i)
+			key := packPair(row, proj.w)
+			if _, dup := seen[key]; dup {
+				continue
+			}
+			seen[key] = struct{}{}
+			out.push(row)
+		}
+		return out
+	}
+	keyer := newIDKeyer(proj.w)
+	seen := make(map[string]struct{}, proj.n)
+	for i := 0; i < proj.n; i++ {
+		row := proj.row(i)
+		key := keyer.keyAll(row)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		out.push(row)
+	}
+	return out
+}
+
+// packPair packs up to two 32-bit IDs into a uint64 map key.
+func packPair(row []rdf.ID, w int) uint64 {
+	if w == 0 {
+		return 0
+	}
+	key := uint64(row[0])
+	if w == 2 {
+		key |= uint64(row[1]) << 32
+	}
+	return key
+}
+
+// boundColumns returns the slots bound in at least one row together with
+// their names sorted alphabetically (SELECT * variable order).
+func boundColumns(rows *idRows, slots *slotTable) ([]int, []string) {
+	bound := make([]bool, slots.width())
+	for i := 0; i < rows.n; i++ {
+		for j, id := range rows.row(i) {
+			if id != rdf.NoID {
+				bound[j] = true
+			}
+		}
+	}
+	var names []string
+	for j, name := range slots.names {
+		if bound[j] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	cols := make([]int, len(names))
+	for i, name := range names {
+		cols[i] = slots.index[name]
+	}
+	return cols, names
+}
+
+// neededRefs collects the slot references that grouped projection and
+// HAVING evaluation will read.
+func neededRefs(q *Query, slots *slotTable) []slotRef {
+	seen := map[string]struct{}{}
+	var refs []slotRef
+	add := func(name string) {
+		if _, dup := seen[name]; dup {
+			return
+		}
+		seen[name] = struct{}{}
+		if i, ok := slots.lookup(name); ok {
+			refs = append(refs, slotRef{name: name, slot: i})
+		}
+	}
+	for _, it := range q.Items {
+		if it.Expr != nil {
+			for _, v := range exprVars(it.Expr) {
+				add(v)
+			}
+		} else {
+			add(it.Var)
+		}
+	}
+	for _, h := range q.Having {
+		for _, v := range exprVars(h) {
+			add(v)
+		}
+	}
+	return refs
+}
+
+// groupIDRows partitions rows by the raw IDs of the GROUP BY columns,
+// preserving first-encounter order. A GROUP BY variable that can never be
+// bound keys as NoID, matching the legacy empty-string key.
+func groupIDRows(rows *idRows, by []string, slots *slotTable) [][]int {
+	if len(by) == 0 {
+		if rows.n == 0 {
+			// Aggregates over an empty pattern still yield one group so
+			// COUNT(*) returns 0.
+			return [][]int{nil}
+		}
+		all := make([]int, rows.n)
+		for i := range all {
+			all[i] = i
+		}
+		return [][]int{all}
+	}
+	cols := make([]int, 0, len(by))
+	for _, v := range by {
+		if i, ok := slots.lookup(v); ok {
+			cols = append(cols, i)
+		}
+	}
+	var groups [][]int
+	if len(cols) <= 2 {
+		// Packed uint64 keys: no per-row allocation for the common one-
+		// and two-variable GROUP BY shapes.
+		idx := map[uint64]int{}
+		var pair [2]rdf.ID
+		for i := 0; i < rows.n; i++ {
+			row := rows.row(i)
+			for j, c := range cols {
+				pair[j] = row[c]
+			}
+			key := packPair(pair[:], len(cols))
+			g, ok := idx[key]
+			if !ok {
+				g = len(groups)
+				idx[key] = g
+				groups = append(groups, nil)
+			}
+			groups[g] = append(groups[g], i)
+		}
+		return groups
+	}
+	keyer := newIDKeyer(len(cols))
+	idx := map[string]int{}
+	for i := 0; i < rows.n; i++ {
+		key := keyer.key(rows.row(i), cols)
+		g, ok := idx[key]
+		if !ok {
+			g = len(groups)
+			idx[key] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+	return groups
+}

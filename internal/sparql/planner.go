@@ -82,7 +82,9 @@ func (e *Engine) planPatterns(tps []TriplePattern) []TriplePattern {
 
 // estimate returns the store cardinality of the pattern's constant
 // skeleton (variables as wildcards). Constants not in the dictionary
-// match nothing: estimate 0, the cheapest possible.
+// match nothing: estimate 0, the cheapest possible. Cardinalities come
+// from the store's index statistics (CardMatch) in O(1)/O(log n) — the
+// planner never walks matching triples just to rank patterns.
 func (e *Engine) estimate(tp TriplePattern) int {
 	resolve := func(tv TermOrVar) (rdf.ID, bool) {
 		if tv.IsVar {
@@ -97,8 +99,5 @@ func (e *Engine) estimate(tp TriplePattern) int {
 	if !okS || !okP || !okO {
 		return 0
 	}
-	if s == rdf.NoID && p == rdf.NoID && o == rdf.NoID {
-		return e.st.Len()
-	}
-	return e.st.CountMatch(s, p, o)
+	return e.st.CardMatch(s, p, o)
 }

@@ -8,10 +8,15 @@
 // triple pattern with at least one bound position is answered by index
 // lookup, plus the insertion-order triple log that incremental evaluation
 // needs ("compute the chart on the first N triples, then the next N").
+// Posting lists are kept sorted, which gives O(log n) membership probes
+// (Contains, ContainsID), O(1) cardinality statistics (CardMatch) for the
+// query planner, and sorted ID streams (Postings) that the SPARQL engine's
+// ID-space executor can merge-join.
 package store
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"elinda/internal/rdf"
@@ -28,13 +33,21 @@ type Store struct {
 
 	// log holds triples in insertion order for chunked scans.
 	log []rdf.EncodedTriple
-	// seen deduplicates triples.
-	seen map[rdf.EncodedTriple]struct{}
 
-	// Permutation indexes. spo[s][p] = sorted list of o, etc.
+	// Permutation indexes. Posting lists are kept sorted on insert, so
+	// bound-position membership is a binary search and the query engine's
+	// ID-row joins can merge sorted lists instead of nested-looping.
+	// Sortedness also makes the spo index double as the duplicate check.
+	// spo[s][p] = sorted list of o, etc.
 	spo map[rdf.ID]map[rdf.ID][]rdf.ID
 	pos map[rdf.ID]map[rdf.ID][]rdf.ID
 	osp map[rdf.ID]map[rdf.ID][]rdf.ID
+
+	// Per-position triple counts backing O(1) cardinality estimates:
+	// nS[s] is the number of triples with subject s, and so on.
+	nS map[rdf.ID]int
+	nP map[rdf.ID]int
+	nO map[rdf.ID]int
 
 	generation uint64
 
@@ -49,10 +62,12 @@ func New(n int) *Store {
 	s := &Store{
 		dict: rdf.NewDict(n / 4),
 		log:  make([]rdf.EncodedTriple, 0, n),
-		seen: make(map[rdf.EncodedTriple]struct{}, n),
 		spo:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
 		pos:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
 		osp:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
+		nS:   make(map[rdf.ID]int),
+		nP:   make(map[rdf.ID]int),
+		nO:   make(map[rdf.ID]int),
 	}
 	s.typeID = s.dict.Intern(rdf.TypeIRI)
 	s.subClassID = s.dict.Intern(rdf.SubClassOfIRI)
@@ -110,25 +125,45 @@ func (s *Store) Load(ts []rdf.Triple) (int, error) {
 }
 
 func (s *Store) addLocked(e rdf.EncodedTriple) bool {
-	if _, dup := s.seen[e]; dup {
+	if byP, ok := s.spo[e.S]; ok && containsSorted(byP[e.P], e.O) {
 		return false
 	}
-	s.seen[e] = struct{}{}
 	s.log = append(s.log, e)
 	insertIdx(s.spo, e.S, e.P, e.O)
 	insertIdx(s.pos, e.P, e.O, e.S)
 	insertIdx(s.osp, e.O, e.S, e.P)
+	s.nS[e.S]++
+	s.nP[e.P]++
+	s.nO[e.O]++
 	s.generation++
 	return true
 }
 
+// insertIdx adds c to the posting list idx[a][b], keeping it sorted. The
+// common case (IDs arrive in roughly increasing order from the dictionary)
+// is an O(1) append; out-of-order inserts binary-search and shift.
 func insertIdx(idx map[rdf.ID]map[rdf.ID][]rdf.ID, a, b, c rdf.ID) {
 	m, ok := idx[a]
 	if !ok {
 		m = make(map[rdf.ID][]rdf.ID, 2)
 		idx[a] = m
 	}
-	m[b] = append(m[b], c)
+	list := m[b]
+	if n := len(list); n == 0 || list[n-1] < c {
+		m[b] = append(list, c)
+		return
+	}
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= c })
+	list = append(list, 0)
+	copy(list[i+1:], list[i:])
+	list[i] = c
+	m[b] = list
+}
+
+// containsSorted reports whether id occurs in the sorted posting list.
+func containsSorted(list []rdf.ID, id rdf.ID) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	return i < len(list) && list[i] == id
 }
 
 // Len returns the number of distinct triples.
@@ -138,12 +173,20 @@ func (s *Store) Len() int {
 	return len(s.log)
 }
 
-// Contains reports whether the encoded triple is present.
+// Contains reports whether the encoded triple is present. It is a binary
+// search over the triple's SPO posting list (O(log n)).
 func (s *Store) Contains(e rdf.EncodedTriple) bool {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	_, ok := s.seen[e]
-	return ok
+	byP, ok := s.spo[e.S]
+	return ok && containsSorted(byP[e.P], e.O)
+}
+
+// ContainsID reports whether the fully bound triple (sub, pred, obj) is
+// present. It is the O(log n) membership primitive behind the query
+// engine's fully-bound pattern joins.
+func (s *Store) ContainsID(sub, pred, obj rdf.ID) bool {
+	return s.Contains(rdf.EncodedTriple{S: sub, P: pred, O: obj})
 }
 
 // ContainsTriple reports whether the term-level triple is present.
@@ -261,11 +304,69 @@ func (s *Store) matchLocked(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bo
 	}
 }
 
-// CountMatch returns the number of triples matching the pattern.
+// CountMatch returns the number of triples matching the pattern by
+// iterating them. Prefer CardMatch, which answers the same question from
+// index sizes without walking matches.
 func (s *Store) CountMatch(sub, pred, obj rdf.ID) int {
 	n := 0
 	s.Match(sub, pred, obj, func(rdf.EncodedTriple) bool { n++; return true })
 	return n
+}
+
+// CardMatch returns the exact number of triples matching the pattern
+// (rdf.NoID is a wildcard) from index map/slice sizes: O(1) for every
+// pattern shape except the fully bound triple, which is an O(log n)
+// membership probe. This is what the query planner's selectivity
+// estimates are built on.
+func (s *Store) CardMatch(sub, pred, obj rdf.ID) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		if byP, ok := s.spo[sub]; ok && containsSorted(byP[pred], obj) {
+			return 1
+		}
+		return 0
+	case sub != rdf.NoID && pred != rdf.NoID:
+		return len(s.spo[sub][pred])
+	case pred != rdf.NoID && obj != rdf.NoID:
+		return len(s.pos[pred][obj])
+	case sub != rdf.NoID && obj != rdf.NoID:
+		return len(s.osp[obj][sub])
+	case sub != rdf.NoID:
+		return s.nS[sub]
+	case pred != rdf.NoID:
+		return s.nP[pred]
+	case obj != rdf.NoID:
+		return s.nO[obj]
+	default:
+		return len(s.log)
+	}
+}
+
+// Postings returns the sorted ID list for the single wildcard position of
+// the pattern: the objects of (s, p, ?), the subjects of (?, p, o), or the
+// predicates of (s, ?, o). ok is false unless exactly one position is
+// rdf.NoID. The returned slice is a copy and safe to retain; sortedness is
+// what lets callers merge-intersect posting lists instead of probing one
+// element at a time.
+func (s *Store) Postings(sub, pred, obj rdf.ID) (ids []rdf.ID, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var list []rdf.ID
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj == rdf.NoID:
+		list = s.spo[sub][pred]
+	case sub == rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		list = s.pos[pred][obj]
+	case sub != rdf.NoID && pred == rdf.NoID && obj != rdf.NoID:
+		list = s.osp[obj][sub]
+	default:
+		return nil, false
+	}
+	out := make([]rdf.ID, len(list))
+	copy(out, list)
+	return out, true
 }
 
 // Objects returns the object IDs of triples (sub, pred, ?). The returned

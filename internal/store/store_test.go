@@ -396,3 +396,136 @@ func TestContainsFold(t *testing.T) {
 		}
 	}
 }
+
+// randomStoreForCard loads a random dataset with deliberately shuffled
+// insertion order, so sorted-posting maintenance is exercised on the
+// out-of-order insert path too.
+func randomStoreForCard(r *rand.Rand) *Store {
+	st := New(64)
+	n := 40 + r.Intn(60)
+	for i := 0; i < n; i++ {
+		st.Add(mkTriple(
+			fmt.Sprintf("s%d", r.Intn(9)),
+			fmt.Sprintf("p%d", r.Intn(4)),
+			fmt.Sprintf("o%d", r.Intn(9))))
+	}
+	return st
+}
+
+// TestCardMatchAgreesWithCountMatch checks the O(1) index-size
+// cardinalities against the triple-walking count for every pattern shape.
+func TestCardMatchAgreesWithCountMatch(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		st := randomStoreForCard(r)
+		pick := func(pool string, n int) rdf.ID {
+			if r.Intn(3) == 0 {
+				return rdf.NoID
+			}
+			id, ok := st.Dict().Lookup(iri(fmt.Sprintf("%s%d", pool, r.Intn(n))))
+			if !ok {
+				return rdf.NoID
+			}
+			return id
+		}
+		for probe := 0; probe < 40; probe++ {
+			s, p, o := pick("s", 9), pick("p", 4), pick("o", 9)
+			want := st.CountMatch(s, p, o)
+			if got := st.CardMatch(s, p, o); got != want {
+				t.Fatalf("CardMatch(%d,%d,%d) = %d, CountMatch = %d", s, p, o, got, want)
+			}
+		}
+	}
+}
+
+// TestPostingsSorted checks that every single-wildcard pattern yields its
+// matches as a sorted ID list, and that other shapes report ok=false.
+func TestPostingsSorted(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	st := randomStoreForCard(r)
+	id := func(pool string, i int) rdf.ID {
+		v, _ := st.Dict().Lookup(iri(fmt.Sprintf("%s%d", pool, i)))
+		return v
+	}
+	checked := 0
+	for si := 0; si < 9; si++ {
+		for pi := 0; pi < 4; pi++ {
+			for _, pat := range [][3]rdf.ID{
+				{id("s", si), id("p", pi), rdf.NoID},
+				{rdf.NoID, id("p", pi), id("o", si)},
+				{id("s", si), rdf.NoID, id("o", si)},
+			} {
+				got, ok := st.Postings(pat[0], pat[1], pat[2])
+				if !ok {
+					t.Fatalf("Postings(%v) not ok", pat)
+				}
+				if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+					t.Fatalf("Postings(%v) not sorted: %v", pat, got)
+				}
+				var want []rdf.ID
+				st.Match(pat[0], pat[1], pat[2], func(e rdf.EncodedTriple) bool {
+					switch {
+					case pat[2] == rdf.NoID:
+						want = append(want, e.O)
+					case pat[0] == rdf.NoID:
+						want = append(want, e.S)
+					default:
+						want = append(want, e.P)
+					}
+					return true
+				})
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Fatalf("Postings(%v) = %v, want %v", pat, got, want)
+				}
+				checked++
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no patterns checked")
+	}
+	for _, pat := range [][3]rdf.ID{
+		{rdf.NoID, rdf.NoID, rdf.NoID},
+		{id("s", 0), rdf.NoID, rdf.NoID},
+		{id("s", 0), id("p", 0), id("o", 0)},
+	} {
+		if _, ok := st.Postings(pat[0], pat[1], pat[2]); ok {
+			t.Errorf("Postings(%v) should not be ok", pat)
+		}
+	}
+}
+
+// TestContainsIDAndSortedDedup checks ContainsID and that duplicate
+// detection survives without the old seen-map, including out-of-order
+// inserts that shift posting lists.
+func TestContainsIDAndSortedDedup(t *testing.T) {
+	st := New(4)
+	// Insert objects in descending dictionary order to force shifts.
+	st.Add(mkTriple("s", "p", "z"))
+	st.Add(mkTriple("s", "p", "a"))
+	st.Add(mkTriple("s", "p", "m"))
+	for _, o := range []string{"z", "a", "m"} {
+		if added, _ := st.Add(mkTriple("s", "p", o)); added {
+			t.Errorf("duplicate (s,p,%s) re-added", o)
+		}
+	}
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", st.Len())
+	}
+	sid, _ := st.Dict().Lookup(iri("s"))
+	pid, _ := st.Dict().Lookup(iri("p"))
+	for _, o := range []string{"z", "a", "m"} {
+		oid, _ := st.Dict().Lookup(iri(o))
+		if !st.ContainsID(sid, pid, oid) {
+			t.Errorf("ContainsID(s,p,%s) = false", o)
+		}
+	}
+	if st.ContainsID(sid, pid, sid) {
+		t.Error("ContainsID found absent triple")
+	}
+	objs := st.Objects(sid, pid)
+	if !sort.SliceIsSorted(objs, func(i, j int) bool { return objs[i] < objs[j] }) {
+		t.Errorf("Objects not sorted after out-of-order inserts: %v", objs)
+	}
+}
