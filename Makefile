@@ -19,12 +19,22 @@ vet:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
-# benchjson runs the query-engine experiment and writes the
-# machine-readable BENCH_query.json trajectory file.
+# benchjson runs the machine-readable experiments and writes the
+# BENCH_query.json and BENCH_store.json trajectory files.
 benchjson: build
 	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 5000
+	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 5000
 
-# check runs the tier-1 gate plus vet and the race detector as one command.
+# benchjson-quick is the CI-sized variant: same JSON shape, smaller
+# datasets, so the workflow stays fast (runner numbers are for trend
+# inspection only — absolute comparisons need a quiet machine).
+benchjson-quick: build
+	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 2000
+	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 2000 -triples 200000
+
+# check runs the tier-1 gate plus vet and the race detector as one
+# command. The race run includes the snapshot concurrency tests
+# (store.TestSnapshotConcurrentWithWrites, sparql parallel/differential).
 check: build vet test race
 
 server: build

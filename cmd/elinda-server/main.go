@@ -43,9 +43,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query execution timeout")
 		hvsSnap   = flag.String("hvs-snapshot", "", "persist the heavy query store to this file (restored at boot, saved on shutdown)")
 
-		incChunk   = flag.Int("inc-chunk", 0, "incremental evaluation chunk size N (0 = library default)")
-		incRounds  = flag.Int("inc-rounds", 0, "incremental evaluation round limit k (0 = run to completion)")
-		incWorkers = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
+		incChunk     = flag.Int("inc-chunk", 0, "incremental evaluation chunk size N (0 = library default)")
+		incRounds    = flag.Int("inc-rounds", 0, "incremental evaluation round limit k (0 = run to completion)")
+		incWorkers   = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
+		queryWorkers = flag.Int("query-workers", 0, "parallel BGP worker pool per query (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
@@ -59,6 +60,7 @@ func main() {
 		HeavyThreshold:    *threshold,
 		DisableHVS:        *noHVS,
 		DisableDecomposer: *noDecomp || *remote != "",
+		QueryWorkers:      *queryWorkers,
 	}
 	var sys *elinda.System
 	if *remote == "" {

@@ -104,7 +104,8 @@ func (e *Explorer) RootBar() *Bar {
 	}
 	seen := map[rdf.ID]struct{}{}
 	var set []rdf.ID
-	e.st.Match(rdf.NoID, e.st.TypeID(), rdf.NoID, func(t rdf.EncodedTriple) bool {
+	snap := e.st.Snapshot()
+	snap.Match(rdf.NoID, snap.TypeID(), rdf.NoID, func(t rdf.EncodedTriple) bool {
 		if _, isMeta := meta[t.O]; isMeta {
 			return true
 		}
@@ -118,11 +119,12 @@ func (e *Explorer) RootBar() *Bar {
 }
 
 // ClassBar returns the bar for a class: S is every subject with
-// (s, rdf:type, class).
+// (s, rdf:type, class). The set is a zero-copy view of the store
+// snapshot's index — immutable, so safe to retain in the bar.
 func (e *Explorer) ClassBar(class rdf.Term) *Bar {
 	var set []rdf.ID
 	if cid, ok := e.st.Dict().Lookup(class); ok {
-		set = e.st.SubjectsOfType(cid)
+		set = e.st.Snapshot().SubjectsOfType(cid)
 	}
 	return &Bar{
 		Set:     set,
@@ -170,11 +172,12 @@ func (e *Explorer) subclassExpansion(b *Bar) *Chart {
 		subclasses = h.DirectSubclasses(cid)
 	}
 
+	snap := e.st.Snapshot()
 	inSet := idSet(b.Set)
 	for _, sub := range subclasses {
 		subTerm := e.st.Dict().Term(sub)
 		var members []rdf.ID
-		for _, s := range e.st.SubjectsOfType(sub) {
+		for _, s := range snap.SubjectsOfType(sub) {
 			if _, in := inSet[s]; in {
 				members = append(members, s)
 			}
@@ -211,6 +214,7 @@ func (e *Explorer) propertyExpansion(b *Bar, incoming bool) *Chart {
 		triples int
 	}
 	perProp := map[rdf.ID]*agg{}
+	snap := e.st.Snapshot()
 	for _, s := range b.Set {
 		var seen map[rdf.ID]bool
 		visit := func(t rdf.EncodedTriple) bool {
@@ -228,9 +232,9 @@ func (e *Explorer) propertyExpansion(b *Bar, incoming bool) *Chart {
 		}
 		seen = map[rdf.ID]bool{}
 		if incoming {
-			e.st.Match(rdf.NoID, rdf.NoID, s, visit)
+			snap.Match(rdf.NoID, rdf.NoID, s, visit)
 		} else {
-			e.st.Match(s, rdf.NoID, rdf.NoID, visit)
+			snap.Match(s, rdf.NoID, rdf.NoID, visit)
 		}
 	}
 	denom := float64(b.Len())
@@ -271,14 +275,15 @@ func (e *Explorer) objectExpansion(b *Bar, incoming bool) *Chart {
 		return chart
 	}
 	// Collect connected objects.
+	snap := e.st.Snapshot()
 	connected := map[rdf.ID]struct{}{}
 	for _, s := range b.Set {
 		if incoming {
-			for _, o := range e.st.Subjects(propID, s) {
+			for _, o := range snap.Subjects(propID, s) {
 				connected[o] = struct{}{}
 			}
 		} else {
-			for _, o := range e.st.Objects(s, propID) {
+			for _, o := range snap.Objects(s, propID) {
 				connected[o] = struct{}{}
 			}
 		}
@@ -286,7 +291,7 @@ func (e *Explorer) objectExpansion(b *Bar, incoming bool) *Chart {
 	// Distribute by class.
 	perClass := map[rdf.ID][]rdf.ID{}
 	for o := range connected {
-		for _, c := range e.st.Objects(o, e.st.TypeID()) {
+		for _, c := range snap.Objects(o, snap.TypeID()) {
 			perClass[c] = append(perClass[c], o)
 		}
 	}
@@ -336,8 +341,9 @@ func (e *Explorer) FilterByPropertyValue(b *Bar, prop rdf.Term, value rdf.Term) 
 	valID, okV := e.st.Dict().Lookup(value)
 	var kept []rdf.ID
 	if okP && okV {
+		snap := e.st.Snapshot()
 		for _, s := range b.Set {
-			if e.st.CountMatch(s, propID, valID) > 0 {
+			if snap.ContainsID(s, propID, valID) {
 				kept = append(kept, s)
 			}
 		}

@@ -277,6 +277,9 @@ type TableRow struct {
 // unchanged").
 func (p *Pane) DataTable(props []rdf.Term, filters []TableFilter) *DataTable {
 	d := p.expl.st.Dict()
+	// One immutable snapshot for the whole table: every row reads the
+	// same generation, lock-free.
+	snap := p.expl.st.Snapshot()
 	table := &DataTable{Columns: props, Query: p.tableSPARQL(props, filters)}
 
 	propIDs := make([]rdf.ID, len(props))
@@ -294,7 +297,7 @@ func (p *Pane) DataTable(props []rdf.Term, filters []TableFilter) *DataTable {
 		row := TableRow{Instance: d.Term(s), Values: make([][]rdf.Term, len(props))}
 		keep := true
 		for fid, fs := range filterIdx {
-			objs := p.expl.st.Objects(s, fid)
+			objs := snap.Objects(s, fid)
 			for _, f := range fs {
 				ok := false
 				for _, o := range objs {
@@ -319,7 +322,7 @@ func (p *Pane) DataTable(props []rdf.Term, filters []TableFilter) *DataTable {
 			if pid == rdf.NoID {
 				continue
 			}
-			for _, o := range p.expl.st.Objects(s, pid) {
+			for _, o := range snap.Objects(s, pid) {
 				if t, valid := d.TermOK(o); valid {
 					row.Values[i] = append(row.Values[i], t)
 				}
@@ -371,6 +374,7 @@ func (p *Pane) tableSPARQL(props []rdf.Term, filters []TableFilter) string {
 // operate on a narrowed set" (Section 3.3).
 func (p *Pane) FilterExpansion(filters []TableFilter) *Bar {
 	d := p.expl.st.Dict()
+	snap := p.expl.st.Snapshot()
 	filterIdx := map[rdf.ID][]TableFilter{}
 	for _, f := range filters {
 		if fid, ok := d.Lookup(f.Property); ok {
@@ -381,7 +385,7 @@ func (p *Pane) FilterExpansion(filters []TableFilter) *Bar {
 	for _, s := range p.bar.Set {
 		keep := true
 		for fid, fs := range filterIdx {
-			objs := p.expl.st.Objects(s, fid)
+			objs := snap.Objects(s, fid)
 			for _, f := range fs {
 				ok := false
 				for _, o := range objs {

@@ -281,9 +281,12 @@ func sameSet(a, b []string) bool {
 
 // PropertyStats computes (or serves from the memo) the per-property
 // aggregates for the direct instances of class in the given direction,
-// sorted by descending subject count then property label.
+// sorted by descending subject count then property label. The aggregation
+// runs over one immutable store snapshot — lock-free reads, and the memo
+// is keyed by exactly the generation the pass observed.
 func (d *Decomposer) PropertyStats(class rdf.ID, dir Direction) []PropStat {
-	gen := d.st.Generation()
+	snap := d.st.Snapshot()
+	gen := snap.Generation()
 	key := memoKey{class: class, dir: dir}
 
 	d.mu.Lock()
@@ -297,7 +300,7 @@ func (d *Decomposer) PropertyStats(class rdf.ID, dir Direction) []PropStat {
 	}
 	d.mu.Unlock()
 
-	stats := d.computeStats(class, dir)
+	stats := computeStats(snap, class, dir)
 
 	d.mu.Lock()
 	if d.generation == gen {
@@ -307,13 +310,13 @@ func (d *Decomposer) PropertyStats(class rdf.ID, dir Direction) []PropStat {
 	return stats
 }
 
-func (d *Decomposer) computeStats(class rdf.ID, dir Direction) []PropStat {
+func computeStats(snap *store.Snapshot, class rdf.ID, dir Direction) []PropStat {
 	type agg struct {
 		subjects int
 		triples  int
 	}
 	perProp := make(map[rdf.ID]*agg)
-	subjects := d.st.SubjectsOfType(class)
+	subjects := snap.SubjectsOfType(class)
 	seenProp := make(map[rdf.ID]bool)
 	for _, s := range subjects {
 		for p := range seenProp {
@@ -333,9 +336,9 @@ func (d *Decomposer) computeStats(class rdf.ID, dir Direction) []PropStat {
 			return true
 		}
 		if dir == Outgoing {
-			d.st.Match(s, rdf.NoID, rdf.NoID, visit)
+			snap.Match(s, rdf.NoID, rdf.NoID, visit)
 		} else {
-			d.st.Match(rdf.NoID, rdf.NoID, s, visit)
+			snap.Match(rdf.NoID, rdf.NoID, s, visit)
 		}
 	}
 	out := make([]PropStat, 0, len(perProp))
@@ -346,7 +349,7 @@ func (d *Decomposer) computeStats(class rdf.ID, dir Direction) []PropStat {
 		if out[i].Subjects != out[j].Subjects {
 			return out[i].Subjects > out[j].Subjects
 		}
-		return d.st.Label(out[i].Property) < d.st.Label(out[j].Property)
+		return snap.Label(out[i].Property) < snap.Label(out[j].Property)
 	})
 	return out
 }

@@ -119,13 +119,17 @@ func (ev *Evaluator) Run(ctx context.Context, agg Aggregator, onRound func(Snaps
 		if err := ctx.Err(); err != nil {
 			return Snapshot{}, fmt.Errorf("incremental: %w", err)
 		}
-		offset += ev.scanRound(agg, offset)
+		// Each round binds one immutable store snapshot: the window is
+		// frozen up front, shards scan it lock-free, and completeness is
+		// judged against exactly the state the round observed.
+		view := ev.st.Snapshot()
+		offset += ev.scanRound(view, agg, offset)
 		round++
 		snap := Snapshot{
 			Round:       round,
 			TriplesSeen: offset,
 			Counts:      agg.Counts(),
-			Complete:    offset >= ev.st.Len(),
+			Complete:    offset >= view.Len(),
 		}
 		stop := snap.Complete ||
 			(ev.cfg.MaxRounds > 0 && round >= ev.cfg.MaxRounds)
@@ -138,23 +142,22 @@ func (ev *Evaluator) Run(ctx context.Context, agg Aggregator, onRound func(Snaps
 	}
 }
 
-// scanRound feeds one chunk starting at offset to agg and returns the
-// number of triples scanned. With Workers <= 1 it is a single sequential
-// Scan; otherwise the available window is fixed up front (the log is
-// append-only, so triples inside it cannot move), partitioned into
-// contiguous shards scanned by one goroutine each — the first directly
-// into agg, the rest into fresh clones that are then folded into agg.
-func (ev *Evaluator) scanRound(agg Aggregator, offset int) int {
+// scanRound feeds one chunk of the bound snapshot starting at offset to
+// agg and returns the number of triples scanned. With Workers <= 1 it is
+// a single sequential Scan; otherwise the snapshot's window is
+// partitioned into contiguous shards scanned by one goroutine each — the
+// first directly into agg, the rest into fresh clones that are then
+// folded into agg. The snapshot is immutable, so concurrent store writes
+// can neither move triples inside the window nor open holes between
+// shards.
+func (ev *Evaluator) scanRound(view *store.Snapshot, agg Aggregator, offset int) int {
 	if ev.cfg.Workers <= 1 {
-		return ev.st.Scan(offset, ev.cfg.ChunkSize, func(e rdf.EncodedTriple) bool {
+		return view.Scan(offset, ev.cfg.ChunkSize, func(e rdf.EncodedTriple) bool {
 			agg.Observe(e)
 			return true
 		})
 	}
-	// Fix the round's window before sharding so that concurrent appends
-	// cannot open holes between shards: every shard range lies fully
-	// within the log observed here.
-	avail := ev.st.Len() - offset
+	avail := view.Len() - offset
 	if avail > ev.cfg.ChunkSize {
 		avail = ev.cfg.ChunkSize
 	}
@@ -189,7 +192,7 @@ func (ev *Evaluator) scanRound(agg Aggregator, offset int) int {
 		wg.Add(1)
 		go func(start, limit int, c Aggregator) {
 			defer wg.Done()
-			ev.st.Scan(start, limit, func(e rdf.EncodedTriple) bool {
+			view.Scan(start, limit, func(e rdf.EncodedTriple) bool {
 				c.Observe(e)
 				return true
 			})

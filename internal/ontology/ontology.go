@@ -35,18 +35,21 @@ type Hierarchy struct {
 	instanceCount map[rdf.ID]int
 }
 
-// Build scans the store and constructs the hierarchy snapshot.
+// Build constructs the hierarchy from one immutable store snapshot, so
+// the recorded generation matches exactly the data the scan observed
+// (and the scans themselves are lock-free).
 func Build(st *store.Store) *Hierarchy {
+	snap := st.Snapshot()
 	h := &Hierarchy{
 		st:            st,
-		generation:    st.Generation(),
+		generation:    snap.Generation(),
 		children:      make(map[rdf.ID][]rdf.ID),
 		parents:       make(map[rdf.ID][]rdf.ID),
 		classes:       make(map[rdf.ID]struct{}),
 		instanceCount: make(map[rdf.ID]int),
 	}
 	// Subclass edges.
-	st.Match(rdf.NoID, st.SubClassOfID(), rdf.NoID, func(e rdf.EncodedTriple) bool {
+	snap.Match(rdf.NoID, snap.SubClassOfID(), rdf.NoID, func(e rdf.EncodedTriple) bool {
 		h.children[e.O] = append(h.children[e.O], e.S)
 		h.parents[e.S] = append(h.parents[e.S], e.O)
 		h.classes[e.S] = struct{}{}
@@ -54,14 +57,14 @@ func Build(st *store.Store) *Hierarchy {
 		return true
 	})
 	// Types: count instances and register classes.
-	st.Match(rdf.NoID, st.TypeID(), rdf.NoID, func(e rdf.EncodedTriple) bool {
+	snap.Match(rdf.NoID, snap.TypeID(), rdf.NoID, func(e rdf.EncodedTriple) bool {
 		h.instanceCount[e.O]++
 		h.classes[e.O] = struct{}{}
 		return true
 	})
 	// Declared classes with no instances and no edges still count
 	// (DBpedia: "22 do not have instances at all").
-	for _, id := range st.DeclaredClassList() {
+	for _, id := range snap.DeclaredClassList() {
 		h.classes[id] = struct{}{}
 	}
 	for c := range h.classes {

@@ -57,6 +57,10 @@ type Options struct {
 	DisableHVS bool
 	// DisableDecomposer turns the index tier off.
 	DisableDecomposer bool
+	// QueryWorkers sizes the backend engine's parallel-BGP worker pool
+	// (0 = GOMAXPROCS, 1 = serial). Only applies when the proxy builds
+	// its own local engine (New); remote backends ignore it.
+	QueryWorkers int
 }
 
 // Proxy is the query router. It is safe for concurrent use.
@@ -88,7 +92,9 @@ type Trace struct {
 // generic engine over the same store; use NewWithBackend to route to a
 // remote endpoint instead.
 func New(st *store.Store, opts Options) *Proxy {
-	return NewWithBackend(st, sparql.NewEngine(st), opts)
+	eng := sparql.NewEngine(st)
+	eng.Workers = opts.QueryWorkers
+	return NewWithBackend(st, eng, opts)
 }
 
 // NewWithBackend builds a proxy whose cache/index tiers use st but whose

@@ -47,7 +47,9 @@ type Result struct {
 type Engine struct {
 	st *store.Store
 	// MaxIntermediate bounds the intermediate result size (0 = unlimited);
-	// exceeding it aborts with ErrTooLarge to protect the endpoint.
+	// exceeding it aborts with ErrTooLarge to protect the endpoint. When
+	// set, BGP execution stays serial so the per-stage counts it guards
+	// are deterministic.
 	MaxIntermediate int
 	// DisablePlanner turns off selectivity-based join ordering (for the
 	// planner ablation bench).
@@ -57,6 +59,12 @@ type Engine struct {
 	// sets; the legacy path exists as the oracle for differential tests
 	// and as the baseline for BenchmarkQueryEngine.
 	UseLegacy bool
+	// Workers sizes the worker pool that the streaming executor fans a
+	// BGP's root-pattern candidate rows across (snapshot reads are
+	// lock-free, so workers share nothing but immutable data). 0 means
+	// GOMAXPROCS; 1 forces serial execution. Results — including row
+	// order — are identical at every setting.
+	Workers int
 }
 
 // ErrTooLarge is returned when an intermediate result exceeds the
@@ -88,9 +96,14 @@ func (e *Engine) Execute(ctx context.Context, q *Query) (*Result, error) {
 }
 
 // executeLegacy is the map-based evaluation path (the differential-test
-// oracle).
+// oracle). Like the streaming path it binds one store snapshot for the
+// whole execution, so both paths answer from the same frozen view.
 func (e *Engine) executeLegacy(ctx context.Context, q *Query) (*Result, error) {
-	rows, err := e.evalGroup(ctx, q.Where)
+	return e.executeLegacyOn(ctx, q, e.st.Snapshot())
+}
+
+func (e *Engine) executeLegacyOn(ctx context.Context, q *Query, snap *store.Snapshot) (*Result, error) {
+	rows, err := e.evalGroup(ctx, q.Where, snap)
 	if err != nil {
 		return nil, err
 	}
@@ -323,15 +336,16 @@ func sortRows(rows []Solution, keys []OrderKey) {
 	})
 }
 
-// evalGroup evaluates a group graph pattern to a list of solutions.
-func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern) ([]Solution, error) {
+// evalGroup evaluates a group graph pattern to a list of solutions, all
+// reads going through the execution's bound snapshot.
+func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern, snap *store.Snapshot) ([]Solution, error) {
 	rows := []Solution{{}}
 	var err error
 
 	// Subselects join first (they are usually the most selective part of
 	// eLinda's generated queries).
 	for _, sub := range g.SubSelects {
-		subRes, serr := e.Execute(ctx, sub)
+		subRes, serr := e.executeLegacyOn(ctx, sub, snap)
 		if serr != nil {
 			return nil, serr
 		}
@@ -343,11 +357,11 @@ func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern) ([]Solution, er
 
 	// Triple patterns: nested-loop joins with index-backed pattern lookup,
 	// ordered by estimated selectivity.
-	for _, tp := range e.planPatterns(g.Triples) {
+	for _, tp := range e.planPatterns(snap, g.Triples) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sparql: %w", err)
 		}
-		rows, err = e.joinPattern(ctx, rows, tp)
+		rows, err = e.joinPattern(ctx, snap, rows, tp)
 		if err != nil {
 			return nil, err
 		}
@@ -394,7 +408,7 @@ func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern) ([]Solution, er
 	for _, branches := range g.Unions {
 		var unionRows []Solution
 		for _, br := range branches {
-			brRows, berr := e.evalGroup(ctx, br)
+			brRows, berr := e.evalGroup(ctx, br, snap)
 			if berr != nil {
 				return nil, berr
 			}
@@ -408,7 +422,7 @@ func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern) ([]Solution, er
 
 	// OPTIONAL: left joins.
 	for _, opt := range g.Optionals {
-		optRows, oerr := e.evalGroup(ctx, opt)
+		optRows, oerr := e.evalGroup(ctx, opt, snap)
 		if oerr != nil {
 			return nil, oerr
 		}
@@ -429,8 +443,8 @@ func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern) ([]Solution, er
 }
 
 // joinPattern extends each solution with bindings from matching triples.
-func (e *Engine) joinPattern(ctx context.Context, rows []Solution, tp TriplePattern) ([]Solution, error) {
-	d := e.st.Dict()
+func (e *Engine) joinPattern(ctx context.Context, snap *store.Snapshot, rows []Solution, tp TriplePattern) ([]Solution, error) {
+	d := snap.Dict()
 	var out []Solution
 	visits := 0
 	for _, row := range rows {
@@ -445,7 +459,7 @@ func (e *Engine) joinPattern(ctx context.Context, rows []Solution, tp TriplePatt
 			continue
 		}
 		stop := false
-		e.st.Match(sid, pid, oid, func(tr rdf.EncodedTriple) bool {
+		snap.Match(sid, pid, oid, func(tr rdf.EncodedTriple) bool {
 			// A single pattern can scan a large share of the store, so the
 			// per-row context check above is not enough for prompt
 			// cancellation; re-check periodically inside the scan too.

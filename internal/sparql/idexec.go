@@ -17,9 +17,12 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"elinda/internal/rdf"
+	"elinda/internal/store"
 )
 
 // slotTable assigns each variable name a dense column index in ID rows.
@@ -56,16 +59,23 @@ func (t *slotTable) width() int { return len(t.names) }
 const overflowBase rdf.ID = 1 << 31
 
 // execEnv is the per-execution encode/decode environment: the store
-// dictionary plus a query-local overflow table for terms that are not in
-// the store. Within one execution, equal terms always map to equal IDs,
-// so ID equality is term equality everywhere in the pipeline.
+// snapshot the whole query reads from, its dictionary, and a query-local
+// overflow table for terms that are not in the store. Binding one
+// snapshot per execution gives every operator — including deeply nested
+// subselects — a consistent view of the knowledge base and keeps the hot
+// join loops entirely lock-free. Within one execution, equal terms always
+// map to equal IDs, so ID equality is term equality everywhere in the
+// pipeline.
 type execEnv struct {
+	snap    *store.Snapshot
 	dict    *rdf.Dict
 	over    []rdf.Term
 	overIdx map[rdf.Term]rdf.ID
 }
 
-func newExecEnv(d *rdf.Dict) *execEnv { return &execEnv{dict: d} }
+func newExecEnv(snap *store.Snapshot) *execEnv {
+	return &execEnv{snap: snap, dict: snap.Dict()}
+}
 
 // encode returns the ID for t, interning it in the overflow table when the
 // store dictionary does not know it.
@@ -184,9 +194,11 @@ func groupSlots(g *GroupPattern) *slotTable {
 	return t
 }
 
-// executeStream is the ID-space execution entry point.
+// executeStream is the ID-space execution entry point. It binds one
+// immutable store snapshot for the whole execution: consistent reads, and
+// zero lock traffic inside the join loops.
 func (e *Engine) executeStream(ctx context.Context, q *Query) (*Result, error) {
-	env := newExecEnv(e.st.Dict())
+	env := newExecEnv(e.st.Snapshot())
 	rows, slots, err := e.evalGroupIDs(ctx, q.Where, env)
 	if err != nil {
 		return nil, err
@@ -222,7 +234,7 @@ func (e *Engine) evalGroupIDs(ctx context.Context, g *GroupPattern, env *execEnv
 	// through the whole planned pattern chain depth first, so the joined
 	// intermediate result is never materialized as maps.
 	out := newIDRows(w)
-	if err := e.runBGP(ctx, rows, e.planPatterns(g.Triples), slots, out); err != nil {
+	if err := e.runBGP(ctx, rows, e.planPatterns(env.snap, g.Triples), slots, out, env); err != nil {
 		return nil, nil, err
 	}
 	rows = out
@@ -447,11 +459,143 @@ func compilePattern(tp TriplePattern, slots *slotTable, d *rdf.Dict) compiledPat
 // promptly on cancellation.
 const cancelCheckInterval = 2048
 
+// bgpExec is the depth-first pattern-chain state for one executor: the
+// bound snapshot, the compiled patterns, one reusable row, and the output
+// sink. Workers of a parallel BGP each own an independent bgpExec over
+// the same snapshot.
+type bgpExec struct {
+	ctx             context.Context
+	snap            *store.Snapshot
+	pats            []compiledPattern
+	maxIntermediate int
+	counts          []int // per-depth row counts; nil when unguarded
+	cur             []rdf.ID
+	out             *idRows
+	visits          int
+}
+
+// step extends cur with every match of pats[depth] and recurses. Snapshot
+// reads hold no lock, so the chain recurses directly inside the Match
+// callback — no per-depth match buffering, no lock traffic.
+func (r *bgpExec) step(depth int) error {
+	if depth == len(r.pats) {
+		r.out.push(r.cur)
+		return nil
+	}
+	r.visits++
+	if r.visits%cancelCheckInterval == 0 {
+		if err := r.ctx.Err(); err != nil {
+			return fmt.Errorf("sparql: %w", err)
+		}
+	}
+	cp := r.pats[depth]
+	if cp.dead {
+		return nil
+	}
+	var want [3]rdf.ID // NoID = free position
+	free := false
+	for i := 0; i < 3; i++ {
+		if cp.slot[i] < 0 {
+			want[i] = cp.id[i]
+		} else if v := r.cur[cp.slot[i]]; v != rdf.NoID {
+			want[i] = v
+		} else {
+			free = true
+		}
+	}
+
+	advance := func() error {
+		if r.counts != nil {
+			r.counts[depth]++
+			if r.counts[depth] > r.maxIntermediate {
+				return ErrTooLarge
+			}
+		}
+		return r.step(depth + 1)
+	}
+
+	if !free {
+		// Fully bound: an O(log n) membership probe instead of a scan.
+		if r.snap.ContainsID(want[0], want[1], want[2]) {
+			return advance()
+		}
+		return nil
+	}
+
+	var stepErr error
+	r.snap.Match(want[0], want[1], want[2], func(tr rdf.EncodedTriple) bool {
+		r.visits++
+		if r.visits%cancelCheckInterval == 0 && r.ctx.Err() != nil {
+			stepErr = fmt.Errorf("sparql: %w", r.ctx.Err())
+			return false
+		}
+		got := [3]rdf.ID{tr.S, tr.P, tr.O}
+		var touched [3]int
+		nt := 0
+		ok := true
+		for i := 0; i < 3; i++ {
+			s := cp.slot[i]
+			if s < 0 {
+				continue
+			}
+			if r.cur[s] == rdf.NoID {
+				// Binds the position; repeated variables within the
+				// pattern hit the bound branch on their second
+				// occurrence and must agree in ID space.
+				r.cur[s] = got[i]
+				touched[nt] = s
+				nt++
+			} else if r.cur[s] != got[i] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			stepErr = advance()
+		}
+		for i := 0; i < nt; i++ {
+			r.cur[touched[i]] = rdf.NoID
+		}
+		return stepErr == nil
+	})
+	return stepErr
+}
+
+// run streams every input row through the pattern chain.
+func (r *bgpExec) run(in *idRows) error {
+	for i := 0; i < in.n; i++ {
+		copy(r.cur, in.row(i))
+		if err := r.step(0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parallelMinRows is the minimum number of first-pattern candidate rows
+// before the remaining chain fans out across the worker pool; below it
+// the goroutine handoff costs more than the join work it parallelizes.
+const parallelMinRows = 64
+
+// bgpWorkers resolves the engine's worker-pool size: Workers if set,
+// otherwise GOMAXPROCS.
+func (e *Engine) bgpWorkers() int {
+	if e.Workers > 0 {
+		return e.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // runBGP streams every input row through the planned pattern chain depth
-// first and appends the fully joined rows to out. Per-depth row counts are
-// tracked so MaxIntermediate triggers on exactly the stage sizes the
-// legacy stage-at-a-time evaluator would have materialized.
-func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, slots *slotTable, out *idRows) error {
+// first and appends the fully joined rows to out. With MaxIntermediate
+// set, per-depth row counts trigger on exactly the stage sizes the legacy
+// stage-at-a-time evaluator would have materialized (serial execution, so
+// the counts are deterministic). Otherwise the root pattern's candidate
+// rows fan out across a worker pool — every worker reads the same
+// immutable snapshot with zero coordination — and the per-worker outputs
+// concatenate in chunk order, so the row order is identical to a serial
+// run.
+func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, slots *slotTable, out *idRows, env *execEnv) error {
 	if len(tps) == 0 {
 		out.data = append(out.data, in.data...)
 		out.n += in.n
@@ -463,7 +607,7 @@ func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, sl
 	// MaxIntermediate == 0 because it skips the per-stage intermediate
 	// rows the size guard is defined over.
 	if e.MaxIntermediate == 0 && in.n == 1 && allUnbound(in.row(0)) {
-		in, tps = e.mergeLeafPatterns(in, tps, slots)
+		in, tps = mergeLeafPatterns(env.snap, in, tps, slots)
 		if len(tps) == 0 {
 			out.data = append(out.data, in.data...)
 			out.n += in.n
@@ -472,116 +616,74 @@ func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, sl
 	}
 	pats := make([]compiledPattern, len(tps))
 	for i, tp := range tps {
-		pats[i] = compilePattern(tp, slots, e.st.Dict())
+		pats[i] = compilePattern(tp, slots, env.dict)
 	}
 
-	counts := make([]int, len(pats))
-	bufs := make([][]rdf.EncodedTriple, len(pats))
-	cur := make([]rdf.ID, in.w)
-	visits := 0
-
-	var step func(depth int) error
-	step = func(depth int) error {
-		if depth == len(pats) {
-			out.push(cur)
-			return nil
-		}
-		visits++
-		if visits%cancelCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return fmt.Errorf("sparql: %w", err)
-			}
-		}
-		cp := pats[depth]
-		if cp.dead {
-			return nil
-		}
-		var want [3]rdf.ID // NoID = free position
-		free := false
-		for i := 0; i < 3; i++ {
-			if cp.slot[i] < 0 {
-				want[i] = cp.id[i]
-			} else if v := cur[cp.slot[i]]; v != rdf.NoID {
-				want[i] = v
-			} else {
-				free = true
-			}
-		}
-
-		advance := func() error {
-			counts[depth]++
-			if e.MaxIntermediate > 0 && counts[depth] > e.MaxIntermediate {
-				return ErrTooLarge
-			}
-			return step(depth + 1)
-		}
-
-		if !free {
-			// Fully bound: an O(log n) membership probe instead of a scan.
-			if e.st.ContainsID(want[0], want[1], want[2]) {
-				return advance()
-			}
-			return nil
-		}
-
-		// Collect this row's matches first (the store callback runs under
-		// the store's read lock; recursing inside it could deadlock with a
-		// concurrent writer), then extend the row with each match.
-		buf := bufs[depth][:0]
-		stop := false
-		e.st.Match(want[0], want[1], want[2], func(tr rdf.EncodedTriple) bool {
-			buf = append(buf, tr)
-			visits++
-			if visits%cancelCheckInterval == 0 && ctx.Err() != nil {
-				stop = true
-				return false
-			}
-			return true
-		})
-		bufs[depth] = buf
-		if stop {
-			return fmt.Errorf("sparql: %w", ctx.Err())
-		}
-		var touched [3]int
-		for _, tr := range buf {
-			got := [3]rdf.ID{tr.S, tr.P, tr.O}
-			nt := 0
-			ok := true
-			for i := 0; i < 3; i++ {
-				s := cp.slot[i]
-				if s < 0 {
-					continue
-				}
-				if cur[s] == rdf.NoID {
-					// Binds the position; repeated variables within the
-					// pattern hit the bound branch on their second
-					// occurrence and must agree in ID space.
-					cur[s] = got[i]
-					touched[nt] = s
-					nt++
-				} else if cur[s] != got[i] {
-					ok = false
-					break
-				}
-			}
-			var err error
-			if ok {
-				err = advance()
-			}
-			for i := 0; i < nt; i++ {
-				cur[touched[i]] = rdf.NoID
-			}
-			if err != nil {
-				return err
-			}
-		}
-		return nil
+	run := &bgpExec{ctx: ctx, snap: env.snap, pats: pats, out: out, cur: make([]rdf.ID, in.w)}
+	if e.MaxIntermediate > 0 {
+		run.maxIntermediate = e.MaxIntermediate
+		run.counts = make([]int, len(pats))
+		return run.run(in)
 	}
+	if workers := e.bgpWorkers(); workers > 1 && len(pats) > 1 {
+		return e.runBGPParallel(ctx, in, pats, out, env, workers)
+	}
+	return run.run(in)
+}
 
-	for i := 0; i < in.n; i++ {
-		copy(cur, in.row(i))
-		if err := step(0); err != nil {
+// runBGPParallel evaluates the first pattern serially (one index scan per
+// input row), then partitions the candidate rows into contiguous chunks,
+// one goroutine per chunk, each running the remaining chain into a
+// private row set over the shared immutable snapshot. The order-
+// preserving concatenation of the chunk outputs makes the result —
+// including row order — identical to serial execution.
+func (e *Engine) runBGPParallel(ctx context.Context, in *idRows, pats []compiledPattern, out *idRows, env *execEnv, workers int) error {
+	stage0 := newIDRows(in.w)
+	first := &bgpExec{ctx: ctx, snap: env.snap, pats: pats[:1], out: stage0, cur: make([]rdf.ID, in.w)}
+	if err := first.run(in); err != nil {
+		return err
+	}
+	rest := pats[1:]
+	if stage0.n < parallelMinRows {
+		tail := &bgpExec{ctx: ctx, snap: env.snap, pats: rest, out: out, cur: make([]rdf.ID, in.w)}
+		return tail.run(stage0)
+	}
+	if workers > stage0.n {
+		workers = stage0.n
+	}
+	chunk := (stage0.n + workers - 1) / workers
+	outs := make([]*idRows, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunk
+		hi := lo + chunk
+		if hi > stage0.n {
+			hi = stage0.n
+		}
+		if lo >= hi {
+			break
+		}
+		wout := newIDRows(in.w)
+		outs[wi] = wout
+		wg.Add(1)
+		go func(wi, lo, hi int, wout *idRows) {
+			defer wg.Done()
+			run := &bgpExec{ctx: ctx, snap: env.snap, pats: rest, out: wout, cur: make([]rdf.ID, in.w)}
+			part := &idRows{w: stage0.w, n: hi - lo, data: stage0.data[lo*stage0.w : hi*stage0.w]}
+			errs[wi] = run.run(part)
+		}(wi, lo, hi, wout)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
+		}
+	}
+	for _, wout := range outs {
+		if wout != nil {
+			out.data = append(out.data, wout.data...)
+			out.n += wout.n
 		}
 	}
 	return nil
@@ -589,13 +691,13 @@ func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, sl
 
 // mergeLeafPatterns looks for the first variable constrained by two or
 // more single-variable patterns (all other positions constant), fetches
-// each pattern's sorted posting list from the store, and merge-intersects
-// them into seed rows binding that variable. The consumed patterns are
-// removed from the chain; every triple is distinct, so each pattern
-// contributes a value at most once and the intersection is exactly the
-// join the pattern chain would have produced.
-func (e *Engine) mergeLeafPatterns(in *idRows, tps []TriplePattern, slots *slotTable) (*idRows, []TriplePattern) {
-	d := e.st.Dict()
+// each pattern's sorted posting list from the snapshot, and
+// merge-intersects them into seed rows binding that variable. The
+// consumed patterns are removed from the chain; every triple is distinct,
+// so each pattern contributes a value at most once and the intersection
+// is exactly the join the pattern chain would have produced.
+func mergeLeafPatterns(snap *store.Snapshot, in *idRows, tps []TriplePattern, slots *slotTable) (*idRows, []TriplePattern) {
+	d := snap.Dict()
 	singleVar := func(tp TriplePattern) (string, bool) {
 		name, n := "", 0
 		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
@@ -640,7 +742,7 @@ func (e *Engine) mergeLeafPatterns(in *idRows, tps []TriplePattern, slots *slotT
 		}
 		var ids []rdf.ID
 		if !dead {
-			ids, _ = e.st.Postings(pat[0], pat[1], pat[2])
+			ids, _ = snap.Postings(pat[0], pat[1], pat[2])
 		}
 		if k == 0 {
 			merged = ids
@@ -673,9 +775,11 @@ func (e *Engine) mergeLeafPatterns(in *idRows, tps []TriplePattern, slots *slotT
 }
 
 // intersectSorted linearly merges two sorted ID lists into their
-// intersection.
+// intersection. The output is freshly allocated: the inputs may be
+// zero-copy views of the snapshot's columnar indexes and must never be
+// written to.
 func intersectSorted(a, b []rdf.ID) []rdf.ID {
-	out := a[:0]
+	var out []rdf.ID
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
 		switch {

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"elinda/internal/rdf"
+	"elinda/internal/store"
 )
 
 // planPatterns orders a BGP's triple patterns for evaluation: most
@@ -16,7 +17,7 @@ import (
 //
 // Selectivity is estimated from the store's actual cardinalities: a
 // pattern's score is the number of triples matching its bound positions.
-func (e *Engine) planPatterns(tps []TriplePattern) []TriplePattern {
+func (e *Engine) planPatterns(snap *store.Snapshot, tps []TriplePattern) []TriplePattern {
 	if e.DisablePlanner || len(tps) <= 1 {
 		return tps
 	}
@@ -26,7 +27,7 @@ func (e *Engine) planPatterns(tps []TriplePattern) []TriplePattern {
 	}
 	items := make([]scored, len(tps))
 	for i, tp := range tps {
-		items[i] = scored{tp: tp, card: e.estimate(tp)}
+		items[i] = scored{tp: tp, card: estimate(snap, tp)}
 	}
 	sort.SliceStable(items, func(i, j int) bool { return items[i].card < items[j].card })
 
@@ -80,17 +81,18 @@ func (e *Engine) planPatterns(tps []TriplePattern) []TriplePattern {
 	return out
 }
 
-// estimate returns the store cardinality of the pattern's constant
+// estimate returns the snapshot cardinality of the pattern's constant
 // skeleton (variables as wildcards). Constants not in the dictionary
 // match nothing: estimate 0, the cheapest possible. Cardinalities come
-// from the store's index statistics (CardMatch) in O(1)/O(log n) — the
-// planner never walks matching triples just to rank patterns.
-func (e *Engine) estimate(tp TriplePattern) int {
+// from the snapshot's columnar index offsets (CardMatch) in O(log n) —
+// the planner never walks matching triples just to rank patterns, and it
+// ranks them against exactly the data the query will read.
+func estimate(snap *store.Snapshot, tp TriplePattern) int {
 	resolve := func(tv TermOrVar) (rdf.ID, bool) {
 		if tv.IsVar {
 			return rdf.NoID, true
 		}
-		id, ok := e.st.Dict().Lookup(tv.Term)
+		id, ok := snap.Dict().Lookup(tv.Term)
 		return id, ok
 	}
 	s, okS := resolve(tp.S)
@@ -99,5 +101,5 @@ func (e *Engine) estimate(tp TriplePattern) int {
 	if !okS || !okP || !okO {
 		return 0
 	}
-	return e.st.CardMatch(s, p, o)
+	return snap.CardMatch(s, p, o)
 }

@@ -34,7 +34,7 @@ func TestPlannerOrdersBySelectivity(t *testing.T) {
 		{S: V("s"), P: T(ex("knows")), O: V("o")},        // 1000 matches
 		{S: V("s"), P: T(rdf.TypeIRI), O: T(ex("Rare"))}, // 3 matches
 	}
-	planned := e.planPatterns(tps)
+	planned := e.planPatterns(e.st.Snapshot(), tps)
 	if planned[0].P.Term != rdf.TypeIRI {
 		t.Errorf("selective pattern not first: %v", planned[0])
 	}
@@ -49,7 +49,7 @@ func TestPlannerPrefersConnectedPatterns(t *testing.T) {
 		{S: V("s"), P: T(rdf.TypeIRI), O: T(ex("Rare"))},
 		{S: V("s"), P: T(ex("knows")), O: V("o")},
 	}
-	planned := e.planPatterns(tps)
+	planned := e.planPatterns(e.st.Snapshot(), tps)
 	if planned[0].P.Term != rdf.TypeIRI {
 		t.Fatalf("plan[0] = %v", planned[0])
 	}
@@ -102,7 +102,7 @@ func TestPlannerUnknownConstantFirst(t *testing.T) {
 		{S: V("s"), P: T(ex("knows")), O: V("o")},
 		{S: V("s"), P: T(ex("neverSeen")), O: V("z")}, // estimate 0
 	}
-	planned := e.planPatterns(tps)
+	planned := e.planPatterns(e.st.Snapshot(), tps)
 	if planned[0].P.Term != ex("neverSeen") {
 		t.Errorf("zero-cardinality pattern should lead: %v", planned[0])
 	}

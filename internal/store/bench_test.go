@@ -50,7 +50,7 @@ func BenchmarkMatchBySubject(b *testing.B) {
 func BenchmarkMatchByPredicate(b *testing.B) {
 	st := New(0)
 	st.Load(benchTriples(50_000))
-	p, _ := st.Dict().Lookup(iri("p7"))
+	p, _ := st.Dict().Lookup(iri("p2"))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n := 0
@@ -84,6 +84,51 @@ func BenchmarkComputeStats(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if s := st.ComputeStats(); s.Triples == 0 {
 			b.Fatal("empty stats")
+		}
+	}
+}
+
+// BenchmarkSnapshotObjects measures the zero-copy lock-free posting-list
+// probe on a published snapshot — the executor's hottest read.
+func BenchmarkSnapshotObjects(b *testing.B) {
+	st := New(0)
+	st.Load(benchTriples(50_000))
+	snap := st.Snapshot()
+	s, _ := st.Dict().Lookup(iri("s42"))
+	p, _ := st.Dict().Lookup(iri("p2"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(snap.Objects(s, p)) == 0 {
+			b.Fatal("no postings")
+		}
+	}
+}
+
+// BenchmarkSnapshotPublish measures Snapshot() with a small pending delta
+// — the linear merge of the overlay into a new columnar base.
+func BenchmarkSnapshotPublish(b *testing.B) {
+	st := New(0)
+	st.Load(benchTriples(50_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st.Add(rdf.Triple{S: iri("fresh"), P: iri("p"), O: iri(fmt.Sprintf("x%d", i))})
+		b.StartTimer()
+		if st.Snapshot().Len() == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchmarkAddDelta measures the copy-on-write sorted-delta insert path.
+func BenchmarkAddDelta(b *testing.B) {
+	st := New(0)
+	st.Load(benchTriples(50_000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.Add(rdf.Triple{S: iri("s1"), P: iri("pX"), O: iri(fmt.Sprintf("n%d", i))}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

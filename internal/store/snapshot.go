@@ -1,0 +1,421 @@
+package store
+
+import (
+	"slices"
+	"sort"
+	"sync"
+
+	"elinda/internal/rdf"
+)
+
+// permIndex is one permutation index of a snapshot in columnar form: a
+// two-level offset index over a contiguous sorted ID array. For the SPO
+// permutation, aKeys holds the distinct subjects in ascending order,
+// bKeys[aOff[i]:aOff[i+1]] the sorted predicates of aKeys[i], and
+// c[bOff[j]:bOff[j+1]] the sorted posting list of bKeys[j]. Lookups are
+// two binary searches; posting lists are returned as sub-slices of c
+// without copying. The structure is immutable after construction.
+type permIndex struct {
+	aKeys []rdf.ID
+	aOff  []uint32 // len(aKeys)+1, offsets into bKeys
+	bKeys []rdf.ID
+	bOff  []uint32 // len(bKeys)+1, offsets into c
+	c     []rdf.ID
+}
+
+// findA binary-searches the first-level keys.
+func (p *permIndex) findA(a rdf.ID) (int, bool) {
+	i := sort.Search(len(p.aKeys), func(i int) bool { return p.aKeys[i] >= a })
+	return i, i < len(p.aKeys) && p.aKeys[i] == a
+}
+
+// findB binary-searches the second-level keys of group ai.
+func (p *permIndex) findB(ai int, b rdf.ID) (int, bool) {
+	lo, hi := int(p.aOff[ai]), int(p.aOff[ai+1])
+	j := lo + sort.Search(hi-lo, func(k int) bool { return p.bKeys[lo+k] >= b })
+	return j, j < hi && p.bKeys[j] == b
+}
+
+// postings returns the sorted third-position IDs of (a, b) as a sub-slice
+// of the index (nil when absent). Callers must not modify it.
+func (p *permIndex) postings(a, b rdf.ID) []rdf.ID {
+	ai, ok := p.findA(a)
+	if !ok {
+		return nil
+	}
+	j, ok := p.findB(ai, b)
+	if !ok {
+		return nil
+	}
+	return p.c[p.bOff[j]:p.bOff[j+1]]
+}
+
+// cardA returns the number of triples whose first position is a.
+func (p *permIndex) cardA(a rdf.ID) int {
+	ai, ok := p.findA(a)
+	if !ok {
+		return 0
+	}
+	return int(p.bOff[p.aOff[ai+1]]) - int(p.bOff[p.aOff[ai]])
+}
+
+// bKeysOf returns the sorted distinct second-position keys of a as a
+// sub-slice (nil when absent). Callers must not modify it.
+func (p *permIndex) bKeysOf(a rdf.ID) []rdf.ID {
+	ai, ok := p.findA(a)
+	if !ok {
+		return nil
+	}
+	return p.bKeys[p.aOff[ai]:p.aOff[ai+1]]
+}
+
+// cSpanOf returns the contiguous third-position span of every triple whose
+// first position is a — e.g. for the OSP index, all predicates arriving at
+// object a. The span is sorted per (a,b) group, not globally.
+func (p *permIndex) cSpanOf(a rdf.ID) []rdf.ID {
+	ai, ok := p.findA(a)
+	if !ok {
+		return nil
+	}
+	return p.c[p.bOff[p.aOff[ai]]:p.bOff[p.aOff[ai+1]]]
+}
+
+// matchA iterates every (b, c) pair of group a in sorted order. fn
+// returning false stops the iteration; matchA reports whether iteration
+// ran to completion.
+func (p *permIndex) matchA(a rdf.ID, fn func(b, c rdf.ID) bool) bool {
+	ai, ok := p.findA(a)
+	if !ok {
+		return true
+	}
+	for j := int(p.aOff[ai]); j < int(p.aOff[ai+1]); j++ {
+		b := p.bKeys[j]
+		for _, c := range p.c[p.bOff[j]:p.bOff[j+1]] {
+			if !fn(b, c) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// permBuilder assembles a permIndex from (a, b, c) tuples arriving in
+// strictly increasing lexicographic order.
+type permBuilder struct{ idx permIndex }
+
+func newPermBuilder(nTriples int) *permBuilder {
+	b := &permBuilder{}
+	b.idx.c = make([]rdf.ID, 0, nTriples)
+	// Key arrays grow with the number of distinct groups; seeding them at
+	// a quarter of the triple count skips most of the append doublings.
+	hint := nTriples/4 + 8
+	b.idx.aKeys = make([]rdf.ID, 0, hint)
+	b.idx.aOff = make([]uint32, 0, hint)
+	b.idx.bKeys = make([]rdf.ID, 0, hint)
+	b.idx.bOff = make([]uint32, 0, hint)
+	return b
+}
+
+func (pb *permBuilder) add(a, b, c rdf.ID) {
+	idx := &pb.idx
+	if n := len(idx.aKeys); n == 0 || idx.aKeys[n-1] != a {
+		idx.aKeys = append(idx.aKeys, a)
+		idx.aOff = append(idx.aOff, uint32(len(idx.bKeys)))
+		idx.bKeys = append(idx.bKeys, b)
+		idx.bOff = append(idx.bOff, uint32(len(idx.c)))
+	} else if m := len(idx.bKeys); idx.bKeys[m-1] != b {
+		idx.bKeys = append(idx.bKeys, b)
+		idx.bOff = append(idx.bOff, uint32(len(idx.c)))
+	}
+	idx.c = append(idx.c, c)
+}
+
+func (pb *permBuilder) finish() permIndex {
+	pb.idx.aOff = append(pb.idx.aOff, uint32(len(pb.idx.bKeys)))
+	pb.idx.bOff = append(pb.idx.bOff, uint32(len(pb.idx.c)))
+	return pb.idx
+}
+
+// permCursor walks a permIndex's (a, b, c) tuples in sorted order. It
+// relies on the invariant that every group is non-empty.
+type permCursor struct {
+	p          *permIndex
+	ai, bi, ci int
+}
+
+func (cur *permCursor) valid() bool { return cur.ci < len(cur.p.c) }
+
+func (cur *permCursor) tuple() (a, b, c rdf.ID) {
+	return cur.p.aKeys[cur.ai], cur.p.bKeys[cur.bi], cur.p.c[cur.ci]
+}
+
+func (cur *permCursor) advance() {
+	cur.ci++
+	if cur.ci >= len(cur.p.c) {
+		return
+	}
+	if uint32(cur.ci) >= cur.p.bOff[cur.bi+1] {
+		cur.bi++
+		if uint32(cur.bi) >= cur.p.aOff[cur.ai+1] {
+			cur.ai++
+		}
+	}
+}
+
+// keySPO/keyPOS/keyOSP map an encoded triple to the (a, b, c) tuple of the
+// corresponding permutation.
+func keySPO(e rdf.EncodedTriple) (a, b, c rdf.ID) { return e.S, e.P, e.O }
+func keyPOS(e rdf.EncodedTriple) (a, b, c rdf.ID) { return e.P, e.O, e.S }
+func keyOSP(e rdf.EncodedTriple) (a, b, c rdf.ID) { return e.O, e.S, e.P }
+
+// cmpIDs3 compares two (a, b, c) tuples lexicographically.
+func cmpIDs3(a1, b1, c1, a2, b2, c2 rdf.ID) int {
+	switch {
+	case a1 != a2:
+		if a1 < a2 {
+			return -1
+		}
+		return 1
+	case b1 != b2:
+		if b1 < b2 {
+			return -1
+		}
+		return 1
+	case c1 != c2:
+		if c1 < c2 {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func cmpSPO(x, y rdf.EncodedTriple) int { return cmpIDs3(x.S, x.P, x.O, y.S, y.P, y.O) }
+func cmpPOS(x, y rdf.EncodedTriple) int { return cmpIDs3(x.P, x.O, x.S, y.P, y.O, y.S) }
+func cmpOSP(x, y rdf.EncodedTriple) int { return cmpIDs3(x.O, x.S, x.P, y.O, y.S, y.P) }
+
+// buildPerm sorts scratch in the permutation's order and packs it into
+// columnar form. scratch must be duplicate-free.
+func buildPerm(scratch []rdf.EncodedTriple, cmp func(x, y rdf.EncodedTriple) int, key func(rdf.EncodedTriple) (a, b, c rdf.ID)) permIndex {
+	slices.SortFunc(scratch, cmp)
+	pb := newPermBuilder(len(scratch))
+	for _, e := range scratch {
+		pb.add(key(e))
+	}
+	return pb.finish()
+}
+
+// mergePerm linearly merges a base permutation with a sorted,
+// duplicate-free delta (sorted by the same permutation order) into a new
+// columnar index — O(base+delta), no re-sort.
+func mergePerm(base *permIndex, delta []rdf.EncodedTriple, key func(rdf.EncodedTriple) (a, b, c rdf.ID)) permIndex {
+	pb := newPermBuilder(len(base.c) + len(delta))
+	cur := permCursor{p: base}
+	di := 0
+	for cur.valid() && di < len(delta) {
+		a1, b1, c1 := cur.tuple()
+		a2, b2, c2 := key(delta[di])
+		if cmpIDs3(a1, b1, c1, a2, b2, c2) < 0 {
+			pb.add(a1, b1, c1)
+			cur.advance()
+		} else {
+			pb.add(a2, b2, c2)
+			di++
+		}
+	}
+	for ; cur.valid(); cur.advance() {
+		pb.add(cur.tuple())
+	}
+	for ; di < len(delta); di++ {
+		pb.add(key(delta[di]))
+	}
+	return pb.finish()
+}
+
+// packBits is the per-position width of the packed sort key: three IDs
+// fit one uint64 whenever every ID is below 1<<21 (two million distinct
+// terms), which covers everything short of web-scale dictionaries.
+const (
+	packBits = 21
+	packMax  = rdf.ID(1) << packBits
+	packMask = uint64(packMax - 1)
+)
+
+// buildPermPacked builds one permutation by packing each (a, b, c) tuple
+// into a uint64 and sorting the plain integer slice — far faster than a
+// comparator sort over structs, and the sorted keys unpack straight into
+// the columnar builder.
+func buildPermPacked(log []rdf.EncodedTriple, scratch []uint64, key func(rdf.EncodedTriple) (a, b, c rdf.ID)) permIndex {
+	for i, e := range log {
+		a, b, c := key(e)
+		scratch[i] = uint64(a)<<(2*packBits) | uint64(b)<<packBits | uint64(c)
+	}
+	slices.Sort(scratch)
+	pb := newPermBuilder(len(log))
+	for _, p := range scratch {
+		pb.add(rdf.ID(p>>(2*packBits)), rdf.ID(p>>packBits)&rdf.ID(packMask), rdf.ID(p)&rdf.ID(packMask))
+	}
+	return pb.finish()
+}
+
+// maxIDIn returns the largest ID appearing in the log.
+func maxIDIn(log []rdf.EncodedTriple) rdf.ID {
+	var m rdf.ID
+	for _, e := range log {
+		if e.S > m {
+			m = e.S
+		}
+		if e.P > m {
+			m = e.P
+		}
+		if e.O > m {
+			m = e.O
+		}
+	}
+	return m
+}
+
+// columnar is the frozen index core of a snapshot: the three permutation
+// indexes as flat sorted arrays covering one duplicate-free triple log
+// prefix. It is immutable after construction.
+type columnar struct {
+	n   int // triples covered
+	spo permIndex
+	pos permIndex
+	osp permIndex
+}
+
+// buildColumnar packs the (duplicate-free) log into the three columnar
+// permutation indexes with one sort per permutation. The three builds are
+// independent and run concurrently; each uses packed-uint64 keys when the
+// ID space allows, falling back to comparator sorts otherwise.
+func buildColumnar(log []rdf.EncodedTriple) *columnar {
+	col := &columnar{n: len(log)}
+	packed := maxIDIn(log) < packMax
+	build := func(idx *permIndex, cmp func(x, y rdf.EncodedTriple) int, key func(rdf.EncodedTriple) (a, b, c rdf.ID)) {
+		if packed {
+			*idx = buildPermPacked(log, make([]uint64, len(log)), key)
+			return
+		}
+		scratch := make([]rdf.EncodedTriple, len(log))
+		copy(scratch, log)
+		*idx = buildPerm(scratch, cmp, key)
+	}
+	if len(log) < 1<<14 {
+		build(&col.spo, cmpSPO, keySPO)
+		build(&col.pos, cmpPOS, keyPOS)
+		build(&col.osp, cmpOSP, keyOSP)
+		return col
+	}
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); build(&col.pos, cmpPOS, keyPOS) }()
+	go func() { defer wg.Done(); build(&col.osp, cmpOSP, keyOSP) }()
+	build(&col.spo, cmpSPO, keySPO)
+	wg.Wait()
+	return col
+}
+
+// containsID reports membership via the SPO index.
+func (c *columnar) containsID(sub, pred, obj rdf.ID) bool {
+	return containsSorted(c.spo.postings(sub, pred), obj)
+}
+
+// match iterates the columnar triples matching the pattern (at least one
+// position bound); reports whether iteration ran to completion.
+func (c *columnar) match(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) bool {
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		if c.containsID(sub, pred, obj) {
+			return fn(rdf.EncodedTriple{S: sub, P: pred, O: obj})
+		}
+	case sub != rdf.NoID && pred != rdf.NoID:
+		for _, o := range c.spo.postings(sub, pred) {
+			if !fn(rdf.EncodedTriple{S: sub, P: pred, O: o}) {
+				return false
+			}
+		}
+	case sub != rdf.NoID && obj != rdf.NoID:
+		for _, p := range c.osp.postings(obj, sub) {
+			if !fn(rdf.EncodedTriple{S: sub, P: p, O: obj}) {
+				return false
+			}
+		}
+	case pred != rdf.NoID && obj != rdf.NoID:
+		for _, sid := range c.pos.postings(pred, obj) {
+			if !fn(rdf.EncodedTriple{S: sid, P: pred, O: obj}) {
+				return false
+			}
+		}
+	case sub != rdf.NoID:
+		return c.spo.matchA(sub, func(p, o rdf.ID) bool {
+			return fn(rdf.EncodedTriple{S: sub, P: p, O: o})
+		})
+	case pred != rdf.NoID:
+		return c.pos.matchA(pred, func(o, sid rdf.ID) bool {
+			return fn(rdf.EncodedTriple{S: sid, P: pred, O: o})
+		})
+	default: // obj bound
+		return c.osp.matchA(obj, func(sid, p rdf.ID) bool {
+			return fn(rdf.EncodedTriple{S: sid, P: p, O: obj})
+		})
+	}
+	return true
+}
+
+// card counts matches from index offsets — O(log n), never a walk.
+func (c *columnar) card(sub, pred, obj rdf.ID) int {
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		if c.containsID(sub, pred, obj) {
+			return 1
+		}
+		return 0
+	case sub != rdf.NoID && pred != rdf.NoID:
+		return len(c.spo.postings(sub, pred))
+	case pred != rdf.NoID && obj != rdf.NoID:
+		return len(c.pos.postings(pred, obj))
+	case sub != rdf.NoID && obj != rdf.NoID:
+		return len(c.osp.postings(obj, sub))
+	case sub != rdf.NoID:
+		return c.spo.cardA(sub)
+	case pred != rdf.NoID:
+		return c.pos.cardA(pred)
+	case obj != rdf.NoID:
+		return c.osp.cardA(obj)
+	default:
+		return c.n
+	}
+}
+
+// postings returns the zero-copy posting list for a single-wildcard
+// pattern shape; ok is false unless exactly one position is rdf.NoID.
+func (c *columnar) postings(sub, pred, obj rdf.ID) (ids []rdf.ID, ok bool) {
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj == rdf.NoID:
+		return c.spo.postings(sub, pred), true
+	case sub == rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		return c.pos.postings(pred, obj), true
+	case sub != rdf.NoID && pred == rdf.NoID && obj != rdf.NoID:
+		return c.osp.postings(obj, sub), true
+	default:
+		return nil, false
+	}
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice in place.
+func dedupSorted(ids []rdf.ID) []rdf.ID {
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// containsSorted reports whether id occurs in the sorted posting list.
+func containsSorted(list []rdf.ID, id rdf.ID) bool {
+	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
+	return i < len(list) && list[i] == id
+}

@@ -31,16 +31,21 @@ type Stats struct {
 	Literals int
 }
 
-// ComputeStats walks the store once and derives the dataset statistics.
-func (s *Store) ComputeStats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// ComputeStats derives the dataset statistics from the current snapshot.
+func (s *Store) ComputeStats() Stats { return s.Snapshot().ComputeStats() }
+
+// ComputeStats walks the snapshot's columnar indexes once and derives the
+// dataset statistics. Distinct subject/predicate/object counts fall out
+// of the base index key arrays, adjusted by one pass over the bounded
+// overlay (delta + tail) — no index rebuild, whatever the write state.
+func (s *Snapshot) ComputeStats() Stats {
+	col := s.base
 
 	var st Stats
 	st.Triples = len(s.log)
-	st.Subjects = len(s.spo)
-	st.Predicates = len(s.pos)
-	st.Objects = len(s.osp)
+	st.Subjects = len(col.spo.aKeys)
+	st.Predicates = len(col.pos.aKeys)
+	st.Objects = len(col.osp.aKeys)
 
 	classSet := make(map[rdf.ID]struct{})
 	declared := make(map[rdf.ID]struct{})
@@ -50,36 +55,65 @@ func (s *Store) ComputeStats() Stats {
 	owlClassID, okOwl := s.dict.Lookup(rdf.OWLClassIRI)
 	rdfsClassID, okRdfs := s.dict.Lookup(rdf.RDFSClassIRI)
 
-	for o := range s.osp {
-		if t, ok := s.dict.TermOK(o); ok && t.IsLiteral() {
+	isLit := func(o rdf.ID) bool {
+		t, ok := s.dict.TermOK(o)
+		return ok && t.IsLiteral()
+	}
+	for _, o := range col.osp.aKeys {
+		if isLit(o) {
 			litCount++
+		}
+	}
+	if !s.overlayEmpty() {
+		// Count the positions the overlay introduces beyond the base.
+		newS := make(map[rdf.ID]struct{})
+		newP := make(map[rdf.ID]struct{})
+		newO := make(map[rdf.ID]struct{})
+		overlay := func(e rdf.EncodedTriple) {
+			if _, ok := col.spo.findA(e.S); !ok {
+				newS[e.S] = struct{}{}
+			}
+			if _, ok := col.pos.findA(e.P); !ok {
+				newP[e.P] = struct{}{}
+			}
+			if _, ok := col.osp.findA(e.O); !ok {
+				newO[e.O] = struct{}{}
+			}
+		}
+		for _, e := range s.deltaSPO {
+			overlay(e)
+		}
+		for _, e := range s.tail {
+			overlay(e)
+		}
+		st.Subjects += len(newS)
+		st.Predicates += len(newP)
+		st.Objects += len(newO)
+		for o := range newO {
+			if isLit(o) {
+				litCount++
+			}
 		}
 	}
 	st.Literals = litCount
 
-	if byO, ok := s.pos[s.typeID]; ok {
-		for class, subs := range byO {
-			classSet[class] = struct{}{}
-			for _, sub := range subs {
-				typed[sub] = struct{}{}
-			}
-			if okOwl && class == owlClassID || okRdfs && class == rdfsClassID {
-				for _, sub := range subs {
-					declared[sub] = struct{}{}
-					classSet[sub] = struct{}{}
-				}
-			}
+	// Type assertions: register classes, typed subjects, and declared
+	// classes. Match covers base and overlay alike.
+	s.Match(rdf.NoID, s.typeID, rdf.NoID, func(e rdf.EncodedTriple) bool {
+		classSet[e.O] = struct{}{}
+		typed[e.S] = struct{}{}
+		if okOwl && e.O == owlClassID || okRdfs && e.O == rdfsClassID {
+			declared[e.S] = struct{}{}
+			classSet[e.S] = struct{}{}
 		}
-	}
+		return true
+	})
 	// Classes mentioned only in the subclass hierarchy also count.
-	if byO, ok := s.pos[s.subClassID]; ok {
-		for super, subs := range byO {
-			classSet[super] = struct{}{}
-			for _, sub := range subs {
-				classSet[sub] = struct{}{}
-			}
-		}
-	}
+	s.Match(rdf.NoID, s.subClassID, rdf.NoID, func(e rdf.EncodedTriple) bool {
+		classSet[e.O] = struct{}{}
+		classSet[e.S] = struct{}{}
+		return true
+	})
 
 	st.Classes = len(classSet)
 	st.DeclaredClasses = len(declared)
@@ -88,9 +122,13 @@ func (s *Store) ComputeStats() Stats {
 }
 
 // DeclaredClassList returns the IDs of every subject declared as
+// owl:Class or rdfs:Class, sorted by label (current snapshot).
+func (s *Store) DeclaredClassList() []rdf.ID { return s.Snapshot().DeclaredClassList() }
+
+// DeclaredClassList returns the IDs of every subject declared as
 // owl:Class or rdfs:Class, sorted by label. This populates the paper's
 // autocomplete search box (Section 3.2).
-func (s *Store) DeclaredClassList() []rdf.ID {
+func (s *Snapshot) DeclaredClassList() []rdf.ID {
 	set := make(map[rdf.ID]struct{})
 	for _, classIRI := range []rdf.Term{rdf.OWLClassIRI, rdf.RDFSClassIRI} {
 		cid, ok := s.dict.Lookup(classIRI)
@@ -110,9 +148,13 @@ func (s *Store) DeclaredClassList() []rdf.ID {
 }
 
 // SearchClasses returns declared classes whose label contains the query
-// (case-sensitive substring match by label prefix-insensitivity is handled
-// by the caller lowering both sides). Empty query returns all classes.
-func (s *Store) SearchClasses(query string) []rdf.ID {
+// under ASCII case folding (current snapshot). Empty query returns all
+// classes.
+func (s *Store) SearchClasses(query string) []rdf.ID { return s.Snapshot().SearchClasses(query) }
+
+// SearchClasses returns declared classes whose label contains the query
+// under ASCII case folding. Empty query returns all classes.
+func (s *Snapshot) SearchClasses(query string) []rdf.ID {
 	all := s.DeclaredClassList()
 	if query == "" {
 		return all

@@ -4,52 +4,82 @@
 // runs against it, the decomposer's specialized indexes are built from it,
 // and the incremental evaluator scans it in chunks of N triples.
 //
-// The store keeps three permutation indexes (SPO, POS, OSP) so that any
-// triple pattern with at least one bound position is answered by index
-// lookup, plus the insertion-order triple log that incremental evaluation
-// needs ("compute the chart on the first N triples, then the next N").
-// Posting lists are kept sorted, which gives O(log n) membership probes
-// (Contains, ContainsID), O(1) cardinality statistics (CardMatch) for the
-// query planner, and sorted ID streams (Postings) that the SPARQL engine's
-// ID-space executor can merge-join.
+// The store publishes generation-tagged immutable Snapshots. Each snapshot
+// keeps the three permutation indexes (SPO, POS, OSP) as flat, columnar,
+// sorted arrays — a two-level offset index over one contiguous []rdf.ID —
+// so reads need no lock at all and Postings/Objects/Subjects return
+// zero-copy sub-slices. Writes never mutate published state: Load
+// bulk-builds a fresh columnar base with one sort per permutation, while
+// individual Adds ride in a small overlay (a tiny insertion-order tail
+// that periodically folds into a sorted delta, which in turn merges into
+// a new columnar base once it outgrows its bound). Snapshot() is a single
+// atomic pointer load, readers scale linearly with cores, and a query
+// that binds one snapshot observes a perfectly consistent knowledge base
+// for its whole lifetime.
 package store
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"elinda/internal/rdf"
 )
 
-// Store is a triple store over dictionary-encoded triples. All read methods
-// are safe for concurrent use with each other; Add/Load take an exclusive
-// lock. A monotonically increasing Generation lets caches (the HVS) detect
+// Snapshot is a frozen, fully immutable view of the store at one
+// generation: a columnar base covering most triples plus a small sorted
+// delta and a tiny recent-adds tail (both empty in the steady state after
+// a bulk Load or a compaction). Every method is safe for unlimited
+// concurrency without locking, and nothing a snapshot returns is ever
+// mutated afterwards — returned slices must be treated as read-only.
+//
+// Snapshots are cheap to hold: later store writes build new snapshots and
+// never touch published ones, so a query, a chart evaluation, or an index
+// build can keep reading one snapshot for as long as it likes and observe
+// a perfectly consistent knowledge base.
+type Snapshot struct {
+	dict *rdf.Dict
+	base *columnar
+
+	// Delta triples (past the base), sorted per permutation order.
+	deltaSPO []rdf.EncodedTriple
+	deltaPOS []rdf.EncodedTriple
+	deltaOSP []rdf.EncodedTriple
+
+	// tail holds the most recent Adds in insertion order, unsorted and
+	// bounded by tailMax; reads filter it linearly. Folding it into the
+	// sorted delta in batches keeps Add's copy-on-write cost amortized
+	// O(1) instead of O(delta) per insert.
+	tail []rdf.EncodedTriple
+
+	// log is the full insertion-order triple log (base + delta + tail).
+	// The prefix up to len(log) is immutable; writers only ever append.
+	log []rdf.EncodedTriple
+
+	generation uint64
+
+	typeID     rdf.ID
+	subClassID rdf.ID
+	labelID    rdf.ID
+}
+
+// Store is a triple store over dictionary-encoded triples. All read
+// methods are lock-free: they atomically load the current snapshot and
+// serve from immutable data, so readers never block each other or
+// writers, and read callbacks (Match, Scan) may safely re-enter the store
+// — including its write methods (the re-entrant write is simply not
+// visible to the in-flight iteration). Add/Load serialize on an internal
+// writer lock.
+//
+// A monotonically increasing Generation lets caches (the HVS) detect
 // knowledge-base updates: "The HVS is cleared on any update to the eLinda
 // knowledge bases."
 type Store struct {
-	mu   sync.RWMutex
-	dict *rdf.Dict
-
-	// log holds triples in insertion order for chunked scans.
-	log []rdf.EncodedTriple
-
-	// Permutation indexes. Posting lists are kept sorted on insert, so
-	// bound-position membership is a binary search and the query engine's
-	// ID-row joins can merge sorted lists instead of nested-looping.
-	// Sortedness also makes the spo index double as the duplicate check.
-	// spo[s][p] = sorted list of o, etc.
-	spo map[rdf.ID]map[rdf.ID][]rdf.ID
-	pos map[rdf.ID]map[rdf.ID][]rdf.ID
-	osp map[rdf.ID]map[rdf.ID][]rdf.ID
-
-	// Per-position triple counts backing O(1) cardinality estimates:
-	// nS[s] is the number of triples with subject s, and so on.
-	nS map[rdf.ID]int
-	nP map[rdf.ID]int
-	nO map[rdf.ID]int
-
-	generation uint64
+	writeMu sync.Mutex // serializes Add/Load/compaction
+	dict    *rdf.Dict
+	snap    atomic.Pointer[Snapshot]
 
 	// Frequently used IDs, resolved once.
 	typeID     rdf.ID
@@ -57,21 +87,31 @@ type Store struct {
 	labelID    rdf.ID
 }
 
+const (
+	// tailMax bounds the unsorted recent-adds tail before it folds into
+	// the sorted delta (one O(delta) merge per tailMax Adds).
+	tailMax = 256
+	// minDeltaCompact is the smallest delta size that triggers a merge
+	// into a new columnar base; the effective bound grows with the base
+	// (max(minDeltaCompact, base/8)) so a long Add loop compacts
+	// geometrically — amortized O(1) array work per insert.
+	minDeltaCompact = 1024
+)
+
 // New returns an empty store with capacity hint n triples.
 func New(n int) *Store {
-	s := &Store{
-		dict: rdf.NewDict(n / 4),
-		log:  make([]rdf.EncodedTriple, 0, n),
-		spo:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
-		pos:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
-		osp:  make(map[rdf.ID]map[rdf.ID][]rdf.ID),
-		nS:   make(map[rdf.ID]int),
-		nP:   make(map[rdf.ID]int),
-		nO:   make(map[rdf.ID]int),
-	}
+	s := &Store{dict: rdf.NewDict(n / 4)}
 	s.typeID = s.dict.Intern(rdf.TypeIRI)
 	s.subClassID = s.dict.Intern(rdf.SubClassOfIRI)
 	s.labelID = s.dict.Intern(rdf.LabelIRI)
+	s.snap.Store(&Snapshot{
+		dict:       s.dict,
+		base:       buildColumnar(nil),
+		log:        make([]rdf.EncodedTriple, 0, n),
+		typeID:     s.typeID,
+		subClassID: s.subClassID,
+		labelID:    s.labelID,
+	})
 	return s
 }
 
@@ -89,123 +129,314 @@ func (s *Store) LabelID() rdf.ID { return s.labelID }
 
 // Generation returns the update counter. It increases on every successful
 // Add or Load, so equality of generations implies an unchanged KB.
-func (s *Store) Generation() uint64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.generation
+func (s *Store) Generation() uint64 { return s.snap.Load().generation }
+
+// Snapshot returns the currently published frozen view — a single atomic
+// load, O(1) regardless of pending writes, so binding a snapshot per
+// query costs nothing. The snapshot is immutable and lock-free for all
+// reads; see Snapshot's doc.
+func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
+
+// compacted merges snap's overlay (delta + tail) into a fresh columnar
+// base covering the whole log — one linear merge per permutation, no
+// re-sort. It reads snap but never mutates it (snapshots are shared
+// immutable data); publishing the result requires holding writeMu.
+func compacted(snap *Snapshot) *Snapshot {
+	out := *snap
+	out.deltaSPO = foldTail(snap.deltaSPO, snap.tail, cmpSPO)
+	out.deltaPOS = foldTail(snap.deltaPOS, snap.tail, cmpPOS)
+	out.deltaOSP = foldTail(snap.deltaOSP, snap.tail, cmpOSP)
+	out.tail = nil
+	out.base = &columnar{
+		n:   len(snap.log),
+		spo: mergePerm(&snap.base.spo, out.deltaSPO, keySPO),
+		pos: mergePerm(&snap.base.pos, out.deltaPOS, keyPOS),
+		osp: mergePerm(&snap.base.osp, out.deltaOSP, keyOSP),
+	}
+	out.deltaSPO, out.deltaPOS, out.deltaOSP = nil, nil, nil
+	return &out
 }
 
-// Add inserts one term-level triple, returning whether it was new.
+// foldTail merges the unsorted tail into a permutation-sorted delta.
+func foldTail(delta, tail []rdf.EncodedTriple, cmp func(x, y rdf.EncodedTriple) int) []rdf.EncodedTriple {
+	if len(tail) == 0 {
+		return delta
+	}
+	return mergeSortedTriples(delta, tail, cmp)
+}
+
+// maxDelta is the delta size bound before a merge into a new base.
+func maxDelta(base *columnar) int {
+	if n := base.n / 8; n > minDeltaCompact {
+		return n
+	}
+	return minDeltaCompact
+}
+
+// Add inserts one term-level triple, returning whether it was new. The
+// triple lands in the snapshot overlay and is visible to store reads
+// immediately; overlay maintenance (tail fold, base compaction) is
+// amortized O(1) per insert.
 func (s *Store) Add(t rdf.Triple) (bool, error) {
 	if err := t.Validate(); err != nil {
 		return false, fmt.Errorf("store: %w", err)
 	}
 	e := s.dict.Encode(t)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.addLocked(e), nil
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	snap := s.snap.Load()
+	if snap.Contains(e) {
+		return false, nil
+	}
+	next := *snap
+	next.tail = append(snap.tail, e)
+	next.log = append(snap.log, e)
+	next.generation = snap.generation + 1
+	if len(next.tail) >= tailMax {
+		next.deltaSPO = foldTail(next.deltaSPO, next.tail, cmpSPO)
+		next.deltaPOS = foldTail(next.deltaPOS, next.tail, cmpPOS)
+		next.deltaOSP = foldTail(next.deltaOSP, next.tail, cmpOSP)
+		next.tail = nil
+		if len(next.deltaSPO) >= maxDelta(next.base) {
+			s.snap.Store(compacted(&next))
+			return true, nil
+		}
+	}
+	s.snap.Store(&next)
+	return true, nil
 }
 
 // Load bulk-inserts triples, skipping duplicates, and returns the number
-// actually added. Invalid triples abort the load with an error; triples
-// added before the failure remain (the generation still advances).
+// actually added. Instead of per-insert index maintenance it encodes and
+// deduplicates the whole batch, then sorts each permutation once and
+// builds the columnar base directly (small batches fold into the overlay
+// instead). Invalid triples abort the load with an error; triples added
+// before the failure remain (the generation still advances).
 func (s *Store) Load(ts []rdf.Triple) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	n := 0
+	s.writeMu.Lock()
+	defer s.writeMu.Unlock()
+	snap := s.snap.Load()
+
+	// Encode the valid prefix, then deduplicate with one sort instead of
+	// a per-insert hash set.
+	enc := make([]rdf.EncodedTriple, 0, len(ts))
+	var loadErr error
 	for i, t := range ts {
 		if err := t.Validate(); err != nil {
-			return n, fmt.Errorf("store: triple %d: %w", i, err)
+			loadErr = fmt.Errorf("store: triple %d: %w", i, err)
+			break
 		}
-		if s.addLocked(s.dict.Encode(t)) {
-			n++
+		enc = append(enc, s.dict.Encode(t))
+	}
+	batch := dedupBatch(snap, enc)
+	if len(batch) > 0 {
+		s.snap.Store(applyBatch(snap, batch))
+	}
+	return len(batch), loadErr
+}
+
+// dedupBatch filters enc down to the triples that are new to the
+// snapshot, keeping the first occurrence of each (in original order,
+// matching the per-insert semantics). The fast path sorts packed uint64
+// keys; huge ID spaces fall back to a comparator sort.
+func dedupBatch(snap *Snapshot, enc []rdf.EncodedTriple) []rdf.EncodedTriple {
+	if maxIDIn(enc) < packMax {
+		sorted := make([]uint64, len(enc))
+		for i, e := range enc {
+			sorted[i] = uint64(e.S)<<(2*packBits) | uint64(e.P)<<packBits | uint64(e.O)
+		}
+		slices.Sort(sorted)
+		// Collect the values that occur more than once; bulk loads are
+		// mostly duplicate-free, so this set is tiny (or empty, in which
+		// case a fresh store can take the batch as is).
+		dupCount := map[uint64]int{}
+		for k := 1; k < len(sorted); k++ {
+			if sorted[k] == sorted[k-1] {
+				dupCount[sorted[k]]++
+			}
+		}
+		if len(snap.log) == 0 && len(dupCount) == 0 {
+			return enc
+		}
+		// Slow path (duplicates or a pre-populated store): re-derive each
+		// element's key in original order.
+		packed := make([]uint64, len(enc))
+		for i, e := range enc {
+			packed[i] = uint64(e.S)<<(2*packBits) | uint64(e.P)<<packBits | uint64(e.O)
+		}
+		existing := map[uint64]bool{}
+		if len(snap.log) > 0 {
+			sorted = slices.Compact(sorted)
+			for _, p := range sorted {
+				e := rdf.EncodedTriple{
+					S: rdf.ID(p >> (2 * packBits)),
+					P: rdf.ID(p>>packBits) & rdf.ID(packMask),
+					O: rdf.ID(p) & rdf.ID(packMask),
+				}
+				if snap.Contains(e) {
+					existing[p] = true
+				}
+			}
+		}
+		batch := enc[:0]
+		for i, e := range enc {
+			p := packed[i]
+			if existing[p] {
+				continue
+			}
+			if n, dup := dupCount[p]; dup {
+				if n < 0 {
+					continue // a dup already claimed its slot
+				}
+				dupCount[p] = -1
+			}
+			batch = append(batch, e)
+		}
+		return batch
+	}
+	type posTriple struct {
+		e rdf.EncodedTriple
+		i int32
+	}
+	byVal := make([]posTriple, len(enc))
+	for i, e := range enc {
+		byVal[i] = posTriple{e: e, i: int32(i)}
+	}
+	slices.SortFunc(byVal, func(x, y posTriple) int {
+		if c := cmpSPO(x.e, y.e); c != 0 {
+			return c
+		}
+		return int(x.i) - int(y.i)
+	})
+	drop := make([]bool, len(enc))
+	for k := range byVal {
+		if k > 0 && byVal[k].e == byVal[k-1].e {
+			drop[byVal[k].i] = true // later duplicate within the batch
+		} else if snap.Contains(byVal[k].e) {
+			drop[byVal[k].i] = true // already in the store
 		}
 	}
-	return n, nil
-}
-
-func (s *Store) addLocked(e rdf.EncodedTriple) bool {
-	if byP, ok := s.spo[e.S]; ok && containsSorted(byP[e.P], e.O) {
-		return false
+	batch := enc[:0]
+	for i, e := range enc {
+		if !drop[i] {
+			batch = append(batch, e)
+		}
 	}
-	s.log = append(s.log, e)
-	insertIdx(s.spo, e.S, e.P, e.O)
-	insertIdx(s.pos, e.P, e.O, e.S)
-	insertIdx(s.osp, e.O, e.S, e.P)
-	s.nS[e.S]++
-	s.nP[e.P]++
-	s.nO[e.O]++
-	s.generation++
-	return true
+	return batch
 }
 
-// insertIdx adds c to the posting list idx[a][b], keeping it sorted. The
-// common case (IDs arrive in roughly increasing order from the dictionary)
-// is an O(1) append; out-of-order inserts binary-search and shift.
-func insertIdx(idx map[rdf.ID]map[rdf.ID][]rdf.ID, a, b, c rdf.ID) {
-	m, ok := idx[a]
-	if !ok {
-		m = make(map[rdf.ID][]rdf.ID, 2)
-		idx[a] = m
+// applyBatch folds a duplicate-free batch into a new snapshot: small
+// batches merge into the sorted delta overlay, large ones trigger a full
+// sort-once rebuild of the columnar base from the log.
+func applyBatch(snap *Snapshot, batch []rdf.EncodedTriple) *Snapshot {
+	next := *snap
+	next.generation = snap.generation + uint64(len(batch))
+	next.log = append(snap.log, batch...)
+	if len(snap.deltaSPO)+len(snap.tail)+len(batch) < maxDelta(snap.base) {
+		merged := func(delta []rdf.EncodedTriple, cmp func(x, y rdf.EncodedTriple) int) []rdf.EncodedTriple {
+			return mergeSortedTriples(foldTail(delta, snap.tail, cmp), batch, cmp)
+		}
+		next.deltaSPO = merged(snap.deltaSPO, cmpSPO)
+		next.deltaPOS = merged(snap.deltaPOS, cmpPOS)
+		next.deltaOSP = merged(snap.deltaOSP, cmpOSP)
+		next.tail = nil
+		return &next
 	}
-	list := m[b]
-	if n := len(list); n == 0 || list[n-1] < c {
-		m[b] = append(list, c)
-		return
+	next.base = buildColumnar(next.log)
+	next.deltaSPO, next.deltaPOS, next.deltaOSP, next.tail = nil, nil, nil, nil
+	return &next
+}
+
+// mergeSortedTriples merges a sorted duplicate-free run with a batch that
+// is sorted on the fly (it arrives in insertion order).
+func mergeSortedTriples(list, batch []rdf.EncodedTriple, cmp func(x, y rdf.EncodedTriple) int) []rdf.EncodedTriple {
+	sorted := make([]rdf.EncodedTriple, len(batch))
+	copy(sorted, batch)
+	slices.SortFunc(sorted, cmp)
+	if len(list) == 0 {
+		return sorted
 	}
-	i := sort.Search(len(list), func(i int) bool { return list[i] >= c })
-	list = append(list, 0)
-	copy(list[i+1:], list[i:])
-	list[i] = c
-	m[b] = list
+	out := make([]rdf.EncodedTriple, 0, len(list)+len(sorted))
+	i, j := 0, 0
+	for i < len(list) && j < len(sorted) {
+		if cmp(list[i], sorted[j]) < 0 {
+			out = append(out, list[i])
+			i++
+		} else {
+			out = append(out, sorted[j])
+			j++
+		}
+	}
+	out = append(out, list[i:]...)
+	out = append(out, sorted[j:]...)
+	return out
 }
 
-// containsSorted reports whether id occurs in the sorted posting list.
-func containsSorted(list []rdf.ID, id rdf.ID) bool {
-	i := sort.Search(len(list), func(i int) bool { return list[i] >= id })
-	return i < len(list) && list[i] == id
+// --- Snapshot read API (immutable, lock-free) ---
+
+// Dict exposes the term dictionary (shared with the live store; the
+// dictionary itself is safe for concurrent use and only ever grows).
+func (s *Snapshot) Dict() *rdf.Dict { return s.dict }
+
+// Generation returns the store generation this snapshot was taken at.
+func (s *Snapshot) Generation() uint64 { return s.generation }
+
+// Len returns the number of distinct triples in the snapshot.
+func (s *Snapshot) Len() int { return len(s.log) }
+
+// TypeID returns the interned ID of rdf:type.
+func (s *Snapshot) TypeID() rdf.ID { return s.typeID }
+
+// SubClassOfID returns the interned ID of rdfs:subClassOf.
+func (s *Snapshot) SubClassOfID() rdf.ID { return s.subClassID }
+
+// LabelID returns the interned ID of rdfs:label.
+func (s *Snapshot) LabelID() rdf.ID { return s.labelID }
+
+// overlayEmpty reports whether every triple lives in the columnar base.
+func (s *Snapshot) overlayEmpty() bool { return len(s.deltaSPO) == 0 && len(s.tail) == 0 }
+
+// Contains reports whether the encoded triple is present — two binary
+// searches plus a posting probe on the base, O(log delta) on the sorted
+// delta, and a bounded linear scan of the recent-adds tail.
+func (s *Snapshot) Contains(e rdf.EncodedTriple) bool {
+	if s.base.containsID(e.S, e.P, e.O) {
+		return true
+	}
+	if d := s.deltaSPO; len(d) > 0 {
+		i := sort.Search(len(d), func(i int) bool { return cmpSPO(d[i], e) >= 0 })
+		if i < len(d) && d[i] == e {
+			return true
+		}
+	}
+	for _, t := range s.tail {
+		if t == e {
+			return true
+		}
+	}
+	return false
 }
 
-// Len returns the number of distinct triples.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.log)
-}
-
-// Contains reports whether the encoded triple is present. It is a binary
-// search over the triple's SPO posting list (O(log n)).
-func (s *Store) Contains(e rdf.EncodedTriple) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byP, ok := s.spo[e.S]
-	return ok && containsSorted(byP[e.P], e.O)
-}
-
-// ContainsID reports whether the fully bound triple (sub, pred, obj) is
-// present. It is the O(log n) membership primitive behind the query
-// engine's fully-bound pattern joins.
-func (s *Store) ContainsID(sub, pred, obj rdf.ID) bool {
+// ContainsID reports whether the fully bound triple is present. It is the
+// O(log n) membership primitive behind the query engine's fully-bound
+// pattern joins.
+func (s *Snapshot) ContainsID(sub, pred, obj rdf.ID) bool {
 	return s.Contains(rdf.EncodedTriple{S: sub, P: pred, O: obj})
 }
 
 // ContainsTriple reports whether the term-level triple is present.
-func (s *Store) ContainsTriple(t rdf.Triple) bool {
+func (s *Snapshot) ContainsTriple(t rdf.Triple) bool {
 	st, ok1 := s.dict.Lookup(t.S)
 	pt, ok2 := s.dict.Lookup(t.P)
 	ot, ok3 := s.dict.Lookup(t.O)
-	if !ok1 || !ok2 || !ok3 {
-		return false
-	}
-	return s.Contains(rdf.EncodedTriple{S: st, P: pt, O: ot})
+	return ok1 && ok2 && ok3 && s.ContainsID(st, pt, ot)
 }
 
-// Scan invokes fn on triples in insertion order, starting at offset, for at
-// most limit triples (limit <= 0 means all remaining). It returns the number
-// visited. This is the primitive behind incremental evaluation.
-func (s *Store) Scan(offset, limit int, fn func(rdf.EncodedTriple) bool) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// Scan invokes fn on triples in insertion order, starting at offset, for
+// at most limit triples (limit <= 0 means all remaining), and returns the
+// number visited. The iteration is over immutable data: the callback may
+// freely call back into the live store, including its write methods.
+func (s *Snapshot) Scan(offset, limit int, fn func(rdf.EncodedTriple) bool) int {
 	if offset < 0 {
 		offset = 0
 	}
@@ -228,228 +459,291 @@ func (s *Store) Scan(offset, limit int, fn func(rdf.EncodedTriple) bool) int {
 
 // Match iterates over every triple matching the pattern (s, p, o) where
 // rdf.NoID is a wildcard. fn returning false stops the iteration early.
-// The callback must not call back into the store's write methods.
-func (s *Store) Match(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	s.matchLocked(sub, pred, obj, fn)
-}
-
-func (s *Store) matchLocked(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) {
-	switch {
-	case sub != rdf.NoID:
-		byP, ok := s.spo[sub]
-		if !ok {
-			return
-		}
-		if pred != rdf.NoID {
-			for _, o := range byP[pred] {
-				if obj != rdf.NoID && o != obj {
-					continue
-				}
-				if !fn(rdf.EncodedTriple{S: sub, P: pred, O: o}) {
-					return
-				}
-			}
-			return
-		}
-		for p, objs := range byP {
-			for _, o := range objs {
-				if obj != rdf.NoID && o != obj {
-					continue
-				}
-				if !fn(rdf.EncodedTriple{S: sub, P: p, O: o}) {
-					return
-				}
-			}
-		}
-	case pred != rdf.NoID:
-		byO, ok := s.pos[pred]
-		if !ok {
-			return
-		}
-		if obj != rdf.NoID {
-			for _, sid := range byO[obj] {
-				if !fn(rdf.EncodedTriple{S: sid, P: pred, O: obj}) {
-					return
-				}
-			}
-			return
-		}
-		for o, subs := range byO {
-			for _, sid := range subs {
-				if !fn(rdf.EncodedTriple{S: sid, P: pred, O: o}) {
-					return
-				}
-			}
-		}
-	case obj != rdf.NoID:
-		byS, ok := s.osp[obj]
-		if !ok {
-			return
-		}
-		for sid, preds := range byS {
-			for _, p := range preds {
-				if !fn(rdf.EncodedTriple{S: sid, P: p, O: obj}) {
-					return
-				}
-			}
-		}
-	default:
+// Index-backed shapes enumerate the columnar base in sorted ID order,
+// followed by any overlay matches; the all-wildcard shape walks the
+// insertion-order log. No lock is held: the callback may re-enter the
+// store, including write methods.
+func (s *Snapshot) Match(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) {
+	if sub == rdf.NoID && pred == rdf.NoID && obj == rdf.NoID {
 		for _, e := range s.log {
 			if !fn(e) {
 				return
 			}
 		}
+		return
+	}
+	if !s.base.match(sub, pred, obj, fn) {
+		return
+	}
+	if s.overlayEmpty() {
+		return
+	}
+	if !s.deltaMatch(sub, pred, obj, fn) {
+		return
+	}
+	for _, e := range s.tail {
+		if matchesPattern(e, sub, pred, obj) && !fn(e) {
+			return
+		}
 	}
 }
 
-// CountMatch returns the number of triples matching the pattern by
-// iterating them. Prefer CardMatch, which answers the same question from
-// index sizes without walking matches.
-func (s *Store) CountMatch(sub, pred, obj rdf.ID) int {
-	n := 0
-	s.Match(sub, pred, obj, func(rdf.EncodedTriple) bool { n++; return true })
-	return n
+// matchesPattern reports whether e matches the pattern (rdf.NoID is a
+// wildcard).
+func matchesPattern(e rdf.EncodedTriple, sub, pred, obj rdf.ID) bool {
+	return (sub == rdf.NoID || e.S == sub) &&
+		(pred == rdf.NoID || e.P == pred) &&
+		(obj == rdf.NoID || e.O == obj)
+}
+
+// deltaPrefix returns the sub-range of a permutation-sorted delta whose
+// first position equals a (and, when useB, whose second position equals
+// b). key maps an entry to its permutation tuple.
+func deltaPrefix(d []rdf.EncodedTriple, key func(rdf.EncodedTriple) (a, b, c rdf.ID), a, b rdf.ID, useB bool) []rdf.EncodedTriple {
+	lo := sort.Search(len(d), func(i int) bool {
+		xa, xb, _ := key(d[i])
+		if xa != a {
+			return xa > a
+		}
+		return !useB || xb >= b
+	})
+	hi := sort.Search(len(d), func(i int) bool {
+		xa, xb, _ := key(d[i])
+		if xa != a {
+			return xa > a
+		}
+		return useB && xb > b
+	})
+	return d[lo:hi]
+}
+
+// deltaMatch iterates the sorted-delta entries matching the pattern (at
+// least one position bound); reports whether iteration ran to completion.
+func (s *Snapshot) deltaMatch(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) bool {
+	var span []rdf.EncodedTriple
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID:
+		span = deltaPrefix(s.deltaSPO, keySPO, sub, pred, true)
+	case pred != rdf.NoID && obj != rdf.NoID:
+		span = deltaPrefix(s.deltaPOS, keyPOS, pred, obj, true)
+	case sub != rdf.NoID && obj != rdf.NoID:
+		span = deltaPrefix(s.deltaOSP, keyOSP, obj, sub, true)
+	case sub != rdf.NoID:
+		span = deltaPrefix(s.deltaSPO, keySPO, sub, rdf.NoID, false)
+	case pred != rdf.NoID:
+		span = deltaPrefix(s.deltaPOS, keyPOS, pred, rdf.NoID, false)
+	default:
+		span = deltaPrefix(s.deltaOSP, keyOSP, obj, rdf.NoID, false)
+	}
+	for _, e := range span {
+		if matchesPattern(e, sub, pred, obj) && !fn(e) {
+			return false
+		}
+	}
+	return true
+}
+
+// CountMatch returns the number of triples matching the pattern. It
+// delegates to CardMatch, which answers from index offsets without
+// walking matches.
+func (s *Snapshot) CountMatch(sub, pred, obj rdf.ID) int {
+	return s.CardMatch(sub, pred, obj)
 }
 
 // CardMatch returns the exact number of triples matching the pattern
-// (rdf.NoID is a wildcard) from index map/slice sizes: O(1) for every
-// pattern shape except the fully bound triple, which is an O(log n)
-// membership probe. This is what the query planner's selectivity
-// estimates are built on.
-func (s *Store) CardMatch(sub, pred, obj rdf.ID) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+// (rdf.NoID is a wildcard) from index offsets — O(log n) binary searches
+// plus the bounded overlay, never a walk over matching triples. This is
+// what the query planner's selectivity estimates are built on.
+func (s *Snapshot) CardMatch(sub, pred, obj rdf.ID) int {
+	n := s.base.card(sub, pred, obj)
+	if s.overlayEmpty() {
+		return n
+	}
 	switch {
 	case sub != rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
-		if byP, ok := s.spo[sub]; ok && containsSorted(byP[pred], obj) {
-			return 1
+		if n == 0 && s.Contains(rdf.EncodedTriple{S: sub, P: pred, O: obj}) {
+			n = 1
 		}
-		return 0
+		return n
 	case sub != rdf.NoID && pred != rdf.NoID:
-		return len(s.spo[sub][pred])
+		n += len(deltaPrefix(s.deltaSPO, keySPO, sub, pred, true))
 	case pred != rdf.NoID && obj != rdf.NoID:
-		return len(s.pos[pred][obj])
+		n += len(deltaPrefix(s.deltaPOS, keyPOS, pred, obj, true))
 	case sub != rdf.NoID && obj != rdf.NoID:
-		return len(s.osp[obj][sub])
+		n += len(deltaPrefix(s.deltaOSP, keyOSP, obj, sub, true))
 	case sub != rdf.NoID:
-		return s.nS[sub]
+		n += len(deltaPrefix(s.deltaSPO, keySPO, sub, rdf.NoID, false))
 	case pred != rdf.NoID:
-		return s.nP[pred]
+		n += len(deltaPrefix(s.deltaPOS, keyPOS, pred, rdf.NoID, false))
 	case obj != rdf.NoID:
-		return s.nO[obj]
+		n += len(deltaPrefix(s.deltaOSP, keyOSP, obj, rdf.NoID, false))
 	default:
 		return len(s.log)
 	}
+	for _, e := range s.tail {
+		if matchesPattern(e, sub, pred, obj) {
+			n++
+		}
+	}
+	return n
+}
+
+// overlaySingle extracts the single-wildcard values of a Postings-shaped
+// pattern from the overlay, sorted.
+func (s *Snapshot) overlaySingle(sub, pred, obj rdf.ID) []rdf.ID {
+	var span []rdf.EncodedTriple
+	var pick func(e rdf.EncodedTriple) rdf.ID
+	var matches func(e rdf.EncodedTriple) bool
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj == rdf.NoID:
+		span = deltaPrefix(s.deltaSPO, keySPO, sub, pred, true)
+		pick = func(e rdf.EncodedTriple) rdf.ID { return e.O }
+		matches = func(e rdf.EncodedTriple) bool { return e.S == sub && e.P == pred }
+	case sub == rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		span = deltaPrefix(s.deltaPOS, keyPOS, pred, obj, true)
+		pick = func(e rdf.EncodedTriple) rdf.ID { return e.S }
+		matches = func(e rdf.EncodedTriple) bool { return e.P == pred && e.O == obj }
+	default: // (s, ?, o)
+		span = deltaPrefix(s.deltaOSP, keyOSP, obj, sub, true)
+		pick = func(e rdf.EncodedTriple) rdf.ID { return e.P }
+		matches = func(e rdf.EncodedTriple) bool { return e.S == sub && e.O == obj }
+	}
+	var out []rdf.ID
+	for _, e := range span {
+		out = append(out, pick(e)) // span is sorted by the picked position
+	}
+	tailStart := len(out)
+	for _, e := range s.tail {
+		if matches(e) {
+			out = append(out, pick(e))
+		}
+	}
+	if tailStart < len(out) {
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// mergeSortedIDs merges two sorted duplicate-free ID lists.
+func mergeSortedIDs(a, b []rdf.ID) []rdf.ID {
+	out := make([]rdf.ID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
 }
 
 // Postings returns the sorted ID list for the single wildcard position of
-// the pattern: the objects of (s, p, ?), the subjects of (?, p, o), or the
-// predicates of (s, ?, o). ok is false unless exactly one position is
-// rdf.NoID. The returned slice is a copy and safe to retain; sortedness is
-// what lets callers merge-intersect posting lists instead of probing one
-// element at a time.
-func (s *Store) Postings(sub, pred, obj rdf.ID) (ids []rdf.ID, ok bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	var list []rdf.ID
-	switch {
-	case sub != rdf.NoID && pred != rdf.NoID && obj == rdf.NoID:
-		list = s.spo[sub][pred]
-	case sub == rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
-		list = s.pos[pred][obj]
-	case sub != rdf.NoID && pred == rdf.NoID && obj != rdf.NoID:
-		list = s.osp[obj][sub]
-	default:
+// the pattern: the objects of (s, p, ?), the subjects of (?, p, o), or
+// the predicates of (s, ?, o). ok is false unless exactly one position is
+// rdf.NoID. When the overlay holds nothing for the key (the steady state)
+// the result is a zero-copy view into the columnar index; otherwise it is
+// a freshly merged slice. Either way it is safe to retain, never mutated,
+// and must not be modified by the caller. Sortedness is what lets callers
+// merge-intersect posting lists instead of probing one element at a time.
+func (s *Snapshot) Postings(sub, pred, obj rdf.ID) (ids []rdf.ID, ok bool) {
+	base, ok := s.base.postings(sub, pred, obj)
+	if !ok {
 		return nil, false
 	}
-	out := make([]rdf.ID, len(list))
-	copy(out, list)
-	return out, true
+	if s.overlayEmpty() {
+		return base, true
+	}
+	extra := s.overlaySingle(sub, pred, obj)
+	if len(extra) == 0 {
+		return base, true
+	}
+	return mergeSortedIDs(base, extra), true
 }
 
-// Objects returns the object IDs of triples (sub, pred, ?). The returned
-// slice is a copy.
-func (s *Store) Objects(sub, pred rdf.ID) []rdf.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byP, ok := s.spo[sub]
-	if !ok {
-		return nil
-	}
-	objs := byP[pred]
-	out := make([]rdf.ID, len(objs))
-	copy(out, objs)
-	return out
+// Objects returns the sorted object IDs of triples (sub, pred, ?) —
+// shared immutable data, do not modify.
+func (s *Snapshot) Objects(sub, pred rdf.ID) []rdf.ID {
+	ids, _ := s.Postings(sub, pred, rdf.NoID)
+	return ids
 }
 
-// Subjects returns the subject IDs of triples (?, pred, obj). The returned
-// slice is a copy.
-func (s *Store) Subjects(pred, obj rdf.ID) []rdf.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byO, ok := s.pos[pred]
-	if !ok {
-		return nil
-	}
-	subs := byO[obj]
-	out := make([]rdf.ID, len(subs))
-	copy(out, subs)
-	return out
+// Subjects returns the sorted subject IDs of triples (?, pred, obj) —
+// shared immutable data, do not modify.
+func (s *Snapshot) Subjects(pred, obj rdf.ID) []rdf.ID {
+	ids, _ := s.Postings(rdf.NoID, pred, obj)
+	return ids
 }
 
 // SubjectsOfType returns the subjects s with (s, rdf:type, class) — the
 // paper's "URI u is of class c" relation.
-func (s *Store) SubjectsOfType(class rdf.ID) []rdf.ID {
+func (s *Snapshot) SubjectsOfType(class rdf.ID) []rdf.ID {
 	return s.Subjects(s.typeID, class)
 }
 
-// PredicatesOf returns the distinct predicate IDs on subject sub.
-func (s *Store) PredicatesOf(sub rdf.ID) []rdf.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byP, ok := s.spo[sub]
-	if !ok {
-		return nil
+// PredicatesOf returns the distinct predicate IDs on subject sub, sorted
+// ascending. With an empty overlay it is a zero-copy view of the SPO
+// index's second level; do not modify it.
+func (s *Snapshot) PredicatesOf(sub rdf.ID) []rdf.ID {
+	base := s.base.spo.bKeysOf(sub)
+	if s.overlayEmpty() {
+		return base
 	}
-	out := make([]rdf.ID, 0, len(byP))
-	for p := range byP {
-		out = append(out, p)
-	}
-	return out
-}
-
-// PredicatesInto returns the distinct predicate IDs arriving at object obj.
-func (s *Store) PredicatesInto(obj rdf.ID) []rdf.ID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	byS, ok := s.osp[obj]
-	if !ok {
-		return nil
-	}
-	set := make(map[rdf.ID]struct{})
-	for _, preds := range byS {
-		for _, p := range preds {
-			set[p] = struct{}{}
+	extra := deltaPrefix(s.deltaSPO, keySPO, sub, rdf.NoID, false)
+	var tailPreds []rdf.ID
+	for _, e := range s.tail {
+		if e.S == sub {
+			tailPreds = append(tailPreds, e.P)
 		}
 	}
-	out := make([]rdf.ID, 0, len(set))
-	for p := range set {
-		out = append(out, p)
+	if len(extra) == 0 && len(tailPreds) == 0 {
+		return base
 	}
-	return out
+	merged := make([]rdf.ID, 0, len(base)+len(extra)+len(tailPreds))
+	merged = append(merged, base...)
+	for _, e := range extra {
+		merged = append(merged, e.P)
+	}
+	merged = append(merged, tailPreds...)
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	return dedupSorted(merged)
+}
+
+// PredicatesInto returns the distinct predicate IDs arriving at object
+// obj as a freshly allocated, sorted, deduplicated slice (deterministic
+// across calls).
+func (s *Snapshot) PredicatesInto(obj rdf.ID) []rdf.ID {
+	span := s.base.osp.cSpanOf(obj)
+	out := make([]rdf.ID, 0, len(span))
+	out = append(out, span...)
+	if !s.overlayEmpty() {
+		for _, e := range deltaPrefix(s.deltaOSP, keyOSP, obj, rdf.NoID, false) {
+			out = append(out, e.P)
+		}
+		for _, e := range s.tail {
+			if e.O == obj {
+				out = append(out, e.P)
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupSorted(out)
 }
 
 // Triple decodes e back to term form.
-func (s *Store) Triple(e rdf.EncodedTriple) rdf.Triple { return s.dict.Decode(e) }
+func (s *Snapshot) Triple(e rdf.EncodedTriple) rdf.Triple { return s.dict.Decode(e) }
 
 // Label returns the rdfs:label of the node if one exists, otherwise the
-// IRI's local name (Section 3.1: "eLinda makes extensive use of standard
-// rdfs:label properties").
-func (s *Store) Label(id rdf.ID) string {
-	objs := s.Objects(id, s.labelID)
-	for _, o := range objs {
+// IRI's local name.
+func (s *Snapshot) Label(id rdf.ID) string {
+	for _, o := range s.Objects(id, s.labelID) {
 		if t, ok := s.dict.TermOK(o); ok && t.IsLiteral() {
 			return t.Value
 		}
@@ -459,3 +753,88 @@ func (s *Store) Label(id rdf.ID) string {
 	}
 	return ""
 }
+
+// --- Store read API: one atomic snapshot load per call ---
+
+// Len returns the number of distinct triples.
+func (s *Store) Len() int { return s.Snapshot().Len() }
+
+// Contains reports whether the encoded triple is present. O(log n), no
+// locks.
+func (s *Store) Contains(e rdf.EncodedTriple) bool { return s.Snapshot().Contains(e) }
+
+// ContainsID reports whether the fully bound triple (sub, pred, obj) is
+// present.
+func (s *Store) ContainsID(sub, pred, obj rdf.ID) bool {
+	return s.Snapshot().ContainsID(sub, pred, obj)
+}
+
+// ContainsTriple reports whether the term-level triple is present.
+func (s *Store) ContainsTriple(t rdf.Triple) bool { return s.Snapshot().ContainsTriple(t) }
+
+// Scan invokes fn on triples in insertion order, starting at offset, for
+// at most limit triples (limit <= 0 means all remaining). It returns the
+// number visited. This is the primitive behind incremental evaluation.
+//
+// Scan holds no lock: it captures the current snapshot atomically and
+// iterates immutable data, so the callback may safely call back into the
+// store — including Add and Load. Triples written during the scan belong
+// to a newer snapshot and are not visited by the in-flight iteration.
+func (s *Store) Scan(offset, limit int, fn func(rdf.EncodedTriple) bool) int {
+	return s.Snapshot().Scan(offset, limit, fn)
+}
+
+// Match iterates over every triple matching the pattern (s, p, o) where
+// rdf.NoID is a wildcard. fn returning false stops the iteration early.
+// Like all store reads it is lock-free — the callback may re-enter the
+// store, including its write methods; it observes the state from before
+// the call.
+func (s *Store) Match(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool) {
+	s.Snapshot().Match(sub, pred, obj, fn)
+}
+
+// CountMatch returns the number of triples matching the pattern. It
+// delegates to CardMatch — index offsets, never a walk over matches.
+func (s *Store) CountMatch(sub, pred, obj rdf.ID) int { return s.CardMatch(sub, pred, obj) }
+
+// CardMatch returns the exact number of triples matching the pattern
+// (rdf.NoID is a wildcard) from index offsets: O(log n) for every pattern
+// shape. This is what the query planner's selectivity estimates are built
+// on.
+func (s *Store) CardMatch(sub, pred, obj rdf.ID) int {
+	return s.Snapshot().CardMatch(sub, pred, obj)
+}
+
+// Postings returns the sorted ID list for the single wildcard position of
+// the pattern; see Snapshot.Postings for the contract. The returned slice
+// is safe to retain and must not be modified.
+func (s *Store) Postings(sub, pred, obj rdf.ID) (ids []rdf.ID, ok bool) {
+	return s.Snapshot().Postings(sub, pred, obj)
+}
+
+// Objects returns the sorted object IDs of triples (sub, pred, ?) —
+// shared immutable data, do not modify.
+func (s *Store) Objects(sub, pred rdf.ID) []rdf.ID { return s.Snapshot().Objects(sub, pred) }
+
+// Subjects returns the sorted subject IDs of triples (?, pred, obj) —
+// shared immutable data, do not modify.
+func (s *Store) Subjects(pred, obj rdf.ID) []rdf.ID { return s.Snapshot().Subjects(pred, obj) }
+
+// SubjectsOfType returns the subjects s with (s, rdf:type, class).
+func (s *Store) SubjectsOfType(class rdf.ID) []rdf.ID { return s.Snapshot().SubjectsOfType(class) }
+
+// PredicatesOf returns the distinct predicate IDs on subject sub, sorted
+// ascending.
+func (s *Store) PredicatesOf(sub rdf.ID) []rdf.ID { return s.Snapshot().PredicatesOf(sub) }
+
+// PredicatesInto returns the distinct predicate IDs arriving at object
+// obj as a sorted, deduplicated slice, deterministic across calls.
+func (s *Store) PredicatesInto(obj rdf.ID) []rdf.ID { return s.Snapshot().PredicatesInto(obj) }
+
+// Triple decodes e back to term form.
+func (s *Store) Triple(e rdf.EncodedTriple) rdf.Triple { return s.dict.Decode(e) }
+
+// Label returns the rdfs:label of the node if one exists, otherwise the
+// IRI's local name (Section 3.1: "eLinda makes extensive use of standard
+// rdfs:label properties").
+func (s *Store) Label(id rdf.ID) string { return s.Snapshot().Label(id) }
