@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench benchjson check server
+.PHONY: all build test race vet bench benchjson benchjson-quick bench-compare cover check server
 
 all: check
 
@@ -20,10 +20,12 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem ./...
 
 # benchjson runs the machine-readable experiments and writes the
-# BENCH_query.json and BENCH_store.json trajectory files.
+# BENCH_query.json, BENCH_store.json and BENCH_serve.json trajectory
+# files.
 benchjson: build
 	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 5000
 	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 5000
+	$(GO) run ./cmd/elinda-loadgen -persons 5000 -concurrency 16 -duration 5s
 
 # benchjson-quick is the CI-sized variant: same JSON shape, smaller
 # datasets, so the workflow stays fast (runner numbers are for trend
@@ -31,10 +33,25 @@ benchjson: build
 benchjson-quick: build
 	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 2000
 	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 2000 -triples 200000
+	$(GO) run ./cmd/elinda-loadgen -persons 1000 -concurrency 8 -duration 2s
+
+# bench-compare checks freshly generated BENCH_*.json files against the
+# committed CI-sized baselines (run `make benchjson-quick` first). The 3x
+# tolerance absorbs runner noise; a real regression still trips it.
+bench-compare:
+	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_query.json BENCH_query.json -tolerance 3x
+	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_store.json BENCH_store.json -tolerance 3x
+	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_serve.json BENCH_serve.json -tolerance 3x
+
+# cover writes the coverage profile and prints the per-function totals.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # check runs the tier-1 gate plus vet and the race detector as one
 # command. The race run includes the snapshot concurrency tests
-# (store.TestSnapshotConcurrentWithWrites, sparql parallel/differential).
+# (store.TestSnapshotConcurrentWithWrites, sparql parallel/differential)
+# and the serving-tier coalescing/limiter races.
 check: build vet test race
 
 server: build

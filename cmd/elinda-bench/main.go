@@ -10,6 +10,12 @@
 //
 //	elinda-bench -experiment fig4 [-persons N]
 //	elinda-bench -experiment facts | incremental | ablation-hvs | ablation-decomposer | all
+//
+// It is also the CI bench-trend gate: -compare checks a fresh BENCH_*.json
+// against a committed baseline and fails when any timing regressed past
+// the tolerance:
+//
+//	elinda-bench -compare bench/baselines/BENCH_query.json BENCH_query.json -tolerance 3x
 package main
 
 import (
@@ -23,6 +29,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,9 +55,16 @@ func main() {
 		jsonOut    = flag.String("json-out", "BENCH_query.json", "machine-readable output path for the query-engine experiment")
 		storeOut   = flag.String("store-json-out", "BENCH_store.json", "machine-readable output path for the store-snapshot experiment")
 		triples    = flag.Int("triples", 1_000_000, "synthetic triple count for the store-snapshot bulk-load measurement")
+		compare    = flag.Bool("compare", false, "compare two BENCH_*.json files: -compare old.json new.json [-tolerance 3x]; exits 1 on regression")
+		tolerance  = flag.String("tolerance", "3x", "max allowed slowdown ratio for -compare")
 	)
 	flag.Parse()
 	log.SetFlags(0)
+
+	if *compare {
+		runCompare(flag.Args(), *tolerance)
+		return
+	}
 
 	switch *experiment {
 	case "fig4":
@@ -849,4 +864,143 @@ func runStoreSnapshot(triples, persons int, jsonOut string) {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nwrote %s (sink %d)\n", jsonOut, sink)
+}
+
+// --- bench-trend comparison (-compare) ---
+
+// runCompare loads two BENCH_*.json files and compares every shared
+// timing leaf (keys ending in _ns or ns_op; nanoseconds, lower is
+// better). A leaf that slowed down by more than the tolerance is a
+// regression; any regression exits nonzero so CI can gate (or warn) on
+// it. Sub-50µs baselines are skipped — at that scale, runner noise
+// swamps any real signal.
+func runCompare(args []string, tolerance string) {
+	var files []string
+	for i := 0; i < len(args); i++ {
+		// Accept "-tolerance 3x" after the positional file arguments too
+		// (the flag package stops parsing at the first positional).
+		if args[i] == "-tolerance" && i+1 < len(args) {
+			tolerance = args[i+1]
+			i++
+			continue
+		}
+		files = append(files, args[i])
+	}
+	if len(files) != 2 {
+		log.Fatal("usage: elinda-bench -compare old.json new.json [-tolerance 3x]")
+	}
+	tol := parseTolerance(tolerance)
+	oldLeaves := timingLeaves(loadBenchJSON(files[0]))
+	newLeaves := timingLeaves(loadBenchJSON(files[1]))
+
+	const noiseFloorNs = 50_000.0
+	var keys []string
+	for k := range oldLeaves {
+		if _, ok := newLeaves[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		log.Fatalf("no shared timing leaves between %s and %s", files[0], files[1])
+	}
+
+	fmt.Printf("bench trend: %s -> %s (tolerance %.2fx, noise floor %s)\n",
+		files[0], files[1], tol, time.Duration(noiseFloorNs))
+	fmt.Printf("%-60s %14s %14s %8s\n", "metric", "old", "new", "ratio")
+	regressions := 0
+	for _, k := range keys {
+		o, n := oldLeaves[k], newLeaves[k]
+		mark := ""
+		ratio := 0.0
+		if o > 0 {
+			ratio = n / o
+		}
+		switch {
+		case o < noiseFloorNs:
+			mark = "  (below noise floor, ignored)"
+		case o > 0 && ratio > tol:
+			mark = "  << REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-60s %14s %14s %7.2fx%s\n", k,
+			time.Duration(int64(o)).Round(time.Microsecond),
+			time.Duration(int64(n)).Round(time.Microsecond), ratio, mark)
+	}
+	if regressions > 0 {
+		fmt.Printf("\n%d timing(s) regressed beyond %.2fx\n", regressions, tol)
+		os.Exit(1)
+	}
+	fmt.Printf("\nno regressions beyond %.2fx\n", tol)
+}
+
+// parseTolerance accepts "3x", "2.5x", or a bare ratio like "3".
+func parseTolerance(s string) float64 {
+	s = strings.TrimSuffix(strings.TrimSpace(s), "x")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || v <= 0 {
+		log.Fatalf("bad -tolerance %q (want e.g. 3x)", s)
+	}
+	return v
+}
+
+func loadBenchJSON(path string) any {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var doc any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	return doc
+}
+
+// timingLeaves walks a decoded JSON tree and collects numeric leaves
+// whose key names a nanosecond timing, under dotted (and bracketed)
+// paths. Array elements are labeled by a sibling identity field (name or
+// workers) when one exists, so baselines stay comparable when entries
+// reorder.
+func timingLeaves(doc any) map[string]float64 {
+	out := map[string]float64{}
+	var walk func(prefix string, v any)
+	walk = func(prefix string, v any) {
+		switch x := v.(type) {
+		case map[string]any:
+			for k, vv := range x {
+				p := k
+				if prefix != "" {
+					p = prefix + "." + k
+				}
+				if f, ok := vv.(float64); ok && isTimingKey(k) {
+					out[p] = f
+					continue
+				}
+				walk(p, vv)
+			}
+		case []any:
+			for i, vv := range x {
+				label := fmt.Sprint(i)
+				if m, ok := vv.(map[string]any); ok {
+					if name, ok := m["name"].(string); ok {
+						label = name
+					} else if wk, ok := m["workers"].(float64); ok {
+						label = fmt.Sprintf("workers=%d", int(wk))
+					}
+				}
+				walk(prefix+"["+label+"]", vv)
+			}
+		}
+	}
+	walk("", doc)
+	return out
+}
+
+func isTimingKey(k string) bool {
+	if k == "sum_ns" {
+		// A histogram's running total scales with request count, not
+		// speed; comparing it across runs would only add noise.
+		return false
+	}
+	return strings.HasSuffix(k, "_ns") || strings.HasSuffix(k, "ns_op")
 }

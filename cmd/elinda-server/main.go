@@ -2,9 +2,10 @@
 // Figure 3 (HVS + decomposer + generic engine) behind an HTTP server,
 // exposing
 //
-//	/sparql   — SPARQL endpoint (SPARQL 1.1 JSON results)
+//	/sparql   — SPARQL endpoint (SPARQL 1.1 JSON results, streamed)
 //	/api/...  — the explorer JSON API the single-page frontend consumes
 //	/healthz  — liveness probe with store statistics
+//	/metrics  — serving-tier metrics (routes, cache, admission, latency)
 //
 // The knowledge base is either loaded from a file (-load data.nt) or
 // generated synthetically (-persons N). Use -remote URL to proxy a remote
@@ -14,6 +15,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -47,6 +49,13 @@ func main() {
 		incRounds    = flag.Int("inc-rounds", 0, "incremental evaluation round limit k (0 = run to completion)")
 		incWorkers   = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
 		queryWorkers = flag.Int("query-workers", 0, "parallel BGP worker pool per query (0 = GOMAXPROCS, 1 = serial)")
+
+		noCoalesce     = flag.Bool("no-coalesce", false, "disable singleflight coalescing of identical in-flight queries")
+		cacheBytes     = flag.Int64("cache-bytes", 0, "HVS byte budget with LRU eviction (0 = unlimited)")
+		maxInflight    = flag.Int64("max-inflight", 0, "admission-control weight capacity for /sparql (0 = unlimited)")
+		acquireTimeout = flag.Duration("acquire-timeout", 100*time.Millisecond, "max admission wait before shedding with 429")
+		flushRows      = flag.Int("flush-rows", 0, "streaming flush cadence in rows (0 = default 256)")
+		noStreaming    = flag.Bool("no-streaming", false, "force buffered result encoding")
 	)
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
@@ -60,6 +69,8 @@ func main() {
 		HeavyThreshold:    *threshold,
 		DisableHVS:        *noHVS,
 		DisableDecomposer: *noDecomp || *remote != "",
+		DisableCoalescing: *noCoalesce,
+		CacheMaxBytes:     *cacheBytes,
 		QueryWorkers:      *queryWorkers,
 	}
 	var sys *elinda.System
@@ -105,6 +116,12 @@ func main() {
 
 	sparqlSrv := sys.Endpoint()
 	sparqlSrv.Timeout = *timeout
+	sparqlSrv.AcquireTimeout = *acquireTimeout
+	sparqlSrv.FlushRows = *flushRows
+	sparqlSrv.DisableStreaming = *noStreaming
+	if *maxInflight > 0 {
+		sparqlSrv.Limiter = endpoint.NewLimiter(*maxInflight)
+	}
 
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", sparqlSrv)
@@ -115,6 +132,22 @@ func main() {
 		st := sys.Store.ComputeStats()
 		fmt.Fprintf(w, "ok triples=%d classes=%d generation=%d\n",
 			st.Triples, st.Classes, sys.Store.Generation())
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		doc := map[string]any{
+			"server": sparqlSrv.MetricsSnapshot(),
+			"proxy":  sys.Proxy.MetricsSnapshot(),
+			"store": map[string]any{
+				"triples":    sys.Store.Len(),
+				"generation": sys.Store.Generation(),
+			},
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			log.Printf("metrics encode: %v", err)
+		}
 	})
 
 	log.Printf("eLinda server on %s (triples=%d hvs=%v decomposer=%v remote=%q)",

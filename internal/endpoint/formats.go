@@ -75,7 +75,9 @@ func MarshalCSV(res *sparql.Result) ([]byte, error) {
 }
 
 // MarshalTSV encodes results per the SPARQL 1.1 TSV format: variables
-// prefixed with '?', terms in N-Triples syntax, tab separators.
+// prefixed with '?', terms in N-Triples syntax, tab separators. It
+// renders through the same line helpers as TSVStreamer, so the buffered
+// and streaming bodies are identical by construction.
 func MarshalTSV(res *sparql.Result) ([]byte, error) {
 	var sb strings.Builder
 	if res.Ask {
@@ -83,25 +85,39 @@ func MarshalTSV(res *sparql.Result) ([]byte, error) {
 		fmt.Fprintf(&sb, "%v\n", res.AskTrue)
 		return []byte(sb.String()), nil
 	}
-	for i, v := range res.Vars {
+	sb.WriteString(tsvHeaderLine(res.Vars))
+	for _, sol := range res.Rows {
+		sb.WriteString(tsvRowLine(res.Vars, sol))
+	}
+	return []byte(sb.String()), nil
+}
+
+// tsvHeaderLine renders the '?'-prefixed variable header row.
+func tsvHeaderLine(vars []string) string {
+	var sb strings.Builder
+	for i, v := range vars {
 		if i > 0 {
 			sb.WriteByte('\t')
 		}
 		sb.WriteString("?" + v)
 	}
 	sb.WriteByte('\n')
-	for _, sol := range res.Rows {
-		for i, v := range res.Vars {
-			if i > 0 {
-				sb.WriteByte('\t')
-			}
-			if t, ok := sol[v]; ok {
-				sb.WriteString(tsvTerm(t))
-			}
+	return sb.String()
+}
+
+// tsvRowLine renders one solution row in variable order.
+func tsvRowLine(vars []string, sol sparql.Solution) string {
+	var sb strings.Builder
+	for i, v := range vars {
+		if i > 0 {
+			sb.WriteByte('\t')
 		}
-		sb.WriteByte('\n')
+		if t, ok := sol[v]; ok {
+			sb.WriteString(tsvTerm(t))
+		}
 	}
-	return []byte(sb.String()), nil
+	sb.WriteByte('\n')
+	return sb.String()
 }
 
 func tsvTerm(t rdf.Term) string {

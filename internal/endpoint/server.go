@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
+	"elinda/internal/metrics"
 	"elinda/internal/sparql"
 )
 
@@ -30,14 +32,94 @@ func (f ExecutorFunc) Query(ctx context.Context, src string) (*sparql.Result, er
 // Server is an HTTP handler exposing an Executor at /sparql, accepting the
 // query via GET ?query= or POST form field "query" (the two access methods
 // the SPARQL protocol defines that Virtuoso supports over AJAX).
+//
+// Production hardening on top of the protocol:
+//
+//   - Admission control: an optional weighted-semaphore Limiter bounds
+//     concurrent query work. A request that cannot be admitted within
+//     AcquireTimeout is shed with 429 and a Retry-After header instead of
+//     stacking goroutines until the process collapses.
+//   - Per-query deadline: Timeout bounds execution; an expired query is
+//     cut off inside the engine's join loops and answered with 504.
+//   - Streaming results: when the executor implements sparql.RowExecutor
+//     and the negotiated format has a streaming encoder (JSON, TSV), rows
+//     are encoded and flushed every FlushRows rows instead of
+//     materializing the whole result and its serialized body.
 type Server struct {
 	exec Executor
 	// Timeout bounds each query's execution (0 = no bound).
 	Timeout time.Duration
+	// Limiter admission-controls query work (nil = unlimited).
+	Limiter *Limiter
+	// AcquireTimeout bounds how long a request may wait for admission
+	// when the limiter is saturated (0 = fail immediately).
+	AcquireTimeout time.Duration
+	// Cost maps a query to its admission weight (nil = every query
+	// weighs 1). Heavier weights let one expensive query hold more of
+	// the limiter's capacity.
+	Cost func(query string) int64
+	// FlushRows is the streaming flush cadence (0 = DefaultFlushRows).
+	FlushRows int
+	// DisableStreaming forces the buffered encode path even for
+	// streaming-capable executors and formats.
+	DisableStreaming bool
+
+	inFlight     metrics.Gauge
+	admitted     metrics.Counter
+	rejected     metrics.Counter
+	timeouts     metrics.Counter
+	failures     metrics.Counter
+	clientAborts metrics.Counter
+	streamed     metrics.Counter
+	latency      metrics.Histogram
+	startedAt    time.Time
 }
 
 // NewServer returns a Server over exec.
-func NewServer(exec Executor) *Server { return &Server{exec: exec} }
+func NewServer(exec Executor) *Server { return &Server{exec: exec, startedAt: time.Now()} }
+
+// ServerMetrics is the HTTP half of the /metrics document.
+type ServerMetrics struct {
+	// UptimeSeconds counts from server construction.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// InFlight is the number of requests currently executing.
+	InFlight int64 `json:"in_flight"`
+	// WaitingAdmission is the limiter's queue length (0 without limiter).
+	WaitingAdmission int `json:"waiting_admission"`
+	// CapacityWeight is the limiter capacity (0 without limiter).
+	CapacityWeight int64 `json:"capacity_weight"`
+	// Admitted, Rejected429, Timeout504, Failures count request outcomes;
+	// ClientAborts counts mid-stream client disconnects (not failures).
+	Admitted     uint64 `json:"admitted"`
+	Rejected429  uint64 `json:"rejected_429"`
+	Timeout504   uint64 `json:"timeout_504"`
+	Failures     uint64 `json:"failures"`
+	ClientAborts uint64 `json:"client_aborts"`
+	// Streamed counts responses served through a streaming encoder.
+	Streamed uint64 `json:"streamed"`
+	// Latency is the end-to-end request latency distribution.
+	Latency metrics.HistogramSnapshot `json:"latency"`
+}
+
+// MetricsSnapshot captures the server's request metrics.
+func (s *Server) MetricsSnapshot() ServerMetrics {
+	m := ServerMetrics{
+		UptimeSeconds: time.Since(s.startedAt).Seconds(),
+		InFlight:      s.inFlight.Value(),
+		Admitted:      s.admitted.Value(),
+		Rejected429:   s.rejected.Value(),
+		Timeout504:    s.timeouts.Value(),
+		Failures:      s.failures.Value(),
+		ClientAborts:  s.clientAborts.Value(),
+		Streamed:      s.streamed.Value(),
+		Latency:       s.latency.Snapshot(),
+	}
+	if s.Limiter != nil {
+		m.WaitingAdmission = s.Limiter.Waiting()
+		m.CapacityWeight = s.Limiter.Capacity()
+	}
+	return m
+}
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -62,21 +144,114 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	ctx := r.Context()
+	start := time.Now()
+
+	// Admission control: acquire the query's weight, waiting at most
+	// AcquireTimeout, before any execution work starts.
+	if s.Limiter != nil {
+		weight := int64(1)
+		if s.Cost != nil {
+			weight = s.Cost(query)
+		}
+		acquireCtx := ctx
+		var cancelAcquire context.CancelFunc
+		if s.AcquireTimeout > 0 {
+			acquireCtx, cancelAcquire = context.WithTimeout(ctx, s.AcquireTimeout)
+		} else {
+			// No wait budget: admit only if capacity is free right now.
+			acquireCtx, cancelAcquire = context.WithCancel(ctx)
+			cancelAcquire()
+		}
+		err := s.Limiter.Acquire(acquireCtx, weight)
+		if cancelAcquire != nil {
+			cancelAcquire()
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				// The client itself went away while queued.
+				http.Error(w, ctx.Err().Error(), http.StatusGatewayTimeout)
+				return
+			}
+			s.rejected.Inc()
+			w.Header().Set("Retry-After", s.retryAfter())
+			http.Error(w, "server saturated, retry later", http.StatusTooManyRequests)
+			return
+		}
+		defer s.Limiter.Release(weight)
+	}
+	s.admitted.Inc()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+	// End-to-end latency for admitted requests, queue wait included —
+	// under saturation the admission wait is exactly what the
+	// Retry-After hint must reflect.
+	defer func() { s.latency.Observe(time.Since(start)) }()
+
 	if s.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
 		defer cancel()
 	}
 
+	if !s.DisableStreaming {
+		if rexec, ok := s.exec.(sparql.RowExecutor); ok {
+			flusher, _ := w.(http.Flusher)
+			if contentType, streamer, ok := NegotiateStreamer(r.Header.Get("Accept"), w, flusher, s.FlushRows); ok {
+				s.serveStreaming(ctx, w, rexec, query, contentType, streamer)
+				return
+			}
+		}
+	}
+	s.serveBuffered(ctx, w, r, query)
+}
+
+// serveStreaming answers through a row-streaming encoder. Errors raised
+// before the first byte (parse errors, saturation inside the engine,
+// deadline during evaluation) still produce proper HTTP statuses; once
+// the header is on the wire the response can only be truncated.
+func (s *Server) serveStreaming(ctx context.Context, w http.ResponseWriter, rexec sparql.RowExecutor, query, contentType string, streamer ResultStreamer) {
+	// The Content-Type header must be set before the streamer's first
+	// write commits the response header.
+	w.Header().Set("Content-Type", contentType)
+	err := rexec.QueryRows(ctx, query, streamer)
+	if err != nil {
+		if !streamer.Started() {
+			// Nothing written yet: we can still change the status line.
+			w.Header().Del("Content-Type")
+			s.writeError(w, err)
+			return
+		}
+		// Mid-stream failure: abort WITHOUT the document terminator, so
+		// the body is left syntactically incomplete and the client can
+		// tell truncation from a smaller-but-complete result. Attribute
+		// the outcome: an expired deadline is a timeout; everything else
+		// that can fail once bytes are on the wire is the client side of
+		// the connection going away (a canceled request context, a broken
+		// response write) — tracked as a client abort, not a server
+		// failure worth paging on.
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.timeouts.Inc()
+		} else {
+			s.clientAborts.Inc()
+		}
+		_ = streamer.Abort()
+		return
+	}
+	if err := streamer.Close(); err != nil {
+		// The only thing Close can fail on is the final write/flush: the
+		// client went away at the last moment.
+		s.clientAborts.Inc()
+		return
+	}
+	s.streamed.Inc()
+}
+
+// serveBuffered is the original materialize-then-marshal path, used for
+// formats without a streaming encoder and non-streaming executors.
+func (s *Server) serveBuffered(ctx context.Context, w http.ResponseWriter, r *http.Request, query string) {
 	res, err := s.exec.Query(ctx, query)
 	if err != nil {
-		status := http.StatusBadRequest
-		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
-			status = http.StatusGatewayTimeout
-		} else if errors.Is(err, sparql.ErrTooLarge) {
-			status = http.StatusInsufficientStorage
-		}
-		http.Error(w, err.Error(), status)
+		s.writeError(w, err)
 		return
 	}
 	// The engine checks the context inside its join loops, so a timeout or
@@ -84,12 +259,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// between query completion and serialization — don't spend marshal
 	// work on a request whose context is already dead.
 	if ctxErr := ctx.Err(); ctxErr != nil {
+		s.timeouts.Inc()
 		http.Error(w, ctxErr.Error(), http.StatusGatewayTimeout)
 		return
 	}
 	contentType, marshal := NegotiateFormat(r.Header.Get("Accept"))
 	body, err := marshal(res)
 	if err != nil {
+		s.failures.Inc()
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
@@ -97,4 +274,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Length", fmt.Sprint(len(body)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
+}
+
+// writeError maps an execution error to its HTTP status.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+		s.timeouts.Inc()
+	case errors.Is(err, sparql.ErrTooLarge):
+		status = http.StatusInsufficientStorage
+		s.failures.Inc()
+	default:
+		s.failures.Inc()
+	}
+	http.Error(w, err.Error(), status)
+}
+
+// retryAfter derives the Retry-After hint from the observed latency
+// distribution: roughly the time for the current median query to drain,
+// with a 1-second floor so well-behaved clients back off meaningfully.
+func (s *Server) retryAfter() string {
+	p50 := s.latency.Snapshot().P50
+	secs := int64(p50 / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }

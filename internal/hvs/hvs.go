@@ -9,9 +9,16 @@
 //	with runtime bigger than one second are considered heavy and saved in
 //	the HVS. The HVS is cleared on any update to the eLinda knowledge
 //	bases."
+//
+// Beyond the paper, the store is production-bounded: every entry carries
+// an approximate byte cost, and an optional byte budget (MaxBytes) evicts
+// in LRU order when the cache would outgrow it, so heavy traffic cannot
+// grow the HVS past its memory allowance. Generation-based invalidation
+// is unchanged and always wins over recency.
 package hvs
 
 import (
+	"container/list"
 	"strings"
 	"sync"
 	"time"
@@ -32,18 +39,24 @@ type Entry struct {
 	StoredAt time.Time
 	// Hits counts cache lookups served by this entry.
 	Hits int
+	// Bytes is the approximate memory cost of Result (see ResultBytes).
+	Bytes int64
 }
 
 // Stats summarizes store activity.
 type Stats struct {
 	// Entries is the current number of cached results.
 	Entries int
+	// Bytes is the approximate total cost of the cached results.
+	Bytes int64
 	// Hits counts queries answered from the store.
 	Hits int
 	// Misses counts lookups that found nothing.
 	Misses int
 	// Stores counts results recorded as heavy.
 	Stores int
+	// Evictions counts entries removed to satisfy MaxEntries or MaxBytes.
+	Evictions int
 	// Invalidations counts whole-store clears.
 	Invalidations int
 }
@@ -58,12 +71,25 @@ type Store struct {
 	generation uint64
 	haveGen    bool
 
-	hits, misses, stores, invalidations int
+	// lru orders keys most- to least-recently used (front = hottest);
+	// lruOf finds a key's element for O(1) touch on Lookup. totalBytes
+	// tracks the sum of Entry.Bytes for the byte budget.
+	lru        list.List
+	lruOf      map[string]*list.Element
+	totalBytes int64
+
+	hits, misses, stores, evictions, invalidations int
 
 	// MaxEntries bounds the cache size; 0 means unlimited. When full, the
 	// least-hit entry is evicted (heavy queries are few, so a simple scan
 	// suffices).
 	MaxEntries int
+	// MaxBytes bounds the approximate total byte cost of cached results;
+	// 0 means unlimited. Exceeding it evicts least-recently-used entries
+	// until the budget holds again. A single result larger than the whole
+	// budget is never stored (it would evict everything and still not
+	// fit), though the query is still classified heavy.
+	MaxBytes int64
 }
 
 // New returns a store with the given heaviness threshold
@@ -75,6 +101,7 @@ func New(threshold time.Duration) *Store {
 	return &Store{
 		entries:   make(map[string]*Entry),
 		threshold: threshold,
+		lruOf:     make(map[string]*list.Element),
 	}
 }
 
@@ -96,6 +123,15 @@ func (s *Store) SetThreshold(threshold time.Duration) {
 	s.threshold = threshold
 }
 
+// SetMaxBytes changes the byte budget (0 = unlimited) and immediately
+// evicts LRU entries if the current contents exceed the new budget.
+func (s *Store) SetMaxBytes(budget int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.MaxBytes = budget
+	s.evictOverBudgetLocked(nil)
+}
+
 // Normalize canonicalizes query text so that trivially different spellings
 // of the same query share a cache slot (whitespace collapsing).
 func Normalize(query string) string {
@@ -103,9 +139,44 @@ func Normalize(query string) string {
 	return strings.Join(fields, " ")
 }
 
+// ResultBytes approximates the in-memory cost of a result: string bytes of
+// every bound term plus fixed per-row and per-binding overheads for the
+// map and Term headers. It is an accounting estimate (for the byte
+// budget), not an exact heap measurement.
+func ResultBytes(res *sparql.Result) int64 {
+	if res == nil {
+		return 0
+	}
+	total := int64(64) // Result header + Vars slice
+	for _, v := range res.Vars {
+		total += int64(len(v)) + 16
+	}
+	for _, row := range res.Rows {
+		total += SolutionBytes(row)
+	}
+	return total
+}
+
+// SolutionBytes approximates the cost of one solution row, with the same
+// accounting ResultBytes uses — exported so streaming tees can meter a
+// result incrementally.
+func SolutionBytes(row sparql.Solution) int64 {
+	const (
+		rowOverhead     = 48 // Solution map header
+		bindingOverhead = 64 // map bucket slot + Term struct
+	)
+	total := int64(rowOverhead)
+	for v, t := range row {
+		total += bindingOverhead + int64(len(v)) + int64(len(t.Value)) +
+			int64(len(t.Lang)) + int64(len(t.Datatype))
+	}
+	return total
+}
+
 // Lookup returns a cached result for the query under the given KB
 // generation. A generation different from the one the cache was filled at
-// clears the store first ("The HVS is cleared on any update").
+// clears the store first ("The HVS is cleared on any update"). A hit
+// refreshes the entry's recency for LRU byte-budget eviction.
 func (s *Store) Lookup(query string, generation uint64) (*sparql.Result, bool) {
 	key := Normalize(query)
 	s.mu.Lock()
@@ -118,28 +189,86 @@ func (s *Store) Lookup(query string, generation uint64) (*sparql.Result, bool) {
 	}
 	e.Hits++
 	s.hits++
+	s.touchLocked(key)
 	return e.Result, true
 }
 
 // Record reports an executed query with its observed runtime. The result
 // is stored only when the runtime exceeds the threshold. It returns
 // whether the query was classified heavy.
+//
+// The byte-cost walk over the result happens before the store lock is
+// taken: a multi-megabyte result must not stall every concurrent Lookup
+// (the hot tier-1 path) while its cost is computed. A SetThreshold
+// racing this call classifies under whichever threshold it observed —
+// the same ambiguity a serialized interleaving has.
 func (s *Store) Record(query string, res *sparql.Result, runtime time.Duration, generation uint64) bool {
 	key := Normalize(query)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if runtime < s.threshold {
+	if runtime < s.Threshold() {
 		return false
 	}
+	bytes := ResultBytes(res)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.ensureGenerationLocked(generation)
+	if s.MaxBytes > 0 && bytes > s.MaxBytes {
+		// Heavy, but too large to ever fit the budget: classify without
+		// storing rather than flushing the whole cache for one result.
+		return true
+	}
 	if s.MaxEntries > 0 && len(s.entries) >= s.MaxEntries {
 		if _, exists := s.entries[key]; !exists {
 			s.evictColdestLocked()
 		}
 	}
-	s.entries[key] = &Entry{Result: res, Runtime: runtime, StoredAt: time.Now()}
+	if old, exists := s.entries[key]; exists {
+		s.totalBytes -= old.Bytes
+	}
+	s.entries[key] = &Entry{Result: res, Runtime: runtime, StoredAt: time.Now(), Bytes: bytes}
+	s.totalBytes += bytes
+	s.touchLocked(key)
 	s.stores++
+	s.evictOverBudgetLocked(s.lruOf[key])
 	return true
+}
+
+// touchLocked moves key to the LRU front, inserting it if new.
+func (s *Store) touchLocked(key string) {
+	if el, ok := s.lruOf[key]; ok {
+		s.lru.MoveToFront(el)
+		return
+	}
+	s.lruOf[key] = s.lru.PushFront(key)
+}
+
+// removeLocked deletes key from the map, the LRU list, and the byte total.
+func (s *Store) removeLocked(key string) {
+	if e, ok := s.entries[key]; ok {
+		s.totalBytes -= e.Bytes
+		delete(s.entries, key)
+	}
+	if el, ok := s.lruOf[key]; ok {
+		s.lru.Remove(el)
+		delete(s.lruOf, key)
+	}
+}
+
+// evictOverBudgetLocked drops least-recently-used entries until totalBytes
+// fits MaxBytes again. keep (the element of the key just inserted, nil for
+// none) is never evicted — a "" key is legitimate, so the guard compares
+// list elements, not key strings.
+func (s *Store) evictOverBudgetLocked(keep *list.Element) {
+	if s.MaxBytes <= 0 {
+		return
+	}
+	for s.totalBytes > s.MaxBytes && s.lru.Len() > 0 {
+		back := s.lru.Back()
+		if back == keep {
+			return
+		}
+		s.removeLocked(back.Value.(string))
+		s.evictions++
+	}
 }
 
 // ensureGenerationLocked clears the cache if the KB generation moved.
@@ -148,11 +277,19 @@ func (s *Store) ensureGenerationLocked(generation uint64) {
 		return
 	}
 	if s.haveGen && len(s.entries) > 0 {
-		s.entries = make(map[string]*Entry)
+		s.clearLocked()
 		s.invalidations++
 	}
 	s.generation = generation
 	s.haveGen = true
+}
+
+// clearLocked resets the entries, the LRU order, and the byte accounting.
+func (s *Store) clearLocked() {
+	s.entries = make(map[string]*Entry)
+	s.lruOf = make(map[string]*list.Element)
+	s.lru.Init()
+	s.totalBytes = 0
 }
 
 // evictColdestLocked removes the least-hit entry. A found flag tracks
@@ -171,7 +308,8 @@ func (s *Store) evictColdestLocked() {
 		}
 	}
 	if found {
-		delete(s.entries, coldKey)
+		s.removeLocked(coldKey)
+		s.evictions++
 	}
 }
 
@@ -180,7 +318,7 @@ func (s *Store) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if len(s.entries) > 0 {
-		s.entries = make(map[string]*Entry)
+		s.clearLocked()
 		s.invalidations++
 	}
 	s.haveGen = false
@@ -193,15 +331,24 @@ func (s *Store) Len() int {
 	return len(s.entries)
 }
 
+// Bytes returns the approximate total byte cost of the cached results.
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.totalBytes
+}
+
 // Stats returns a snapshot of activity counters.
 func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
 		Entries:       len(s.entries),
+		Bytes:         s.totalBytes,
 		Hits:          s.hits,
 		Misses:        s.misses,
 		Stores:        s.stores,
+		Evictions:     s.evictions,
 		Invalidations: s.invalidations,
 	}
 }

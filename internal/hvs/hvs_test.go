@@ -249,3 +249,165 @@ func TestSetThreshold(t *testing.T) {
 		t.Error("zero threshold should reset to default")
 	}
 }
+
+// resN builds a result with n rows so byte costs are controllable.
+func resN(v string, n int) *sparql.Result {
+	r := &sparql.Result{Vars: []string{"x"}}
+	for i := 0; i < n; i++ {
+		r.Rows = append(r.Rows, sparql.Solution{"x": rdf.NewIRI("http://x/" + v)})
+	}
+	return r
+}
+
+func TestResultBytes(t *testing.T) {
+	small, big := ResultBytes(resN("a", 1)), ResultBytes(resN("a", 100))
+	if small <= 0 {
+		t.Fatalf("ResultBytes(small) = %d", small)
+	}
+	if big <= small*50 {
+		t.Errorf("100-row cost %d not proportional to 1-row cost %d", big, small)
+	}
+	if ResultBytes(nil) != 0 {
+		t.Error("nil result should cost 0")
+	}
+	if askCost := ResultBytes(&sparql.Result{Ask: true, AskTrue: true}); askCost <= 0 {
+		t.Errorf("ASK cost = %d, want small positive", askCost)
+	}
+}
+
+// TestByteBudgetLRUEviction is the satellite test: inserting past the
+// budget evicts in LRU order, and a Lookup refreshes recency.
+func TestByteBudgetLRUEviction(t *testing.T) {
+	s := New(time.Millisecond)
+	one := ResultBytes(resN("a", 10))
+	s.MaxBytes = 2*one + one/2 // room for two entries, not three
+
+	s.Record("q1", resN("a", 10), time.Second, 1)
+	s.Record("q2", resN("b", 10), time.Second, 1)
+	if _, ok := s.Lookup("q1", 1); !ok { // q1 is now the most recent
+		t.Fatal("q1 missing before eviction")
+	}
+	s.Record("q3", resN("c", 10), time.Second, 1)
+
+	if _, ok := s.Entry("q2"); ok {
+		t.Error("q2 (least recently used) should have been evicted")
+	}
+	if _, ok := s.Entry("q1"); !ok {
+		t.Error("q1 (recently used) evicted out of LRU order")
+	}
+	if _, ok := s.Entry("q3"); !ok {
+		t.Error("q3 (just inserted) evicted")
+	}
+	st := s.Stats()
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if st.Bytes > s.MaxBytes || st.Bytes <= 0 {
+		t.Errorf("bytes = %d, budget %d", st.Bytes, s.MaxBytes)
+	}
+}
+
+// TestByteBudgetChainEviction: one large insert may evict several small
+// entries at once.
+func TestByteBudgetChainEviction(t *testing.T) {
+	s := New(time.Millisecond)
+	small := ResultBytes(resN("a", 5))
+	s.MaxBytes = 4 * small
+	for i := 0; i < 4; i++ {
+		s.Record(fmt.Sprintf("q%d", i), resN("a", 5), time.Second, 1)
+	}
+	s.Record("big", resN("b", 15), time.Second, 1)
+	if _, ok := s.Entry("big"); !ok {
+		t.Fatal("big entry not stored")
+	}
+	if got := s.Bytes(); got > s.MaxBytes {
+		t.Errorf("bytes = %d over budget %d", got, s.MaxBytes)
+	}
+	if st := s.Stats(); st.Evictions < 3 {
+		t.Errorf("evictions = %d, want >= 3", st.Evictions)
+	}
+}
+
+// TestByteBudgetGenerationStillWins: generation invalidation clears the
+// whole cache regardless of recency or budget headroom.
+func TestByteBudgetGenerationStillWins(t *testing.T) {
+	s := New(time.Millisecond)
+	s.MaxBytes = 1 << 20
+	s.Record("q1", resN("a", 10), time.Second, 1)
+	s.Record("q2", resN("b", 10), time.Second, 1)
+	s.Lookup("q1", 1)
+	if _, ok := s.Lookup("q1", 2); ok { // KB update
+		t.Fatal("stale entry served after generation move")
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Errorf("len=%d bytes=%d after invalidation, want 0/0", s.Len(), s.Bytes())
+	}
+	if st := s.Stats(); st.Invalidations != 1 {
+		t.Errorf("invalidations = %d, want 1", st.Invalidations)
+	}
+	// The cache keeps working at the new generation under the budget.
+	s.Record("q3", resN("c", 10), time.Second, 2)
+	if _, ok := s.Lookup("q3", 2); !ok {
+		t.Error("cache dead after invalidation")
+	}
+}
+
+// TestOversizedEntryNotStored: a single result larger than the whole
+// budget is classified heavy but never cached.
+func TestOversizedEntryNotStored(t *testing.T) {
+	s := New(time.Millisecond)
+	s.MaxBytes = 128
+	if !s.Record("huge", resN("a", 1000), time.Second, 1) {
+		t.Error("oversized result should still classify heavy")
+	}
+	if s.Len() != 0 {
+		t.Errorf("oversized result stored: len=%d", s.Len())
+	}
+	if s.Bytes() != 0 {
+		t.Errorf("bytes = %d, want 0", s.Bytes())
+	}
+}
+
+// TestSetMaxBytesShrinks: lowering the budget evicts immediately.
+func TestSetMaxBytesShrinks(t *testing.T) {
+	s := New(time.Millisecond)
+	for i := 0; i < 4; i++ {
+		s.Record(fmt.Sprintf("q%d", i), resN("a", 10), time.Second, 1)
+	}
+	one := ResultBytes(resN("a", 10))
+	s.SetMaxBytes(2 * one)
+	if s.Len() != 2 {
+		t.Errorf("len = %d after shrink, want 2", s.Len())
+	}
+	if s.Bytes() > 2*one {
+		t.Errorf("bytes = %d over shrunk budget %d", s.Bytes(), 2*one)
+	}
+}
+
+// TestByteBudgetConcurrent hammers the budgeted cache from many
+// goroutines: the invariant is that accounting never drifts and the
+// budget holds at every quiescent point.
+func TestByteBudgetConcurrent(t *testing.T) {
+	s := New(time.Millisecond)
+	one := ResultBytes(resN("a", 10))
+	s.MaxBytes = 3 * one
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				q := fmt.Sprintf("q%d", (g+i)%8)
+				s.Record(q, resN("a", 10), time.Second, 1)
+				s.Lookup(q, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := s.Bytes(); got > s.MaxBytes {
+		t.Errorf("bytes = %d over budget %d", got, s.MaxBytes)
+	}
+	if s.Len() > 3 {
+		t.Errorf("len = %d, want <= 3", s.Len())
+	}
+}

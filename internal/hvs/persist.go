@@ -47,6 +47,9 @@ func (s *Store) Snapshot(w io.Writer) error {
 // Restore replaces the cache contents from a snapshot, keeping the
 // store's current threshold. The snapshot's generation is kept so that
 // the first Lookup against a changed KB still invalidates correctly.
+// The LRU order and byte accounting are rebuilt (snapshots written before
+// byte accounting existed get their costs recomputed), and a configured
+// byte budget is enforced immediately.
 func (s *Store) Restore(r io.Reader) error {
 	var doc snapshotDoc
 	if err := gob.NewDecoder(r).Decode(&doc); err != nil {
@@ -60,7 +63,16 @@ func (s *Store) Restore(r io.Reader) error {
 	if doc.Entries == nil {
 		doc.Entries = map[string]*Entry{}
 	}
+	s.clearLocked()
 	s.entries = doc.Entries
+	for key, e := range s.entries {
+		if e.Bytes == 0 {
+			e.Bytes = ResultBytes(e.Result)
+		}
+		s.totalBytes += e.Bytes
+		s.touchLocked(key)
+	}
+	s.evictOverBudgetLocked(nil)
 	s.generation = doc.Generation
 	s.haveGen = doc.HaveGen
 	return nil

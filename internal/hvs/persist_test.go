@@ -100,3 +100,39 @@ func TestSnapshotIsolation(t *testing.T) {
 		t.Error("restore aliased the original store")
 	}
 }
+
+// TestRestoreRebuildsByteAccounting: restored entries regain their byte
+// costs and LRU order, and a configured budget is enforced immediately.
+func TestRestoreRebuildsByteAccounting(t *testing.T) {
+	s := New(time.Millisecond)
+	for _, q := range []string{"q1", "q2", "q3"} {
+		s.Record(q, resN(q, 10), time.Second, 1)
+	}
+	wantBytes := s.Bytes()
+	if wantBytes <= 0 {
+		t.Fatal("source store has no byte accounting")
+	}
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := New(time.Millisecond)
+	one := ResultBytes(resN("q1", 10))
+	restored.MaxBytes = 2 * one // tighter than the snapshot's contents
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != 2 {
+		t.Errorf("restored entries = %d, want 2 (budget enforced)", restored.Len())
+	}
+	if restored.Bytes() > restored.MaxBytes {
+		t.Errorf("restored bytes %d over budget %d", restored.Bytes(), restored.MaxBytes)
+	}
+	// The surviving entries keep working: a lookup hit refreshes recency
+	// and further records evict in LRU order without drift.
+	restored.Record("q4", resN("q4", 10), time.Second, 1)
+	if restored.Bytes() > restored.MaxBytes {
+		t.Errorf("post-restore record broke the budget: %d > %d", restored.Bytes(), restored.MaxBytes)
+	}
+}

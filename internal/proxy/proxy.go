@@ -8,18 +8,30 @@
 //     remote Virtuoso endpoint), measure its runtime, and record heavy
 //     queries (> threshold) into the HVS.
 //
-// The proxy implements endpoint.Executor, so it can be served over HTTP by
-// endpoint.Server, giving the full browser → proxy → cache/DB pipeline.
+// On top of the paper's three tiers the proxy is hardened for serving:
+// concurrent identical backend queries against the same store generation
+// are coalesced into a single execution (singleflight keyed on the
+// normalized query text plus Snapshot().Generation(), so a coalesced
+// answer can never cross a KB update), the HVS runs under an optional
+// byte budget with LRU eviction, and per-tier latency histograms feed the
+// server's /metrics endpoint.
+//
+// The proxy implements endpoint.Executor and sparql.RowExecutor, so it
+// can be served over HTTP by endpoint.Server — buffered or streaming —
+// giving the full browser → proxy → cache/DB pipeline.
 package proxy
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"elinda/internal/decomposer"
 	"elinda/internal/endpoint"
 	"elinda/internal/hvs"
+	"elinda/internal/metrics"
 	"elinda/internal/sparql"
 	"elinda/internal/store"
 )
@@ -34,6 +46,8 @@ const (
 	RouteDecomposer
 	// RouteBackend means the generic executor ran the query.
 	RouteBackend
+
+	numRoutes = 3
 )
 
 // String names the route.
@@ -57,6 +71,13 @@ type Options struct {
 	DisableHVS bool
 	// DisableDecomposer turns the index tier off.
 	DisableDecomposer bool
+	// DisableCoalescing turns off singleflight execution of concurrent
+	// identical backend queries (for ablation runs and benchmarks).
+	DisableCoalescing bool
+	// CacheMaxBytes is the HVS byte budget: the approximate total result
+	// bytes the cache may hold before LRU eviction kicks in (0 =
+	// unlimited). Generation invalidation still clears everything.
+	CacheMaxBytes int64
 	// QueryWorkers sizes the backend engine's parallel-BGP worker pool
 	// (0 = GOMAXPROCS, 1 = serial). Only applies when the proxy builds
 	// its own local engine (New); remote backends ignore it.
@@ -74,7 +95,29 @@ type Proxy struct {
 	mu   sync.Mutex
 	log  []Trace
 	hits map[Route]int
+
+	// flights holds the in-progress backend executions for coalescing,
+	// keyed by normalized query + generation.
+	flMu    sync.Mutex
+	flights map[string]*flight
+
+	routeHist [numRoutes]metrics.Histogram
+	coalesced metrics.Counter
 }
+
+// flight is one in-progress backend execution that concurrent identical
+// requests attach to.
+type flight struct {
+	done chan struct{}
+	res  *sparql.Result
+	tr   Trace
+	err  error
+}
+
+// errLeaderAborted marks a flight whose leader never published a result
+// for a reason local to that leader (it panicked mid-execution):
+// followers retry instead of inheriting the failure.
+var errLeaderAborted = errors.New("proxy: coalescing leader aborted")
 
 // Trace records one answered query for diagnostics and benchmarking.
 type Trace struct {
@@ -86,6 +129,9 @@ type Trace struct {
 	Runtime time.Duration
 	// Heavy reports whether the query was (re)classified heavy.
 	Heavy bool
+	// Coalesced reports that this request shared another in-flight
+	// request's execution instead of running its own.
+	Coalesced bool
 }
 
 // New builds a proxy over a local store. The backend executor is the
@@ -105,13 +151,16 @@ func NewWithBackend(st *store.Store, backend endpoint.Executor, opts Options) *P
 	if opts.HeavyThreshold <= 0 {
 		opts.HeavyThreshold = hvs.DefaultThreshold
 	}
+	cache := hvs.New(opts.HeavyThreshold)
+	cache.MaxBytes = opts.CacheMaxBytes
 	return &Proxy{
 		backend: backend,
 		st:      st,
-		cache:   hvs.New(opts.HeavyThreshold),
+		cache:   cache,
 		dec:     decomposer.New(st),
 		opts:    opts,
 		hits:    make(map[Route]int),
+		flights: make(map[string]*flight),
 	}
 }
 
@@ -125,49 +174,289 @@ func (p *Proxy) Query(ctx context.Context, src string) (*sparql.Result, error) {
 func (p *Proxy) QueryTraced(ctx context.Context, src string) (*sparql.Result, Trace, error) {
 	start := time.Now()
 	gen := p.st.Generation()
+	if res, tr, served := p.tryCacheTiers(src, gen, start); served {
+		return res, tr, nil
+	}
+	return p.backendCoalesced(ctx, src, gen, start)
+}
 
-	// Tier 1: HVS.
-	if !p.opts.DisableHVS {
+// QueryRows implements sparql.RowExecutor: the three-tier routing with
+// results delivered incrementally. Cache and decomposer answers replay
+// their materialized results. With coalescing enabled (the default),
+// backend execution is shared exactly like the buffered path — the
+// leader materializes the result, so followers wait only on execution
+// (never on another client's download speed) and the recorded runtime is
+// execution-only — and each participant then streams the ENCODING of the
+// shared result through its own sink at its own client's pace. True
+// row-by-row streaming of the execution itself (memory bounded by one
+// row) is the -no-coalesce configuration: with the HVS on it tees into a
+// byte-capped buffer for cache recording, with the HVS off nothing
+// buffers at all.
+func (p *Proxy) QueryRows(ctx context.Context, src string, sink sparql.RowSink) error {
+	start := time.Now()
+	gen := p.st.Generation()
+	if res, _, served := p.tryCacheTiers(src, gen, start); served {
+		return sparql.ReplayResult(res, sink)
+	}
+	se, canStream := p.backend.(sparql.RowExecutor)
+	if canStream && p.coalescingDisabled() {
+		if p.hvsEnabled() {
+			_, _, err := p.streamBackend(ctx, src, gen, start, se, sink)
+			var abort *sinkAbortError
+			if errors.As(err, &abort) {
+				return abort.err
+			}
+			return err
+		}
+		// Pure streaming: no cache, no coalescing — nothing buffers.
+		if err := se.QueryRows(ctx, src, sink); err != nil {
+			return err
+		}
+		p.record(Trace{Query: hvs.Normalize(src), Route: RouteBackend, Runtime: time.Since(start)})
+		return nil
+	}
+	res, _, err := p.backendCoalesced(ctx, src, gen, start)
+	if err != nil {
+		return err
+	}
+	return sparql.ReplayResult(res, sink)
+}
+
+// tryCacheTiers answers from the HVS (tier 1) or the decomposer (tier 2)
+// when possible. served=false means the caller must run the backend tier.
+func (p *Proxy) tryCacheTiers(src string, gen uint64, start time.Time) (*sparql.Result, Trace, bool) {
+	opts := p.Options()
+	if !opts.DisableHVS {
 		if cached, ok := p.cache.Lookup(src, gen); ok {
 			tr := Trace{Query: hvs.Normalize(src), Route: RouteHVS, Runtime: time.Since(start), Heavy: true}
 			p.record(tr)
-			return cached, tr, nil
+			return cached, tr, true
 		}
 	}
-
 	// Tier 2: decomposer (needs a parsed query; parse errors fall through
 	// to the backend so that remote dialects we cannot parse still work).
-	if !p.opts.DisableDecomposer {
+	if !opts.DisableDecomposer {
 		if q, err := sparql.Parse(src); err == nil {
 			if res, ok := p.dec.TryExecute(q); ok {
 				runtime := time.Since(start)
 				tr := Trace{Query: hvs.Normalize(src), Route: RouteDecomposer, Runtime: runtime}
 				// Even decomposed answers can be heavy on cold indexes;
 				// cache them so repeats hit tier 1.
-				if !p.opts.DisableHVS {
+				if !opts.DisableHVS {
 					tr.Heavy = p.cache.Record(src, res, runtime, gen)
 				}
 				p.record(tr)
-				return res, tr, nil
+				return res, tr, true
 			}
 		}
 	}
+	return nil, Trace{}, false
+}
 
-	// Tier 3: backend.
+// backendDirect runs the backend tier without coalescing.
+func (p *Proxy) backendDirect(ctx context.Context, src string, gen uint64, start time.Time) (*sparql.Result, Trace, error) {
 	res, err := p.backend.Query(ctx, src)
 	runtime := time.Since(start)
-	if err != nil {
-		return nil, Trace{Query: hvs.Normalize(src), Route: RouteBackend, Runtime: runtime}, err
-	}
 	tr := Trace{Query: hvs.Normalize(src), Route: RouteBackend, Runtime: runtime}
-	if !p.opts.DisableHVS {
+	if err != nil {
+		return nil, tr, err
+	}
+	if p.hvsEnabled() {
 		tr.Heavy = p.cache.Record(src, res, runtime, gen)
 	}
 	p.record(tr)
 	return res, tr, nil
 }
 
+// flightKey is the coalescing identity: normalized query text plus the
+// store generation, so requests racing a KB update can never share a
+// stale execution.
+func flightKey(src string, gen uint64) string {
+	return fmt.Sprintf("%d\x00%s", gen, hvs.Normalize(src))
+}
+
+// backendCoalesced runs the backend tier, sharing one execution among
+// concurrent identical requests when coalescing is enabled.
+func (p *Proxy) backendCoalesced(ctx context.Context, src string, gen uint64, start time.Time) (*sparql.Result, Trace, error) {
+	if p.coalescingDisabled() {
+		return p.backendDirect(ctx, src, gen, start)
+	}
+	key := flightKey(src, gen)
+	for {
+		res, tr, err, lead := p.joinOrLead(ctx, key, start, func(f *flight) {
+			f.res, f.tr, f.err = p.backendDirect(ctx, src, gen, start)
+		})
+		if lead || !p.shouldRetryAsFollower(ctx, err) {
+			return res, tr, err
+		}
+	}
+}
+
+// joinOrLead attaches to the in-progress flight for key, or becomes the
+// leader and runs exec. lead reports which role this call played; for
+// followers the trace is re-stamped with their own wall-clock time and
+// marked Coalesced.
+func (p *Proxy) joinOrLead(ctx context.Context, key string, start time.Time, exec func(*flight)) (res *sparql.Result, tr Trace, err error, lead bool) {
+	p.flMu.Lock()
+	if f, ok := p.flights[key]; ok {
+		p.flMu.Unlock()
+		select {
+		case <-f.done:
+			if f.err != nil {
+				return nil, f.tr, f.err, false
+			}
+			tr := f.tr
+			tr.Coalesced = true
+			tr.Runtime = time.Since(start)
+			p.record(tr)
+			return f.res, tr, nil, false
+		case <-ctx.Done():
+			return nil, Trace{Route: RouteBackend, Runtime: time.Since(start)}, fmt.Errorf("proxy: %w", ctx.Err()), false
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	p.flights[key] = f
+	p.flMu.Unlock()
+
+	// Deferred cleanup so a panicking backend cannot leak the flight: a
+	// leaked entry would trap every later identical request on a done
+	// channel that never closes. If exec never completed, followers get
+	// errLeaderAborted and retry on their own.
+	completed := false
+	defer func() {
+		if !completed {
+			f.res, f.err = nil, errLeaderAborted
+		}
+		p.flMu.Lock()
+		delete(p.flights, key)
+		p.flMu.Unlock()
+		close(f.done)
+	}()
+	exec(f)
+	completed = true
+	return f.res, f.tr, f.err, true
+}
+
+// shouldRetryAsFollower decides whether a follower whose flight failed
+// should re-run the query itself: yes when the failure was local to the
+// leader (its context died, or its response writer broke) and this
+// follower's own context is still alive.
+func (p *Proxy) shouldRetryAsFollower(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	return errors.Is(err, errLeaderAborted) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
+// sinkAbortError wraps errors returned by the downstream RowSink so
+// QueryRows can tell "the query failed" from "the client went away"
+// while keeping the original error for the caller.
+type sinkAbortError struct{ err error }
+
+func (e *sinkAbortError) Error() string { return "proxy: sink aborted: " + e.err.Error() }
+func (e *sinkAbortError) Unwrap() error { return e.err }
+
+// defaultCollectCap bounds the streaming tee's retained copy of a
+// result. Beyond it, collection is dropped: the response keeps
+// streaming, but nothing is retained for the HVS or for coalescing
+// followers — a streamed result that large must not silently restore
+// the buffered path's unbounded per-request memory.
+const defaultCollectCap = 64 << 20
+
+// collectLimit is the tee budget: the cache budget when one is set and
+// tighter (an entry above it could never be stored anyway), else the
+// default cap.
+func (p *Proxy) collectLimit() int64 {
+	if b := p.Options().CacheMaxBytes; b > 0 && b < defaultCollectCap {
+		return b
+	}
+	return defaultCollectCap
+}
+
+// teeSink forwards rows to the client sink while collecting up to limit
+// bytes of them for the HVS and coalescing followers. Downstream errors
+// are wrapped in sinkAbortError.
+type teeSink struct {
+	sink    sparql.RowSink
+	collect sparql.CollectSink
+	limit   int64
+	bytes   int64
+	// dropped means the result outgrew limit: the retained copy was
+	// discarded and only the client stream continues.
+	dropped bool
+}
+
+func (t *teeSink) Head(vars []string, ask, askTrue bool) error {
+	_ = t.collect.Head(vars, ask, askTrue)
+	if err := t.sink.Head(vars, ask, askTrue); err != nil {
+		return &sinkAbortError{err: err}
+	}
+	return nil
+}
+
+func (t *teeSink) Row(sol sparql.Solution) error {
+	if !t.dropped {
+		t.bytes += hvs.SolutionBytes(sol)
+		if t.limit > 0 && t.bytes > t.limit {
+			t.dropped = true
+			t.collect.Result.Rows = nil
+		} else {
+			_ = t.collect.Row(sol)
+		}
+	}
+	if err := t.sink.Row(sol); err != nil {
+		return &sinkAbortError{err: err}
+	}
+	return nil
+}
+
+// streamBackend runs the backend tier streaming into sink through a
+// byte-capped tee so heavy results can still be recorded into the HVS
+// (only reached with coalescing disabled). A result that outgrew the tee
+// cap returns res=nil with a nil error: it streamed fine, but nothing
+// was retained to cache. Note the observed runtime on this path includes
+// the client's drain time — row production is coupled to the sink — so
+// a slow consumer can classify a cheap query heavy; an over-classified
+// entry still competes under the cache's byte budget and LRU.
+func (p *Proxy) streamBackend(ctx context.Context, src string, gen uint64, start time.Time, se sparql.RowExecutor, sink sparql.RowSink) (*sparql.Result, Trace, error) {
+	tee := &teeSink{sink: sink, limit: p.collectLimit()}
+	err := se.QueryRows(ctx, src, tee)
+	runtime := time.Since(start)
+	tr := Trace{Query: hvs.Normalize(src), Route: RouteBackend, Runtime: runtime}
+	if err != nil {
+		return nil, tr, err
+	}
+	if tee.dropped {
+		p.record(tr)
+		return nil, tr, nil
+	}
+	res := &tee.collect.Result
+	if p.hvsEnabled() {
+		tr.Heavy = p.cache.Record(src, res, runtime, gen)
+	}
+	p.record(tr)
+	return res, tr, nil
+}
+
+func (p *Proxy) hvsEnabled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return !p.opts.DisableHVS
+}
+
+func (p *Proxy) coalescingDisabled() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.opts.DisableCoalescing
+}
+
 func (p *Proxy) record(tr Trace) {
+	p.routeHist[tr.Route].Observe(tr.Runtime)
+	if tr.Coalesced {
+		p.coalesced.Inc()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.hits[tr.Route]++
@@ -202,9 +491,38 @@ func (p *Proxy) Traces() []Trace {
 	return out
 }
 
+// TierMetrics is the proxy half of the /metrics document: per-tier
+// latency distributions, route counts, coalescing savings, and the cache
+// tier's counters.
+type TierMetrics struct {
+	Routes    map[string]metrics.HistogramSnapshot `json:"routes"`
+	Counts    map[string]int                       `json:"counts"`
+	Coalesced uint64                               `json:"coalesced"`
+	Cache     hvs.Stats                            `json:"cache"`
+}
+
+// MetricsSnapshot captures the proxy's serving metrics.
+func (p *Proxy) MetricsSnapshot() TierMetrics {
+	m := TierMetrics{
+		Routes:    make(map[string]metrics.HistogramSnapshot, numRoutes),
+		Counts:    make(map[string]int, numRoutes),
+		Coalesced: p.coalesced.Value(),
+		Cache:     p.cache.Stats(),
+	}
+	for r := Route(0); r < numRoutes; r++ {
+		if s := p.routeHist[r].Snapshot(); s.Count > 0 {
+			m.Routes[r.String()] = s
+		}
+	}
+	for r, n := range p.RouteCounts() {
+		m.Counts[r.String()] = n
+	}
+	return m
+}
+
 // SetOptions atomically replaces the routing options — used by the demo
 // scenarios that toggle the HVS and decomposer on and off live. A changed
-// heaviness threshold is propagated to the cache tier.
+// heaviness threshold or cache budget is propagated to the cache tier.
 func (p *Proxy) SetOptions(opts Options) {
 	p.mu.Lock()
 	if opts.HeavyThreshold <= 0 {
@@ -214,6 +532,7 @@ func (p *Proxy) SetOptions(opts Options) {
 	threshold := opts.HeavyThreshold
 	p.mu.Unlock()
 	p.cache.SetThreshold(threshold)
+	p.cache.SetMaxBytes(opts.CacheMaxBytes)
 }
 
 // Options returns the current routing options.

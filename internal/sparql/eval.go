@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -69,7 +70,7 @@ type Engine struct {
 
 // ErrTooLarge is returned when an intermediate result exceeds the
 // engine's configured bound.
-var ErrTooLarge = fmt.Errorf("sparql: intermediate result exceeds configured bound")
+var ErrTooLarge = errors.New("sparql: intermediate result exceeds configured bound")
 
 // NewEngine returns an engine over st.
 func NewEngine(st *store.Store) *Engine { return &Engine{st: st} }
