@@ -25,6 +25,7 @@ bench:
 benchjson: build
 	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 5000
 	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 5000
+	$(GO) run ./cmd/elinda-bench -experiment ingest
 	$(GO) run ./cmd/elinda-loadgen -persons 5000 -concurrency 16 -duration 5s
 
 # benchjson-quick is the CI-sized variant: same JSON shape, smaller
@@ -33,6 +34,7 @@ benchjson: build
 benchjson-quick: build
 	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 2000
 	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 2000 -triples 200000
+	$(GO) run ./cmd/elinda-bench -experiment ingest -triples 200000
 	$(GO) run ./cmd/elinda-loadgen -persons 1000 -concurrency 8 -duration 2s
 
 # bench-compare checks freshly generated BENCH_*.json files against the
@@ -42,6 +44,7 @@ bench-compare:
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_query.json BENCH_query.json -tolerance 3x
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_store.json BENCH_store.json -tolerance 3x
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_serve.json BENCH_serve.json -tolerance 3x
+	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_ingest.json BENCH_ingest.json -tolerance 3x
 
 # cover writes the coverage profile and prints the per-function totals.
 cover:

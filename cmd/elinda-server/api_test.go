@@ -15,6 +15,7 @@ import (
 	"elinda/internal/datagen"
 	"elinda/internal/proxy"
 	"elinda/internal/rdf"
+	"elinda/internal/store"
 )
 
 func testServer(t *testing.T) *httptest.Server {
@@ -203,33 +204,71 @@ func TestAPITableWithFilter(t *testing.T) {
 	}
 }
 
-func TestLoadTriplesFromFiles(t *testing.T) {
+func TestBuildStoreFromFiles(t *testing.T) {
 	ds := elinda.GenerateDBpediaLike(elinda.DataConfig{Seed: 3, Persons: 50, PoliticianProps: 40})
 	dir := t.TempDir()
 
 	ntPath := dir + "/data.nt"
-	f, err := createAndWriteNT(ntPath, ds)
+	if _, err := createAndWriteNT(ntPath, ds); err != nil {
+		t.Fatal(err)
+	}
+	st, fromSnap, err := buildStore("", ntPath, 0, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_ = f
-	got, err := loadTriples(ntPath, 0)
-	if err != nil {
+	if fromSnap {
+		t.Error("file load reported as snapshot restore")
+	}
+	// The streamed load must land exactly the distinct-triple count a
+	// serial load of the same data produces.
+	ref := store.New(len(ds.Triples))
+	if _, err := ref.Load(ds.Triples); err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != len(ds.Triples) {
-		t.Errorf("loaded %d triples, want %d", len(got), len(ds.Triples))
+	if st.Len() != ref.Len() {
+		t.Errorf("streamed %d triples, serial load has %d", st.Len(), ref.Len())
 	}
-	if _, err := loadTriples(dir+"/missing.nt", 0); err == nil {
+	if _, _, err := buildStore("", dir+"/missing.nt", 0, 0); err == nil {
 		t.Error("missing file accepted")
 	}
 	// No path: generate.
-	gen, err := loadTriples("", 50)
+	gen, _, err := buildStore("", "", 50, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(gen) == 0 {
+	if gen.Len() == 0 {
 		t.Error("generation path produced nothing")
+	}
+
+	// Snapshot round trip: save, then warm-boot from it.
+	snapPath := dir + "/kb.snap"
+	if err := st.SaveSnapshot(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	warm, fromSnap, err := buildStore(snapPath, ntPath, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromSnap {
+		t.Error("snapshot restore not reported")
+	}
+	if warm.Len() != st.Len() || warm.Generation() != st.Generation() {
+		t.Errorf("warm boot diverges: len %d/%d gen %d/%d", warm.Len(), st.Len(), warm.Generation(), st.Generation())
+	}
+	// A missing snapshot path falls back to the cold load.
+	cold, fromSnap, err := buildStore(dir+"/none.snap", ntPath, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromSnap || cold.Len() != st.Len() {
+		t.Errorf("missing-snapshot fallback broken: fromSnap=%v len=%d/%d", fromSnap, cold.Len(), st.Len())
+	}
+	// A corrupt snapshot fails loudly instead of silently re-parsing.
+	if err := os.WriteFile(dir+"/corrupt.snap", []byte("ELINDSN\x01garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := buildStore(dir+"/corrupt.snap", ntPath, 0, 0); err == nil {
+		t.Error("corrupt snapshot accepted")
 	}
 }
 

@@ -16,12 +16,13 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"net/http"
 	"os"
-	"strings"
 	"time"
 
 	"elinda"
@@ -45,6 +46,10 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-query execution timeout")
 		hvsSnap   = flag.String("hvs-snapshot", "", "persist the heavy query store to this file (restored at boot, saved on shutdown)")
 
+		snapLoad      = flag.String("snapshot-load", "", "restore the triple store from this binary snapshot (skips parsing entirely; falls back to a cold load when missing)")
+		snapSave      = flag.String("snapshot-save", "", "save the triple store to this binary snapshot after loading and on SIGTERM")
+		ingestWorkers = flag.Int("ingest-workers", 0, "parallel parse/intern workers for -load streaming ingest (0 = GOMAXPROCS)")
+
 		incChunk     = flag.Int("inc-chunk", 0, "incremental evaluation chunk size N (0 = library default)")
 		incRounds    = flag.Int("inc-rounds", 0, "incremental evaluation round limit k (0 = run to completion)")
 		incWorkers   = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
@@ -60,7 +65,7 @@ func main() {
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
 
-	triples, err := loadTriples(*load, *persons)
+	st, fromSnapshot, err := buildStore(*snapLoad, *load, *persons, *ingestWorkers)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -75,17 +80,20 @@ func main() {
 	}
 	var sys *elinda.System
 	if *remote == "" {
-		sys, err = elinda.OpenWithOptions(triples, opts)
-		if err != nil {
-			log.Fatal(err)
-		}
+		sys = elinda.NewSystemFromStore(st, opts)
 	} else {
-		st := store.New(len(triples))
-		if _, err := st.Load(triples); err != nil {
-			log.Fatal(err)
-		}
 		sys = &elinda.System{Store: st}
 		sys.Proxy = proxy.NewWithBackend(st, endpoint.NewClient(*remote), opts)
+	}
+
+	if *snapSave != "" && !fromSnapshot {
+		start := time.Now()
+		if err := sys.Store.SaveSnapshot(*snapSave); err != nil {
+			log.Printf("store snapshot save failed: %v", err)
+		} else {
+			log.Printf("store snapshot saved to %s in %s (next boot warm-starts with -snapshot-load)",
+				*snapSave, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	sys.SetIncrementalDefaults(elinda.IncrementalOptions{
@@ -100,18 +108,22 @@ func main() {
 		log.Printf("warmed level-zero aggregates in %s", time.Since(start))
 	}
 
+	var savers []saver
 	if *hvsSnap != "" {
 		if err := restoreHVS(sys, *hvsSnap); err != nil {
 			log.Printf("hvs snapshot restore skipped: %v", err)
 		} else {
 			log.Printf("hvs restored from %s (%d entries)", *hvsSnap, sys.Proxy.HVS().Len())
 		}
-		defer func() {
-			if err := saveHVS(sys, *hvsSnap); err != nil {
-				log.Printf("hvs snapshot save failed: %v", err)
-			}
-		}()
-		go persistOnSignal(sys, *hvsSnap)
+		hvsPath := *hvsSnap
+		savers = append(savers, saver{name: "hvs snapshot " + hvsPath, save: func() error { return saveHVS(sys, hvsPath) }})
+	}
+	if *snapSave != "" {
+		snapPath := *snapSave
+		savers = append(savers, saver{name: "store snapshot " + snapPath, save: func() error { return sys.Store.SaveSnapshot(snapPath) }})
+	}
+	if len(savers) > 0 {
+		go persistOnSignal(savers)
 	}
 
 	sparqlSrv := sys.Endpoint()
@@ -160,19 +172,51 @@ func main() {
 	log.Fatal(srv.ListenAndServe())
 }
 
-func loadTriples(path string, persons int) ([]rdf.Triple, error) {
-	if path == "" {
-		cfg := elinda.DefaultDataConfig()
-		cfg.Persons = persons
-		return datagen.Generate(cfg).Triples, nil
+// buildStore assembles the triple store by the fastest route available:
+// a binary snapshot (instant warm start, no parsing), a streamed parallel
+// ingest of a dataset file, or the synthetic generator. The second result
+// reports whether the store came from the snapshot, so the caller can
+// skip the redundant startup save.
+func buildStore(snapPath, load string, persons, ingestWorkers int) (*store.Store, bool, error) {
+	if snapPath != "" {
+		start := time.Now()
+		st, err := store.OpenSnapshot(snapPath)
+		if err == nil {
+			log.Printf("restored store snapshot %s in %s (%d triples, generation %d)",
+				snapPath, time.Since(start).Round(time.Millisecond), st.Len(), st.Generation())
+			return st, true, nil
+		}
+		if !errors.Is(err, fs.ErrNotExist) {
+			// A corrupt or incompatible snapshot is an operator problem;
+			// silently re-parsing would hide it.
+			return nil, false, err
+		}
+		log.Printf("no store snapshot at %s yet; cold loading", snapPath)
 	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("opening dataset: %w", err)
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return nil, false, fmt.Errorf("opening dataset: %w", err)
+		}
+		defer f.Close()
+		st := store.New(0)
+		start := time.Now()
+		n, err := st.LoadStream(f, store.StreamOptions{
+			Syntax:  rdf.DetectFormat(load),
+			Workers: ingestWorkers,
+		})
+		if err != nil {
+			return nil, false, err
+		}
+		log.Printf("streamed %d triples from %s in %s", n, load, time.Since(start).Round(time.Millisecond))
+		return st, false, nil
 	}
-	defer f.Close()
-	if strings.HasSuffix(path, ".ttl") {
-		return rdf.ReadTurtle(f)
+	cfg := elinda.DefaultDataConfig()
+	cfg.Persons = persons
+	ts := datagen.Generate(cfg).Triples
+	st := store.New(len(ts))
+	if _, err := st.Load(ts); err != nil {
+		return nil, false, err
 	}
-	return rdf.ReadNTriples(f)
+	return st, false, nil
 }

@@ -46,15 +46,25 @@ func saveHVS(sys *elinda.System, path string) error {
 	return os.Rename(tmp, path)
 }
 
-// persistOnSignal saves the snapshot and exits on SIGINT/SIGTERM.
-func persistOnSignal(sys *elinda.System, path string) {
+// saver is one persistence action run at shutdown.
+type saver struct {
+	name string
+	save func() error
+}
+
+// persistOnSignal runs every registered saver on SIGINT/SIGTERM — the
+// store's binary snapshot and the HVS cache both land on disk before the
+// process exits, so the next boot warm-starts.
+func persistOnSignal(savers []saver) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-	if err := saveHVS(sys, path); err != nil {
-		log.Printf("hvs snapshot save failed: %v", err)
-	} else {
-		log.Printf("hvs snapshot saved to %s", path)
+	for _, s := range savers {
+		if err := s.save(); err != nil {
+			log.Printf("%s save failed: %v", s.name, err)
+		} else {
+			log.Printf("%s saved", s.name)
+		}
 	}
 	os.Exit(0)
 }

@@ -81,11 +81,44 @@ func OpenWithOptions(triples []rdf.Triple, opts proxy.Options) (*System, error) 
 	if _, err := st.Load(triples); err != nil {
 		return nil, fmt.Errorf("elinda: %w", err)
 	}
+	return NewSystemFromStore(st, opts), nil
+}
+
+// NewSystemFromStore assembles the full system around an already-loaded
+// store — the entry point for stores built by the streaming ingest
+// pipeline (store.LoadStream) or restored from a binary snapshot
+// (store.OpenSnapshot / OpenSnapshot), where the []rdf.Triple of Open
+// never exists.
+func NewSystemFromStore(st *store.Store, opts proxy.Options) *System {
 	return &System{
 		Store:    st,
 		Explorer: core.NewExplorer(st),
 		Proxy:    proxy.New(st, opts),
-	}, nil
+	}
+}
+
+// OpenStream builds the system by streaming triples from r through the
+// parallel ingest pipeline: the input is parsed and dictionary-encoded in
+// chunks by a worker pool and never materialized as a []rdf.Triple. The
+// result is identical — byte for byte in a saved snapshot — to Open over
+// the same parsed document.
+func OpenStream(r io.Reader, syntax rdf.Syntax, opts proxy.Options) (*System, error) {
+	st := store.New(0)
+	if _, err := st.LoadStream(r, store.StreamOptions{Syntax: syntax}); err != nil {
+		return nil, fmt.Errorf("elinda: %w", err)
+	}
+	return NewSystemFromStore(st, opts), nil
+}
+
+// OpenSnapshot restores the system from a binary store snapshot written
+// by System.Store.SaveSnapshot — a warm start that skips parsing,
+// dictionary interning and index sorting entirely.
+func OpenSnapshot(path string, opts proxy.Options) (*System, error) {
+	st, err := store.OpenSnapshot(path)
+	if err != nil {
+		return nil, fmt.Errorf("elinda: %w", err)
+	}
+	return NewSystemFromStore(st, opts), nil
 }
 
 // OpenTurtle reads a Turtle document and assembles the system.

@@ -399,12 +399,10 @@ func (d *Decomposer) TryExecute(q *sparql.Query) (*sparql.Result, bool) {
 
 // applyModifiers honors ORDER BY / LIMIT / OFFSET of the original query on
 // the decomposed result, using the engine's exported solution modifiers so
-// the fast path orders and slices exactly like the generic evaluator.
+// the fast path orders and slices exactly like the generic evaluator —
+// including its bounded-heap top-k shortcut for ORDER BY + LIMIT.
 func applyModifiers(res *sparql.Result, q *sparql.Query) {
-	if len(q.OrderBy) > 0 {
-		sparql.SortSolutions(res.Rows, q.OrderBy)
-	}
-	res.Rows = sparql.SliceSolutions(res.Rows, q.Offset, q.Limit)
+	res.Rows = sparql.OrderAndSlice(res.Rows, q)
 }
 
 // Stats reports detector activity: queries detected as expansions,

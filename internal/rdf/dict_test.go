@@ -112,3 +112,140 @@ func TestDictConcurrentIntern(t *testing.T) {
 		t.Errorf("Len = %d, want 1", d.Len())
 	}
 }
+
+func TestDictBatchCanonicalOrder(t *testing.T) {
+	d := NewDict(0)
+	preID := d.Intern(NewIRI("http://x/pre"))
+
+	b := d.NewBatch()
+	// Intern out of occurrence order, from two goroutines.
+	terms := make([]Term, 40)
+	for i := range terms {
+		terms[i] = NewIRI("http://x/t" + string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	var wg sync.WaitGroup
+	prov := make([][]ID, 2)
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			prov[g] = make([]ID, len(terms))
+			for i := len(terms) - 1; i >= 0; i-- {
+				if i%2 == g {
+					prov[g][i] = b.Intern(uint64(i), terms[i])
+				}
+			}
+			// Existing terms resolve canonically even inside the batch.
+			if got := b.Intern(999, NewIRI("http://x/pre")); got != preID {
+				t.Errorf("goroutine %d: pre-interned term got %d, want %d", g, got, preID)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if added := b.Commit(); added != len(terms) {
+		t.Fatalf("Commit added %d, want %d", added, len(terms))
+	}
+	// Canonical IDs follow occurrence order: terms[0] right after the
+	// pre-existing vocabulary, then terms[1], ...
+	for i, term := range terms {
+		g := i % 2
+		want := preID + ID(i) + 1
+		if got := b.Canonical(prov[g][i]); got != want {
+			t.Fatalf("term %d: canonical %d, want %d", i, got, want)
+		}
+		if id, ok := d.Lookup(term); !ok || id != want {
+			t.Fatalf("term %d: dict lookup (%d,%v), want %d", i, id, ok, want)
+		}
+	}
+}
+
+func TestDictBatchAbandonLeavesDictUntouched(t *testing.T) {
+	d := NewDict(0)
+	d.Intern(NewIRI("http://x/a"))
+	b := d.NewBatch()
+	b.Intern(0, NewIRI("http://x/new1"))
+	b.Intern(1, NewIRI("http://x/new2"))
+	// No Commit: the dictionary must not have grown.
+	if d.Len() != 1 {
+		t.Fatalf("abandoned batch leaked terms: Len=%d", d.Len())
+	}
+	if _, ok := d.Lookup(NewIRI("http://x/new1")); ok {
+		t.Fatal("abandoned batch term visible in dict")
+	}
+}
+
+func TestNewDictFromTermsRejectsBadArenas(t *testing.T) {
+	if _, err := NewDictFromTerms([]Term{NewIRI("http://x/a"), {}}); err == nil {
+		t.Error("zero term accepted")
+	}
+	dup := NewIRI("http://x/a")
+	if _, err := NewDictFromTerms([]Term{dup, NewIRI("http://x/b"), dup}); err == nil {
+		t.Error("duplicate term accepted")
+	}
+	d, err := NewDictFromTerms([]Term{NewIRI("http://x/a"), NewBlank("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id, ok := d.Lookup(NewBlank("b")); !ok || id != 2 {
+		t.Fatalf("rebuilt dict lookup = (%d,%v)", id, ok)
+	}
+	// And it stays a normal, growable dictionary.
+	if id := d.Intern(NewIRI("http://x/c")); id != 3 {
+		t.Fatalf("post-rebuild intern = %d, want 3", id)
+	}
+}
+
+// TestDictConcurrentInternWithPublish hammers Intern from several
+// goroutines while publishReads concurrently folds shard entries into
+// fresh read maps and clears the shards. Every goroutine must observe
+// one stable ID per term and the dictionary must never double-assign.
+func TestDictConcurrentInternWithPublish(t *testing.T) {
+	d := NewDict(0)
+	const goroutines, iters, vocab = 4, 3000, 257
+	seen := make([]map[string]ID, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			seen[g] = make(map[string]ID, vocab)
+			for i := 0; i < iters; i++ {
+				name := "http://x/t" + string(rune('0'+i%10)) + "/" + string(rune('a'+(i*7)%26)) + "/" + string(rune('a'+i%vocab%26)) + string(rune('0'+(i%vocab)/26))
+				id := d.Intern(NewIRI(name))
+				if prev, ok := seen[g][name]; ok && prev != id {
+					panic("ID changed across interns")
+				}
+				seen[g][name] = id
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				d.PublishReads()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	for g := 1; g < goroutines; g++ {
+		for name, id := range seen[g] {
+			if seen[0][name] != id {
+				t.Fatalf("goroutine %d saw %s=%d, goroutine 0 saw %d", g, name, id, seen[0][name])
+			}
+		}
+	}
+	if d.Len() != len(seen[0]) {
+		t.Fatalf("Len=%d, distinct terms=%d (duplicate allocation?)", d.Len(), len(seen[0]))
+	}
+	// Every term still resolves after the final publish cleared shards.
+	for name, id := range seen[0] {
+		if got, ok := d.Lookup(NewIRI(name)); !ok || got != id {
+			t.Fatalf("Lookup(%s) = (%d,%v), want %d", name, got, ok, id)
+		}
+	}
+}

@@ -1,0 +1,200 @@
+package rdf
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+// collectStream runs the chunker+parser over doc and returns all triples
+// in stream order, asserting chunk invariants along the way.
+func collectStream(t *testing.T, doc string, syntax Syntax, chunkBytes int) []Triple {
+	t.Helper()
+	var out []Triple
+	wantIndex := 0
+	err := StreamChunks(strings.NewReader(doc), syntax, chunkBytes, func(c Chunk) error {
+		if c.Index != wantIndex {
+			t.Fatalf("chunk index %d, want %d", c.Index, wantIndex)
+		}
+		wantIndex++
+		return c.Parse(func(tr Triple) error {
+			out = append(out, tr)
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatalf("stream (%v, chunk %d): %v", syntax, chunkBytes, err)
+	}
+	return out
+}
+
+func TestStreamNTriplesMatchesWholeDocument(t *testing.T) {
+	var b bytes.Buffer
+	for i := 0; i < 500; i++ {
+		fmt.Fprintf(&b, "<http://x/s%d> <http://x/p%d> \"v %d\\n tail\"@en .\n", i, i%7, i)
+		if i%50 == 0 {
+			b.WriteString("# a comment line\n\n")
+		}
+	}
+	doc := b.String()
+	want, err := ParseNTriples(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 17, 256, 1 << 20} {
+		got := collectStream(t, doc, SyntaxNTriples, chunk)
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d triples, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: triple %d = %v, want %v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestStreamNTriplesReportsLineNumbers(t *testing.T) {
+	doc := "<http://x/a> <http://x/p> <http://x/b> .\nnot a triple\n"
+	err := StreamChunks(strings.NewReader(doc), SyntaxNTriples, 8, func(c Chunk) error {
+		return c.Parse(func(Triple) error { return nil })
+	})
+	pe, ok := err.(*ParseError)
+	if !ok || pe.Line != 2 {
+		t.Fatalf("want ParseError at line 2, got %v", err)
+	}
+}
+
+func TestStreamTurtleMatchesWholeDocument(t *testing.T) {
+	doc := `@prefix ex: <http://example.org/> .
+# leading comment
+ex:alice a ex:Person ;
+    ex:name "Alice \"A.\"" ;
+    ex:age 42 ;
+    ex:score 3.14 ;
+    ex:knows ex:bob, ex:carol .
+ex:bob ex:name 'Bob' ; ex:ok true .
+@prefix geo: <http://geo.example/> .
+geo:x1 geo:near ex:alice .
+PREFIX foo: <http://foo.example/>
+foo:f1 foo:p "mid . dot" ; foo:q <http://raw/iri> .
+_:b1 ex:name "blank"@de .
+`
+	want, err := ParseTurtle(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		t.Fatal("reference parse produced no triples")
+	}
+	for _, chunk := range []int{1, 9, 64, 1 << 20} {
+		got := collectStream(t, doc, SyntaxTurtle, chunk)
+		if len(got) != len(want) {
+			t.Fatalf("chunk %d: %d triples, want %d", chunk, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("chunk %d: triple %d = %v, want %v", chunk, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestStreamTurtlePrefixFreezing pins the directive semantics: a chunk
+// parsed after a redeclared prefix must use the table in effect at its
+// own position, even when chunks are tiny.
+func TestStreamTurtlePrefixFreezing(t *testing.T) {
+	doc := `@prefix p: <http://one/> .
+p:a p:x p:b .
+@prefix p: <http://two/> .
+p:a p:x p:b .
+`
+	got := collectStream(t, doc, SyntaxTurtle, 1)
+	if len(got) != 2 {
+		t.Fatalf("got %d triples", len(got))
+	}
+	if got[0].S.Value != "http://one/a" || got[1].S.Value != "http://two/a" {
+		t.Fatalf("prefix table not frozen per chunk: %v / %v", got[0].S, got[1].S)
+	}
+}
+
+func TestStreamTurtleErrors(t *testing.T) {
+	cases := []string{
+		"ex:a ex:b ex:c .",               // undeclared prefix
+		"<http://x/a> <http://x/p> \"unterminated .", // swallows the dot; hits EOF
+		"@prefix broken",                 // unterminated directive
+		"<http://x/a> <http://x/p> <http://x/b>", // missing terminator
+	}
+	for _, doc := range cases {
+		err := StreamChunks(strings.NewReader(doc), SyntaxTurtle, 16, func(c Chunk) error {
+			return c.Parse(func(Triple) error { return nil })
+		})
+		if err == nil {
+			t.Errorf("no error for %q", doc)
+		}
+	}
+}
+
+// errReader fails after serving its payload, checking error propagation.
+type errReader struct {
+	data []byte
+	err  error
+}
+
+func (e *errReader) Read(p []byte) (int, error) {
+	if len(e.data) == 0 {
+		return 0, e.err
+	}
+	n := copy(p, e.data)
+	e.data = e.data[n:]
+	return n, nil
+}
+
+func TestStreamPropagatesReadErrors(t *testing.T) {
+	boom := fmt.Errorf("disk on fire")
+	for _, f := range []Syntax{SyntaxNTriples, SyntaxTurtle} {
+		r := &errReader{data: []byte("<http://x/a> <http://x/p> <http://x/b> .\n"), err: boom}
+		err := StreamChunks(r, f, 1<<20, func(c Chunk) error { return nil })
+		if err == nil || !strings.Contains(err.Error(), "disk on fire") {
+			t.Errorf("format %v: error = %v, want wrapped read error", f, err)
+		}
+	}
+}
+
+func TestDetectFormat(t *testing.T) {
+	if DetectFormat("x.ttl") != SyntaxTurtle || DetectFormat("x.TURTLE") != SyntaxTurtle {
+		t.Error("turtle extensions not detected")
+	}
+	if DetectFormat("x.nt") != SyntaxNTriples || DetectFormat("dump") != SyntaxNTriples {
+		t.Error("nt default not applied")
+	}
+}
+
+var _ io.Reader = (*errReader)(nil)
+
+// TestStreamTurtleErrorLineNumbers pins the diagnostic parity with the
+// serial reader: a malformed statement deep in a chunk (after multi-line
+// statements and comments) must be reported at its true input line.
+func TestStreamTurtleErrorLineNumbers(t *testing.T) {
+	doc := `@prefix ex: <http://example.org/> .
+ex:a ex:p ex:b ;
+    ex:q ex:c ,
+         ex:d .
+# a comment between statements
+ex:e ex:p ex:f .
+
+ex:bad undeclared:p ex:g .
+`
+	err := StreamChunks(strings.NewReader(doc), SyntaxTurtle, 1<<20, func(c Chunk) error {
+		return c.Parse(func(Triple) error { return nil })
+	})
+	pe, ok := err.(*ParseError)
+	if !ok {
+		t.Fatalf("want ParseError, got %v", err)
+	}
+	if pe.Line != 8 {
+		t.Fatalf("error reported at line %d, want 8: %v", pe.Line, pe)
+	}
+}

@@ -52,6 +52,29 @@ func ParseTurtle(s string) ([]Triple, error) {
 	}
 }
 
+// parseTurtleChunk parses the statements of a streamed chunk. The chunker
+// has already extracted every directive, so prefixes and base arrive
+// frozen; the parser only reads them, which is what makes concurrent
+// chunk parsing safe.
+func parseTurtleChunk(data string, line int, prefixes map[string]string, base string, emit func(Triple) error) error {
+	p := &turtleParser{s: data, line: line, prefixes: prefixes, base: base}
+	for {
+		p.skipWSAndComments()
+		if p.eof() {
+			return nil
+		}
+		ts, err := p.statement()
+		if err != nil {
+			return err
+		}
+		for _, t := range ts {
+			if err := emit(t); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 type turtleParser struct {
 	s        string
 	pos      int

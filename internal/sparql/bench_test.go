@@ -143,3 +143,28 @@ func BenchmarkQueryEngine(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOrderByLimit compares the full stable sort against the
+// bounded-heap top-k selection on a LIMIT 10 over a large result — the
+// shape the heap path exists for.
+func BenchmarkOrderByLimit(b *testing.B) {
+	rows := make([]Solution, 50_000)
+	for i := range rows {
+		rows[i] = Solution{"v": rdf.NewTypedLiteral(fmt.Sprint((i*2654435761)%1_000_003), rdf.XSDInteger)}
+	}
+	keys := []OrderKey{{Expr: &VarExpr{Name: "v"}, Desc: true}}
+	b.Run("full-sort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cp := append([]Solution(nil), rows...)
+			SortSolutions(cp, keys)
+			_ = SliceSolutions(cp, 0, 10)
+		}
+	})
+	b.Run("topk-10", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = TopKSolutions(rows, keys, 10)
+		}
+	})
+}

@@ -107,13 +107,35 @@ func diffGroup(r *rand.Rand) *GroupPattern {
 	if r.Intn(3) == 0 { // FILTER
 		v := &VarExpr{Name: diffVar(r)}
 		var f Expr
-		switch r.Intn(4) {
+		switch r.Intn(7) {
 		case 0:
 			f = &FuncExpr{Name: "BOUND", Args: []Expr{v}}
 		case 1:
 			f = &FuncExpr{Name: "ISIRI", Args: []Expr{v}}
 		case 2:
 			f = &BinaryExpr{Op: "!=", Left: v, Right: &ConstExpr{Term: ex(fmt.Sprintf("o%d", r.Intn(8)))}}
+		case 3:
+			// Equality against a constant: IRI or typed literal, both
+			// sides' coercion rules must survive the ID fast path.
+			c := &ConstExpr{Term: ex(fmt.Sprintf("o%d", r.Intn(8)))}
+			if r.Intn(2) == 0 {
+				c = &ConstExpr{Term: rdf.NewTypedLiteral(fmt.Sprint(r.Intn(9)+1), rdf.XSDInteger)}
+			}
+			f = &BinaryExpr{Op: "=", Left: v, Right: c}
+		case 4:
+			// sameTerm with a constant, in either argument order —
+			// exercises the pure ID-equality path, including constants
+			// that are not in the store at all.
+			var c Expr = &ConstExpr{Term: ex(fmt.Sprintf("s%d", r.Intn(10)))}
+			args := []Expr{v, c}
+			if r.Intn(2) == 0 {
+				args = []Expr{c, v}
+			}
+			f = &FuncExpr{Name: "SAMETERM", Args: args}
+		case 5:
+			// Two-variable filter: keeps the general decode bridge (and
+			// its slot-keyed scratch) under differential coverage.
+			f = &BinaryExpr{Op: "=", Left: v, Right: &VarExpr{Name: diffVar(r)}}
 		default:
 			f = &BinaryExpr{Op: "<", Left: v, Right: &NumExpr{Val: float64(r.Intn(10))}}
 		}

@@ -308,32 +308,40 @@ func dedupRows(rows []Solution, vars []string) []Solution {
 	return out
 }
 
-func sortRows(rows []Solution, keys []OrderKey) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			vi := k.Expr.Eval(rows[i])
-			vj := k.Expr.Eval(rows[j])
-			cmp, ok := compareValues(vi, vj)
-			if !ok {
-				// Unbound sorts first (ascending).
-				switch {
-				case vi.Kind == VUnbound && vj.Kind != VUnbound:
-					cmp = -1
-				case vi.Kind != VUnbound && vj.Kind == VUnbound:
-					cmp = 1
-				default:
-					continue
-				}
-			}
-			if cmp == 0 {
+// cmpSolutionsOrder compares two solutions under the ORDER BY keys,
+// returning -1/0/+1 with Desc already applied. It is the single source
+// of ordering truth shared by the stable full sort and the bounded-heap
+// top-k selection.
+func cmpSolutionsOrder(a, b Solution, keys []OrderKey) int {
+	for _, k := range keys {
+		vi := k.Expr.Eval(a)
+		vj := k.Expr.Eval(b)
+		cmp, ok := compareValues(vi, vj)
+		if !ok {
+			// Unbound sorts first (ascending).
+			switch {
+			case vi.Kind == VUnbound && vj.Kind != VUnbound:
+				cmp = -1
+			case vi.Kind != VUnbound && vj.Kind == VUnbound:
+				cmp = 1
+			default:
 				continue
 			}
-			if k.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
 		}
-		return false
+		if cmp == 0 {
+			continue
+		}
+		if k.Desc {
+			return -cmp
+		}
+		return cmp
+	}
+	return 0
+}
+
+func sortRows(rows []Solution, keys []OrderKey) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		return cmpSolutionsOrder(rows[i], rows[j], keys) < 0
 	})
 }
 

@@ -307,33 +307,15 @@ func (e *Engine) evalGroupIDs(ctx context.Context, g *GroupPattern, env *execEnv
 		}
 	}
 
-	// FILTER constraints: bridge to the expression evaluator through a
-	// reusable scratch solution holding only the variables the filter
-	// actually references.
+	// FILTER constraints: ID-space fast paths (sameTerm compare, single-
+	// variable memoization), falling back to a churn-free decode bridge
+	// for general expressions — see idfilter.go.
 	for _, f := range g.Filters {
-		refs := filterRefs(f, slots)
-		scratch := make(Solution, len(refs))
-		kept := newIDRows(w)
-		for i := 0; i < rows.n; i++ {
-			if i%cancelCheckInterval == cancelCheckInterval-1 {
-				if err := ctx.Err(); err != nil {
-					return nil, nil, fmt.Errorf("sparql: %w", err)
-				}
-			}
-			row := rows.row(i)
-			for k := range scratch {
-				delete(scratch, k)
-			}
-			for _, ref := range refs {
-				if id := row[ref.slot]; id != rdf.NoID {
-					scratch[ref.name] = env.decode(id)
-				}
-			}
-			if b, ok := f.Eval(scratch).AsBool(); ok && b {
-				kept.push(row)
-			}
+		var err error
+		rows, err = e.applyFilterIDs(ctx, f, rows, slots, env)
+		if err != nil {
+			return nil, nil, err
 		}
-		rows = kept
 	}
 	return rows, slots, nil
 }
@@ -1027,10 +1009,7 @@ func (e *Engine) finishIDs(q *Query, rows *idRows, slots *slotTable, env *execEn
 		}
 	}
 
-	if len(q.OrderBy) > 0 {
-		sortRows(out, q.OrderBy)
-	}
-	out = SliceSolutions(out, q.Offset, q.Limit)
+	out = applyOrderSlice(out, q)
 	return &Result{Vars: vars, Rows: out}, nil
 }
 
@@ -1090,15 +1069,15 @@ func (e *Engine) projectStream(q *Query, rows *idRows, slots *slotTable, env *ex
 		}
 		proj = newIDRows(len(q.Items))
 		prow := make([]rdf.ID, len(q.Items))
-		var exprScratch Solution
-		var exprRefs [][]slotRef
+		// Per-item slot-keyed scratch solutions: bindings overwrite in
+		// place across rows instead of clearing and rebuilding the map.
+		var exprScratch []*scratchSol
 		for j, it := range q.Items {
 			if it.Expr != nil {
 				if exprScratch == nil {
-					exprScratch = Solution{}
-					exprRefs = make([][]slotRef, len(q.Items))
+					exprScratch = make([]*scratchSol, len(q.Items))
 				}
-				exprRefs[j] = filterRefs(it.Expr, slots)
+				exprScratch[j] = newScratchSol(filterRefs(it.Expr, slots))
 			}
 		}
 		for i := 0; i < rows.n; i++ {
@@ -1106,15 +1085,7 @@ func (e *Engine) projectStream(q *Query, rows *idRows, slots *slotTable, env *ex
 			for j, it := range q.Items {
 				prow[j] = rdf.NoID
 				if it.Expr != nil {
-					for k := range exprScratch {
-						delete(exprScratch, k)
-					}
-					for _, ref := range exprRefs[j] {
-						if id := row[ref.slot]; id != rdf.NoID {
-							exprScratch[ref.name] = env.decode(id)
-						}
-					}
-					if t, tok := valueToTerm(it.Expr.Eval(exprScratch)); tok {
+					if t, tok := valueToTerm(it.Expr.Eval(exprScratch[j].fill(row, env))); tok {
 						prow[j] = env.encode(t)
 					}
 				} else if s, sok := slots.lookup(it.Var); sok {

@@ -228,6 +228,10 @@ func (s *Store) Load(ts []rdf.Triple) (int, error) {
 		}
 		enc = append(enc, s.dict.Encode(t))
 	}
+	// Fold the freshly interned vocabulary into the dictionary's
+	// published read side (and empty the write shards): later lookups go
+	// lock-free and the shard maps stop duplicating the read map.
+	s.dict.PublishReads()
 	batch := dedupBatch(snap, enc)
 	if len(batch) > 0 {
 		s.snap.Store(applyBatch(snap, batch))
