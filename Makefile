@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench benchjson benchjson-quick bench-compare cover check server
+.PHONY: all build test race vet lint fuzz-smoke bench benchjson benchjson-quick bench-compare cover check server
 
 all: check
 
@@ -46,6 +46,24 @@ bench-compare:
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_serve.json BENCH_serve.json -tolerance 3x
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_ingest.json BENCH_ingest.json -tolerance 3x
 
+# lint runs the project's own invariant analyzers (internal/lint) over
+# every package: snapshot binding, zero-copy slice escapes, ctx polling
+# in data-sized loops, map-iteration-order leaks, and lock balance on the
+# dictionary publish side. Findings are build breaks, not warnings;
+# deliberate exceptions carry a //lint:ignore <analyzer> <reason> line.
+lint:
+	$(GO) run ./cmd/elinda-lint ./...
+
+# fuzz-smoke gives each fuzz target a short budget on top of the
+# committed corpus under testdata/fuzz/. Go allows one -fuzz pattern per
+# invocation, so the targets run back to back. The minimize budget is
+# capped so a new interesting input cannot eat the whole run.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzStreamChunks$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/rdf
+	$(GO) test -run '^$$' -fuzz '^FuzzDetectFormat$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/rdf
+	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/store
+
 # cover writes the coverage profile and prints the per-function totals.
 cover:
 	$(GO) test -coverprofile=coverage.out ./...
@@ -55,7 +73,7 @@ cover:
 # command. The race run includes the snapshot concurrency tests
 # (store.TestSnapshotConcurrentWithWrites, sparql parallel/differential)
 # and the serving-tier coalescing/limiter races.
-check: build vet test race
+check: build vet lint test race
 
 server: build
 	$(GO) run ./cmd/elinda-server

@@ -16,14 +16,21 @@
 // the tolerance:
 //
 //	elinda-bench -compare bench/baselines/BENCH_query.json BENCH_query.json -tolerance 3x
+//
+// -compare exits 1 on a regression and 3 when an input file is missing,
+// so "the baseline was never generated" cannot masquerade as "the code
+// got slower" (note `go run` collapses any nonzero child exit to 1; use
+// the built binary where the distinction matters).
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"log"
 	"maps"
 	"math/rand"
@@ -336,7 +343,7 @@ func runIncrementalParallel(persons int) {
 		set  []rdf.ID
 	}{
 		{"level-zero (all subjects)", nil},
-		{"Person pane", sys.Store.SubjectsOfType(personID)},
+		{"Person pane", append([]rdf.ID(nil), sys.Store.SubjectsOfType(personID)...)},
 	}
 	for _, w := range workloads {
 		want := incremental.NewPropertyAggregator(w.set, false)
@@ -1106,8 +1113,18 @@ func parseTolerance(s string) float64 {
 	return v
 }
 
+// exitMissingInput distinguishes "an input file is absent" (baseline not
+// committed yet, or `make benchjson-quick` not run) from exit 1, which
+// -compare reserves for a real timing regression. CI and scripts can
+// branch on it instead of parsing the message.
+const exitMissingInput = 3
+
 func loadBenchJSON(path string) any {
 	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		log.Printf("%s does not exist: generate it first (make benchjson-quick for fresh numbers, or commit a baseline under bench/baselines/)", path)
+		os.Exit(exitMissingInput)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,90 @@
+// Command elinda-lint runs eLinda's invariant analyzers over Go
+// packages. These are the project-specific checks that generic linters
+// cannot know about: snapshot binding discipline, zero-copy slice
+// escapes, cancellation polling on query paths, deterministic output
+// from map iteration, and the dictionary's locking protocol.
+//
+// Usage:
+//
+//	elinda-lint [-list] [-only name1,name2] [packages...]
+//
+// Patterns default to ./... relative to the enclosing module. Exit
+// status: 0 clean, 1 findings reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"elinda/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: elinda-lint [-list] [-only names] [packages...]\n\nAnalyzers:\n")
+		for _, a := range lint.All() {
+			fmt.Fprintf(os.Stderr, "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *only != "" {
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			a := lint.ByName(name)
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "elinda-lint: unknown analyzer %q\n", name)
+				os.Exit(2)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elinda-lint: %v\n", err)
+		os.Exit(2)
+	}
+	dir, err := lint.ModuleDir(wd)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elinda-lint: %v\n", err)
+		os.Exit(2)
+	}
+
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elinda-lint: load: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "elinda-lint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "elinda-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

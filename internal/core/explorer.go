@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"elinda/internal/decomposer"
@@ -288,9 +289,15 @@ func (e *Explorer) objectExpansion(b *Bar, incoming bool) *Chart {
 			}
 		}
 	}
-	// Distribute by class.
-	perClass := map[rdf.ID][]rdf.ID{}
+	// Distribute by class, visiting objects in ID order so each class's
+	// member list comes out the same on every run.
+	objs := make([]rdf.ID, 0, len(connected))
 	for o := range connected {
+		objs = append(objs, o)
+	}
+	slices.Sort(objs)
+	perClass := map[rdf.ID][]rdf.ID{}
+	for _, o := range objs {
 		for _, c := range snap.Objects(o, snap.TypeID()) {
 			perClass[c] = append(perClass[c], o)
 		}

@@ -27,6 +27,7 @@ package incremental
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sync"
 
 	"elinda/internal/rdf"
@@ -524,6 +525,7 @@ func (a *ObjectAggregator) ConnectedObjects() []rdf.ID {
 	for o := range a.connected {
 		out = append(out, o)
 	}
+	slices.Sort(out)
 	return out
 }
 

@@ -1,0 +1,217 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxLoop enforces cancellation responsiveness in the query engine's
+// match/join paths (PR 2's streaming executor contract): a loop that can
+// run for an input-dependent number of iterations inside a function that
+// has a context must poll that context — directly (ctx.Err()/ctx.Done(),
+// possibly behind a visits%cancelCheckInterval guard) or through a local
+// helper closure that does. Otherwise a heavy BGP join or scan keeps
+// burning CPU long after the client hung up, which is exactly the load
+// the admission controller exists to shed.
+//
+// The check is scoped to internal/sparql and internal/store, skips
+// loops with a constant trip count, and considers a loop covered when
+// any enclosing loop in the same function polls (the established
+// poll-per-outer-row pattern).
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc:  "unbounded loops on query paths must poll ctx so cancellation is honored",
+	Run:  runCtxLoop,
+}
+
+var ctxLoopScope = map[string]bool{
+	"elinda/internal/sparql": true,
+	"elinda/internal/store":  true,
+}
+
+func runCtxLoop(pass *Pass) error {
+	if !ctxLoopScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, fn := range funcScopes(pass.Files) {
+		c := &ctxLoopChecker{pass: pass}
+		if !c.ctxAvailable(fn) {
+			continue
+		}
+		c.collectPollers(fn.body)
+		c.walk(fn.body, false)
+	}
+	return nil
+}
+
+type ctxLoopChecker struct {
+	pass *Pass
+	// pollers are local closures whose body touches the context;
+	// calling one counts as polling (the check(i) helper pattern).
+	pollers map[types.Object]bool
+}
+
+// ctxAvailable reports whether fn has a context to poll: a
+// context.Context parameter or receiver field, or any context-typed
+// expression mentioned in the body (captured closures).
+func (c *ctxLoopChecker) ctxAvailable(fn funcScope) bool {
+	if fn.decl != nil {
+		fields := []*ast.FieldList{fn.decl.Type.Params, fn.decl.Recv}
+		for _, fl := range fields {
+			if fl == nil {
+				continue
+			}
+			for _, f := range fl.List {
+				t := c.pass.TypesInfo.TypeOf(f.Type)
+				if t == nil {
+					continue
+				}
+				if isContextType(t) {
+					return true
+				}
+				if named := namedType(t); named != nil {
+					if st, ok := named.Underlying().(*types.Struct); ok {
+						for i := 0; i < st.NumFields(); i++ {
+							if isContextType(st.Field(i).Type()) {
+								return true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return c.mentionsCtx(fn.body)
+}
+
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// collectPollers records local `name := func(...) {... ctx ...}`
+// closures.
+func (c *ctxLoopChecker) collectPollers(body *ast.BlockStmt) {
+	c.pollers = map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if c.mentionsCtx(lit.Body) {
+				if obj := c.pass.TypesInfo.ObjectOf(id); obj != nil {
+					c.pollers[obj] = true
+				}
+			}
+		}
+		return true
+	})
+}
+
+// mentionsCtx reports whether node references a context-typed expression
+// or calls a polling closure.
+func (c *ctxLoopChecker) mentionsCtx(node ast.Node) bool {
+	found := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if t := c.pass.TypesInfo.TypeOf(x); t != nil && isContextType(t) {
+				found = true
+			}
+			if obj := c.pass.TypesInfo.ObjectOf(x); obj != nil && c.pollers[obj] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if t := c.pass.TypesInfo.TypeOf(x); t != nil && isContextType(t) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// walk visits statements; polled means an enclosing loop already polls
+// per iteration.
+func (c *ctxLoopChecker) walk(n ast.Node, polled bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(node ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := node.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		loopPolls := c.mentionsCtx(body)
+		if !polled && !loopPolls && c.candidate(node, body) {
+			c.pass.Reportf(node.Pos(),
+				"loop may run for an input-dependent number of iterations without polling ctx; check ctx.Err() (every cancelCheckInterval iterations is fine) or hoist the check into an enclosing loop")
+			// Report the outermost offender only; descendants are the
+			// same finding.
+			c.walk(body, true)
+			return false
+		}
+		c.walk(body, polled || loopPolls)
+		return false
+	})
+}
+
+// candidate reports whether the loop's trip count is input-dependent and
+// heavy enough to matter (contains a call or a nested loop).
+func (c *ctxLoopChecker) candidate(loop ast.Node, body *ast.BlockStmt) bool {
+	switch l := loop.(type) {
+	case *ast.RangeStmt:
+		t := c.pass.TypesInfo.TypeOf(l.X)
+		if t == nil {
+			return false
+		}
+		switch t.Underlying().(type) {
+		case *types.Slice, *types.Map:
+		default:
+			return false // arrays, strings, ints and channels are bounded or blocking
+		}
+	case *ast.ForStmt:
+		if l.Cond != nil {
+			if bin, ok := l.Cond.(*ast.BinaryExpr); ok {
+				if tv, ok := c.pass.TypesInfo.Types[bin.Y]; ok && tv.Value != nil {
+					return false // constant trip bound
+				}
+			}
+		}
+	}
+	heavy := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			// Builtins (append, copy, len, …) are cheap per iteration;
+			// a loop of only those finishes in microseconds even on big
+			// inputs and is not worth a poll.
+			if id, ok := x.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := c.pass.TypesInfo.ObjectOf(id).(*types.Builtin); isBuiltin {
+					return true
+				}
+			}
+			heavy = true
+		case *ast.ForStmt, *ast.RangeStmt:
+			heavy = true
+		}
+		return !heavy
+	})
+	return heavy
+}

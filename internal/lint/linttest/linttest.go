@@ -1,0 +1,142 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their findings against // want "regex" comments, in the style of
+// x/tools' analysistest. A fixture lives under
+// testdata/src/<importPath>/ relative to the calling test's directory
+// and is type-checked AS that import path, so fixtures can pose as
+// in-scope packages (elinda/internal/sparql, elinda/internal/rdf, …)
+// while importing the real production packages they exercise.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"elinda/internal/lint"
+)
+
+// Run loads testdata/src/<asPath> as package path asPath, applies the
+// analyzer (with //lint:ignore suppressions in effect), and fails the
+// test unless the findings match the fixture's want comments exactly:
+// every finding must match a // want "regex" on its line, and every want
+// must be matched by a finding.
+func Run(t *testing.T, a *lint.Analyzer, asPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", filepath.FromSlash(asPath))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var paths []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	moduleDir, err := lint.ModuleDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	imp := lint.NewDepImporter(moduleDir, fset)
+	pkg, err := lint.CheckFiles(fset, asPath, paths, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture: %v", err)
+	}
+
+	diags, err := lint.RunAnalyzers([]*lint.Package{pkg}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wants := collectWants(t, fset, pkg)
+	for _, d := range diags {
+		key := d.Pos.Filename + ":" + strconv.Itoa(d.Pos.Line)
+		if !wants.match(key, d.Message) {
+			t.Errorf("unexpected finding at %s:%d: %s (%s)", d.Pos.Filename, d.Pos.Line, d.Message, d.Analyzer)
+		}
+	}
+	wants.reportUnmatched(t)
+}
+
+// wantSet indexes the fixture's want regexps by file:line.
+type wantSet struct {
+	byLine map[string][]*wantEntry
+}
+
+type wantEntry struct {
+	re      *regexp.Regexp
+	key     string
+	matched bool
+}
+
+func (w *wantSet) match(key, message string) bool {
+	for _, e := range w.byLine[key] {
+		if !e.matched && e.re.MatchString(message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func (w *wantSet) reportUnmatched(t *testing.T) {
+	t.Helper()
+	for _, es := range w.byLine {
+		for _, e := range es {
+			if !e.matched {
+				t.Errorf("no finding matched want %q at %s", e.re, e.key)
+			}
+		}
+	}
+}
+
+// wantPattern pulls the quoted or backquoted expectations out of a
+// `// want "re" …` comment.
+var wantPattern = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func collectWants(t *testing.T, fset *token.FileSet, pkg *lint.Package) *wantSet {
+	t.Helper()
+	w := &wantSet{byLine: map[string][]*wantEntry{}}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := pos.Filename + ":" + strconv.Itoa(pos.Line)
+				for _, q := range wantPattern.FindAllString(text, -1) {
+					expr := q[1 : len(q)-1]
+					if q[0] == '"' {
+						unq, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s: bad want string %s: %v", key, q, err)
+						}
+						expr = unq
+					}
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("%s: bad want regexp %q: %v", key, expr, err)
+					}
+					w.byLine[key] = append(w.byLine[key], &wantEntry{re: re, key: key})
+				}
+				if len(wantPattern.FindAllString(text, -1)) == 0 {
+					t.Fatalf("%s: want comment with no quoted pattern: %s", key, c.Text)
+				}
+			}
+		}
+	}
+	return w
+}

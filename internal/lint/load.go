@@ -1,0 +1,221 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// This file loads and type-checks packages without golang.org/x/tools:
+// `go list -deps -export -json` names every package's compiled export
+// data in the build cache (building it if needed, no network required),
+// the matched packages are parsed from source, and go/types checks them
+// with an importer that reads dependencies straight from that export
+// data. The result carries exactly what the analyzers need: syntax with
+// comments, a *types.Package, and a fully populated types.Info.
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path      string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` in dir and decodes the
+// package stream.
+func goList(dir string, patterns []string) ([]listPkg, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,Standard,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// DepImporter resolves import paths to *types.Package by reading the
+// compiled export data `go list -export` reports, caching both the
+// path→file mapping and the imported packages. It is the shared importer
+// for the main load path and the fixture tests.
+type DepImporter struct {
+	dir  string // module directory go list runs in
+	fset *token.FileSet
+
+	mu      sync.Mutex
+	exports map[string]string
+	gc      types.Importer
+}
+
+// NewDepImporter returns an importer rooted at the given module
+// directory.
+func NewDepImporter(dir string, fset *token.FileSet) *DepImporter {
+	di := &DepImporter{dir: dir, fset: fset, exports: map[string]string{}}
+	di.gc = importer.ForCompiler(fset, "gc", di.lookup)
+	return di
+}
+
+// add records export data locations from a go list run.
+func (di *DepImporter) add(pkgs []listPkg) {
+	di.mu.Lock()
+	defer di.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			di.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+func (di *DepImporter) lookup(path string) (io.ReadCloser, error) {
+	di.mu.Lock()
+	file, ok := di.exports[path]
+	di.mu.Unlock()
+	if !ok {
+		// Resolve on demand (fixture tests import packages the initial
+		// pattern list never mentioned). -deps records the transitive
+		// closure so one run covers the import's own dependencies.
+		pkgs, err := goList(di.dir, []string{path})
+		if err != nil {
+			return nil, err
+		}
+		di.add(pkgs)
+		di.mu.Lock()
+		file, ok = di.exports[path]
+		di.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// Import implements types.Importer.
+func (di *DepImporter) Import(path string) (*types.Package, error) {
+	return di.gc.Import(path)
+}
+
+// newTypesInfo allocates the full set of type-checker result maps.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// CheckFiles parses the given files and type-checks them as one package
+// under importPath, resolving imports through imp.
+func CheckFiles(fset *token.FileSet, importPath string, paths []string, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, path := range paths {
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := newTypesInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Types: tpkg, TypesInfo: info}, nil
+}
+
+// Load type-checks every package matching the patterns (relative to the
+// module rooted at dir) and returns them ready for analysis. Test files
+// are not loaded: the invariants guard production paths, and fixture
+// code under testdata is exercised separately.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := NewDepImporter(dir, fset)
+	imp.add(listed)
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		paths := make([]string, len(p.GoFiles))
+		for i, f := range p.GoFiles {
+			paths[i] = filepath.Join(p.Dir, f)
+		}
+		pkg, err := CheckFiles(fset, p.ImportPath, paths, imp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// ModuleDir locates the enclosing module root (the directory holding
+// go.mod) starting from dir, so callers can run the suite from any
+// subdirectory — the self-check test runs from internal/lint.
+func ModuleDir(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}

@@ -1,0 +1,367 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockBalance guards the two locking disciplines the parallel ingest
+// dictionary (PR 5) depends on:
+//
+//  1. Balance: a mutex Lock/RLock must be released on every path — by a
+//     `defer Unlock` on the same mutex, or, when the critical section
+//     deliberately avoids defer (the dictionary's hot intern path), by an
+//     explicit Unlock preceding every return in that return's own block.
+//     An early `return` between Lock and Unlock is the classic leak that
+//     deadlocks every later writer.
+//  2. Publication: rdf.Dict's shared state (the id→term arena, the stale
+//     counter, the published read pointer, each shard's byVal map) may
+//     only be written while the corresponding lock is held — arena/read
+//     under Dict.mu, byVal under the shard's mu. A write outside the lock
+//     races the lock-free readers that make ingest scale.
+//
+// Freshly constructed, not-yet-shared values (`d := &Dict{...}`) are
+// exempt from rule 2; sites that share state by other means document
+// themselves with //lint:ignore lockbalance <reason>.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "mutex Lock needs defer Unlock or per-return explicit Unlock; rdf.Dict publish-side writes need the owning lock",
+	Run:  runLockBalance,
+}
+
+const rdfPkgPath = "elinda/internal/rdf"
+
+// guardRule ties a field of a type to the mutex field that must be held
+// (lexically, within the writing function) when the field is written.
+type guardRule struct {
+	pkg, typ, field, mutex string
+}
+
+var guardRules = []guardRule{
+	{rdfPkgPath, "Dict", "arena", "mu"},
+	{rdfPkgPath, "Dict", "stale", "mu"},
+	{rdfPkgPath, "Dict", "read", "mu"},
+	{rdfPkgPath, "dictShard", "byVal", "mu"},
+}
+
+func runLockBalance(pass *Pass) error {
+	for _, fn := range funcScopes(pass.Files) {
+		checkLockReturns(pass, fn)
+		checkGuardedWrites(pass, fn)
+	}
+	return nil
+}
+
+// --- rule 1: lock/unlock balance ---
+
+// mutexCall matches <expr>.M() where expr is a sync.Mutex or
+// sync.RWMutex and M is a lock/unlock method, returning the mutex key
+// ("<expr>" rendered) and the method.
+func mutexCall(pass *Pass, call *ast.CallExpr) (key, method string, ok bool) {
+	recv, name, ok := methodCall(call)
+	if !ok {
+		return "", "", false
+	}
+	switch name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	t := pass.TypesInfo.TypeOf(recv)
+	if t == nil || (!isNamed(t, "sync", "Mutex") && !isNamed(t, "sync", "RWMutex")) {
+		return "", "", false
+	}
+	key = exprString(recv)
+	if key == "" {
+		return "", "", false
+	}
+	return key, name, true
+}
+
+func checkLockReturns(pass *Pass, fn funcScope) {
+	type lockSite struct {
+		pos  token.Pos
+		key  string // mutex expr + lock flavor, e.g. "s.mu/R"
+		name string
+	}
+	var locks []lockSite
+	unlocked := map[string]bool{} // keys with an explicit unlock somewhere
+	deferred := map[string]bool{} // keys released via defer
+
+	flavored := func(key, method string) string {
+		if method == "RLock" || method == "RUnlock" {
+			return key + "/R"
+		}
+		return key
+	}
+
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt:
+			// defer mu.Unlock() — or a defer'd closure that unlocks.
+			ast.Inspect(x.Call, func(d ast.Node) bool {
+				if call, ok := d.(*ast.CallExpr); ok {
+					if key, m, ok := mutexCall(pass, call); ok && (m == "Unlock" || m == "RUnlock") {
+						deferred[flavored(key, m)] = true
+					}
+				}
+				return true
+			})
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				ast.Inspect(lit.Body, func(d ast.Node) bool {
+					if call, ok := d.(*ast.CallExpr); ok {
+						if key, m, ok := mutexCall(pass, call); ok && (m == "Unlock" || m == "RUnlock") {
+							deferred[flavored(key, m)] = true
+						}
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.CallExpr:
+			if key, m, ok := mutexCall(pass, x); ok {
+				switch m {
+				case "Lock", "RLock":
+					locks = append(locks, lockSite{pos: x.Pos(), key: flavored(key, m), name: key + "." + m})
+				case "Unlock", "RUnlock":
+					unlocked[flavored(key, m)] = true
+				}
+			}
+		}
+		return true
+	})
+
+	if len(locks) == 0 {
+		return
+	}
+	reported := map[token.Pos]bool{} // dedupe across lock sites of the same mutex
+	for _, l := range locks {
+		if deferred[l.key] {
+			continue
+		}
+		if !unlocked[l.key] {
+			pass.Reportf(l.pos, "%s() has no matching Unlock in this function; add `defer` or release on every path", l.name)
+			continue
+		}
+		// Explicit-unlock discipline: every return after the Lock must
+		// be directly preceded by an Unlock of the same mutex in the
+		// return's own block (or the return sits before the Lock).
+		checkReturnsAfterLock(pass, fn, l.pos, l.key, l.name, flavored, reported)
+	}
+}
+
+// checkReturnsAfterLock flags returns past the lock position that are
+// not preceded by an unlock within their own statement list.
+func checkReturnsAfterLock(pass *Pass, fn funcScope, lockPos token.Pos, key, name string, flavored func(string, string) string, reported map[token.Pos]bool) {
+	// released carries the straight-line lock state into nested blocks:
+	// an unlock earlier in a parent block covers descendants, while an
+	// unlock inside one if-branch covers only that branch.
+	var visitBlock func(list []ast.Stmt, released bool)
+	visitBlock = func(list []ast.Stmt, released bool) {
+		for _, st := range list {
+			switch x := st.(type) {
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					if k, m, ok := mutexCall(pass, call); ok {
+						switch m {
+						case "Unlock", "RUnlock":
+							if flavored(k, m) == key {
+								released = true
+							}
+						case "Lock", "RLock":
+							if flavored(k, m) == key {
+								released = false // (re-)acquired on this path
+							}
+						}
+					}
+				}
+			case *ast.ReturnStmt:
+				if x.Pos() > lockPos && !released && !reported[x.Pos()] {
+					reported[x.Pos()] = true
+					pass.Reportf(x.Pos(), "return while %s may still be held (no Unlock earlier on this path); use `defer` or unlock before returning", name)
+				}
+			default:
+				for _, nested := range nestedStmtLists(st) {
+					visitBlock(nested, released)
+				}
+			}
+		}
+	}
+	visitBlock(fn.body.List, false)
+}
+
+// nestedStmtLists extracts the statement lists directly nested in a
+// statement (if/else bodies, for bodies, switch cases, select comms).
+func nestedStmtLists(st ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch x := st.(type) {
+	case *ast.BlockStmt:
+		out = append(out, x.List)
+	case *ast.IfStmt:
+		out = append(out, x.Body.List)
+		if x.Else != nil {
+			out = append(out, nestedStmtLists(x.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, x.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, x.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range x.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(x.Stmt)...)
+	}
+	return out
+}
+
+// --- rule 2: guarded publish-side writes in rdf.Dict ---
+
+func checkGuardedWrites(pass *Pass, fn funcScope) {
+	// Locks lexically taken in this function, keyed by base expression:
+	// "d.mu.Lock()" records base "d", "d.shards[i].mu.Lock()" records
+	// "d.shards[i]".
+	heldBases := map[string]bool{}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := methodCall(call)
+		if !ok || (name != "Lock" && name != "RLock") {
+			return true
+		}
+		if sel, ok := recv.(*ast.SelectorExpr); ok {
+			if base := exprString(sel.X); base != "" {
+				heldBases[base+"."+sel.Sel.Name] = true
+			}
+		}
+		return true
+	})
+
+	fresh := freshLocals(pass, fn)
+
+	report := func(pos token.Pos, base ast.Expr, rule guardRule) {
+		baseStr := exprString(base)
+		if root := rootIdent(base); root != nil {
+			if obj := pass.TypesInfo.ObjectOf(root); obj != nil && fresh[obj] {
+				return // freshly constructed, not yet shared
+			}
+		}
+		if heldBases[baseStr+"."+rule.mutex] {
+			return
+		}
+		pass.Reportf(pos, "write to %s.%s without %s.%s held: publish-side dictionary state races lock-free readers", rule.typ, rule.field, baseStr, rule.mutex)
+	}
+
+	match := func(sel *ast.SelectorExpr) (guardRule, bool) {
+		t := pass.TypesInfo.TypeOf(sel.X)
+		if t == nil {
+			return guardRule{}, false
+		}
+		for _, r := range guardRules {
+			if sel.Sel.Name == r.field && isNamed(t, r.pkg, r.typ) {
+				return r, true
+			}
+		}
+		return guardRule{}, false
+	}
+
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, l := range x.Lhs {
+				target := l
+				if idx, ok := target.(*ast.IndexExpr); ok {
+					target = idx.X // sh.byVal[k] = v writes the map field
+				}
+				if sel, ok := target.(*ast.SelectorExpr); ok {
+					if r, ok := match(sel); ok {
+						report(x.Pos(), sel.X, r)
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if sel, ok := x.X.(*ast.SelectorExpr); ok {
+				if r, ok := match(sel); ok {
+					report(x.Pos(), sel.X, r)
+				}
+			}
+		case *ast.CallExpr:
+			// clear(d.shards[i].byVal), and read-pointer publication
+			// d.read.Store(next).
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "clear" && len(x.Args) == 1 {
+				if sel, ok := x.Args[0].(*ast.SelectorExpr); ok {
+					if r, ok := match(sel); ok {
+						report(x.Pos(), sel.X, r)
+					}
+				}
+			}
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Store" {
+				if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+					if r, ok := match(inner); ok {
+						report(x.Pos(), inner.X, r)
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// freshLocals returns objects introduced in fn via `x := &T{...}`,
+// `x := T{...}` or `x := new(T)` — values this function constructed and
+// has not (yet) shared, which may be initialized lock-free.
+func freshLocals(pass *Pass, fn funcScope) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.DEFINE {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			freshRHS := false
+			switch r := rhs.(type) {
+			case *ast.CompositeLit:
+				freshRHS = true
+			case *ast.UnaryExpr:
+				_, freshRHS = r.X.(*ast.CompositeLit)
+			case *ast.CallExpr:
+				if fid, ok := r.Fun.(*ast.Ident); ok && fid.Name == "new" {
+					_, isBuiltin := pass.TypesInfo.ObjectOf(fid).(*types.Builtin)
+					freshRHS = isBuiltin
+				}
+			}
+			if freshRHS {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,255 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder enforces the determinism invariant: query results, rendered
+// documents and emitted streams must be byte-identical at any worker
+// count and across runs (PR 5's canonical renumbering exists solely for
+// this). Go map iteration order is randomized, so a `range` over a map
+// may only feed an ordered sink — a slice that is subsequently sorted, a
+// writer, a channel, a caller-supplied emit callback — through an
+// explicit sort. The analyzer flags:
+//
+//   - map-range bodies that append to a slice which is never passed to a
+//     sort.*/slices.Sort* call later in the same function;
+//   - map-range bodies that write directly to an io.Writer,
+//     strings.Builder, bytes.Buffer or via fmt.Fprint*/fmt.Print*;
+//   - map-range bodies that send on a channel or invoke a func-typed
+//     parameter (an emit callback).
+//
+// Building another map, counting, or reducing to a scalar inside a
+// map-range is order-insensitive and stays silent.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "map iteration feeding an ordered sink must sort first (byte-identical output invariant)",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) error {
+	for _, fn := range funcScopes(pass.Files) {
+		runMapOrderFunc(pass, fn)
+	}
+	return nil
+}
+
+func runMapOrderFunc(pass *Pass, fn funcScope) {
+	type appendSite struct {
+		pos    ast.Node
+		target types.Object
+		name   string
+	}
+	var appends []appendSite
+	params := paramObjects(pass, fn)
+
+	ast.Inspect(fn.body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		rangeKey := rangeKeyObject(pass, rng)
+		ast.Inspect(rng.Body, func(b ast.Node) bool {
+			switch x := b.(type) {
+			case *ast.SendStmt:
+				pass.Reportf(x.Pos(), "channel send inside a map range publishes values in nondeterministic order; collect and sort first")
+			case *ast.CallExpr:
+				if isBuiltinAppend(pass, x) && len(x.Args) > 0 {
+					if bucketPerRangeKey(pass, x.Args[0], rangeKey) {
+						// m[k] = append(m[k], ...) with k the range key:
+						// each bucket is written by exactly one iteration,
+						// so the result is another map — order-insensitive.
+						return true
+					}
+					if root := rootIdent(x.Args[0]); root != nil {
+						if obj := pass.TypesInfo.ObjectOf(root); obj != nil {
+							appends = append(appends, appendSite{pos: x, target: obj, name: root.Name})
+						}
+					}
+				} else if sink, ok := orderedSinkCall(pass, x, params); ok {
+					pass.Reportf(x.Pos(), "%s inside a map range emits in nondeterministic order; collect into a slice and sort before writing", sink)
+				}
+			}
+			return true
+		})
+		return true
+	})
+
+	if len(appends) == 0 {
+		return
+	}
+	sorted := sortedObjects(pass, fn.body)
+	for _, a := range appends {
+		if !sorted[a.target] {
+			pass.Reportf(a.pos.Pos(),
+				"append to %q inside a map range accumulates in nondeterministic order and %q is never sorted in this function; sort it (or //lint:ignore maporder with the reason order cannot reach output)", a.name, a.name)
+		}
+	}
+}
+
+// rangeKeyObject returns the object bound to the range statement's key
+// variable (nil when the key is blank or not an identifier definition).
+func rangeKeyObject(pass *Pass, rng *ast.RangeStmt) types.Object {
+	id, ok := rng.Key.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return pass.TypesInfo.ObjectOf(id)
+}
+
+// bucketPerRangeKey reports whether target has the shape m[k] with k the
+// current range key.
+func bucketPerRangeKey(pass *Pass, target ast.Expr, rangeKey types.Object) bool {
+	if rangeKey == nil {
+		return false
+	}
+	idx, ok := target.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := idx.Index.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return pass.TypesInfo.ObjectOf(id) == rangeKey
+}
+
+// isBuiltinAppend matches calls to the append builtin.
+func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := pass.TypesInfo.ObjectOf(id).(*types.Builtin)
+	return isBuiltin
+}
+
+// paramObjects collects the objects bound to fn's parameters (including
+// named results and the receiver).
+func paramObjects(pass *Pass, fn funcScope) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fn.decl == nil {
+		return out
+	}
+	for _, fl := range []*ast.FieldList{fn.decl.Recv, fn.decl.Type.Params, fn.decl.Type.Results} {
+		if fl == nil {
+			continue
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if obj := pass.TypesInfo.ObjectOf(name); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+	}
+	return out
+}
+
+// orderedSinkCall reports whether call writes to an ordered output sink,
+// returning a human label.
+func orderedSinkCall(pass *Pass, call *ast.CallExpr, params map[types.Object]bool) (string, bool) {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name := fun.Sel.Name
+		// fmt.Fprint*/fmt.Print* et al.
+		if pkgID, ok := fun.X.(*ast.Ident); ok {
+			if pn, ok := pass.TypesInfo.ObjectOf(pkgID).(*types.PkgName); ok {
+				if pn.Imported().Path() == "fmt" && (name == "Fprintf" || name == "Fprint" || name == "Fprintln" ||
+					name == "Printf" || name == "Print" || name == "Println") {
+					return "fmt." + name, true
+				}
+				return "", false
+			}
+		}
+		// Writer-shaped methods on builders/buffers/writers.
+		switch name {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			if t := pass.TypesInfo.TypeOf(fun.X); t != nil && writerLike(t) {
+				return exprString(fun.X) + "." + name, true
+			}
+		}
+	case *ast.Ident:
+		// Calling a func-typed parameter: an emit callback observes the
+		// iteration order directly.
+		if obj := pass.TypesInfo.ObjectOf(fun); obj != nil && params[obj] {
+			if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+				return "callback " + fun.Name, true
+			}
+		}
+	}
+	return "", false
+}
+
+// writerLike reports whether t is a known ordered byte sink.
+func writerLike(t types.Type) bool {
+	for _, c := range [...]struct{ path, name string }{
+		{"strings", "Builder"},
+		{"bytes", "Buffer"},
+		{"bufio", "Writer"},
+		{"encoding/json", "Encoder"},
+		{"encoding/gob", "Encoder"},
+	} {
+		if isNamed(t, c.path, c.name) {
+			return true
+		}
+	}
+	// Anything satisfying io.Writer structurally (has Write([]byte)).
+	if named := namedType(t); named != nil {
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == "Write" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortedObjects collects the objects passed (possibly by address) to a
+// sorting call anywhere in body: the sort and slices packages, or a
+// project helper whose name contains "sort" (sortBars, sortByLabel, …).
+func sortedObjects(pass *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sorts := false
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if pkgID, ok := fun.X.(*ast.Ident); ok {
+				if pn, ok := pass.TypesInfo.ObjectOf(pkgID).(*types.PkgName); ok {
+					path := pn.Imported().Path()
+					sorts = path == "sort" || path == "slices"
+				}
+			}
+		case *ast.Ident:
+			sorts = strings.Contains(strings.ToLower(fun.Name), "sort")
+		}
+		if !sorts {
+			return true
+		}
+		for _, arg := range call.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok {
+				arg = u.X
+			}
+			if root := rootIdent(arg); root != nil {
+				if obj := pass.TypesInfo.ObjectOf(root); obj != nil {
+					out[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

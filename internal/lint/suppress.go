@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// Suppression comments let a human override an analyzer where the code
+// is right and the machine is wrong, while leaving a grep-able audit
+// trail:
+//
+//	//lint:ignore snapshotbind,sliceescape reason the rule does not apply
+//
+// The comment covers findings of the named analyzers on its own line and
+// on the line directly below it (so it can sit above the statement it
+// excuses). The reason is mandatory — an ignore without one is reported
+// as a finding itself, because an unexplained suppression is exactly the
+// tribal knowledge this suite exists to eliminate.
+
+const ignorePrefix = "//lint:ignore "
+
+// suppressions indexes the ignore comments of one package.
+type suppressions struct {
+	// byLine maps file:line to the analyzer names suppressed there.
+	byLine    map[string][]string
+	malformed []Diagnostic
+}
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressions {
+	s := &suppressions{byLine: map[string][]string{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				names, reason, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if names == "" || strings.TrimSpace(reason) == "" {
+					s.malformed = append(s.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "malformed //lint:ignore: want \"//lint:ignore <analyzer>[,...] <reason>\" with a non-empty reason",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					name = strings.TrimSpace(name)
+					if name == "" {
+						continue
+					}
+					// The comment excuses its own line and the next one.
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := lineKey(pos.Filename, line)
+						s.byLine[key] = append(s.byLine[key], name)
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}
+
+// covers reports whether a finding by analyzer at pos is suppressed.
+func (s *suppressions) covers(analyzer string, pos token.Position) bool {
+	for _, name := range s.byLine[lineKey(pos.Filename, pos.Line)] {
+		if name == analyzer {
+			return true
+		}
+	}
+	return false
+}

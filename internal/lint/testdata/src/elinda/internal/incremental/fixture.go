@@ -1,0 +1,43 @@
+// Fixture for the snapshotbind analyzer: it poses as the in-scope
+// incremental package and exercises direct Store reads vs. bound
+// snapshots.
+package incremental
+
+import (
+	"elinda/internal/store"
+)
+
+// badDirectRead reads straight off the store twice; each read binds its
+// own snapshot and the two may observe different generations.
+func badDirectRead(st *store.Store) (int, int) {
+	a := st.Len() // want `direct \(\*store\.Store\)\.Len read in query-scope code`
+	b := st.Len() // want `direct \(\*store\.Store\)\.Len read in query-scope code`
+	return a, b
+}
+
+// badDoubleBind takes two snapshots in one scope.
+func badDoubleBind(st *store.Store) (int, int) {
+	s1 := st.Snapshot()
+	s2 := st.Snapshot() // want `Store\.Snapshot\(\) bound more than once`
+	return s1.Len(), s2.Len()
+}
+
+// goodBoundReads binds once and reads through the snapshot.
+func goodBoundReads(st *store.Store) (int, uint64) {
+	snap := st.Snapshot()
+	return snap.Len(), snap.Generation()
+}
+
+// goodSuppressed demonstrates the escape hatch for a deliberate
+// single-read helper.
+func goodSuppressed(st *store.Store) int {
+	//lint:ignore snapshotbind single point-in-time read, no cross-read consistency needed
+	return st.Len()
+}
+
+// goodNonReadMethods: Dict/Generation/TypeID do not bind snapshots per
+// call and stay legal on the Store.
+func goodNonReadMethods(st *store.Store) uint64 {
+	_ = st.Dict()
+	return st.Generation()
+}

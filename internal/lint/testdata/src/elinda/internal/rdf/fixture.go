@@ -1,0 +1,78 @@
+// Fixture for the lockbalance analyzer, rule 2: publish-side writes to
+// the dictionary's shared state need the owning lock. It poses as the
+// rdf package and declares minimal shapes of Dict and dictShard so the
+// guarded-field table matches.
+package rdf
+
+import "sync"
+
+type dictRead struct {
+	byID []string
+}
+
+type readPtr struct {
+	v *dictRead
+}
+
+func (p *readPtr) Store(r *dictRead) { p.v = r }
+
+type Dict struct {
+	mu    sync.Mutex
+	arena []string
+	stale int
+	read  readPtr
+}
+
+type dictShard struct {
+	mu    sync.Mutex
+	byVal map[string]int
+}
+
+func badArenaWrite(d *Dict, t string) {
+	d.arena = append(d.arena, t) // want `write to Dict\.arena without d\.mu held`
+}
+
+func badReadPublish(d *Dict, r *dictRead) {
+	d.read.Store(r) // want `write to Dict\.read without d\.mu held`
+}
+
+func badShardWrite(sh *dictShard, k string, v int) {
+	sh.byVal[k] = v // want `write to dictShard\.byVal without sh\.mu held`
+}
+
+func badShardClear(sh *dictShard) {
+	clear(sh.byVal) // want `write to dictShard\.byVal without sh\.mu held`
+}
+
+func goodLockedWrites(d *Dict, t string, r *dictRead) {
+	d.mu.Lock()
+	d.arena = append(d.arena, t)
+	d.stale++
+	d.read.Store(r)
+	d.mu.Unlock()
+}
+
+func goodLockedShard(sh *dictShard, k string, v int) {
+	sh.mu.Lock()
+	sh.byVal[k] = v
+	sh.mu.Unlock()
+}
+
+// goodFresh initializes a dictionary no reader can see yet.
+func goodFresh(n int) *Dict {
+	d := &Dict{}
+	d.arena = make([]string, 0, n)
+	d.read.Store(&dictRead{})
+	return d
+}
+
+// goodSuppressed mirrors NewDictFromTerms: the value is fresh but built
+// through a constructor call, which the fresh-local heuristic cannot see.
+func newDict() *Dict { return &Dict{} }
+
+func goodSuppressedFresh(t string) *Dict {
+	d := newDict()
+	//lint:ignore lockbalance d is freshly built by newDict above and not yet shared
+	d.arena = append(d.arena, t)
+	return d
+}

@@ -1,0 +1,104 @@
+// Fixture for the ctxloop analyzer: it poses as the in-scope sparql
+// package. Input-dependent loops in ctx-carrying functions must poll.
+package sparql
+
+import "context"
+
+func work(n int) int { return n * 2 }
+
+// badUnpolled loops over input-sized data without ever consulting ctx.
+func badUnpolled(ctx context.Context, rows []int) int {
+	total := 0
+	for _, r := range rows { // want `without polling ctx`
+		total += work(r)
+	}
+	_ = ctx
+	return total
+}
+
+// goodDirectPoll checks ctx.Err on a stride.
+func goodDirectPoll(ctx context.Context, rows []int) (int, error) {
+	total := 0
+	for i, r := range rows {
+		if i%1024 == 1023 {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
+		total += work(r)
+	}
+	return total, nil
+}
+
+// goodHelperPoll polls through a local closure — the check(i) idiom used
+// by the ID-space filter path.
+func goodHelperPoll(ctx context.Context, rows []int) (int, error) {
+	check := func(i int) error {
+		if i%1024 == 1023 {
+			return ctx.Err()
+		}
+		return nil
+	}
+	total := 0
+	for i, r := range rows {
+		if err := check(i); err != nil {
+			return 0, err
+		}
+		total += work(r)
+	}
+	return total, nil
+}
+
+// goodOuterPoll: polling in the enclosing loop covers the inner one.
+func goodOuterPoll(ctx context.Context, blocks [][]int) (int, error) {
+	total := 0
+	for _, rows := range blocks {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		for _, r := range rows {
+			total += work(r)
+		}
+	}
+	return total, nil
+}
+
+// goodNoCtx has nothing to poll; the analyzer stays silent.
+func goodNoCtx(rows []int) int {
+	total := 0
+	for _, r := range rows {
+		total += work(r)
+	}
+	return total
+}
+
+// goodConstantBound runs a fixed number of iterations.
+func goodConstantBound(ctx context.Context) int {
+	total := 0
+	for i := 0; i < 64; i++ {
+		total += work(i)
+	}
+	_ = ctx
+	return total
+}
+
+// goodCheapBody only appends; no calls or nested loops worth a poll.
+func goodCheapBody(ctx context.Context, rows []int) []int {
+	var out []int
+	for _, r := range rows {
+		out = append(out, r)
+	}
+	_ = ctx
+	return out
+}
+
+// goodSuppressed documents a loop whose bound the analyzer cannot see.
+func goodSuppressed(ctx context.Context, rows []int) int {
+	total := 0
+	//lint:ignore ctxloop rows is capped at 3 entries by the caller
+	for _, r := range rows {
+		total += work(r)
+	}
+	_ = ctx
+	return total
+}

@@ -1,0 +1,80 @@
+// Fixture for the lockbalance analyzer, rule 1: Lock/Unlock balance on
+// every path.
+package lockbalancefix
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func goodDefer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func goodExplicit(c *counter) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func goodUnlockInBranches(c *counter, cond bool) int {
+	c.mu.Lock()
+	if cond {
+		n := c.n
+		c.mu.Unlock()
+		return n
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+func goodUnlockBeforeNested(c *counter, cond bool) int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	if cond {
+		return n // the unlock above covers this nested return
+	}
+	return 0
+}
+
+func badNoUnlock(c *counter) {
+	c.mu.Lock() // want `c\.mu\.Lock\(\) has no matching Unlock`
+	c.n++
+}
+
+func badNoRUnlock(c *counter) int {
+	c.rw.RLock() // want `c\.rw\.RLock\(\) has no matching Unlock`
+	return c.n
+}
+
+func badEarlyReturn(c *counter, cond bool) int {
+	c.mu.Lock()
+	if cond {
+		return c.n // want `return while c\.mu\.Lock may still be held`
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+func goodDeferredClosure(c *counter) int {
+	c.mu.Lock()
+	defer func() {
+		c.n++
+		c.mu.Unlock()
+	}()
+	return c.n
+}
+
+func goodSuppressed(c *counter) {
+	//lint:ignore lockbalance handed to the caller locked; release happens in closeLocked
+	c.mu.Lock()
+	c.n++
+}

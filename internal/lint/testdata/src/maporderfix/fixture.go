@@ -1,0 +1,90 @@
+// Fixture for the maporder analyzer: a range over a map may only feed an
+// ordered sink through an explicit sort.
+package maporderfix
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func badAppendUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `"out" is never sorted in this function`
+	}
+	return out
+}
+
+func goodAppendSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// goodProjectSortHelper: a project helper whose name says it sorts
+// counts too (the analyzer cannot see through the call).
+func sortLabels(ls []string) { sort.Strings(ls) }
+
+func goodHelperSorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sortLabels(out)
+	return out
+}
+
+func badFmtWrite(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `fmt\.Fprintf inside a map range emits in nondeterministic order`
+	}
+}
+
+func badBuilderWrite(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `sb\.WriteString inside a map range emits in nondeterministic order`
+	}
+}
+
+func badChannelSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send inside a map range`
+	}
+}
+
+func badCallback(m map[string]int, emit func(string)) {
+	for k := range m {
+		emit(k) // want `callback emit inside a map range`
+	}
+}
+
+// goodBucketPerKey rebuilds another map keyed by the range key; each
+// bucket is written exactly once, so no iteration order leaks.
+func goodBucketPerKey(m map[string][]int) map[string][]int {
+	out := map[string][]int{}
+	for k, vs := range m {
+		out[k] = append(out[k], vs...)
+	}
+	return out
+}
+
+// goodReduce folds to a scalar — order-insensitive.
+func goodReduce(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// goodSuppressed documents a sink where order genuinely cannot matter.
+func goodSuppressed(m map[string]int, sink func(string)) {
+	for k := range m {
+		//lint:ignore maporder sink deduplicates into a set, order never observed
+		sink(k)
+	}
+}

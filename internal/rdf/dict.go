@@ -253,9 +253,11 @@ func NewDictFromTerms(terms []Term) (*Dict, error) {
 		}
 		m[t] = ID(i + 1)
 	}
+	//lint:ignore lockbalance d is freshly built by NewDict above and not yet shared with any reader
 	d.arena = append(d.arena, terms...)
 	// The published read map covers every term, so the write shards stay
 	// empty: they only ever hold terms interned since the last publish.
+	//lint:ignore lockbalance d is freshly built by NewDict above and not yet shared with any reader
 	d.read.Store(&dictRead{byVal: m, byID: d.arena})
 	return d, nil
 }

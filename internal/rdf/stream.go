@@ -138,20 +138,22 @@ func streamNTChunks(r io.Reader, chunkBytes int, emit func(Chunk) error) error {
 		pend = append(pend[:0], pend[upto:]...)
 		return nil
 	}
+	noNL := 0 // pend[:noNL] is known to hold no '\n'; avoids rescans
 	for {
 		n, rerr := r.Read(buf)
 		pend = append(pend, buf[:n]...)
-		for len(pend) >= chunkBytes {
-			cut := bytes.LastIndexByte(pend, '\n')
-			if cut < 0 {
-				if len(pend) > maxStatementBytes {
-					return &ParseError{Line: line, Msg: fmt.Sprintf("line exceeds %d bytes", maxStatementBytes)}
+		if len(pend) >= chunkBytes {
+			// Cut at the last newline; the unscanned suffix is all that
+			// can hold one. After a flush the tail has no newline either,
+			// so a single cut per read drains everything cuttable.
+			if cut := bytes.LastIndexByte(pend[noNL:], '\n'); cut >= 0 {
+				if err := flush(noNL + cut + 1); err != nil {
+					return err
 				}
-				break
+			} else if len(pend) > maxStatementBytes {
+				return &ParseError{Line: line, Msg: fmt.Sprintf("line exceeds %d bytes", maxStatementBytes)}
 			}
-			if err := flush(cut + 1); err != nil {
-				return err
-			}
+			noNL = len(pend)
 		}
 		if rerr == io.EOF {
 			if len(pend) > 0 {
@@ -426,21 +428,42 @@ func (s *ttlStream) directive() error {
 			gt := bytes.IndexByte(s.pend, '>')
 			if gt >= 0 {
 				n = gt + 1
-				// Include an optional trailing dot (possibly separated by
-				// spaces that span a read boundary).
+				// Include an optional trailing dot. The serial parser
+				// tolerates it separated by any whitespace or comments
+				// (even across lines), so scan the same way here or a
+				// lone '.' would be orphaned into the next statement.
+				j := n
+				inComment := false
 				for {
-					for n < len(s.pend) && (s.pend[n] == ' ' || s.pend[n] == '\t') {
-						n++
+					for j < len(s.pend) {
+						c := s.pend[j]
+						if inComment {
+							if c == '\n' {
+								inComment = false
+							}
+							j++
+							continue
+						}
+						if isWS(c) {
+							j++
+							continue
+						}
+						if c == '#' {
+							inComment = true
+							j++
+							continue
+						}
+						break
 					}
-					if n < len(s.pend) || s.eof {
+					if j < len(s.pend) || s.eof || len(s.pend) > maxStatementBytes {
 						break
 					}
 					if _, err := s.fill(); err != nil {
 						return err
 					}
 				}
-				if n < len(s.pend) && s.pend[n] == '.' {
-					n++
+				if j < len(s.pend) && s.pend[j] == '.' {
+					n = j + 1
 				}
 				break
 			}

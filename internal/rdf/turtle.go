@@ -468,8 +468,10 @@ func excerpt(s string, at int) string {
 // prefixes. Output is valid Turtle re-readable by ReadTurtle.
 func WriteTurtle(w io.Writer, triples []Triple) error {
 	var b strings.Builder
-	for pfx, ns := range map[string]string{"rdf": RDFNS, "rdfs": RDFSNS, "owl": OWLNS, "xsd": XSDNS} {
-		fmt.Fprintf(&b, "@prefix %s: <%s> .\n", pfx, ns)
+	for _, p := range [...]struct{ pfx, ns string }{
+		{"owl", OWLNS}, {"rdf", RDFNS}, {"rdfs", RDFSNS}, {"xsd", XSDNS},
+	} {
+		fmt.Fprintf(&b, "@prefix %s: <%s> .\n", p.pfx, p.ns)
 	}
 	b.WriteByte('\n')
 	// Group consecutive triples that share a subject.

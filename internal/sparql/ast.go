@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"elinda/internal/rdf"
@@ -228,12 +229,7 @@ func sortedKeys(m map[string]string) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	// insertion sort; prefix maps are tiny
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
+	sort.Strings(out)
 	return out
 }
 

@@ -164,7 +164,7 @@ func BenchmarkOrderByLimit(b *testing.B) {
 	b.Run("topk-10", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			_ = TopKSolutions(rows, keys, 10)
+			_, _ = TopKSolutions(context.Background(), rows, keys, 10)
 		}
 	})
 }

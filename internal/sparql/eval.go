@@ -395,7 +395,12 @@ func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern, snap *store.Sna
 			inline = append(inline, sol)
 		}
 		var joined []Solution
-		for _, l := range rows {
+		for li, l := range rows {
+			if li%cancelCheckInterval == cancelCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sparql: %w", err)
+				}
+			}
 			for _, r := range inline {
 				if !compatible(l, r) {
 					continue
@@ -441,7 +446,12 @@ func (e *Engine) evalGroup(ctx context.Context, g *GroupPattern, snap *store.Sna
 	// FILTER constraints.
 	for _, f := range g.Filters {
 		kept := rows[:0]
-		for _, r := range rows {
+		for ri, r := range rows {
+			if ri%cancelCheckInterval == cancelCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sparql: %w", err)
+				}
+			}
 			if b, ok := f.Eval(r).AsBool(); ok && b {
 				kept = append(kept, r)
 			}

@@ -206,7 +206,7 @@ func (e *Engine) executeStream(ctx context.Context, q *Query) (*Result, error) {
 	if q.Ask {
 		return &Result{Ask: true, AskTrue: rows.n > 0}, nil
 	}
-	return e.finishIDs(q, rows, slots, env)
+	return e.finishIDs(ctx, q, rows, slots, env)
 }
 
 // evalGroupIDs evaluates a group graph pattern to an ID row set over the
@@ -546,6 +546,13 @@ func (r *bgpExec) step(depth int) error {
 // run streams every input row through the pattern chain.
 func (r *bgpExec) run(in *idRows) error {
 	for i := 0; i < in.n; i++ {
+		// step polls per visited triple, but a fully bound chain probes
+		// ContainsID without visiting any — poll per input row too.
+		if i%cancelCheckInterval == cancelCheckInterval-1 {
+			if err := r.ctx.Err(); err != nil {
+				return fmt.Errorf("sparql: %w", err)
+			}
+		}
 		copy(r.cur, in.row(i))
 		if err := r.step(0); err != nil {
 			return err
@@ -597,6 +604,7 @@ func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, sl
 		}
 	}
 	pats := make([]compiledPattern, len(tps))
+	//lint:ignore ctxloop bounded by the query's pattern count, not by data size
 	for i, tp := range tps {
 		pats[i] = compilePattern(tp, slots, env.dict)
 	}
@@ -844,6 +852,11 @@ func (e *Engine) idHashJoin(ctx context.Context, left, right *idRows) (*idRows, 
 		}
 		index := make(map[uint64][]int, right.n)
 		for j := 0; j < right.n; j++ {
+			if visits++; visits%cancelCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sparql: %w", err)
+				}
+			}
 			key := pack(right.row(j))
 			index[key] = append(index[key], j)
 		}
@@ -860,6 +873,11 @@ func (e *Engine) idHashJoin(ctx context.Context, left, right *idRows) (*idRows, 
 	keyer := newIDKeyer(len(shared))
 	index := make(map[string][]int, right.n)
 	for j := 0; j < right.n; j++ {
+		if visits++; visits%cancelCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sparql: %w", err)
+			}
+		}
 		key := keyer.key(right.row(j), shared)
 		index[key] = append(index[key], j)
 	}
@@ -946,7 +964,7 @@ func (e *Engine) subselectIDs(ctx context.Context, sub *Query, env *execEnv, par
 			return remapProj(proj, vars, parentSlots), nil
 		}
 	}
-	res, err := e.finishIDs(sub, subRows, subSlots, env)
+	res, err := e.finishIDs(ctx, sub, subRows, subSlots, env)
 	if err != nil {
 		return nil, err
 	}
@@ -984,7 +1002,7 @@ func remapProj(proj *idRows, vars []string, parentSlots *slotTable) *idRows {
 // finishIDs applies grouping, projection, distinct, order and slice to ID
 // rows, decoding to terms only where expressions or the final result
 // require them.
-func (e *Engine) finishIDs(q *Query, rows *idRows, slots *slotTable, env *execEnv) (*Result, error) {
+func (e *Engine) finishIDs(ctx context.Context, q *Query, rows *idRows, slots *slotTable, env *execEnv) (*Result, error) {
 	var out []Solution
 	var vars []string
 	if proj, pvars, ok := e.projectStream(q, rows, slots, env); ok {
@@ -992,6 +1010,11 @@ func (e *Engine) finishIDs(q *Query, rows *idRows, slots *slotTable, env *execEn
 		vars = pvars
 		out = make([]Solution, proj.n)
 		for i := 0; i < proj.n; i++ {
+			if i%cancelCheckInterval == cancelCheckInterval-1 {
+				if err := ctx.Err(); err != nil {
+					return nil, fmt.Errorf("sparql: %w", err)
+				}
+			}
 			row := proj.row(i)
 			sol := make(Solution, len(vars))
 			for j, name := range vars {
@@ -1009,7 +1032,10 @@ func (e *Engine) finishIDs(q *Query, rows *idRows, slots *slotTable, env *execEn
 		}
 	}
 
-	out = applyOrderSlice(out, q)
+	out, err := applyOrderSlice(ctx, out, q)
+	if err != nil {
+		return nil, err
+	}
 	return &Result{Vars: vars, Rows: out}, nil
 }
 

@@ -1,5 +1,10 @@
 package sparql
 
+import (
+	"context"
+	"fmt"
+)
+
 // Top-k solution selection for ORDER BY + LIMIT queries. The full-sort
 // path costs O(n log n) comparisons — each one evaluating the ORDER BY
 // expressions — even when the query only wants the first ten rows. When
@@ -33,14 +38,16 @@ func topKBound(q *Query, n int) (int, bool) {
 // TopKSolutions returns the first k rows of the stable ORDER BY sort of
 // rows — the exact prefix SortSolutions followed by rows[:k] would
 // produce — without sorting the full slice. The input is not modified.
-func TopKSolutions(rows []Solution, keys []OrderKey, k int) []Solution {
+// The scan over rows polls ctx so a hung-up client stops paying for its
+// ordering pass.
+func TopKSolutions(ctx context.Context, rows []Solution, keys []OrderKey, k int) ([]Solution, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
 	if k >= len(rows) {
 		out := append([]Solution(nil), rows...)
 		sortRows(out, keys)
-		return out
+		return out, nil
 	}
 	// worse reports whether row i sorts strictly after row j, with the
 	// original index as the stable-sort tiebreak.
@@ -64,6 +71,7 @@ func TopKSolutions(rows []Solution, keys []OrderKey, k int) []Solution {
 	}
 	siftDown := func() {
 		p := 0
+		//lint:ignore ctxloop bounded by heap depth, log2(k) iterations
 		for {
 			c := 2*p + 1
 			if c >= len(h) {
@@ -80,6 +88,11 @@ func TopKSolutions(rows []Solution, keys []OrderKey, k int) []Solution {
 		}
 	}
 	for i := range rows {
+		if i%cancelCheckInterval == cancelCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sparql: %w", err)
+			}
+		}
 		if len(h) < k {
 			h = append(h, i)
 			siftUp(len(h) - 1)
@@ -98,26 +111,33 @@ func TopKSolutions(rows []Solution, keys []OrderKey, k int) []Solution {
 		h = h[:len(h)-1]
 		siftDown()
 	}
-	return out
+	return out, nil
 }
 
 // OrderAndSlice applies the query's ORDER BY, OFFSET and LIMIT solution
 // modifiers with the engine's exact semantics, routing through the
 // bounded-heap top-k selection when LIMIT makes it cheaper. Exported for
-// result producers outside the engine (the decomposer's fast path).
+// result producers outside the engine (the decomposer's fast path, whose
+// index-backed results are small enough that cancellation is handled at
+// the serving tier instead).
 func OrderAndSlice(rows []Solution, q *Query) []Solution {
-	return applyOrderSlice(rows, q)
+	out, _ := applyOrderSlice(context.Background(), rows, q)
+	return out
 }
 
 // applyOrderSlice applies ORDER BY, OFFSET and LIMIT, routing through the
 // bounded heap when the query shape allows it.
-func applyOrderSlice(rows []Solution, q *Query) []Solution {
+func applyOrderSlice(ctx context.Context, rows []Solution, q *Query) ([]Solution, error) {
 	if len(q.OrderBy) > 0 {
 		if k, ok := topKBound(q, len(rows)); ok {
-			rows = TopKSolutions(rows, q.OrderBy, k)
+			var err error
+			rows, err = TopKSolutions(ctx, rows, q.OrderBy, k)
+			if err != nil {
+				return nil, err
+			}
 		} else {
 			sortRows(rows, q.OrderBy)
 		}
 	}
-	return SliceSolutions(rows, q.Offset, q.Limit)
+	return SliceSolutions(rows, q.Offset, q.Limit), nil
 }

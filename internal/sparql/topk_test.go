@@ -60,7 +60,10 @@ func TestTopKMatchesFullSort(t *testing.T) {
 		if k < len(want) {
 			want = want[:k]
 		}
-		got := TopKSolutions(rows, keys, k)
+		got, err := TopKSolutions(context.Background(), rows, keys, k)
+		if err != nil {
+			t.Fatalf("trial %d: top-%d: %v", trial, k, err)
+		}
 		if len(got) != len(want) {
 			t.Fatalf("trial %d: top-%d returned %d rows, want %d", trial, k, len(got), len(want))
 		}

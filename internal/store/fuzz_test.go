@@ -1,0 +1,73 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+
+	"elinda/internal/rdf"
+)
+
+// fuzzSnapshotBytes serializes a small real store so the fuzzer starts
+// from a valid snapshot and mutates from there.
+func fuzzSnapshotBytes(tb testing.TB) []byte {
+	tb.Helper()
+	st := New(8)
+	for _, tr := range []rdf.Triple{
+		mkTriple("alice", "knows", "bob"),
+		mkTriple("bob", "knows", "carol"),
+		{S: iri("alice"), P: rdf.NewIRI(rdf.RDFType), O: iri("Person")},
+		{S: iri("alice"), P: iri("age"), O: rdf.NewLiteral("42")},
+	} {
+		if _, err := st.Add(tr); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := st.WriteSnapshot(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadSnapshot feeds arbitrary bytes to the binary snapshot loader.
+// The contract: it never panics, and it never half-loads — either it
+// returns an error, or the returned store is fully consistent (the log
+// length matches Len, every logged triple is Contains-able, and every ID
+// decodes through the dictionary).
+func FuzzReadSnapshot(f *testing.F) {
+	valid := fuzzSnapshotBytes(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated
+	if len(valid) > 40 {
+		flipped := append([]byte(nil), valid...)
+		flipped[40] ^= 0xff // corrupt the body → CRC mismatch
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("ELINDSN\x01"))
+	f.Add([]byte("not a snapshot"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		st, err := ReadSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		snap := st.Snapshot()
+		n := snap.Len()
+		seen := 0
+		snap.Scan(0, 0, func(e rdf.EncodedTriple) bool {
+			seen++
+			if !snap.Contains(e) {
+				t.Fatalf("logged triple %v not Contains-able", e)
+			}
+			tr := snap.Triple(e)
+			if tr.S.IsZero() || tr.P.IsZero() || tr.O.IsZero() {
+				t.Fatalf("triple %v decodes to zero terms %v", e, tr)
+			}
+			return true
+		})
+		if seen != n {
+			t.Fatalf("Scan visited %d triples, Len() = %d", seen, n)
+		}
+	})
+}

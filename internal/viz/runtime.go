@@ -108,7 +108,12 @@ func SpeedupTable(title, baseName, fastName string, rows map[string][2]time.Dura
 			labelW = len(label)
 		}
 	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].speedup > rs[j].speedup })
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].speedup != rs[j].speedup {
+			return rs[i].speedup > rs[j].speedup
+		}
+		return rs[i].label < rs[j].label // deterministic on speedup ties
+	})
 	fmt.Fprintf(&sb, "  %-*s %14s %14s %9s\n", labelW, "case", baseName, fastName, "speedup")
 	for _, r := range rs {
 		fmt.Fprintf(&sb, "  %-*s %14s %14s %8.1fx\n", labelW, r.label,
