@@ -26,6 +26,7 @@ benchjson: build
 	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 5000
 	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 5000
 	$(GO) run ./cmd/elinda-bench -experiment ingest
+	$(GO) run ./cmd/elinda-bench -experiment wal
 	$(GO) run ./cmd/elinda-loadgen -persons 5000 -concurrency 16 -duration 5s
 
 # benchjson-quick is the CI-sized variant: same JSON shape, smaller
@@ -35,6 +36,7 @@ benchjson-quick: build
 	$(GO) run ./cmd/elinda-bench -experiment query-engine -persons 2000
 	$(GO) run ./cmd/elinda-bench -experiment store-snapshot -persons 2000 -triples 200000
 	$(GO) run ./cmd/elinda-bench -experiment ingest -triples 200000
+	$(GO) run ./cmd/elinda-bench -experiment wal -wal-records 5000
 	$(GO) run ./cmd/elinda-loadgen -persons 1000 -concurrency 8 -duration 2s
 
 # bench-compare checks freshly generated BENCH_*.json files against the
@@ -45,6 +47,7 @@ bench-compare:
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_store.json BENCH_store.json -tolerance 3x
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_serve.json BENCH_serve.json -tolerance 3x
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_ingest.json BENCH_ingest.json -tolerance 3x
+	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_wal.json BENCH_wal.json -tolerance 3x
 
 # lint runs the project's own invariant analyzers (internal/lint) over
 # every package: snapshot binding, zero-copy slice escapes, ctx polling
@@ -63,6 +66,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzStreamChunks$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/rdf
 	$(GO) test -run '^$$' -fuzz '^FuzzDetectFormat$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/rdf
 	$(GO) test -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/store
+	$(GO) test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME) -fuzzminimizetime 5s ./internal/wal
 
 # cover writes the coverage profile and prints the per-function totals.
 cover:

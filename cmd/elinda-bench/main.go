@@ -53,16 +53,19 @@ import (
 	"elinda/internal/sparql"
 	"elinda/internal/store"
 	"elinda/internal/viz"
+	"elinda/internal/wal"
 )
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | store-snapshot | ingest | all")
+		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | store-snapshot | ingest | wal | all")
 		persons    = flag.Int("persons", 20000, "synthetic dataset size for timing experiments")
 		factsSize  = flag.Int("facts-persons", 2000, "dataset size for the text-fact experiments")
 		jsonOut    = flag.String("json-out", "BENCH_query.json", "machine-readable output path for the query-engine experiment")
 		storeOut   = flag.String("store-json-out", "BENCH_store.json", "machine-readable output path for the store-snapshot experiment")
 		ingestOut  = flag.String("ingest-json-out", "BENCH_ingest.json", "machine-readable output path for the ingest experiment")
+		walOut     = flag.String("wal-json-out", "BENCH_wal.json", "machine-readable output path for the wal experiment")
+		walRecords = flag.Int("wal-records", 20000, "record count for the wal append/replay measurements (the fsync-per-append policy uses a tenth)")
 		triples    = flag.Int("triples", 1_000_000, "synthetic triple count for the store-snapshot and ingest bulk-load measurements")
 		compare    = flag.Bool("compare", false, "compare two BENCH_*.json files: -compare old.json new.json [-tolerance 3x]; exits 1 on regression")
 		tolerance  = flag.String("tolerance", "3x", "max allowed slowdown ratio for -compare")
@@ -96,6 +99,8 @@ func main() {
 		runStoreSnapshot(*triples, *persons, *storeOut)
 	case "ingest":
 		runIngest(*triples, *ingestOut)
+	case "wal":
+		runWAL(*walRecords, *walOut)
 	case "all":
 		runFacts(*factsSize)
 		fmt.Println()
@@ -116,6 +121,8 @@ func main() {
 		runStoreSnapshot(*triples, *persons, *storeOut)
 		fmt.Println()
 		runIngest(*triples, *ingestOut)
+		fmt.Println()
+		runWAL(*walRecords, *walOut)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
@@ -1024,6 +1031,161 @@ func runIngest(triples int, jsonOut string) {
 	fmt.Printf("\nsnapshot: %.1f MiB, save %s, load %s — warm start %.1fx faster than re-parsing (%.1fx vs parallel ingest)\n",
 		float64(fi.Size())/(1<<20), saveT.Round(time.Millisecond), loadT.Round(time.Millisecond),
 		report.Snapshot.SpeedupVsReparse, report.Snapshot.SpeedupVsStream)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+}
+
+// --- wal experiment ---
+
+// walBenchReport is the machine-readable result of the wal experiment
+// (BENCH_wal.json): the per-record acknowledgment cost of each fsync
+// policy on the real filesystem, and the boot-time replay rate.
+type walBenchReport struct {
+	Experiment  string `json:"experiment"`
+	GeneratedAt string `json:"generated_at"`
+	Records     int    `json:"records"`
+
+	Append []walAppendResult `json:"append"`
+
+	Replay struct {
+		Records       int     `json:"records"`
+		Segments      uint64  `json:"segments"`
+		TotalNs       int64   `json:"total_ns"`
+		NsOp          float64 `json:"ns_op"`
+		RecordsPerSec float64 `json:"records_per_sec"`
+	} `json:"replay"`
+}
+
+// walAppendResult is one fsync policy's append measurement.
+type walAppendResult struct {
+	Name          string  `json:"name"`
+	Records       int     `json:"records"`
+	TotalNs       int64   `json:"total_ns"`
+	NsOp          float64 `json:"ns_op"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Syncs         uint64  `json:"syncs"`
+}
+
+// runWAL measures the write-ahead log on the real filesystem: what one
+// durably acknowledged Add costs under each -wal-sync policy (the price
+// of the crash guarantee), and how fast a boot replays the log back.
+// Writes BENCH_wal.json.
+func runWAL(records int, jsonOut string) {
+	fmt.Println("== WAL: append cost per fsync policy + boot replay ==")
+	var report walBenchReport
+	report.Experiment = "wal"
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	report.Records = records
+
+	ts := storeBenchTriples(records)
+	if len(ts) > records {
+		ts = ts[:records]
+	}
+
+	policies := []struct {
+		name   string
+		policy wal.SyncPolicy
+		n      int
+	}{
+		// SyncAlways pays one fsync per append; a tenth of the records
+		// keeps the experiment CI-sized without blurring the per-op cost.
+		{"always", wal.SyncAlways, len(ts)/10 + 1},
+		{"interval", wal.SyncInterval, len(ts)},
+		{"off", wal.SyncOff, len(ts)},
+	}
+	fmt.Printf("%-10s %10s %14s %14s %16s %8s\n", "policy", "records", "total", "ns/op", "records/s", "syncs")
+	for _, pc := range policies {
+		dir, err := os.MkdirTemp("", "elinda-wal-bench")
+		if err != nil {
+			log.Fatal(err)
+		}
+		w, err := wal.Open(dir, wal.Options{Policy: pc.policy})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		for _, t := range ts[:pc.n] {
+			if err := w.Append(t); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		stats := w.Stats()
+		if err := w.Close(); err != nil {
+			log.Fatal(err)
+		}
+		os.RemoveAll(dir)
+		r := walAppendResult{
+			Name:          pc.name,
+			Records:       pc.n,
+			TotalNs:       elapsed.Nanoseconds(),
+			NsOp:          float64(elapsed.Nanoseconds()) / float64(pc.n),
+			RecordsPerSec: float64(pc.n) / elapsed.Seconds(),
+			Syncs:         stats.Syncs,
+		}
+		report.Append = append(report.Append, r)
+		fmt.Printf("%-10s %10d %14s %14.0f %16.0f %8d\n", pc.name, pc.n,
+			elapsed.Round(time.Microsecond), r.NsOp, r.RecordsPerSec, r.Syncs)
+	}
+
+	// Boot replay: write the full log once (no per-append sync — replay
+	// speed is independent of how the log was synced), then reopen and
+	// replay, the same sequence elinda-server runs before serving.
+	dir, err := os.MkdirTemp("", "elinda-wal-bench")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	w, err := wal.Open(dir, wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.AppendBatch(ts); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+	var segments uint64
+	if entries, err := os.ReadDir(dir); err == nil {
+		for _, e := range entries {
+			if strings.HasSuffix(e.Name(), ".log") {
+				segments++
+			}
+		}
+	}
+	var replayed int
+	replayT := bestOf2(func() {
+		r, err := wal.Open(dir, wal.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		replayed = 0
+		n, err := r.Replay(func(rdf.Triple) error { replayed++; return nil })
+		if err != nil {
+			log.Fatal(err)
+		}
+		if n != len(ts) {
+			log.Fatalf("replay returned %d of %d records", n, len(ts))
+		}
+		if err := r.Close(); err != nil {
+			log.Fatal(err)
+		}
+	})
+	report.Replay.Records = replayed
+	report.Replay.Segments = segments
+	report.Replay.TotalNs = replayT.Nanoseconds()
+	report.Replay.NsOp = float64(replayT.Nanoseconds()) / float64(replayed)
+	report.Replay.RecordsPerSec = float64(replayed) / replayT.Seconds()
+	fmt.Printf("\nboot replay: %d records in %s (%.0f records/s)\n",
+		replayed, replayT.Round(time.Microsecond), report.Replay.RecordsPerSec)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -22,6 +22,7 @@ func newAPI(sys *elinda.System) *api { return &api{sys: sys} }
 
 func (a *api) register(mux *http.ServeMux) {
 	mux.HandleFunc("/api/stats", a.stats)
+	mux.HandleFunc("/api/insert", a.insert)
 	mux.HandleFunc("/api/classes", a.classes)
 	mux.HandleFunc("/api/pane", a.pane)
 	mux.HandleFunc("/api/chart", a.chart)
@@ -51,6 +52,50 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 		"properties":      s.Predicates,
 		"typedSubjects":   s.TypedSubjects,
 	})
+}
+
+// maxInsertBytes bounds an /api/insert request body; large loads belong
+// in the offline ingest path, not a single HTTP POST.
+const maxInsertBytes = 8 << 20
+
+// insert implements POST /api/insert with an N-Triples body. Each triple
+// is added individually, so with an attached WAL every triple counted in
+// "added" was durable before the response was written — this is the
+// endpoint the kill -9 recovery demo exercises.
+func (a *api) insert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "POST an N-Triples body", http.StatusMethodNotAllowed)
+		return
+	}
+	triples, err := rdf.ReadNTriples(http.MaxBytesReader(w, r.Body, maxInsertBytes))
+	if err != nil {
+		badRequest(w, "parse body: %v", err)
+		return
+	}
+	added := 0
+	for _, t := range triples {
+		ok, err := a.sys.Store.Add(t)
+		if err != nil {
+			// A durability failure mid-batch: report what did commit.
+			writeJSONStatus(w, http.StatusInternalServerError, map[string]any{
+				"received": len(triples),
+				"added":    added,
+				"error":    err.Error(),
+			})
+			return
+		}
+		if ok {
+			added++
+		}
+	}
+	writeJSON(w, map[string]any{"received": len(triples), "added": added})
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
 }
 
 // classes implements GET /api/classes?q=phil — the autocomplete box.

@@ -5,6 +5,7 @@
 //	/sparql   — SPARQL endpoint (SPARQL 1.1 JSON results, streamed)
 //	/api/...  — the explorer JSON API the single-page frontend consumes
 //	/healthz  — liveness probe with store statistics
+//	/readyz   — readiness probe (503 while loading, replaying, draining)
 //	/metrics  — serving-tier metrics (routes, cache, admission, latency)
 //
 // The knowledge base is either loaded from a file (-load data.nt) or
@@ -12,9 +13,16 @@
 // Virtuoso-style endpoint instead of the local engine (the paper's
 // remote-compatibility mode; the decomposer tier is disabled there since
 // local indexes cannot mirror remote data).
+//
+// With -wal-dir every accepted insertion is appended to a write-ahead
+// log before it is acknowledged; after a crash the boot sequence is
+// snapshot-load → WAL-replay → serve, so no acknowledged triple is ever
+// lost. SIGINT/SIGTERM triggers a graceful drain (deadline -drain),
+// after which snapshots are saved and the WAL is checkpointed.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -23,14 +31,20 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"elinda"
 	"elinda/internal/datagen"
 	"elinda/internal/endpoint"
+	"elinda/internal/metrics"
 	"elinda/internal/proxy"
 	"elinda/internal/rdf"
 	"elinda/internal/store"
+	"elinda/internal/vfs"
+	"elinda/internal/wal"
 )
 
 func main() {
@@ -50,6 +64,11 @@ func main() {
 		snapSave      = flag.String("snapshot-save", "", "save the triple store to this binary snapshot after loading and on SIGTERM")
 		ingestWorkers = flag.Int("ingest-workers", 0, "parallel parse/intern workers for -load streaming ingest (0 = GOMAXPROCS)")
 
+		walDir      = flag.String("wal-dir", "", "write-ahead-log directory: inserts are durable before they are acknowledged and replayed at boot")
+		walSync     = flag.String("wal-sync", "always", "WAL fsync policy: always | interval | off")
+		walInterval = flag.Duration("wal-sync-interval", wal.DefaultSyncInterval, "background fsync cadence for -wal-sync=interval")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful shutdown deadline for in-flight requests")
+
 		incChunk     = flag.Int("inc-chunk", 0, "incremental evaluation chunk size N (0 = library default)")
 		incRounds    = flag.Int("inc-rounds", 0, "incremental evaluation round limit k (0 = run to completion)")
 		incWorkers   = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
@@ -65,9 +84,45 @@ func main() {
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
 
+	var ready endpoint.Readiness
+	ready.Set("loading")
+
+	// Interrupted atomic saves leave *.tmp files next to their targets;
+	// clear them before anything reads or rewrites those directories.
+	sweepStaleTemp(*snapLoad, *snapSave, *hvsSnap)
+
 	st, fromSnapshot, err := buildStore(*snapLoad, *load, *persons, *ingestWorkers)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	// Boot order with durability on: snapshot-load (above) → WAL-replay →
+	// attach → serve. Replay happens before AttachWAL so recovered triples
+	// are not appended to the log a second time.
+	var w *wal.WAL
+	replayed := 0
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ready.Set("wal-replay")
+		w, err = wal.Open(*walDir, wal.Options{Policy: policy, Interval: *walInterval})
+		if err != nil {
+			log.Fatalf("wal open: %v", err)
+		}
+		start := time.Now()
+		replayed, err = w.Replay(func(t rdf.Triple) error {
+			_, err := st.Add(t)
+			return err
+		})
+		if err != nil {
+			log.Fatalf("wal replay: %v", err)
+		}
+		if replayed > 0 {
+			log.Printf("replayed %d WAL records in %s", replayed, time.Since(start).Round(time.Millisecond))
+		}
+		st.AttachWAL(w)
 	}
 
 	opts := proxy.Options{
@@ -86,7 +141,10 @@ func main() {
 		sys.Proxy = proxy.NewWithBackend(st, endpoint.NewClient(*remote), opts)
 	}
 
-	if *snapSave != "" && !fromSnapshot {
+	// A startup save also checkpoints the WAL (replayed records are
+	// folded into the snapshot and the old segments truncated), so do it
+	// whenever the store holds anything the snapshot does not.
+	if *snapSave != "" && (!fromSnapshot || replayed > 0) {
 		start := time.Now()
 		if err := sys.Store.SaveSnapshot(*snapSave); err != nil {
 			log.Printf("store snapshot save failed: %v", err)
@@ -103,6 +161,7 @@ func main() {
 	})
 
 	if *warm && *remote == "" {
+		ready.Set("warming")
 		start := time.Now()
 		sys.Warm()
 		log.Printf("warmed level-zero aggregates in %s", time.Since(start))
@@ -122,9 +181,6 @@ func main() {
 		snapPath := *snapSave
 		savers = append(savers, saver{name: "store snapshot " + snapPath, save: func() error { return sys.Store.SaveSnapshot(snapPath) }})
 	}
-	if len(savers) > 0 {
-		go persistOnSignal(savers)
-	}
 
 	sparqlSrv := sys.Endpoint()
 	sparqlSrv.Timeout = *timeout
@@ -135,41 +191,102 @@ func main() {
 		sparqlSrv.Limiter = endpoint.NewLimiter(*maxInflight)
 	}
 
+	var panics metrics.Counter
 	mux := http.NewServeMux()
 	mux.Handle("/sparql", sparqlSrv)
 	api := newAPI(sys)
 	api.register(mux)
 	registerUI(mux)
+	mux.Handle("/readyz", &ready)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := sys.Store.ComputeStats()
 		fmt.Fprintf(w, "ok triples=%d classes=%d generation=%d\n",
 			st.Triples, st.Classes, sys.Store.Generation())
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("/metrics", func(rw http.ResponseWriter, r *http.Request) {
 		doc := map[string]any{
-			"server": sparqlSrv.MetricsSnapshot(),
-			"proxy":  sys.Proxy.MetricsSnapshot(),
+			"server":       sparqlSrv.MetricsSnapshot(),
+			"proxy":        sys.Proxy.MetricsSnapshot(),
+			"panics_total": panics.Value(),
 			"store": map[string]any{
 				"triples":    sys.Store.Len(),
 				"generation": sys.Store.Generation(),
 			},
 		}
-		w.Header().Set("Content-Type", "application/json")
-		enc := json.NewEncoder(w)
+		if w != nil {
+			doc["wal"] = w.Stats()
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(rw)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(doc); err != nil {
 			log.Printf("metrics encode: %v", err)
 		}
 	})
 
-	log.Printf("eLinda server on %s (triples=%d hvs=%v decomposer=%v remote=%q)",
-		*addr, sys.Store.Len(), !opts.DisableHVS, !opts.DisableDecomposer, *remote)
+	log.Printf("eLinda server on %s (triples=%d hvs=%v decomposer=%v remote=%q wal=%q)",
+		*addr, sys.Store.Len(), !opts.DisableHVS, !opts.DisableDecomposer, *remote, *walDir)
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           mux,
+		Handler:           endpoint.RecoverPanics(mux, &panics, log.Printf),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(srv.ListenAndServe())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	ready.Ready()
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+		stop() // a second signal kills immediately instead of queueing
+	}
+
+	// Graceful shutdown: flip the readiness probe so load balancers stop
+	// routing here, drain in-flight requests up to the deadline, then
+	// persist. The store save checkpoints the WAL; Close seals it.
+	ready.Set("draining")
+	log.Printf("shutdown signal received; draining for up to %s", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("drain incomplete: %v", err)
+	}
+	runSavers(savers)
+	if w != nil {
+		if err := w.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
+	}
+	log.Printf("bye")
+}
+
+// sweepStaleTemp removes *.tmp leftovers of interrupted atomic saves
+// from the directory of each given persistence path. Empty paths are
+// skipped; the WAL directory is swept by wal.Open itself.
+func sweepStaleTemp(paths ...string) {
+	seen := make(map[string]bool)
+	for _, p := range paths {
+		if p == "" {
+			continue
+		}
+		dir := filepath.Dir(p)
+		if seen[dir] {
+			continue
+		}
+		seen[dir] = true
+		removed, err := vfs.SweepTemp(vfs.OS, dir)
+		if err != nil {
+			log.Printf("stale temp sweep of %s: %v", dir, err)
+			continue
+		}
+		for _, f := range removed {
+			log.Printf("removed stale temp file %s", f)
+		}
+	}
 }
 
 // buildStore assembles the triple store by the fastest route available:

@@ -6,8 +6,6 @@ import (
 	"io/fs"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"elinda"
 )
@@ -52,13 +50,10 @@ type saver struct {
 	save func() error
 }
 
-// persistOnSignal runs every registered saver on SIGINT/SIGTERM — the
-// store's binary snapshot and the HVS cache both land on disk before the
-// process exits, so the next boot warm-starts.
-func persistOnSignal(savers []saver) {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
-	<-ch
+// runSavers runs every registered saver, called after the graceful drain
+// completes — the store's binary snapshot and the HVS cache both land on
+// disk before the process exits, so the next boot warm-starts.
+func runSavers(savers []saver) {
 	for _, s := range savers {
 		if err := s.save(); err != nil {
 			log.Printf("%s save failed: %v", s.name, err)
@@ -66,5 +61,4 @@ func persistOnSignal(savers []saver) {
 			log.Printf("%s saved", s.name)
 		}
 	}
-	os.Exit(0)
 }

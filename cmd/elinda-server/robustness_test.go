@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"elinda"
+	"elinda/internal/proxy"
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+	"elinda/internal/wal"
+)
+
+func postNT(t *testing.T, srv *httptest.Server, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/api/insert", "application/n-triples", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	json.NewDecoder(resp.Body).Decode(&out)
+	return resp.StatusCode, out
+}
+
+func TestAPIInsert(t *testing.T) {
+	srv := testServer(t)
+	nt := `<http://x/s1> <http://x/p> <http://x/o1> .
+<http://x/s2> <http://x/p> "v"@en .
+`
+	code, out := postNT(t, srv, nt)
+	if code != 200 {
+		t.Fatalf("status = %d (%v)", code, out)
+	}
+	if out["received"].(float64) != 2 || out["added"].(float64) != 2 {
+		t.Fatalf("first insert = %v", out)
+	}
+	// Re-posting the same triples adds nothing.
+	code, out = postNT(t, srv, nt)
+	if code != 200 || out["added"].(float64) != 0 {
+		t.Fatalf("duplicate insert = %d %v", code, out)
+	}
+	// Malformed bodies are client errors.
+	if code, _ := postNT(t, srv, "this is not n-triples"); code != http.StatusBadRequest {
+		t.Errorf("garbage body status = %d", code)
+	}
+	// Only POST is accepted.
+	resp, err := http.Get(srv.URL + "/api/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET status = %d", resp.StatusCode)
+	}
+}
+
+// TestInsertDurableBeforeAck is the kill -9 demo as a test: triples
+// acknowledged by /api/insert on a WAL-attached store must be fully
+// recoverable from the log alone — no shutdown, no snapshot save.
+func TestInsertDurableBeforeAck(t *testing.T) {
+	walDir := t.TempDir()
+	w, err := wal.Open(walDir, wal.Options{Policy: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(0)
+	st.AttachWAL(w)
+	sys := elinda.NewSystemFromStore(st, proxy.Options{})
+	mux := http.NewServeMux()
+	newAPI(sys).register(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	code, out := postNT(t, srv, `<http://x/a> <http://x/p> <http://x/b> .
+<http://x/a> <http://x/p> "lit" .
+<http://x/c> <http://x/p> <http://x/d> .
+`)
+	if code != 200 || out["added"].(float64) != 3 {
+		t.Fatalf("insert = %d %v", code, out)
+	}
+	// Simulated kill -9: never Close the WAL, just reopen the directory
+	// and replay into a fresh store, exactly like the boot sequence.
+	w2, err := wal.Open(walDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.Close()
+	recovered := store.New(0)
+	n, err := w2.Replay(func(tr rdf.Triple) error {
+		_, err := recovered.Add(tr)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || recovered.Len() != 3 {
+		t.Fatalf("recovered %d records, store has %d triples, want 3", n, recovered.Len())
+	}
+}
+
+func TestSweepStaleTemp(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "kb.snap.tmp")
+	keepSnap := filepath.Join(dir, "kb.snap")
+	for _, p := range []string{stale, keepSnap} {
+		if err := os.WriteFile(p, []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Duplicate and empty path arguments are tolerated; missing
+	// directories are not an error.
+	sweepStaleTemp(keepSnap, keepSnap, "", filepath.Join(dir, "nosuch", "kb.snap"))
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived the sweep: %v", err)
+	}
+	if _, err := os.Stat(keepSnap); err != nil {
+		t.Errorf("real snapshot was swept: %v", err)
+	}
+}

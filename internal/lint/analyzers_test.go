@@ -31,6 +31,10 @@ func TestLockBalanceGuardedWrites(t *testing.T) {
 	linttest.Run(t, lint.LockBalance, "elinda/internal/rdf")
 }
 
+func TestFsyncDiscipline(t *testing.T) {
+	linttest.Run(t, lint.FsyncDiscipline, "elinda/internal/wal")
+}
+
 func TestByName(t *testing.T) {
 	for _, a := range lint.All() {
 		if got := lint.ByName(a.Name); got != a {

@@ -1,0 +1,84 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsyncDiscipline enforces the durability layer's filesystem seam
+// (PR 7): inside internal/store and internal/wal, every file and
+// directory mutation — and every read that recovery depends on — must go
+// through the vfs.FS interface, never the os package directly. The crash
+// matrix proves "recovery is a prefix of acknowledged writes" by
+// injecting a fault at every vfs operation; a raw os.Create or os.Rename
+// would be an IO point the matrix silently never crashes at, so the rule
+// is what makes that proof mean anything.
+//
+// Error predicates (os.IsNotExist), environment access and process
+// control are fine — only the file-touching entry points below are
+// fenced.
+var FsyncDiscipline = &Analyzer{
+	Name: "fsyncdiscipline",
+	Doc:  "durability-layer packages must do file IO through vfs.FS so fault injection covers every IO path",
+	Run:  runFsyncDiscipline,
+}
+
+// fsyncScope lists the packages under the discipline: exactly the ones
+// the crash matrix exercises through a vfs.Mem.
+var fsyncScope = map[string]bool{
+	"elinda/internal/store": true,
+	"elinda/internal/wal":   true,
+}
+
+// fsyncForbidden names the os entry points that create, mutate, probe or
+// read files — everything with a vfs.FS equivalent.
+var fsyncForbidden = map[string]string{
+	"Create":     "vfs.FS.Create",
+	"CreateTemp": "vfs.FS.Create with a " + `".tmp"` + " name",
+	"Open":       "vfs.FS.Open",
+	"OpenFile":   "vfs.FS.Create or vfs.FS.Open",
+	"NewFile":    "vfs.FS.Create or vfs.FS.Open",
+	"Rename":     "vfs.FS.Rename",
+	"Remove":     "vfs.FS.Remove",
+	"RemoveAll":  "vfs.FS.Remove per file",
+	"Mkdir":      "vfs.FS.MkdirAll",
+	"MkdirAll":   "vfs.FS.MkdirAll",
+	"ReadDir":    "vfs.FS.ReadDir",
+	"ReadFile":   "vfs.FS.Open",
+	"WriteFile":  "vfs.FS.Create",
+	"Stat":       "vfs.FS.Size",
+	"Lstat":      "vfs.FS.Size",
+	"Truncate":   "segment rotation (the WAL never truncates in place)",
+	"Link":       "vfs.FS.Rename",
+	"Symlink":    "vfs.FS.Rename",
+}
+
+func runFsyncDiscipline(pass *Pass) error {
+	if !fsyncScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			replacement, forbidden := fsyncForbidden[sel.Sel.Name]
+			if !forbidden {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "os" {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"os.%s bypasses the vfs seam in a durability-layer package: use %s so fault injection covers this IO path", sel.Sel.Name, replacement)
+			return true
+		})
+	}
+	return nil
+}

@@ -1,7 +1,7 @@
 // Package lint implements eLinda's invariant-enforcing static analysis
-// suite: five analyzers that mechanically guard the correctness rules the
-// lock-free snapshot store, the ID-space executor and the parallel ingest
-// pipeline rely on. The rules are documented in README.md ("Correctness
+// suite: six analyzers that mechanically guard the correctness rules the
+// lock-free snapshot store, the ID-space executor, the parallel ingest
+// pipeline and the crash-durability layer rely on. The rules are documented in README.md ("Correctness
 // tooling"); each analyzer's Doc string states the invariant it enforces.
 //
 // The package deliberately mirrors the golang.org/x/tools/go/analysis API
@@ -79,6 +79,7 @@ func All() []*Analyzer {
 		CtxLoop,
 		MapOrder,
 		LockBalance,
+		FsyncDiscipline,
 	}
 }
 

@@ -1,0 +1,71 @@
+// Fixture for the fsyncdiscipline analyzer: it poses as the in-scope
+// wal package and mixes raw os file IO (flagged) with the sanctioned
+// vfs seam and harmless os helpers (not flagged).
+package wal
+
+import (
+	"os"
+
+	"elinda/internal/vfs"
+)
+
+// badRawCreate writes a segment with raw os calls; none of these IO
+// points would be covered by the crash matrix's fault injection.
+func badRawCreate(dir string) error {
+	f, err := os.Create(dir + "/wal-1.log") // want `os\.Create bypasses the vfs seam`
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := os.Rename(dir+"/a", dir+"/b"); err != nil { // want `os\.Rename bypasses the vfs seam`
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil { // want `os\.MkdirAll bypasses the vfs seam`
+		return err
+	}
+	_ = os.Remove(dir + "/stale.tmp") // want `os\.Remove bypasses the vfs seam`
+	if _, err := os.Stat(dir); err != nil { // want `os\.Stat bypasses the vfs seam`
+		return err
+	}
+	_, err = os.ReadFile(dir + "/kb.snap") // want `os\.ReadFile bypasses the vfs seam`
+	return err
+}
+
+// goodThroughVFS does the same work through the seam; every operation is
+// a countable, injectable fault point.
+func goodThroughVFS(fsys vfs.FS, dir string) error {
+	if err := fsys.MkdirAll(dir); err != nil {
+		return err
+	}
+	f, err := fsys.Create(dir + "/wal-1.log")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte("x")); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return fsys.SyncDir(dir)
+}
+
+// goodOSHelpers: error predicates and environment access are outside the
+// discipline — they touch no files.
+func goodOSHelpers(err error) bool {
+	if os.IsNotExist(err) {
+		return true
+	}
+	return os.Getenv("ELINDA_DEBUG") != ""
+}
+
+// suppressed: the escape hatch still works when a reason is given.
+func suppressed(dir string) error {
+	//lint:ignore fsyncdiscipline fixture exercising the suppression path
+	return os.Remove(dir + "/x")
+}

@@ -6,10 +6,10 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
-	"os"
 	"path/filepath"
 
 	"elinda/internal/rdf"
+	"elinda/internal/vfs"
 )
 
 // This file implements durable binary snapshots: a versioned little-endian
@@ -109,7 +109,14 @@ func (cw *crcWriter) writeString(s string, scratch []byte) error {
 // overlay (recent Adds) is folded into a columnar view first, so the file
 // always holds the steady-state layout.
 func (s *Store) WriteSnapshot(w io.Writer) error {
-	snap := s.Snapshot()
+	return writeSnapshot(s.Snapshot(), w)
+}
+
+// writeSnapshot serializes one pinned snapshot — the savers pin a
+// snapshot under writeMu together with the WAL cut point and must write
+// exactly that version, not whatever is current by the time the bytes
+// flow.
+func writeSnapshot(snap *Snapshot, w io.Writer) error {
 	if !snap.overlayEmpty() {
 		snap = compacted(snap)
 	}
@@ -232,36 +239,78 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	return nil
 }
 
-// SaveSnapshot writes the snapshot to path atomically: the bytes land in
-// a temp file in the same directory, which is renamed over path only
-// after a successful write, so a crash never leaves a torn file behind.
+// SaveSnapshot writes the snapshot to path atomically on the real
+// filesystem; see SaveSnapshotFS.
 func (s *Store) SaveSnapshot(path string) error {
+	return s.SaveSnapshotFS(vfs.OS, path)
+}
+
+// SaveSnapshotFS writes the snapshot to path atomically: the bytes land
+// in path+".tmp" in the same directory, synced, and renamed over path
+// only after a successful write, so a crash never leaves a torn file at
+// path (at worst a stale temp file for the startup sweep).
+//
+// With a WAL attached the save is also the log's checkpoint: the WAL is
+// cut at the pinned snapshot's boundary (under the writer lock, so the
+// cut and the snapshot describe the same prefix of acknowledged writes)
+// and the segments the snapshot covers are removed only after the
+// rename and directory sync both succeed. A crash anywhere in between
+// is safe — the old snapshot plus the uncut log, or the new snapshot
+// plus a not-yet-truncated log, both replay to the same store because
+// replay is idempotent.
+func (s *Store) SaveSnapshotFS(fsys vfs.FS, path string) error {
+	s.writeMu.Lock()
+	w := s.wal
+	var cut uint64
+	if w != nil {
+		var err error
+		if cut, err = w.Cut(); err != nil {
+			s.writeMu.Unlock()
+			return fmt.Errorf("store: saving snapshot: %w", err)
+		}
+	}
+	snap := s.snap.Load()
+	s.writeMu.Unlock()
+
 	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	tmpName := path + vfs.TempSuffix
+	tmp, err := fsys.Create(tmpName)
 	if err != nil {
 		return fmt.Errorf("store: saving snapshot: %w", err)
 	}
-	defer os.Remove(tmp.Name())
-	if err := s.WriteSnapshot(tmp); err != nil {
+	fail := func(err error) error {
 		tmp.Close()
+		// Best effort: the startup sweep removes the temp file otherwise.
+		_ = fsys.Remove(tmpName)
 		return err
+	}
+	if err := writeSnapshot(snap, tmp); err != nil {
+		return fail(err)
 	}
 	// Flush the data blocks before the rename becomes visible, or a
 	// power loss could journal the rename ahead of the contents and
 	// leave a torn (CRC-failing) file at path.
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("store: saving snapshot: %w", err)
+		return fail(fmt.Errorf("store: saving snapshot: %w", err))
 	}
 	if err := tmp.Close(); err != nil {
+		_ = fsys.Remove(tmpName)
 		return fmt.Errorf("store: saving snapshot: %w", err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := fsys.Rename(tmpName, path); err != nil {
+		_ = fsys.Remove(tmpName)
 		return fmt.Errorf("store: saving snapshot: %w", err)
 	}
-	if d, err := os.Open(dir); err == nil {
-		d.Sync() // best effort: persist the directory entry too
-		d.Close()
+	// The directory entry must be durable before WAL truncation: if the
+	// rename could still roll back, removing the segments it supersedes
+	// would lose acknowledged writes.
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("store: saving snapshot: %w", err)
+	}
+	if w != nil {
+		if err := w.TruncateBefore(cut); err != nil {
+			return fmt.Errorf("store: saving snapshot: %w", err)
+		}
 	}
 	return nil
 }
@@ -348,7 +397,12 @@ func snapErr(format string, args ...any) error {
 // OpenSnapshot loads a store from a binary snapshot file written by
 // SaveSnapshot.
 func OpenSnapshot(path string) (*Store, error) {
-	f, err := os.Open(path)
+	return OpenSnapshotFS(vfs.OS, path)
+}
+
+// OpenSnapshotFS loads a store from a snapshot on the given filesystem.
+func OpenSnapshotFS(fsys vfs.FS, path string) (*Store, error) {
+	f, err := fsys.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("store: loading snapshot: %w", err)
 	}

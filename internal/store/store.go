@@ -81,6 +81,10 @@ type Store struct {
 	dict    *rdf.Dict
 	snap    atomic.Pointer[Snapshot]
 
+	// wal, when non-nil (AttachWAL), must durably log every write before
+	// it is applied and acknowledged. Guarded by writeMu.
+	wal WriteAheadLog
+
 	// Frequently used IDs, resolved once.
 	typeID     rdf.ID
 	subClassID rdf.ID
@@ -181,12 +185,31 @@ func (s *Store) Add(t rdf.Triple) (bool, error) {
 	if err := t.Validate(); err != nil {
 		return false, fmt.Errorf("store: %w", err)
 	}
-	e := s.dict.Encode(t)
 	s.writeMu.Lock()
 	defer s.writeMu.Unlock()
 	snap := s.snap.Load()
-	if snap.Contains(e) {
-		return false, nil
+	var e rdf.EncodedTriple
+	if s.wal != nil {
+		// Durability before acknowledgement — and before interning. The
+		// duplicate check runs on a lookup that does not grow the
+		// dictionary, the triple reaches the log (as durably as its sync
+		// policy promises), and only then are its terms interned. A log
+		// failure therefore rejects the write without leaving any trace:
+		// the store, its dictionary and the log never disagree on what
+		// was acknowledged, and a snapshot taken later describes exactly
+		// the acknowledged triples.
+		if enc, known := lookupEncoded(s.dict, t); known && snap.Contains(enc) {
+			return false, nil
+		}
+		if err := s.wal.Append(t); err != nil {
+			return false, fmt.Errorf("store: %w", err)
+		}
+		e = s.dict.Encode(t)
+	} else {
+		e = s.dict.Encode(t)
+		if snap.Contains(e) {
+			return false, nil
+		}
 	}
 	next := *snap
 	next.tail = append(snap.tail, e)
@@ -204,6 +227,25 @@ func (s *Store) Add(t rdf.Triple) (bool, error) {
 	}
 	s.snap.Store(&next)
 	return true, nil
+}
+
+// lookupEncoded encodes t if and only if all three terms are already
+// interned. A triple with an unknown term cannot be in the store, so a
+// false return means "definitely new" without touching the dictionary.
+func lookupEncoded(d *rdf.Dict, t rdf.Triple) (rdf.EncodedTriple, bool) {
+	sid, ok := d.Lookup(t.S)
+	if !ok {
+		return rdf.EncodedTriple{}, false
+	}
+	pid, ok := d.Lookup(t.P)
+	if !ok {
+		return rdf.EncodedTriple{}, false
+	}
+	oid, ok := d.Lookup(t.O)
+	if !ok {
+		return rdf.EncodedTriple{}, false
+	}
+	return rdf.EncodedTriple{S: sid, P: pid, O: oid}, true
 }
 
 // Load bulk-inserts triples, skipping duplicates, and returns the number
@@ -234,6 +276,21 @@ func (s *Store) Load(ts []rdf.Triple) (int, error) {
 	s.dict.PublishReads()
 	batch := dedupBatch(snap, enc)
 	if len(batch) > 0 {
+		// Durability before acknowledgement, one durability point for the
+		// whole batch. On failure nothing is applied: Load keeps the
+		// acknowledged set and the log in agreement, same as Add. (Unlike
+		// Add, the batch's vocabulary is already interned by the encode
+		// pass above; a failed bulk load leaves those dictionary entries
+		// behind, which wastes memory but affects no triple.)
+		if s.wal != nil {
+			ts := make([]rdf.Triple, len(batch))
+			for i, e := range batch {
+				ts[i] = s.dict.Decode(e)
+			}
+			if err := s.wal.AppendBatch(ts); err != nil {
+				return 0, fmt.Errorf("store: %w", err)
+			}
+		}
 		s.snap.Store(applyBatch(snap, batch))
 	}
 	return len(batch), loadErr

@@ -1,0 +1,363 @@
+package vfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// ErrInjected is the error returned by a Mem operation hit by an injected
+// fault. Callers in the crash matrix match on it to tell injected
+// failures from real bugs.
+var ErrInjected = errors.New("vfs: injected fault")
+
+// FaultMode selects how an injected fault manifests.
+type FaultMode int
+
+const (
+	// FaultNone disables injection.
+	FaultNone FaultMode = iota
+	// FaultError makes exactly the Nth operation fail; later operations
+	// succeed again (a transient IO error — EIO on one write, a failed
+	// fsync the kernel retries past).
+	FaultError
+	// FaultErrorFrom makes the Nth and every later operation fail (the
+	// disk going away for good; combined with Crashed it models a power
+	// cut at an exact IO boundary).
+	FaultErrorFrom
+	// FaultShortWrite makes the Nth operation, when it is a Write,
+	// persist only half the buffer before failing — the torn-write case.
+	// On any other operation kind it behaves like FaultError.
+	FaultShortWrite
+)
+
+// Mem is an in-memory FS with an explicit durability model, built for
+// crash-consistency testing:
+//
+//   - Every file tracks two byte strings: data (what the process sees)
+//     and synced (what stable storage holds). Write appends to data;
+//     Sync promotes data to synced.
+//   - The namespace is tracked twice as well: creates, renames and
+//     removes apply to the current namespace immediately but reach the
+//     durable namespace only at SyncDir — strictly weaker than most real
+//     filesystems, so code that survives Mem survives ext4.
+//   - Crashed() simulates a power cut: it returns a fresh Mem holding
+//     only the durable namespace with each file rolled back to its
+//     synced bytes.
+//
+// Fault injection counts every mutating or probing operation (create,
+// open, write, sync, rename, remove, readdir, mkdir, size, syncdir) and
+// fails the chosen one; see FaultMode. All methods are safe for
+// concurrent use.
+type Mem struct {
+	mu   sync.Mutex
+	cur  map[string]*memFile
+	dur  map[string]*memFile
+	dirs map[string]bool
+
+	ops    int
+	faultN int
+	mode   FaultMode
+}
+
+type memFile struct {
+	data   []byte
+	synced []byte
+}
+
+// NewMem returns an empty in-memory filesystem with a root directory.
+func NewMem() *Mem {
+	return &Mem{
+		cur:  map[string]*memFile{},
+		dur:  map[string]*memFile{},
+		dirs: map[string]bool{".": true, "/": true},
+	}
+}
+
+// InjectFault arms fault injection: operation number n (0-based, in the
+// order counted by Ops) fails according to mode.
+func (m *Mem) InjectFault(n int, mode FaultMode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.faultN, m.mode = n, mode
+}
+
+// Ops returns the number of faultable operations performed so far. A
+// fault-free rehearsal run measures the matrix width: injecting at every
+// op in [0, Ops()) covers every IO point of the workload.
+func (m *Mem) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// gate counts one operation and reports whether it must fail. Callers
+// hold mu.
+func (m *Mem) gate() bool {
+	op := m.ops
+	m.ops++
+	switch m.mode {
+	case FaultError, FaultShortWrite:
+		return op == m.faultN
+	case FaultErrorFrom:
+		return op >= m.faultN
+	default:
+		return false
+	}
+}
+
+// Crashed simulates a power cut: the returned filesystem holds the
+// durable namespace only, every file rolled back to its last synced
+// bytes. The original Mem is left untouched (handles stay usable), so a
+// single rehearsal instance can seed many recovery runs.
+func (m *Mem) Crashed() *Mem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := NewMem()
+	for name, f := range m.dur {
+		b := append([]byte(nil), f.synced...)
+		nf := &memFile{data: b, synced: append([]byte(nil), b...)}
+		n.cur[name] = nf
+		n.dur[name] = nf
+	}
+	for d := range m.dirs {
+		n.dirs[d] = true
+	}
+	return n
+}
+
+// ReadFile returns the current content of name (test convenience).
+func (m *Mem) ReadFile(name string) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.cur[filepath.Clean(name)]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// WriteFile creates name with the given content, synced and durable
+// (test convenience; not counted as faultable operations).
+func (m *Mem) WriteFile(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	f := &memFile{data: append([]byte(nil), data...), synced: append([]byte(nil), data...)}
+	m.cur[name] = f
+	m.dur[name] = f
+	m.dirs[filepath.Dir(name)] = true
+}
+
+// --- FS implementation ---
+
+func (m *Mem) Create(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.gate() {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: ErrInjected}
+	}
+	if !m.dirs[filepath.Dir(name)] {
+		return nil, &fs.PathError{Op: "create", Path: name, Err: fs.ErrNotExist}
+	}
+	// A truncating create installs a fresh file object; the durable
+	// namespace keeps whatever object (and synced bytes) it had until the
+	// next SyncDir, so a crash rolls the name back to the old content.
+	f := &memFile{}
+	m.cur[name] = f
+	return &memHandle{m: m, f: f, name: name}, nil
+}
+
+func (m *Mem) Open(name string) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.gate() {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: ErrInjected}
+	}
+	f, ok := m.cur[name]
+	if !ok {
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	}
+	return &memHandle{m: m, f: f, name: name, readOnly: true}, nil
+}
+
+func (m *Mem) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	if m.gate() {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: ErrInjected}
+	}
+	f, ok := m.cur[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	delete(m.cur, oldpath)
+	m.cur[newpath] = f
+	return nil
+}
+
+func (m *Mem) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.gate() {
+		return &fs.PathError{Op: "remove", Path: name, Err: ErrInjected}
+	}
+	if _, ok := m.cur[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.cur, name)
+	return nil
+}
+
+func (m *Mem) ReadDir(dir string) ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if m.gate() {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: ErrInjected}
+	}
+	if !m.dirs[dir] {
+		return nil, &fs.PathError{Op: "readdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	var names []string
+	for name := range m.cur {
+		if filepath.Dir(name) == dir {
+			names = append(names, filepath.Base(name))
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (m *Mem) MkdirAll(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if m.gate() {
+		return &fs.PathError{Op: "mkdir", Path: dir, Err: ErrInjected}
+	}
+	for d := dir; ; d = filepath.Dir(d) {
+		m.dirs[d] = true
+		if d == filepath.Dir(d) {
+			break
+		}
+	}
+	return nil
+}
+
+func (m *Mem) Size(name string) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name = filepath.Clean(name)
+	if m.gate() {
+		return 0, &fs.PathError{Op: "stat", Path: name, Err: ErrInjected}
+	}
+	f, ok := m.cur[name]
+	if !ok {
+		return 0, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+	}
+	return int64(len(f.data)), nil
+}
+
+func (m *Mem) SyncDir(dir string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dir = filepath.Clean(dir)
+	if m.gate() {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: ErrInjected}
+	}
+	if !m.dirs[dir] {
+		return &fs.PathError{Op: "syncdir", Path: dir, Err: fs.ErrNotExist}
+	}
+	// Promote the current namespace for dir's direct children to durable.
+	for name, f := range m.cur {
+		if filepath.Dir(name) == dir {
+			m.dur[name] = f
+		}
+	}
+	for name := range m.dur {
+		if filepath.Dir(name) == dir {
+			if _, ok := m.cur[name]; !ok {
+				delete(m.dur, name)
+			}
+		}
+	}
+	return nil
+}
+
+// memHandle is an open handle on a Mem file.
+type memHandle struct {
+	m        *Mem
+	f        *memFile
+	name     string
+	off      int
+	readOnly bool
+	closed   bool
+}
+
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.readOnly {
+		return 0, fmt.Errorf("vfs: write on read-only handle %s", h.name)
+	}
+	if h.m.gate() {
+		if h.m.mode == FaultShortWrite {
+			// Tear the write: half the buffer lands, the rest vanishes.
+			n := len(p) / 2
+			h.f.data = append(h.f.data, p[:n]...)
+			return n, &fs.PathError{Op: "write", Path: h.name, Err: ErrInjected}
+		}
+		return 0, &fs.PathError{Op: "write", Path: h.name, Err: ErrInjected}
+	}
+	h.f.data = append(h.f.data, p...)
+	return len(p), nil
+}
+
+func (h *memHandle) Sync() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.readOnly {
+		return nil
+	}
+	if h.m.gate() {
+		return &fs.PathError{Op: "sync", Path: h.name, Err: ErrInjected}
+	}
+	h.f.synced = append(h.f.synced[:0], h.f.data...)
+	return nil
+}
+
+func (h *memHandle) Close() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	h.closed = true
+	return nil
+}

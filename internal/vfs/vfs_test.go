@@ -1,0 +1,301 @@
+package vfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeAll(t *testing.T, fsys FS, name, content string, sync bool) {
+	t.Helper()
+	f, err := fsys.Create(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, fsys FS, name string) string {
+	t.Helper()
+	f, err := fsys.Open(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	b, err := io.ReadAll(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestOSRoundTrip exercises the production FS against a real temp dir so
+// the interface contract (create/read/rename/readdir/size/sweep) is
+// pinned on both implementations.
+func TestOSRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	if err := OS.MkdirAll(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	name := filepath.Join(dir, "sub", "a.log")
+	writeAll(t, OS, name, "hello", true)
+	if got := readAll(t, OS, name); got != "hello" {
+		t.Fatalf("read back %q, want hello", got)
+	}
+	if n, err := OS.Size(name); err != nil || n != 5 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := OS.Rename(name, filepath.Join(dir, "sub", "b.log")); err != nil {
+		t.Fatal(err)
+	}
+	if err := OS.SyncDir(filepath.Join(dir, "sub")); err != nil {
+		t.Fatal(err)
+	}
+	names, err := OS.ReadDir(filepath.Join(dir, "sub"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 || names[0] != "b.log" {
+		t.Fatalf("ReadDir = %v", names)
+	}
+	if _, err := OS.Open(name); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open(renamed-away) err = %v", err)
+	}
+}
+
+func TestSweepTemp(t *testing.T) {
+	for _, fsys := range []FS{NewMem(), OS} {
+		dir := t.TempDir()
+		if err := fsys.MkdirAll(dir); err != nil {
+			t.Fatal(err)
+		}
+		writeAll(t, fsys, filepath.Join(dir, "kb.snap"), "keep", true)
+		writeAll(t, fsys, filepath.Join(dir, "kb.snap.tmp"), "stale", true)
+		writeAll(t, fsys, filepath.Join(dir, "other.tmp"), "stale", true)
+		removed, err := SweepTemp(fsys, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(removed) != 2 {
+			t.Fatalf("removed %v, want 2 entries", removed)
+		}
+		names, err := fsys.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(names) != 1 || names[0] != "kb.snap" {
+			t.Fatalf("after sweep: %v", names)
+		}
+	}
+	// A missing directory is not an error.
+	if removed, err := SweepTemp(NewMem(), "nope/nothere"); err != nil || removed != nil {
+		t.Fatalf("missing dir sweep = %v, %v", removed, err)
+	}
+}
+
+// TestMemCrashDiscardsUnsynced is the core durability model: written but
+// un-synced bytes do not survive a power cut; synced bytes do.
+func TestMemCrashDiscardsUnsynced(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("d/log")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("+lost")); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Crashed()
+	if got := readAll(t, c, "d/log"); got != "durable" {
+		t.Fatalf("after crash: %q, want %q", got, "durable")
+	}
+	// The pre-crash instance is untouched.
+	if got := readAll(t, m, "d/log"); got != "durable+lost" {
+		t.Fatalf("original: %q", got)
+	}
+}
+
+// TestMemCrashNamespace: creates and renames are durable only after
+// SyncDir; a rename without it rolls back to the old name and content.
+func TestMemCrashNamespace(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, m, "d/kb.snap", "v1", true)
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	// Save v2 the atomic way, but crash before the directory sync.
+	writeAll(t, m, "d/kb.snap.tmp", "v2", true)
+	if err := m.Rename("d/kb.snap.tmp", "d/kb.snap"); err != nil {
+		t.Fatal(err)
+	}
+	c := m.Crashed()
+	if got := readAll(t, c, "d/kb.snap"); got != "v1" {
+		t.Fatalf("rename without SyncDir survived crash: %q", got)
+	}
+	if _, err := c.Open("d/kb.snap.tmp"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("un-synced temp file survived crash: %v", err)
+	}
+	// With the directory sync the new content is durable.
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	c2 := m.Crashed()
+	if got := readAll(t, c2, "d/kb.snap"); got != "v2" {
+		t.Fatalf("synced rename lost: %q", got)
+	}
+}
+
+// TestMemCrashRemove: a remove is durable only after SyncDir.
+func TestMemCrashRemove(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	writeAll(t, m, "d/seg1", "x", true)
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("d/seg1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, m.Crashed(), "d/seg1"); got != "x" {
+		t.Fatalf("un-synced remove became durable: %q", got)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Crashed().Open("d/seg1"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("synced remove did not stick: %v", err)
+	}
+}
+
+func TestMemFaultError(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	start := m.Ops()
+	m.InjectFault(start+1, FaultError) // the Write below
+	f, err := m.Create("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected write failure, got %v", err)
+	}
+	// Exactly one op fails; the next write goes through.
+	if _, err := f.Write([]byte("y")); err != nil {
+		t.Fatalf("op after FaultError failed: %v", err)
+	}
+}
+
+func TestMemFaultErrorFrom(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	m.InjectFault(m.Ops(), FaultErrorFrom)
+	if _, err := m.Create("d/f"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected create failure, got %v", err)
+	}
+	if _, err := m.Create("d/g"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("FaultErrorFrom did not persist: %v", err)
+	}
+}
+
+func TestMemFaultShortWrite(t *testing.T) {
+	m := NewMem()
+	if err := m.MkdirAll("d"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.InjectFault(m.Ops(), FaultShortWrite)
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, ErrInjected) || n != 4 {
+		t.Fatalf("short write = (%d, %v), want (4, injected)", n, err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("d"); err != nil {
+		t.Fatal(err)
+	}
+	if got := readAll(t, m.Crashed(), "d/f"); got != "abcd" {
+		t.Fatalf("torn file content %q, want abcd", got)
+	}
+}
+
+// TestMemOpsDeterministic: the same workload costs the same op count, so
+// a rehearsal run sizes the crash matrix.
+func TestMemOpsDeterministic(t *testing.T) {
+	run := func() int {
+		m := NewMem()
+		if err := m.MkdirAll("d"); err != nil {
+			t.Fatal(err)
+		}
+		writeAll(t, m, "d/a", "one", true)
+		if err := m.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Rename("d/a", "d/b"); err != nil {
+			t.Fatal(err)
+		}
+		return m.Ops()
+	}
+	if a, b := run(), run(); a != b || a == 0 {
+		t.Fatalf("op counts diverge: %d vs %d", a, b)
+	}
+}
+
+func TestMemMissingFiles(t *testing.T) {
+	m := NewMem()
+	if _, err := m.Open("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Open missing: %v", err)
+	}
+	if _, err := m.Size("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Size missing: %v", err)
+	}
+	if err := m.Remove("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Remove missing: %v", err)
+	}
+	if _, err := m.ReadDir("nope"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("ReadDir missing: %v", err)
+	}
+	if _, err := m.Create("nope/f"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("Create in missing dir: %v", err)
+	}
+	// os.IsNotExist compatibility (SweepTemp relies on it).
+	if _, err := m.ReadDir("nope"); !os.IsNotExist(err) {
+		t.Fatalf("ReadDir missing not os.IsNotExist: %v", err)
+	}
+}

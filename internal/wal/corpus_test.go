@@ -1,0 +1,43 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// TestWriteFuzzCorpus regenerates the committed seed corpus under
+// testdata/fuzz/FuzzWALReplay when WAL_WRITE_FUZZ_CORPUS=1 is set (run
+// after changing the record encoding). It is a no-op otherwise, beyond
+// checking that the committed corpus exists and is well-formed.
+func TestWriteFuzzCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzWALReplay")
+	valid := fuzzSegmentBytes(3)
+	flipped := append([]byte(nil), valid...)
+	flipped[len(segMagic)+2] ^= 0xff
+	seeds := map[string][]byte{
+		"seed-valid":     valid,
+		"seed-torn":      valid[:len(valid)-3],
+		"seed-empty-seg": fuzzSegmentBytes(0),
+		"seed-badmagic":  []byte("ELINDWL\x00garbage"),
+		"seed-flipped":   flipped,
+	}
+	if os.Getenv("WAL_WRITE_FUZZ_CORPUS") == "1" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for name, data := range seeds {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(string(data)))
+			if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for name := range seeds {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("committed fuzz seed missing (regenerate with WAL_WRITE_FUZZ_CORPUS=1): %v", err)
+		}
+	}
+}

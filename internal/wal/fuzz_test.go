@@ -1,0 +1,116 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"elinda/internal/rdf"
+)
+
+// fuzzSegmentBytes builds a valid segment (magic + n records) so the
+// fuzzer starts from well-formed input and mutates from there.
+func fuzzSegmentBytes(n int) []byte {
+	b := []byte(segMagic)
+	for i := 0; i < n; i++ {
+		b = appendRecord(b, rdf.Triple{
+			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i)),
+			P: rdf.NewIRI("http://ex/p"),
+			O: rdf.NewLangLiteral(fmt.Sprintf("o%d", i), "en"),
+		})
+	}
+	return b
+}
+
+// FuzzWALReplay feeds arbitrary bytes to the segment replay path. The
+// contract: it never panics, never errors on corruption (only fn/IO
+// errors propagate, and a bytes.Reader has neither), every triple it
+// does deliver is valid, replay is deterministic, and a valid record
+// prefix replays exactly — corruption can only truncate, never
+// fabricate or reorder.
+func FuzzWALReplay(f *testing.F) {
+	valid := fuzzSegmentBytes(3)
+	f.Add(valid)
+	f.Add(valid[:len(valid)-3]) // torn tail mid-record
+	f.Add(fuzzSegmentBytes(0))  // header only
+	f.Add([]byte{})
+	f.Add([]byte("ELINDWL\x00garbage"))
+	f.Add([]byte("not a segment"))
+	flipped := append([]byte(nil), valid...)
+	flipped[len(segMagic)+2] ^= 0xff // corrupt the first record's header
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var got []rdf.Triple
+		n, err := replaySegment(bytes.NewReader(data), func(tr rdf.Triple) error {
+			got = append(got, tr)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("replaySegment returned an error on pure corruption: %v", err)
+		}
+		if n != len(got) {
+			t.Fatalf("applied count %d != callbacks %d", n, len(got))
+		}
+		for i, tr := range got {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("replayed triple %d invalid: %v", i, err)
+			}
+		}
+		// Determinism: a second pass over the same bytes agrees exactly.
+		var again []rdf.Triple
+		n2, err := replaySegment(bytes.NewReader(data), func(tr rdf.Triple) error {
+			again = append(again, tr)
+			return nil
+		})
+		if err != nil || n2 != n {
+			t.Fatalf("second replay diverged: n=%d vs %d, err=%v", n2, n, err)
+		}
+		for i := range got {
+			if got[i] != again[i] {
+				t.Fatalf("replay not deterministic at record %d", i)
+			}
+		}
+		// Prefix exactness: for a real segment (valid magic),
+		// re-encoding what replay recovered must reproduce a byte-prefix
+		// of the input. If it does not, replay fabricated or altered
+		// data instead of truncating. Without the magic nothing may
+		// replay at all.
+		if !bytes.HasPrefix(data, []byte(segMagic)) {
+			if len(got) != 0 {
+				t.Fatalf("replayed %d records from a segment without magic", len(got))
+			}
+			return
+		}
+		enc := []byte(segMagic)
+		for _, tr := range got {
+			enc = appendRecord(enc, tr)
+		}
+		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
+			t.Fatalf("replayed records are not a byte-prefix of the input (%d records)", len(got))
+		}
+	})
+}
+
+// TestFuzzSeedsReplayExactly pins the valid-prefix guarantee on the
+// committed seeds deterministically (the fuzzer only checks whatever
+// inputs it happens to explore).
+func TestFuzzSeedsReplayExactly(t *testing.T) {
+	for n := 0; n <= 4; n++ {
+		data := fuzzSegmentBytes(n)
+		applied, err := replaySegment(bytes.NewReader(data), func(rdf.Triple) error { return nil })
+		if err != nil || applied != n {
+			t.Fatalf("clean segment with %d records: applied=%d err=%v", n, applied, err)
+		}
+		// Every truncation point of the final record replays exactly n-1.
+		if n > 0 {
+			prev := fuzzSegmentBytes(n - 1)
+			for cut := len(prev) + 1; cut < len(data); cut++ {
+				applied, err := replaySegment(bytes.NewReader(data[:cut]), func(rdf.Triple) error { return nil })
+				if err != nil || applied != n-1 {
+					t.Fatalf("torn at byte %d of %d records: applied=%d err=%v", cut, n, applied, err)
+				}
+			}
+		}
+	}
+}
