@@ -1,0 +1,224 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"time"
+
+	"elinda"
+	"elinda/internal/fleet"
+	"elinda/internal/netsim"
+	"elinda/internal/router"
+)
+
+// --- fleet experiment ---
+//
+// Three questions about the read-fleet tier, answered on an in-process
+// fleet (coordinator + 3 hydrated replicas + router):
+//
+//  1. Router overhead: latency of a query through the router vs the
+//     same query straight at a replica.
+//  2. Hedging value: p99 through the router while one replica carries
+//     an injected latency spike, with hedging off vs on.
+//  3. Hedge economics: how often hedges fire and how often they win.
+
+type fleetBenchReport struct {
+	Experiment  string `json:"experiment"`
+	GeneratedAt string `json:"generated_at"`
+	Triples     int    `json:"triples"`
+	Replicas    int    `json:"replicas"`
+	Queries     int    `json:"queries_per_pass"`
+
+	DirectP50Ns      int64 `json:"direct_p50_ns"`
+	RoutedP50Ns      int64 `json:"routed_p50_ns"`
+	RouterOverheadNs int64 `json:"router_overhead_ns"`
+
+	SlowReplicaDelayNs int64   `json:"slow_replica_delay_ns"`
+	UnhedgedP99Ns      int64   `json:"unhedged_p99_ns"`
+	HedgedP99Ns        int64   `json:"hedged_p99_ns"`
+	HedgeP99Speedup    float64 `json:"hedge_p99_speedup"`
+
+	Hedges       uint64  `json:"hedges"`
+	HedgeWins    uint64  `json:"hedge_wins"`
+	HedgeWinRate float64 `json:"hedge_win_rate"`
+}
+
+// fleetServe mounts a handler on a loopback listener.
+func fleetServe(h http.Handler) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
+}
+
+// fleetQueries returns distinct cheap lookups: distinct normalized keys
+// spread over the consistent-hash ring, so every replica takes a share.
+func fleetQueries(n int) []string {
+	qs := make([]string, n)
+	for i := range qs {
+		qs[i] = fmt.Sprintf(`SELECT ?s WHERE { ?s a <http://dbpedia.org/ontology/Person> . } LIMIT 5 OFFSET %d`, i)
+	}
+	return qs
+}
+
+// measure runs every query sequentially against base's /sparql and
+// returns sorted latencies.
+func measure(base string, queries []string) []time.Duration {
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4}}
+	lat := make([]time.Duration, 0, len(queries))
+	for _, q := range queries {
+		start := time.Now()
+		resp, err := client.Get(base + "/sparql?query=" + url.QueryEscape(q))
+		if err != nil {
+			log.Fatalf("fleet bench query: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("fleet bench query: status %d", resp.StatusCode)
+		}
+		lat = append(lat, time.Since(start))
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	return lat
+}
+
+func pctl(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	return sorted[int(p*float64(len(sorted)-1))].Nanoseconds()
+}
+
+func runFleet(persons int, jsonOut string) {
+	const (
+		replicas  = 3
+		queries   = 150
+		slowDelay = 25 * time.Millisecond
+	)
+	fmt.Printf("== fleet: router overhead and hedging (persons=%d, %d replicas, %d queries/pass) ==\n",
+		persons, replicas, queries)
+
+	cfg := elinda.DefaultDataConfig()
+	cfg.Persons = persons
+	st, err := elinda.GenerateDBpediaLike(cfg).NewStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	coordMux := http.NewServeMux()
+	fleet.NewCoordinator(st).Register(coordMux)
+	coordURL, stopCoord := fleetServe(coordMux)
+	defer stopCoord()
+
+	ctx := context.Background()
+	var cfgs []router.ReplicaConfig
+	var hosts []string
+	var firstReplica string
+	for i := 0; i < replicas; i++ {
+		dir, err := os.MkdirTemp("", "elinda-bench-fleet-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		r := fleet.NewReplica(fleet.ReplicaOptions{CoordinatorURL: coordURL, Dir: dir})
+		if _, err := r.SyncOnce(ctx); err != nil {
+			log.Fatalf("replica %d hydration: %v", i, err)
+		}
+		base, stop := fleetServe(r.Handler())
+		defer stop()
+		if i == 0 {
+			firstReplica = base
+		}
+		u, _ := url.Parse(base)
+		hosts = append(hosts, u.Host)
+		cfgs = append(cfgs, router.ReplicaConfig{Name: fmt.Sprintf("replica-%d", i), BaseURL: base})
+	}
+
+	newRouter := func(tr *netsim.Transport, disableHedge bool, hedgeDelay time.Duration) (*router.Router, string, func()) {
+		rt := router.New(router.Options{
+			Replicas:       cfgs,
+			Transport:      tr,
+			ProbeInterval:  time.Hour,
+			DisableHedging: disableHedge,
+			HedgeDelay:     hedgeDelay,
+		})
+		rt.ProbeNow(ctx)
+		base, stop := fleetServe(rt.Handler())
+		return rt, base, stop
+	}
+
+	qs := fleetQueries(queries)
+	rep := fleetBenchReport{
+		Experiment:         "fleet",
+		GeneratedAt:        time.Now().UTC().Format(time.RFC3339),
+		Triples:            st.Len(),
+		Replicas:           replicas,
+		Queries:            queries,
+		SlowReplicaDelayNs: slowDelay.Nanoseconds(),
+	}
+
+	// 1. Router overhead on a healthy fleet (hedging irrelevant: no tail).
+	direct := measure(firstReplica, qs)
+	_, routedURL, stopRouted := newRouter(netsim.New(nil), true, 0)
+	routed := measure(routedURL, qs)
+	stopRouted()
+	rep.DirectP50Ns = pctl(direct, 0.50)
+	rep.RoutedP50Ns = pctl(routed, 0.50)
+	rep.RouterOverheadNs = rep.RoutedP50Ns - rep.DirectP50Ns
+	fmt.Printf("%-34s p50 %-10s (direct %-10s overhead %s)\n", "routed, healthy fleet",
+		time.Duration(rep.RoutedP50Ns).Round(time.Microsecond),
+		time.Duration(rep.DirectP50Ns).Round(time.Microsecond),
+		time.Duration(rep.RouterOverheadNs).Round(time.Microsecond))
+
+	// 2. One slow replica: the ~1/3 of keys homed on it pay the spike
+	// unless hedging reroutes them.
+	slowTr := netsim.New(nil)
+	slowTr.SetHostRule(hosts[0], netsim.Rule{Fault: netsim.FaultLatency, Delay: slowDelay})
+
+	_, unhedgedURL, stopUnhedged := newRouter(slowTr, true, 0)
+	unhedged := measure(unhedgedURL, qs)
+	stopUnhedged()
+	rep.UnhedgedP99Ns = pctl(unhedged, 0.99)
+
+	hedgedRt, hedgedURL, stopHedged := newRouter(slowTr, false, 5*time.Millisecond)
+	hedged := measure(hedgedURL, qs)
+	stopHedged()
+	rep.HedgedP99Ns = pctl(hedged, 0.99)
+	if rep.HedgedP99Ns > 0 {
+		rep.HedgeP99Speedup = float64(rep.UnhedgedP99Ns) / float64(rep.HedgedP99Ns)
+	}
+	m := hedgedRt.MetricsSnapshot()
+	rep.Hedges, rep.HedgeWins = m.Hedges, m.HedgeWins
+	if m.Hedges > 0 {
+		rep.HedgeWinRate = float64(m.HedgeWins) / float64(m.Hedges)
+	}
+	fmt.Printf("%-34s p99 %-10s\n", "one slow replica, hedging off",
+		time.Duration(rep.UnhedgedP99Ns).Round(time.Microsecond))
+	fmt.Printf("%-34s p99 %-10s (%.1fx better; %d hedges, %d wins, %.0f%% win rate)\n",
+		"one slow replica, hedging on",
+		time.Duration(rep.HedgedP99Ns).Round(time.Microsecond),
+		rep.HedgeP99Speedup, rep.Hedges, rep.HedgeWins, rep.HedgeWinRate*100)
+
+	if jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", jsonOut)
+	}
+}

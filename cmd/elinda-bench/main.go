@@ -58,13 +58,14 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | store-snapshot | ingest | wal | all")
+		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | store-snapshot | ingest | wal | fleet | all")
 		persons    = flag.Int("persons", 20000, "synthetic dataset size for timing experiments")
 		factsSize  = flag.Int("facts-persons", 2000, "dataset size for the text-fact experiments")
 		jsonOut    = flag.String("json-out", "BENCH_query.json", "machine-readable output path for the query-engine experiment")
 		storeOut   = flag.String("store-json-out", "BENCH_store.json", "machine-readable output path for the store-snapshot experiment")
 		ingestOut  = flag.String("ingest-json-out", "BENCH_ingest.json", "machine-readable output path for the ingest experiment")
 		walOut     = flag.String("wal-json-out", "BENCH_wal.json", "machine-readable output path for the wal experiment")
+		fleetOut   = flag.String("fleet-json-out", "BENCH_fleet.json", "machine-readable output path for the fleet experiment")
 		walRecords = flag.Int("wal-records", 20000, "record count for the wal append/replay measurements (the fsync-per-append policy uses a tenth)")
 		triples    = flag.Int("triples", 1_000_000, "synthetic triple count for the store-snapshot and ingest bulk-load measurements")
 		compare    = flag.Bool("compare", false, "compare two BENCH_*.json files: -compare old.json new.json [-tolerance 3x]; exits 1 on regression")
@@ -101,6 +102,8 @@ func main() {
 		runIngest(*triples, *ingestOut)
 	case "wal":
 		runWAL(*walRecords, *walOut)
+	case "fleet":
+		runFleet(*factsSize, *fleetOut)
 	case "all":
 		runFacts(*factsSize)
 		fmt.Println()
@@ -123,6 +126,8 @@ func main() {
 		runIngest(*triples, *ingestOut)
 		fmt.Println()
 		runWAL(*walRecords, *walOut)
+		fmt.Println()
+		runFleet(*factsSize, *fleetOut)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}

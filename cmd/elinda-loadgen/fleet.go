@@ -1,0 +1,130 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/url"
+	"os"
+	"time"
+
+	"elinda"
+	"elinda/internal/fleet"
+	"elinda/internal/netsim"
+	"elinda/internal/router"
+)
+
+// fleetLoadConfig shapes the -fleet run.
+type fleetLoadConfig struct {
+	persons     int
+	replicas    int
+	concurrency int
+	duration    time.Duration
+	killPeriod  time.Duration
+	killDown    time.Duration
+}
+
+// serveOn mounts a handler on a loopback listener and returns its base
+// URL and a shutdown func.
+func serveOn(h http.Handler) (string, func()) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	return "http://" + ln.Addr().String(), func() { srv.Close() }
+}
+
+// runFleetLoad assembles a full in-process fleet — coordinator, N
+// hydrated replicas, the routing front tier — and drives the router
+// with the standard workload while a kill schedule partitions one
+// replica at a time through the netsim seam. The pass's error count is
+// the availability story: the retry/hedge ladder should absorb every
+// kill.
+func runFleetLoad(report *serveReport, gen workload, accept string, cfg fleetLoadConfig) {
+	fmt.Printf("== elinda-loadgen: fleet (replicas=%d, C=%d, %s, kill every %s for %s) ==\n",
+		cfg.replicas, cfg.concurrency, cfg.duration, cfg.killPeriod, cfg.killDown)
+
+	dcfg := elinda.DefaultDataConfig()
+	dcfg.Persons = cfg.persons
+	st, err := elinda.GenerateDBpediaLike(dcfg).NewStore()
+	if err != nil {
+		log.Fatal(err)
+	}
+	report.Triples = st.Len()
+
+	coord := fleet.NewCoordinator(st)
+	coordMux := http.NewServeMux()
+	coord.Register(coordMux)
+	coordURL, stopCoord := serveOn(coordMux)
+	defer stopCoord()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var cfgs []router.ReplicaConfig
+	var hosts []string
+	for i := 0; i < cfg.replicas; i++ {
+		dir, err := os.MkdirTemp("", "elinda-fleet-*")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		r := fleet.NewReplica(fleet.ReplicaOptions{CoordinatorURL: coordURL, Dir: dir})
+		if _, err := r.SyncOnce(ctx); err != nil {
+			log.Fatalf("replica %d hydration: %v", i, err)
+		}
+		base, stop := serveOn(r.Handler())
+		defer stop()
+		u, _ := url.Parse(base)
+		hosts = append(hosts, u.Host)
+		cfgs = append(cfgs, router.ReplicaConfig{Name: fmt.Sprintf("replica-%d", i), BaseURL: base})
+	}
+	fmt.Printf("dataset: %d triples, %d replicas hydrated at generation %d\n\n",
+		st.Len(), cfg.replicas, st.Snapshot().Generation())
+
+	tr := netsim.New(nil)
+	rt := router.New(router.Options{
+		Replicas:      cfgs,
+		Transport:     tr,
+		ProbeInterval: 200 * time.Millisecond,
+	})
+	go rt.Run(ctx)
+	rt.ProbeNow(ctx)
+	routerURL, stopRouter := serveOn(rt.Handler())
+	defer stopRouter()
+
+	// The kill schedule: round-robin through the fleet, partitioning one
+	// replica per period and healing it after killDown.
+	go func() {
+		t := time.NewTicker(cfg.killPeriod)
+		defer t.Stop()
+		for i := 0; ; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			h := hosts[i%len(hosts)]
+			tr.Kill(h)
+			select {
+			case <-ctx.Done():
+				tr.Restart(h)
+				return
+			case <-time.After(cfg.killDown):
+			}
+			tr.Restart(h)
+		}
+	}()
+
+	pass := runPass("fleet-routed", routerURL+"/sparql", accept, gen, cfg.concurrency, cfg.duration)
+	pass.print()
+	report.Passes = append(report.Passes, pass)
+	m := rt.MetricsSnapshot()
+	report.Router = &m
+	fmt.Printf("\nrouter: retries=%d hedges=%d hedge-wins=%d truncations=%d scatters=%d local=%d 503=%d\n",
+		m.Retries, m.Hedges, m.HedgeWins, m.Truncations, m.StaleScatters, m.LocalFallbacks, m.Unavailable503)
+}

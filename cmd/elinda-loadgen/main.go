@@ -29,6 +29,8 @@ import (
 	"net/url"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -38,6 +40,7 @@ import (
 	"elinda/internal/endpoint"
 	"elinda/internal/proxy"
 	"elinda/internal/rdf"
+	"elinda/internal/router"
 )
 
 func main() {
@@ -55,6 +58,11 @@ func main() {
 		ablate         = flag.Bool("ablate", true, "self-serve only: add a cache-disabled pass and compute the speedup")
 		jsonOut        = flag.String("json-out", "BENCH_serve.json", "machine-readable output path (empty = none)")
 		seed           = flag.Int64("seed", 1, "workload random seed")
+
+		fleetMode  = flag.Bool("fleet", false, "drive an in-process snapshot-replicated fleet through its router, with a replica-kill schedule")
+		fleetN     = flag.Int("fleet-size", 3, "-fleet: number of read replicas")
+		killPeriod = flag.Duration("kill-period", 2*time.Second, "-fleet: interval between replica kills")
+		killDown   = flag.Duration("kill-down", 500*time.Millisecond, "-fleet: how long a killed replica stays partitioned")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -76,7 +84,17 @@ func main() {
 
 	gen := workload{hot: hotQueries(*hotN), mix: *mix, seed: *seed}
 
-	if *target != "" {
+	if *fleetMode {
+		report.Experiment = "fleet-load"
+		runFleetLoad(&report, gen, accept, fleetLoadConfig{
+			persons:     *persons,
+			replicas:    *fleetN,
+			concurrency: *concurrency,
+			duration:    *duration,
+			killPeriod:  *killPeriod,
+			killDown:    *killDown,
+		})
+	} else if *target != "" {
 		fmt.Printf("== elinda-loadgen: %s (C=%d, %s, hot mix %.2f) ==\n", *target, *concurrency, duration, *mix)
 		pass := runPass("remote", *target, accept, gen, *concurrency, *duration)
 		pass.print()
@@ -146,11 +164,17 @@ type serveReport struct {
 	Passes      []passReport           `json:"passes"`
 	Speedup     float64                `json:"speedup,omitempty"`
 	Metrics     endpoint.ServerMetrics `json:"server_metrics,omitzero"`
+	Router      *router.RouterMetrics  `json:"router_metrics,omitempty"`
 }
 
 type passReport struct {
-	Name          string  `json:"name"`
-	Requests      int     `json:"requests"`
+	Name     string `json:"name"`
+	Requests int    `json:"requests"`
+	// Attempts counts every issued request; ShedRate is the fraction the
+	// server answered 429 — reported separately from errors because a
+	// shed is the admission controller working, not the service failing.
+	Attempts      int     `json:"attempts"`
+	ShedRate      float64 `json:"shed_rate"`
 	Errors        int     `json:"errors"`
 	Rejected429   int     `json:"rejected_429"`
 	Timeout504    int     `json:"timeout_504"`
@@ -164,12 +188,26 @@ type passReport struct {
 }
 
 func (p passReport) print() {
-	fmt.Printf("%-18s %8d req  %9.0f req/s  p50 %-10s p95 %-10s p99 %-10s errs %d (429:%d 504:%d)\n",
+	fmt.Printf("%-18s %8d req  %9.0f req/s  p50 %-10s p95 %-10s p99 %-10s errs %d (504:%d)  shed %.1f%%\n",
 		p.Name, p.Requests, p.ThroughputRPS,
 		time.Duration(p.P50Ns).Round(time.Microsecond),
 		time.Duration(p.P95Ns).Round(time.Microsecond),
 		time.Duration(p.P99Ns).Round(time.Microsecond),
-		p.Errors, p.Rejected429, p.Timeout504)
+		p.Errors, p.Timeout504, p.ShedRate*100)
+}
+
+// retryAfterOf parses a 429's Retry-After seconds hint (0 when absent
+// or malformed).
+func retryAfterOf(resp *http.Response) time.Duration {
+	s := resp.Header.Get("Retry-After")
+	if s == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 func statsOf(sys *elinda.System) string {
@@ -284,6 +322,15 @@ func runPass(name, target, accept string, gen workload, concurrency int, d time.
 				switch {
 				case resp.StatusCode == http.StatusTooManyRequests:
 					s.rejected++
+					// Honor the server's backoff hint: a closed-loop worker
+					// that re-fires instantly after a shed turns overload
+					// into livelock and makes the 429 path itself hot.
+					if wait := retryAfterOf(resp); wait > 0 {
+						if until := time.Until(deadline); wait > until {
+							wait = until
+						}
+						time.Sleep(wait)
+					}
 				case resp.StatusCode == http.StatusGatewayTimeout:
 					s.timeouts++
 				case resp.StatusCode != http.StatusOK:
@@ -307,6 +354,10 @@ func runPass(name, target, accept string, gen workload, concurrency int, d time.
 		rep.BytesRead += stats[i].bytes
 	}
 	rep.Requests = len(all)
+	rep.Attempts = rep.Requests + rep.Errors + rep.Rejected429 + rep.Timeout504
+	if rep.Attempts > 0 {
+		rep.ShedRate = float64(rep.Rejected429) / float64(rep.Attempts)
+	}
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
 	if len(all) > 0 {
 		rep.ThroughputRPS = float64(len(all)) / elapsed.Seconds()

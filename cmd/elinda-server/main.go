@@ -39,6 +39,7 @@ import (
 	"elinda"
 	"elinda/internal/datagen"
 	"elinda/internal/endpoint"
+	"elinda/internal/fleet"
 	"elinda/internal/metrics"
 	"elinda/internal/proxy"
 	"elinda/internal/rdf"
@@ -74,6 +75,9 @@ func main() {
 		incWorkers   = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
 		queryWorkers = flag.Int("query-workers", 0, "parallel BGP worker pool per query (0 = GOMAXPROCS, 1 = serial)")
 
+		role = flag.String("role", "single", "process role: single | coordinator | replica | router")
+		ff   fleetFlags
+
 		noCoalesce     = flag.Bool("no-coalesce", false, "disable singleflight coalescing of identical in-flight queries")
 		cacheBytes     = flag.Int64("cache-bytes", 0, "HVS byte budget with LRU eviction (0 = unlimited)")
 		maxInflight    = flag.Int64("max-inflight", 0, "admission-control weight capacity for /sparql (0 = unlimited)")
@@ -81,8 +85,58 @@ func main() {
 		flushRows      = flag.Int("flush-rows", 0, "streaming flush cadence in rows (0 = default 256)")
 		noStreaming    = flag.Bool("no-streaming", false, "force buffered result encoding")
 	)
+	flag.StringVar(&ff.coordinator, "fleet-coordinator", "", "replica: base URL of the coordinator to pull snapshots from")
+	flag.StringVar(&ff.dir, "fleet-dir", "fleet-cache", "replica: directory for fetched snapshot files")
+	flag.DurationVar(&ff.poll, "fleet-poll", 2*time.Second, "replica: coordinator manifest poll interval")
+	flag.StringVar(&ff.replicas, "fleet-replicas", "", "router: comma-separated replica list, each [name=]url")
+	flag.DurationVar(&ff.probe, "probe-interval", time.Second, "router: replica /readyz probe interval")
+	flag.IntVar(&ff.retryBudget, "retry-budget", 3, "router: max attempts per request, hedges included")
+	flag.DurationVar(&ff.hedgeDelay, "hedge-delay", 0, "router: tail-latency hedge delay (0 = derive from observed p95)")
+	flag.BoolVar(&ff.noHedge, "no-hedge", false, "router: disable tail-latency hedging")
+	flag.IntVar(&ff.breakerFail, "breaker-failures", 5, "router: consecutive failures that trip a replica's circuit breaker")
+	flag.DurationVar(&ff.breakerOpen, "breaker-open", 2*time.Second, "router: how long a tripped breaker rejects before a half-open trial")
+	flag.BoolVar(&ff.fallback, "fleet-fallback", false, "router: serve from an embedded local store when every replica is down (uses the data flags)")
 	flag.Parse()
 	log.SetFlags(log.LstdFlags)
+	ff.role = *role
+
+	// The replica and router roles have their own boot paths: a replica
+	// holds no local dataset (it pulls from the coordinator) and a router
+	// holds one only as the -fleet-fallback degradation rung.
+	switch ff.role {
+	case "replica":
+		if err := runReplica(*addr, ff, proxy.Options{
+			HeavyThreshold:    *threshold,
+			DisableHVS:        *noHVS,
+			DisableDecomposer: *noDecomp,
+			DisableCoalescing: *noCoalesce,
+			CacheMaxBytes:     *cacheBytes,
+			QueryWorkers:      *queryWorkers,
+		}, *warm, *walDir, *timeout, *drain); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "router":
+		var fallback http.Handler
+		if ff.fallback {
+			st, _, err := buildStore(*snapLoad, *load, *persons, *ingestWorkers)
+			if err != nil {
+				log.Fatalf("building fallback store: %v", err)
+			}
+			fsys := elinda.NewSystemFromStore(st, proxy.Options{HeavyThreshold: *threshold})
+			fsrv := fsys.Endpoint()
+			fsrv.Timeout = *timeout
+			fallback = fsrv
+		}
+		if err := runRouter(*addr, ff, fallback, *drain); err != nil {
+			log.Fatal(err)
+		}
+		return
+	case "single", "coordinator":
+		// fall through to the standard writer boot below.
+	default:
+		log.Fatalf("unknown -role %q (want single, coordinator, replica or router)", ff.role)
+	}
 
 	var ready endpoint.Readiness
 	ready.Set("loading")
@@ -197,6 +251,12 @@ func main() {
 	api := newAPI(sys)
 	api.register(mux)
 	registerUI(mux)
+	var coord *fleet.Coordinator
+	if ff.role == "coordinator" {
+		coord = fleet.NewCoordinator(sys.Store)
+		mountCoordinator(mux, coord)
+		log.Printf("fleet coordinator mounted at /fleet/ (generation %d)", sys.Store.Generation())
+	}
 	mux.Handle("/readyz", &ready)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		st := sys.Store.ComputeStats()
@@ -215,6 +275,9 @@ func main() {
 		}
 		if w != nil {
 			doc["wal"] = w.Stats()
+		}
+		if coord != nil {
+			doc["coordinator"] = coord.MetricsSnapshot()
 		}
 		rw.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(rw)

@@ -15,6 +15,16 @@ import (
 // ContentType is the media type of SPARQL JSON results.
 const ContentType = "application/sparql-results+json"
 
+// CompleteTrailer is the HTTP trailer a streaming response carries when
+// the result document was fully written. Chunked transfer encoding ends
+// a mid-stream abort with perfectly clean framing — the body is
+// syntactically truncated but the HTTP layer looks complete — so a
+// relaying tier (the fleet router) cannot rely on framing alone. The
+// trailer is the explicit completeness signal: absent means the stream
+// was cut, and the relay must treat the attempt as failed rather than
+// forward half a body as success.
+const CompleteTrailer = "X-Elinda-Complete"
+
 // Executor answers SPARQL queries. *sparql.Engine satisfies it; the proxy
 // in internal/proxy wraps one Executor with caching and routing.
 type Executor interface {
@@ -211,13 +221,17 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // the header is on the wire the response can only be truncated.
 func (s *Server) serveStreaming(ctx context.Context, w http.ResponseWriter, rexec sparql.RowExecutor, query, contentType string, streamer ResultStreamer) {
 	// The Content-Type header must be set before the streamer's first
-	// write commits the response header.
+	// write commits the response header, and the completeness trailer
+	// must be declared then too — trailers cannot be announced
+	// retroactively.
 	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Trailer", CompleteTrailer)
 	err := rexec.QueryRows(ctx, query, streamer)
 	if err != nil {
 		if !streamer.Started() {
 			// Nothing written yet: we can still change the status line.
 			w.Header().Del("Content-Type")
+			w.Header().Del("Trailer")
 			s.writeError(w, err)
 			return
 		}
@@ -237,6 +251,10 @@ func (s *Server) serveStreaming(ctx context.Context, w http.ResponseWriter, rexe
 		_ = streamer.Abort()
 		return
 	}
+	// Mark completeness BEFORE the final flush: setting a declared
+	// header field after WriteHeader turns it into a trailer, and it
+	// must be in place when the terminating chunk goes out.
+	w.Header().Set(CompleteTrailer, "1")
 	if err := streamer.Close(); err != nil {
 		// The only thing Close can fail on is the final write/flush: the
 		// client went away at the last moment.

@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"elinda/internal/endpoint"
+	"elinda/internal/netsim"
+	"elinda/internal/proxy"
+	"elinda/internal/rdf"
+	"elinda/internal/router"
+	"elinda/internal/store"
+)
+
+// chaosFleet is a complete in-process fleet: one coordinator, three
+// hydrated replicas, a router whose outbound traffic runs through a
+// fault-injecting netsim transport, and an oracle server built from the
+// exact snapshot bytes the replicas hydrated from.
+type chaosFleet struct {
+	st       *store.Store
+	coord    *Coordinator
+	replicas []*Replica
+	repSrvs  []*httptest.Server
+	tr       *netsim.Transport
+	rt       *router.Router
+	oracle   *httptest.Server
+}
+
+func newChaosFleet(t *testing.T) *chaosFleet {
+	t.Helper()
+	cf := &chaosFleet{st: seedStore(t)}
+	var coordSrv *httptest.Server
+	cf.coord, coordSrv = startCoordinator(t, cf.st)
+
+	var cfgs []router.ReplicaConfig
+	for i := 0; i < 3; i++ {
+		r := NewReplica(ReplicaOptions{CoordinatorURL: coordSrv.URL, Dir: t.TempDir()})
+		if _, err := r.SyncOnce(context.Background()); err != nil {
+			t.Fatalf("replica %d hydration: %v", i, err)
+		}
+		srv := httptest.NewServer(r.Handler())
+		t.Cleanup(srv.Close)
+		cf.replicas = append(cf.replicas, r)
+		cf.repSrvs = append(cf.repSrvs, srv)
+		cfgs = append(cfgs, router.ReplicaConfig{Name: fmt.Sprintf("replica-%d", i), BaseURL: srv.URL})
+	}
+
+	cf.tr = netsim.New(nil)
+	cf.rt = router.New(router.Options{
+		Replicas:       cfgs,
+		Transport:      cf.tr,
+		ProbeInterval:  time.Hour, // probes driven manually for determinism
+		ProbeTimeout:   500 * time.Millisecond,
+		RequestTimeout: 400 * time.Millisecond,
+		RetryBudget:    4,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     5 * time.Millisecond,
+		HedgeDelay:     10 * time.Millisecond,
+		Breaker:        router.BreakerConfig{FailureThreshold: 3, OpenFor: 50 * time.Millisecond},
+	})
+	cf.rt.ProbeNow(context.Background())
+	cf.rebuildOracle(t)
+	return cf
+}
+
+// rebuildOracle points the oracle at the coordinator's current
+// published bytes — the single-store ground truth every routed answer
+// must be byte-identical to.
+func (cf *chaosFleet) rebuildOracle(t *testing.T) {
+	t.Helper()
+	_, blob, _, err := cf.coord.publish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ost, err := store.ReadSnapshot(bytes.NewReader(blob))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cf.oracle != nil {
+		cf.oracle.Close()
+	}
+	cf.oracle = httptest.NewServer(endpoint.NewServer(proxy.New(ost, proxy.Options{})))
+	t.Cleanup(cf.oracle.Close)
+}
+
+func (cf *chaosFleet) host(i int) string {
+	u, _ := url.Parse(cf.repSrvs[i].URL)
+	return u.Host
+}
+
+var chaosQueries = []string{
+	philosophersQuery,
+	`SELECT ?s ?o WHERE { ?s <http://example.org/born> ?o . }`,
+	`SELECT ?w WHERE { ?w <http://example.org/author> <http://example.org/plato> . }`,
+	`SELECT ?s WHERE { ?s a <http://example.org/Nothing> . }`,
+}
+
+// checkAll routes every chaos query and requires byte-identity with the
+// oracle. It returns the number of successful answers (for scenarios
+// that tolerate partial availability).
+func (cf *chaosFleet) checkAll(t *testing.T, scenario string) {
+	t.Helper()
+	for _, q := range chaosQueries {
+		req := httptest.NewRequest(http.MethodGet, "/sparql?query="+url.QueryEscape(q), nil)
+		w := httptest.NewRecorder()
+		cf.rt.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			t.Fatalf("[%s] query %q: status %d: %s", scenario, q, w.Code, w.Body.String())
+		}
+		_, want := getBody(t, sparqlURL(cf.oracle.URL, q))
+		if got := w.Body.String(); got != want {
+			t.Fatalf("[%s] query %q diverges from oracle:\n got: %s\nwant: %s", scenario, q, got, want)
+		}
+		if s := w.Header().Get(router.StalenessHeader); s != "" {
+			t.Fatalf("[%s] fresh fleet served stale (%s)", scenario, s)
+		}
+	}
+}
+
+// TestFleetChaosMatrix drives the three-replica fleet through every
+// netsim fault class, against every replica, asserting that routed
+// responses stay byte-identical to the single-store oracle, that
+// truncated bodies are never relayed as 200s, and that single-replica
+// faults never cost availability (the retry/hedge/scatter ladder masks
+// them completely).
+func TestFleetChaosMatrix(t *testing.T) {
+	cf := newChaosFleet(t)
+	ctx := context.Background()
+
+	faults := []struct {
+		name  string
+		apply func(host string)
+		clear func(host string)
+	}{
+		{
+			name:  "refuse",
+			apply: func(h string) { cf.tr.SetHostRule(h, netsim.Rule{Fault: netsim.FaultRefuse}) },
+			clear: func(h string) { cf.tr.ClearHostRule(h) },
+		},
+		{
+			name: "latency-spike",
+			apply: func(h string) {
+				cf.tr.SetHostRule(h, netsim.Rule{Fault: netsim.FaultLatency, Delay: 60 * time.Millisecond})
+			},
+			clear: func(h string) { cf.tr.ClearHostRule(h) },
+		},
+		{
+			name:  "mid-body-hang",
+			apply: func(h string) { cf.tr.SetHostRule(h, netsim.Rule{Fault: netsim.FaultHang, After: 10}) },
+			clear: func(h string) { cf.tr.ClearHostRule(h) },
+		},
+		{
+			name:  "truncate",
+			apply: func(h string) { cf.tr.SetHostRule(h, netsim.Rule{Fault: netsim.FaultTruncate, After: 30}) },
+			clear: func(h string) { cf.tr.ClearHostRule(h) },
+		},
+		{
+			name:  "kill-restart",
+			apply: func(h string) { cf.tr.Kill(h) },
+			clear: func(h string) { cf.tr.Restart(h) },
+		},
+	}
+
+	for _, f := range faults {
+		for i := range cf.replicas {
+			scenario := fmt.Sprintf("%s@replica-%d", f.name, i)
+			// The fault lands while the router still believes the replica
+			// is healthy: the first attempts really do hit it.
+			f.apply(cf.host(i))
+			cf.checkAll(t, scenario)
+			f.clear(cf.host(i))
+			cf.rt.ProbeNow(ctx)
+			cf.checkAll(t, scenario+"/recovered")
+		}
+	}
+
+	// One-shot fault at a numbered call site: a single op-level refusal
+	// is absorbed without any host-level state.
+	cf.tr.InjectOp(cf.tr.Ops(), netsim.Rule{Fault: netsim.FaultRefuse})
+	cf.checkAll(t, "one-shot-op-refuse")
+
+	m := cf.rt.MetricsSnapshot()
+	if m.Truncations == 0 {
+		t.Error("truncate scenarios detected no truncations")
+	}
+	if m.Hedges == 0 {
+		t.Error("hang/latency scenarios fired no hedges")
+	}
+	if m.Retries == 0 {
+		t.Error("refuse scenarios burned no retries")
+	}
+	if m.Unavailable503 != 0 || m.LocalFallbacks != 0 {
+		t.Errorf("single-replica faults cost availability: 503=%d localFallbacks=%d",
+			m.Unavailable503, m.LocalFallbacks)
+	}
+}
+
+// TestFleetGenerationSkew restarts the world with one replica pinned at
+// an old generation: the router must route exclusively to the newest
+// generation, and the laggard must rejoin after it re-syncs.
+func TestFleetGenerationSkew(t *testing.T) {
+	cf := newChaosFleet(t)
+	ctx := context.Background()
+
+	// The store advances; replicas 1 and 2 follow, replica 0 lags.
+	if _, err := cf.st.Add(rdf.Triple{S: ex("zeno"), P: rdf.TypeIRI, O: ex("Philosopher")}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 3; i++ {
+		if _, err := cf.replicas[i].SyncOnce(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cf.rt.ProbeNow(ctx)
+	cf.rebuildOracle(t)
+
+	before := cf.rt.MetricsSnapshot().Replicas[0].Routed
+	cf.checkAll(t, "generation-skew")
+	if after := cf.rt.MetricsSnapshot().Replicas[0].Routed; after != before {
+		t.Errorf("stale-generation replica received %d fresh-tier queries", after-before)
+	}
+
+	// The laggard catches up and rejoins the fresh tier.
+	if _, err := cf.replicas[0].SyncOnce(ctx); err != nil {
+		t.Fatal(err)
+	}
+	cf.rt.ProbeNow(ctx)
+	cf.checkAll(t, "generation-skew/rejoined")
+}
+
+// TestFleetDrainWindow takes one replica through a graceful drain:
+// probes see the 503 window, the router routes around it, and queries
+// never fail.
+func TestFleetDrainWindow(t *testing.T) {
+	cf := newChaosFleet(t)
+	ctx := context.Background()
+
+	cf.replicas[1].BeginDrain()
+	// Queries issued inside the window — before the router has probed —
+	// may hit the draining replica's still-open /sparql and succeed, or
+	// another replica; either way they must succeed and match.
+	cf.checkAll(t, "drain-window")
+	cf.rt.ProbeNow(ctx)
+	routedBefore := cf.rt.MetricsSnapshot().Replicas[1].Routed
+	cf.checkAll(t, "drain-routed-around")
+	if after := cf.rt.MetricsSnapshot().Replicas[1].Routed; after != routedBefore {
+		t.Errorf("draining replica still receiving queries (%d new)", after-routedBefore)
+	}
+}

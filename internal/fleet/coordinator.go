@@ -1,0 +1,207 @@
+// Package fleet implements the snapshot-replicated read tier: one
+// writer (the coordinator) publishes generation-tagged binary snapshots
+// of its store over HTTP, and N stateless read replicas pull them,
+// verify them, and hot-swap their serving stack onto the new generation.
+// The versioned snapshot format of internal/store (CRC-trailed, validated
+// on load) is the replication unit; hydration from a snapshot is an
+// order of magnitude faster than re-parsing, which is what makes replica
+// (re)starts and rolling promotions cheap.
+//
+// Robustness model:
+//
+//   - Publication is pinned: the coordinator serializes one immutable
+//     Snapshot and advertises exactly its generation, so the manifest
+//     and the bytes can never disagree under concurrent writes.
+//   - Transfer is resumable and verified: replicas fetch with HTTP Range
+//     requests into a per-generation partial file, check the manifest's
+//     CRC-32 over the whole file, and the store loader re-validates the
+//     format's own trailer — a torn or corrupted transfer can delay a
+//     promotion but never produce a wrong one.
+//   - Installation is atomic: temp file + fsync + rename, the same
+//     discipline as local snapshot saves, so a replica crash mid-install
+//     leaves the previous generation intact.
+//   - Promotion is lock-free for readers: the replica builds the new
+//     system off to the side and swaps one atomic pointer; queries in
+//     flight keep their immutable snapshot and drain naturally.
+//
+// All replica-side HTTP flows through the netsim seam
+// (internal/netsim.Transport), so the chaos matrix can crash every
+// network interaction the fleet performs.
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"elinda/internal/metrics"
+	"elinda/internal/store"
+)
+
+// Manifest describes the currently published snapshot. Replicas poll it
+// and fetch SnapshotPath when Generation advances past their own.
+type Manifest struct {
+	// Generation is the store generation the snapshot bytes hold.
+	Generation uint64 `json:"generation"`
+	// Size is the exact byte length of the snapshot file.
+	Size int64 `json:"size"`
+	// CRC32 is the IEEE checksum of the whole file — verified by the
+	// replica after the (possibly multi-request, resumed) transfer,
+	// before install.
+	CRC32 uint32 `json:"crc32"`
+	// SnapshotPath is the URL path the bytes are served at.
+	SnapshotPath string `json:"snapshot_path"`
+	// Triples is informational (dashboards).
+	Triples int `json:"triples"`
+}
+
+// Coordinator publishes a store's snapshots to the read fleet. It is an
+// http.Handler serving, under the mount prefix (Register uses /fleet/):
+//
+//	GET /fleet/manifest        — the Manifest JSON for the newest generation
+//	GET /fleet/snapshot/<gen>  — the snapshot bytes (Range supported)
+//	GET /fleet/generation      — the current generation as text
+//
+// Snapshot bytes are built lazily per generation and cached until the
+// next write advances the store, so N replicas hydrating concurrently
+// serialize the store once.
+type Coordinator struct {
+	st *store.Store
+
+	mu   sync.Mutex
+	gen  uint64
+	blob []byte
+	crc  uint32
+
+	manifests  metrics.Counter
+	snapshots  metrics.Counter
+	bytesSent  metrics.Counter
+	publishes  metrics.Counter
+	publishGen metrics.Gauge
+}
+
+// NewCoordinator returns a Coordinator publishing st.
+func NewCoordinator(st *store.Store) *Coordinator {
+	return &Coordinator{st: st}
+}
+
+// publish returns the cached (generation, blob, crc) triple, rebuilding
+// it when the store has moved past the cached generation. The snapshot
+// is pinned first and its own generation used throughout, so a write
+// racing the rebuild merely leaves a slightly stale — never torn —
+// publication for the next poll to refresh.
+func (c *Coordinator) publish() (uint64, []byte, uint32, error) {
+	snap := c.st.Snapshot()
+	gen := snap.Generation()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.blob != nil && c.gen == gen {
+		return c.gen, c.blob, c.crc, nil
+	}
+	var buf bytes.Buffer
+	if err := snap.WriteSnapshot(&buf); err != nil {
+		return 0, nil, 0, err
+	}
+	c.gen = gen
+	c.blob = buf.Bytes()
+	c.crc = crc32.ChecksumIEEE(c.blob)
+	c.publishes.Inc()
+	c.publishGen.Set(int64(gen))
+	return c.gen, c.blob, c.crc, nil
+}
+
+// Register mounts the coordinator's fleet endpoints on mux.
+func (c *Coordinator) Register(mux *http.ServeMux) {
+	mux.Handle("/fleet/", c)
+}
+
+// ServeHTTP implements http.Handler for the /fleet/ subtree.
+func (c *Coordinator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case strings.HasSuffix(r.URL.Path, "/manifest"):
+		c.serveManifest(w, r)
+	case strings.HasSuffix(r.URL.Path, "/generation"):
+		gen, _, _, err := c.publish()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		fmt.Fprintf(w, "%d\n", gen)
+	default:
+		if i := strings.LastIndex(r.URL.Path, "/snapshot/"); i >= 0 {
+			c.serveSnapshot(w, r, r.URL.Path[i+len("/snapshot/"):])
+			return
+		}
+		http.NotFound(w, r)
+	}
+}
+
+func (c *Coordinator) serveManifest(w http.ResponseWriter, r *http.Request) {
+	gen, blob, crc, err := c.publish()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	c.manifests.Inc()
+	m := Manifest{
+		Generation:   gen,
+		Size:         int64(len(blob)),
+		CRC32:        crc,
+		SnapshotPath: "/fleet/snapshot/" + strconv.FormatUint(gen, 10),
+		Triples:      c.st.Len(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(m)
+}
+
+func (c *Coordinator) serveSnapshot(w http.ResponseWriter, r *http.Request, genStr string) {
+	want, err := strconv.ParseUint(genStr, 10, 64)
+	if err != nil {
+		http.Error(w, "bad generation", http.StatusBadRequest)
+		return
+	}
+	gen, blob, _, err := c.publish()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if want != gen {
+		// A replica resuming a transfer of a superseded generation must
+		// restart from the new manifest, not splice bytes of two
+		// different snapshots into one file.
+		http.Error(w, fmt.Sprintf("generation %d gone (current %d)", want, gen), http.StatusNotFound)
+		return
+	}
+	c.snapshots.Inc()
+	c.bytesSent.Add(uint64(len(blob)))
+	// ServeContent provides Range handling (resume) and consistent
+	// framing; the name is synthetic and the mod time zero — replicas
+	// key freshness on the generation, not on HTTP caching.
+	http.ServeContent(w, r, "snapshot.elindsn", time.Time{}, bytes.NewReader(blob))
+}
+
+// CoordinatorMetrics is the coordinator's /metrics section.
+type CoordinatorMetrics struct {
+	PublishedGeneration int64  `json:"published_generation"`
+	Publishes           uint64 `json:"publishes"`
+	ManifestRequests    uint64 `json:"manifest_requests"`
+	SnapshotRequests    uint64 `json:"snapshot_requests"`
+	SnapshotBytesSent   uint64 `json:"snapshot_bytes_sent"`
+}
+
+// MetricsSnapshot captures the coordinator's counters.
+func (c *Coordinator) MetricsSnapshot() CoordinatorMetrics {
+	return CoordinatorMetrics{
+		PublishedGeneration: c.publishGen.Value(),
+		Publishes:           c.publishes.Value(),
+		ManifestRequests:    c.manifests.Value(),
+		SnapshotRequests:    c.snapshots.Value(),
+		SnapshotBytesSent:   c.bytesSent.Value(),
+	}
+}

@@ -80,6 +80,7 @@ func All() []*Analyzer {
 		MapOrder,
 		LockBalance,
 		FsyncDiscipline,
+		NetRetry,
 	}
 }
 

@@ -1,0 +1,156 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NetRetry enforces the read fleet's outbound-HTTP discipline (PR 8):
+// every request the router or the replica agent sends must carry a
+// context deadline and must flow through the netsim transport seam.
+// The chaos matrix only proves what it can intercept — an http.Get or a
+// default-transport client bypasses fault injection entirely, and a
+// request without a context deadline turns an injected mid-body hang
+// into a goroutine that never comes back. Concretely, in
+// internal/fleet and internal/router:
+//
+//   - the net/http convenience calls (http.Get, http.Post, http.Head,
+//     http.PostForm) are forbidden — they use the shared default client
+//     with no deadline and no seam;
+//   - http.DefaultClient and http.DefaultTransport must not be
+//     referenced — outbound traffic must go through a locally
+//     constructed client whose Transport is the injected RoundTripper;
+//   - an http.Client composite literal must set its Transport field;
+//   - requests are built with http.NewRequestWithContext, never plain
+//     http.NewRequest;
+//   - the context handed to NewRequestWithContext must not be a bare
+//     context.Background() or context.TODO() — derive a deadline-bound
+//     child (context.WithTimeout/WithDeadline) from the caller's ctx.
+//
+// Test files are exempt: tests drive the seam directly and often want a
+// deliberately deadline-free request to assert timeout behavior.
+var NetRetry = &Analyzer{
+	Name: "netretry",
+	Doc:  "fleet/router outbound HTTP must carry a ctx deadline and route through the netsim seam",
+	Run:  runNetRetry,
+}
+
+var netRetryScope = map[string]bool{
+	"elinda/internal/fleet":  true,
+	"elinda/internal/router": true,
+}
+
+// netRetryBannedFuncs are net/http package-level helpers that pin the
+// request to the shared default client.
+var netRetryBannedFuncs = map[string]string{
+	"Get":      "it uses http.DefaultClient (no deadline, bypasses the netsim seam)",
+	"Post":     "it uses http.DefaultClient (no deadline, bypasses the netsim seam)",
+	"Head":     "it uses http.DefaultClient (no deadline, bypasses the netsim seam)",
+	"PostForm": "it uses http.DefaultClient (no deadline, bypasses the netsim seam)",
+}
+
+func runNetRetry(pass *Pass) error {
+	if !netRetryScope[pass.Pkg.Path()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.CallExpr:
+				netRetryCheckCall(pass, x)
+			case *ast.SelectorExpr:
+				netRetryCheckDefaultRef(pass, x)
+			case *ast.CompositeLit:
+				netRetryCheckClientLit(pass, x)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// httpFunc resolves call to a net/http package-level function name, or
+// "" if it is anything else.
+func httpFunc(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "net/http" {
+		return ""
+	}
+	// Package-level function, not a method (http.Client.Get etc. is the
+	// client the caller constructed — that one is fine).
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return ""
+	}
+	return fn.Name()
+}
+
+// contextFunc resolves call to a context package-level function name.
+func contextFunc(pass *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return ""
+	}
+	return fn.Name()
+}
+
+func netRetryCheckCall(pass *Pass, call *ast.CallExpr) {
+	switch name := httpFunc(pass, call); {
+	case netRetryBannedFuncs[name] != "":
+		pass.Reportf(call.Pos(),
+			"http.%s is forbidden in the fleet tier: %s; build the request with http.NewRequestWithContext and send it through the package's seam-injected client",
+			name, netRetryBannedFuncs[name])
+	case name == "NewRequest":
+		pass.Reportf(call.Pos(),
+			"use http.NewRequestWithContext, not http.NewRequest: a fleet request without a context deadline turns an injected hang into a leaked goroutine")
+	case name == "NewRequestWithContext" && len(call.Args) > 0:
+		if inner, ok := call.Args[0].(*ast.CallExpr); ok {
+			if cf := contextFunc(pass, inner); cf == "Background" || cf == "TODO" {
+				pass.Reportf(call.Args[0].Pos(),
+					"context.%s() passed directly to NewRequestWithContext has no deadline; derive the request context from the caller's ctx with context.WithTimeout", cf)
+			}
+		}
+	}
+}
+
+// netRetryCheckDefaultRef flags any mention of http.DefaultClient or
+// http.DefaultTransport.
+func netRetryCheckDefaultRef(pass *Pass, sel *ast.SelectorExpr) {
+	v, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "net/http" {
+		return
+	}
+	if v.Name() == "DefaultClient" || v.Name() == "DefaultTransport" {
+		pass.Reportf(sel.Pos(),
+			"http.%s bypasses the netsim seam: the chaos matrix cannot inject faults into traffic it never sees; construct a client with an explicit Transport", v.Name())
+	}
+}
+
+// netRetryCheckClientLit requires http.Client composite literals to set
+// Transport (a nil Transport silently falls back to DefaultTransport).
+func netRetryCheckClientLit(pass *Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.TypeOf(lit)
+	if t == nil || !isNamed(t, "net/http", "Client") {
+		return
+	}
+	for _, el := range lit.Elts {
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Transport" {
+				return
+			}
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"http.Client literal without Transport falls back to http.DefaultTransport and escapes the netsim seam; set Transport to the injected RoundTripper")
+}

@@ -1,0 +1,60 @@
+// Fixture for the netretry analyzer: it poses as the in-scope router
+// package. Outbound HTTP must carry a ctx deadline and flow through an
+// explicitly injected transport.
+package router
+
+import (
+	"context"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// badConvenience uses the default-client helpers: no deadline, no seam.
+func badConvenience() {
+	http.Get("http://replica-0/readyz")                                       // want `http\.Get is forbidden`
+	http.Post("http://replica-0/sparql", "text/plain", nil)                   // want `http\.Post is forbidden`
+	http.Head("http://replica-0/healthz")                                     // want `http\.Head is forbidden`
+	http.PostForm("http://replica-0/sparql", url.Values{"query": {"SELECT"}}) // want `http\.PostForm is forbidden`
+}
+
+// badDefaults references the shared client/transport directly.
+func badDefaults() *http.Client {
+	http.DefaultClient.Timeout = time.Second // want `http\.DefaultClient bypasses the netsim seam`
+	c := &http.Client{                       // want `http\.Client literal without Transport`
+		Timeout: time.Second,
+	}
+	c.Transport = http.DefaultTransport // want `http\.DefaultTransport bypasses the netsim seam`
+	return c
+}
+
+// badPlainRequest builds a request with no context at all.
+func badPlainRequest() (*http.Request, error) {
+	return http.NewRequest(http.MethodGet, "http://replica-0/sparql", nil) // want `use http\.NewRequestWithContext`
+}
+
+// badBareContext attaches a context that can never expire.
+func badBareContext() {
+	http.NewRequestWithContext(context.Background(), http.MethodGet, "http://replica-0/sparql", nil) // want `context\.Background\(\) passed directly`
+	http.NewRequestWithContext(context.TODO(), http.MethodGet, "http://replica-0/sparql", nil)       // want `context\.TODO\(\) passed directly`
+}
+
+// goodSeamClient is the required shape: explicit transport, request
+// context derived from the caller's ctx with a deadline.
+func goodSeamClient(ctx context.Context, tr http.RoundTripper) (*http.Response, error) {
+	client := &http.Client{Transport: tr}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, "http://replica-0/sparql", nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}
+
+// goodMethodCall: Get as a method on a locally built client is fine —
+// the seam and deadline live on the client.
+func goodMethodCall(tr http.RoundTripper) (*http.Response, error) {
+	client := &http.Client{Transport: tr, Timeout: time.Second}
+	return client.Get("http://replica-0/healthz")
+}

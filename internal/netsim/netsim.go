@@ -1,0 +1,335 @@
+// Package netsim is the network seam of the read fleet — the analogue of
+// internal/vfs for HTTP traffic. All outbound requests of the router and
+// the replica agent flow through a *Transport (an http.RoundTripper
+// wrapper); in production it adds nothing but a call counter, and in
+// tests it injects the failure modes a fleet must survive:
+//
+//   - connection refusal (a replica that is down or unreachable)
+//   - latency spikes (an overloaded replica, a slow link)
+//   - mid-body hangs (a replica that accepted the request and stalled)
+//   - truncated responses (a connection cut mid-transfer)
+//   - host kill / restart (a crashing replica, including the in-flight
+//     responses it was serving when it died)
+//
+// Like vfs.Mem, every RoundTrip is a numbered call site: a rehearsal run
+// measures the op count of a workload, and the chaos matrix then injects
+// a fault at each op in turn, so every network interaction of the fleet
+// is crashed at least once. Host-level rules (Kill, SetHostRule) persist
+// across ops and model a replica that is down or degraded for a stretch
+// of time rather than for one call.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// ErrInjected is wrapped by every error a netsim fault produces, so the
+// chaos matrix can tell injected failures from real bugs.
+var ErrInjected = errors.New("netsim: injected fault")
+
+// Fault selects how an injected fault manifests.
+type Fault int
+
+const (
+	// FaultNone disables injection.
+	FaultNone Fault = iota
+	// FaultRefuse fails the RoundTrip immediately, like a dial to a
+	// closed port: no bytes reach the server.
+	FaultRefuse
+	// FaultLatency delays the request by Rule.Delay before forwarding
+	// it (canceled early if the request context expires first).
+	FaultLatency
+	// FaultHang forwards the request, delivers the first Rule.After
+	// bytes of the response body, then blocks until the request context
+	// is done — the stalled-replica case a deadline must cut off.
+	FaultHang
+	// FaultTruncate forwards the request, delivers the first Rule.After
+	// bytes of the response body, then fails the read — the
+	// connection-cut-mid-transfer case that must never surface as a
+	// complete response.
+	FaultTruncate
+)
+
+// String returns a short name for the fault class.
+func (f Fault) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultRefuse:
+		return "refuse"
+	case FaultLatency:
+		return "latency"
+	case FaultHang:
+		return "hang"
+	case FaultTruncate:
+		return "truncate"
+	default:
+		return fmt.Sprintf("Fault(%d)", int(f))
+	}
+}
+
+// Rule is one injected fault: the class plus its parameters.
+type Rule struct {
+	Fault Fault
+	// Delay is the injected latency for FaultLatency.
+	Delay time.Duration
+	// After is the number of response-body bytes delivered before a
+	// FaultHang or FaultTruncate bites.
+	After int
+}
+
+// Transport is the fault-injecting http.RoundTripper. The zero value is
+// not usable; construct with New. All methods are safe for concurrent
+// use.
+type Transport struct {
+	base http.RoundTripper
+
+	mu     sync.Mutex
+	ops    int
+	byOp   map[int]Rule
+	byHost map[string]Rule
+	down   map[string]bool
+	// open tracks in-flight response bodies per host so Kill can
+	// terminate them the way a crashing process terminates its
+	// connections.
+	open map[*faultBody]struct{}
+}
+
+// New returns a Transport forwarding to base (nil = a fresh
+// http.Transport, NOT the shared http.DefaultTransport, so fleets in
+// tests and benchmarks never share a connection pool by accident).
+func New(base http.RoundTripper) *Transport {
+	if base == nil {
+		base = &http.Transport{MaxIdleConnsPerHost: 32}
+	}
+	return &Transport{
+		base:   base,
+		byOp:   map[int]Rule{},
+		byHost: map[string]Rule{},
+		down:   map[string]bool{},
+		open:   map[*faultBody]struct{}{},
+	}
+}
+
+// Ops returns the number of RoundTrips started so far. A fault-free
+// rehearsal run measures the matrix width: injecting at every op in
+// [0, Ops()) covers every network interaction of the workload.
+func (t *Transport) Ops() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ops
+}
+
+// InjectOp arms rule for operation number n (0-based, in the order
+// counted by Ops). Op rules are one-shot by construction — each op
+// number occurs once — and take precedence over host rules.
+func (t *Transport) InjectOp(n int, r Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byOp[n] = r
+}
+
+// SetHostRule applies rule to every request to host (a "host:port"
+// authority as it appears in request URLs) until ClearHostRule. This is
+// the persistent-degradation knob: a slow replica is a latency host
+// rule, not a thousand op rules.
+func (t *Transport) SetHostRule(host string, r Rule) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byHost[host] = r
+}
+
+// ClearHostRule removes the persistent rule for host.
+func (t *Transport) ClearHostRule(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.byHost, host)
+}
+
+// Kill marks host dead: every new request to it is refused, and every
+// in-flight response body from it fails on its next read — exactly what
+// the clients of a crashing replica observe.
+func (t *Transport) Kill(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[host] = true
+	for b := range t.open {
+		if b.host == host {
+			b.kill()
+		}
+	}
+}
+
+// Restart brings a killed host back.
+func (t *Transport) Restart(host string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.down, host)
+}
+
+// Reset clears every rule and killed host (the op counter keeps
+// counting, so previously measured op numbers stay meaningful).
+func (t *Transport) Reset() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.byOp = map[int]Rule{}
+	t.byHost = map[string]Rule{}
+	t.down = map[string]bool{}
+}
+
+// gate assigns the request its op number and resolves the effective
+// rule: killed host, then op rule, then host rule.
+func (t *Transport) gate(host string) (Rule, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	op := t.ops
+	t.ops++
+	if t.down[host] {
+		return Rule{Fault: FaultRefuse}, true
+	}
+	if r, ok := t.byOp[op]; ok {
+		delete(t.byOp, op)
+		return r, r.Fault != FaultNone
+	}
+	if r, ok := t.byHost[host]; ok {
+		return r, r.Fault != FaultNone
+	}
+	return Rule{}, false
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	host := req.URL.Host
+	rule, faulted := t.gate(host)
+	if faulted {
+		switch rule.Fault {
+		case FaultRefuse:
+			return nil, fmt.Errorf("%w: connect %s: connection refused", ErrInjected, host)
+		case FaultLatency:
+			timer := time.NewTimer(rule.Delay)
+			defer timer.Stop()
+			select {
+			case <-timer.C:
+			case <-req.Context().Done():
+				return nil, fmt.Errorf("%w: latency injection: %v", ErrInjected, req.Context().Err())
+			}
+		}
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	fb := &faultBody{
+		inner:  resp.Body,
+		host:   host,
+		ctx:    req.Context(),
+		remain: -1,
+		tr:     t,
+	}
+	if faulted && (rule.Fault == FaultHang || rule.Fault == FaultTruncate) {
+		fb.remain = rule.After
+		fb.hang = rule.Fault == FaultHang
+		// A body that will be cut can no longer vouch for its framing:
+		// drop the length so the only completeness signals left are the
+		// ones the fleet must verify itself.
+		resp.ContentLength = -1
+		resp.Header.Del("Content-Length")
+	}
+	t.mu.Lock()
+	t.open[fb] = struct{}{}
+	t.mu.Unlock()
+	resp.Body = fb
+	return resp, nil
+}
+
+// faultBody wraps a response body: it can cut the stream after a byte
+// budget (truncate), stall until the request context dies (hang), or be
+// killed asynchronously when its host is.
+type faultBody struct {
+	inner io.ReadCloser
+	host  string
+	ctx   context.Context
+	tr    *Transport
+
+	mu     sync.Mutex
+	remain int  // bytes still deliverable; -1 = unlimited
+	hang   bool // true: stall at the budget instead of erroring
+	dead   bool // host was killed mid-flight
+	closed bool
+}
+
+// kill marks the body dead; the transport calls it under its own lock,
+// so it must not call back into the transport.
+func (b *faultBody) kill() {
+	b.mu.Lock()
+	b.dead = true
+	b.mu.Unlock()
+}
+
+func (b *faultBody) Read(p []byte) (int, error) {
+	b.mu.Lock()
+	if b.dead {
+		b.mu.Unlock()
+		return 0, fmt.Errorf("%w: host %s killed mid-flight: %w", ErrInjected, b.host, io.ErrUnexpectedEOF)
+	}
+	remain, hang := b.remain, b.hang
+	b.mu.Unlock()
+
+	if remain == 0 {
+		if hang {
+			// Stall like a wedged replica: nothing arrives until the
+			// caller's deadline cuts the request off (or the host dies).
+			tick := time.NewTicker(time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-b.ctx.Done():
+					return 0, fmt.Errorf("%w: hang injection: %w", ErrInjected, b.ctx.Err())
+				case <-tick.C:
+					b.mu.Lock()
+					dead := b.dead
+					b.mu.Unlock()
+					if dead {
+						return 0, fmt.Errorf("%w: host %s killed mid-flight: %w", ErrInjected, b.host, io.ErrUnexpectedEOF)
+					}
+				}
+			}
+		}
+		return 0, fmt.Errorf("%w: response truncated: %w", ErrInjected, io.ErrUnexpectedEOF)
+	}
+	if remain > 0 && len(p) > remain {
+		p = p[:remain]
+	}
+	n, err := b.inner.Read(p)
+	if remain > 0 {
+		b.mu.Lock()
+		b.remain -= n
+		b.mu.Unlock()
+		// The injected cut hides the true end of the stream: a short
+		// body that ends inside the budget still counts as cut.
+		if err == io.EOF {
+			err = fmt.Errorf("%w: response truncated: %w", ErrInjected, io.ErrUnexpectedEOF)
+		}
+	}
+	return n, err
+}
+
+func (b *faultBody) Close() error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil
+	}
+	b.closed = true
+	b.mu.Unlock()
+	b.tr.mu.Lock()
+	delete(b.tr.open, b)
+	b.tr.mu.Unlock()
+	return b.inner.Close()
+}

@@ -1,0 +1,180 @@
+package netsim
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func backend(t *testing.T, body string) (*httptest.Server, string) {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv, strings.TrimPrefix(srv.URL, "http://")
+}
+
+func get(t *testing.T, tr *Transport, url string, timeout time.Duration) (string, error) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Transport: tr}
+	resp, err := client.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func TestPassthrough(t *testing.T) {
+	srv, _ := backend(t, "hello fleet")
+	tr := New(nil)
+	body, err := get(t, tr, srv.URL, time.Second)
+	if err != nil || body != "hello fleet" {
+		t.Fatalf("got %q, %v", body, err)
+	}
+	if tr.Ops() != 1 {
+		t.Fatalf("ops = %d, want 1", tr.Ops())
+	}
+}
+
+func TestRefuseOpIsOneShot(t *testing.T) {
+	srv, _ := backend(t, "ok")
+	tr := New(nil)
+	tr.InjectOp(0, Rule{Fault: FaultRefuse})
+	if _, err := get(t, tr, srv.URL, time.Second); !errors.Is(err, ErrInjected) {
+		t.Fatalf("want injected refusal, got %v", err)
+	}
+	if body, err := get(t, tr, srv.URL, time.Second); err != nil || body != "ok" {
+		t.Fatalf("second request should pass: %q, %v", body, err)
+	}
+}
+
+func TestTruncateNeverCompletes(t *testing.T) {
+	srv, _ := backend(t, strings.Repeat("x", 1000))
+	tr := New(nil)
+	tr.InjectOp(0, Rule{Fault: FaultTruncate, After: 100})
+	body, err := get(t, tr, srv.URL, time.Second)
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want unexpected EOF, got %v (body %d bytes)", err, len(body))
+	}
+	if len(body) > 100 {
+		t.Fatalf("delivered %d bytes past the cut", len(body))
+	}
+}
+
+func TestTruncateAtExactBodyLengthStillFails(t *testing.T) {
+	srv, _ := backend(t, "12345")
+	tr := New(nil)
+	tr.InjectOp(0, Rule{Fault: FaultTruncate, After: 5})
+	if _, err := get(t, tr, srv.URL, time.Second); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("a cut body must not read as complete even at the boundary: %v", err)
+	}
+}
+
+func TestHangHonorsDeadline(t *testing.T) {
+	srv, _ := backend(t, strings.Repeat("y", 1000))
+	tr := New(nil)
+	tr.InjectOp(0, Rule{Fault: FaultHang, After: 10})
+	start := time.Now()
+	_, err := get(t, tr, srv.URL, 50*time.Millisecond)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want deadline, got %v", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("hang outlived the deadline")
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	srv, _ := backend(t, "slow")
+	tr := New(nil)
+	tr.InjectOp(0, Rule{Fault: FaultLatency, Delay: 30 * time.Millisecond})
+	start := time.Now()
+	body, err := get(t, tr, srv.URL, time.Second)
+	if err != nil || body != "slow" {
+		t.Fatalf("got %q, %v", body, err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("latency not injected: %v", d)
+	}
+}
+
+func TestKillRefusesAndTerminatesInFlight(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, strings.Repeat("a", 600))
+		if r.URL.Query().Get("stall") != "" {
+			w.(http.Flusher).Flush()
+			<-release
+			io.WriteString(w, "tail")
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+	host := strings.TrimPrefix(srv.URL, "http://")
+
+	tr := New(nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"?stall=1", nil)
+	resp, err := (&http.Client{Transport: tr}).Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 600)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	tr.Kill(host)
+	if _, err := io.ReadAll(resp.Body); !errors.Is(err, ErrInjected) {
+		t.Fatalf("in-flight body should die with the host, got %v", err)
+	}
+	if _, err := get(t, tr, srv.URL, time.Second); !errors.Is(err, ErrInjected) {
+		t.Fatalf("new request to killed host should be refused, got %v", err)
+	}
+
+	tr.Restart(host)
+	// The handler of the first request may still hold its goroutine;
+	// a fresh request must succeed again.
+	if body, err := get(t, tr, srv.URL, time.Second); err != nil || len(body) == 0 {
+		t.Fatalf("restarted host should serve: %q, %v", body, err)
+	}
+}
+
+func TestHostRulePersistsUntilCleared(t *testing.T) {
+	srv, host := backend(t, "z")
+	tr := New(nil)
+	tr.SetHostRule(host, Rule{Fault: FaultLatency, Delay: 20 * time.Millisecond})
+	for i := 0; i < 2; i++ {
+		start := time.Now()
+		if _, err := get(t, tr, srv.URL, time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if time.Since(start) < 20*time.Millisecond {
+			t.Fatalf("request %d skipped the host rule", i)
+		}
+	}
+	tr.ClearHostRule(host)
+	start := time.Now()
+	if _, err := get(t, tr, srv.URL, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 15*time.Millisecond {
+		t.Fatal("rule survived ClearHostRule")
+	}
+}

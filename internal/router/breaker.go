@@ -1,0 +1,144 @@
+package router
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerConfig tunes the per-replica circuit breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the breaker
+	// open (0 = 5).
+	FailureThreshold int
+	// OpenFor is how long an open breaker rejects before allowing a
+	// half-open probe (0 = 2s).
+	OpenFor time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 5
+	}
+	if c.OpenFor <= 0 {
+		c.OpenFor = 2 * time.Second
+	}
+	return c
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "?"
+}
+
+// breaker is a three-state circuit breaker fed by request outcomes
+// (passive) and readiness probes (active). Closed counts consecutive
+// failures and trips open at the threshold; open rejects until OpenFor
+// has elapsed, then admits exactly one trial request (half-open); the
+// trial's outcome closes or re-opens the circuit.
+type breaker struct {
+	cfg BreakerConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	state    breakerState
+	failures int
+	openedAt time.Time
+	trial    bool // a half-open trial is in flight
+	opens    uint64
+}
+
+func newBreaker(cfg BreakerConfig, now func() time.Time) *breaker {
+	return &breaker{cfg: cfg.withDefaults(), now: now}
+}
+
+// allow reports whether a request may proceed. In half-open it admits
+// only the single trial request; callers that are granted the trial
+// MUST report the outcome via success/failure.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cfg.OpenFor {
+			b.state = breakerHalfOpen
+			b.trial = true
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		if b.trial {
+			return false // a trial is already out; keep rejecting
+		}
+		b.trial = true
+		return true
+	}
+	return false
+}
+
+// success records a successful request: closes the circuit and resets
+// the failure count.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = breakerClosed
+	b.failures = 0
+	b.trial = false
+}
+
+// failure records a failed request. A half-open trial failure re-opens
+// immediately; closed-state failures accumulate toward the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.open()
+		}
+	case breakerOpen:
+		// Already open (e.g. a straggler request that started before the
+		// trip finished late): just refresh nothing.
+	}
+}
+
+// open transitions to the open state. Caller holds b.mu.
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.openedAt = b.now()
+	b.failures = 0
+	b.trial = false
+	b.opens++
+}
+
+// current returns the state for metrics.
+func (b *breaker) current() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+func (b *breaker) openCount() uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}

@@ -1,0 +1,80 @@
+package router
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over replica indices. Each replica
+// contributes vnodes virtual points so load spreads evenly; a query
+// hashes to a point and walks clockwise, which gives every query a
+// stable preference order over the fleet. Stability is what makes the
+// ring worth having over round-robin here: the same normalized query
+// keeps landing on the same replica, so the per-replica HVS and
+// decomposition caches see a concentrated — not diluted — key set.
+type ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+func newRing(n, vnodes int, name func(int) string) *ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	r := &ring{n: n}
+	for i := 0; i < n; i++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    hash64(fmt.Sprintf("%s#%d", name(i), v)),
+				replica: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// order returns all replica indices in ring order starting at key's
+// point: element 0 is the home replica, the rest are the fallback
+// sequence (also used as hedge targets).
+func (r *ring) order(key string) []int {
+	out := make([]int, 0, r.n)
+	if len(r.points) == 0 {
+		return out
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := make(map[int]bool, r.n)
+	for i := 0; len(out) < r.n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.replica] {
+			seen[p.replica] = true
+			out = append(out, p.replica)
+		}
+	}
+	return out
+}
+
+// hash64 hashes s with FNV-1a, then forces full avalanche with the
+// splitmix64 finalizer. FNV-1a alone barely diffuses trailing-byte
+// changes, and query keys routinely differ only in a short suffix
+// ("… LIMIT 5 OFFSET 17"): without the finalizer such a family of keys
+// spans a range far smaller than one ring gap, lands on a single
+// replica, and starves the rest of the fleet.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -112,6 +112,15 @@ func (s *Store) WriteSnapshot(w io.Writer) error {
 	return writeSnapshot(s.Snapshot(), w)
 }
 
+// WriteSnapshot serializes this pinned snapshot to w. The fleet
+// coordinator publishes through this entry point: it pins a snapshot,
+// reads its generation, and serializes exactly that version, so the
+// generation it advertises in the manifest and the bytes it serves can
+// never drift apart under concurrent writes.
+func (s *Snapshot) WriteSnapshot(w io.Writer) error {
+	return writeSnapshot(s, w)
+}
+
 // writeSnapshot serializes one pinned snapshot — the savers pin a
 // snapshot under writeMu together with the WAL cut point and must write
 // exactly that version, not whatever is current by the time the bytes

@@ -7,6 +7,7 @@ import (
 	"hash/crc32"
 	"io"
 	"path/filepath"
+	"time"
 
 	"elinda/internal/rdf"
 )
@@ -43,20 +44,32 @@ func (w *WAL) Replay(fn func(rdf.Triple) error) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	start := time.Now()
 	applied := 0
+	// Replay statistics feed the /metrics WAL section: boot dashboards
+	// read them to see how much recovery work each restart did.
+	record := func() {
+		w.mu.Lock()
+		w.stats.ReplayedRecords = uint64(applied)
+		w.stats.ReplayDuration = time.Since(start)
+		w.mu.Unlock()
+	}
 	for _, idx := range segs {
 		name := filepath.Join(dir, segName(idx))
 		f, err := fs.Open(name)
 		if err != nil {
+			record()
 			return applied, fmt.Errorf("wal: replaying %s: %w", name, err)
 		}
 		n, err := replaySegment(f, fn)
 		f.Close()
 		applied += n
 		if err != nil {
+			record()
 			return applied, err
 		}
 	}
+	record()
 	return applied, nil
 }
 

@@ -144,6 +144,20 @@ type Stats struct {
 	ActiveSegment uint64 `json:"active_segment"`
 	// ActiveBytes is the size of the active segment.
 	ActiveBytes int64 `json:"active_bytes"`
+	// Checkpoints counts TruncateBefore calls — one per durably
+	// published snapshot that folded this log's records in.
+	Checkpoints uint64 `json:"checkpoints"`
+	// LastCheckpointSegment is the cut boundary of the most recent
+	// checkpoint: every segment below it has been folded into a snapshot
+	// and removed. Together with ActiveSegment it bounds the write-side
+	// lag a fleet dashboard needs: segments in
+	// [LastCheckpointSegment, ActiveSegment] hold records no snapshot
+	// covers yet.
+	LastCheckpointSegment uint64 `json:"last_checkpoint_segment"`
+	// ReplayedRecords and ReplayDuration describe the boot-time recovery
+	// pass (zero when the process started from a clean checkpoint).
+	ReplayedRecords uint64        `json:"replayed_records"`
+	ReplayDuration  time.Duration `json:"replay_ns"`
 }
 
 // WAL is an append-only, segmented, CRC-checked triple log. All methods
@@ -446,6 +460,8 @@ func (w *WAL) TruncateBefore(cut uint64) error {
 	if err != nil {
 		return err
 	}
+	w.stats.Checkpoints++
+	w.stats.LastCheckpointSegment = cut
 	removed := false
 	for _, idx := range segs {
 		if idx >= cut || (w.active != nil && idx == w.activeIdx) {
