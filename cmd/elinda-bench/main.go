@@ -58,7 +58,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | store-snapshot | ingest | wal | fleet | all")
+		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | store-snapshot | ingest | wal | fleet | update | all")
 		persons    = flag.Int("persons", 20000, "synthetic dataset size for timing experiments")
 		factsSize  = flag.Int("facts-persons", 2000, "dataset size for the text-fact experiments")
 		jsonOut    = flag.String("json-out", "BENCH_query.json", "machine-readable output path for the query-engine experiment")
@@ -66,6 +66,7 @@ func main() {
 		ingestOut  = flag.String("ingest-json-out", "BENCH_ingest.json", "machine-readable output path for the ingest experiment")
 		walOut     = flag.String("wal-json-out", "BENCH_wal.json", "machine-readable output path for the wal experiment")
 		fleetOut   = flag.String("fleet-json-out", "BENCH_fleet.json", "machine-readable output path for the fleet experiment")
+		updateOut  = flag.String("update-json-out", "BENCH_update.json", "machine-readable output path for the update experiment")
 		walRecords = flag.Int("wal-records", 20000, "record count for the wal append/replay measurements (the fsync-per-append policy uses a tenth)")
 		triples    = flag.Int("triples", 1_000_000, "synthetic triple count for the store-snapshot and ingest bulk-load measurements")
 		compare    = flag.Bool("compare", false, "compare two BENCH_*.json files: -compare old.json new.json [-tolerance 3x]; exits 1 on regression")
@@ -104,6 +105,8 @@ func main() {
 		runWAL(*walRecords, *walOut)
 	case "fleet":
 		runFleet(*factsSize, *fleetOut)
+	case "update":
+		runUpdate(*persons, *updateOut)
 	case "all":
 		runFacts(*factsSize)
 		fmt.Println()
@@ -128,6 +131,8 @@ func main() {
 		runWAL(*walRecords, *walOut)
 		fmt.Println()
 		runFleet(*factsSize, *fleetOut)
+		fmt.Println()
+		runUpdate(*persons, *updateOut)
 	default:
 		log.Fatalf("unknown experiment %q", *experiment)
 	}
@@ -1191,6 +1196,270 @@ func runWAL(records int, jsonOut string) {
 	report.Replay.RecordsPerSec = float64(replayed) / replayT.Seconds()
 	fmt.Printf("\nboot replay: %d records in %s (%.0f records/s)\n",
 		replayed, replayT.Round(time.Microsecond), report.Replay.RecordsPerSec)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
+}
+
+// --- update experiment ---
+
+// updateBenchReport is the machine-readable result of the update
+// experiment (BENCH_update.json): the cost of one atomic Apply per delta
+// size, what footprint-based retention saves over the paper's wholesale
+// cache clear, and what delta maintenance of a chart aggregator saves
+// over a full rescan.
+type updateBenchReport struct {
+	Experiment  string `json:"experiment"`
+	GeneratedAt string `json:"generated_at"`
+	Triples     int    `json:"triples"`
+
+	Apply []updateApplyResult `json:"apply"`
+
+	HVS struct {
+		Entries          int     `json:"entries"`
+		Retained         int     `json:"retained"`
+		Evicted          int     `json:"evicted"`
+		RetentionPct     float64 `json:"retention_pct"`
+		ServeRetainedNs  int64   `json:"serve_retained_ns"`
+		ServeWholesaleNs int64   `json:"serve_wholesale_ns"`
+		Speedup          float64 `json:"speedup"`
+	} `json:"hvs"`
+
+	Incremental struct {
+		Deltas          int     `json:"deltas"`
+		DeltaSize       int     `json:"delta_size"`
+		MaintainTotalNs int64   `json:"maintain_total_ns"`
+		MaintainNsOp    float64 `json:"maintain_ns_op"`
+		RescanTotalNs   int64   `json:"rescan_total_ns"`
+		RescanNsOp      float64 `json:"rescan_ns_op"`
+		Speedup         float64 `json:"speedup"`
+	} `json:"incremental"`
+}
+
+// updateApplyResult is the Apply measurement at one delta size.
+type updateApplyResult struct {
+	Name          string  `json:"name"`
+	DeltaSize     int     `json:"delta_size"`
+	Deltas        int     `json:"deltas"`
+	Ops           int     `json:"ops"`
+	TotalNs       int64   `json:"total_ns"`
+	NsDelta       float64 `json:"delta_ns_op"`
+	NsOp          float64 `json:"ns_op"`
+	TriplesPerSec float64 `json:"triples_per_sec"`
+}
+
+// updateWorkload pre-builds a fixed sequence of deltas over the base
+// dataset: each delta mixes inserts of fresh triples with deletes of
+// live base triples (never the same one twice), the half-and-half mix a
+// live feed produces. Pre-building keeps triple construction off the
+// timed path.
+func updateWorkload(base []rdf.Triple, deltas, size int) []store.Delta {
+	pool := make([]rdf.Triple, len(base))
+	copy(pool, base)
+	r := rand.New(rand.NewSource(11))
+	r.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	next := 0
+	fresh := 0
+	op := 0
+	out := make([]store.Delta, deltas)
+	for d := range out {
+		for i := 0; i < size; i++ {
+			op++
+			// A global alternation keeps the insert/delete mix at 50/50
+			// for every delta size (a per-delta index would make size-1
+			// runs all-insert and the rows incomparable).
+			if op%2 == 0 || next >= len(pool) {
+				out[d].Insert(rdf.Triple{
+					S: rdf.NewIRI(fmt.Sprintf("http://elinda.dev/bench/update/s%d", fresh)),
+					P: rdf.NewIRI(fmt.Sprintf("http://elinda.dev/bench/update/p%d", fresh%7)),
+					O: rdf.NewIRI(fmt.Sprintf("http://elinda.dev/bench/update/o%d", fresh%97)),
+				})
+				fresh++
+			} else {
+				out[d].Delete(pool[next])
+				next++
+			}
+		}
+	}
+	return out
+}
+
+// runUpdate measures the live mutation path end to end: Store.Apply
+// latency per delta size (tombstone deletes included), footprint-based
+// HVS retention against the wholesale clear it replaces, and delta
+// maintenance of a chart aggregator against the full rescan it replaces.
+// Writes BENCH_update.json.
+func runUpdate(persons int, jsonOut string) {
+	fmt.Println("== Update: Apply latency, HVS delta retention, incremental chart maintenance ==")
+	var report updateBenchReport
+	report.Experiment = "update"
+	report.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+
+	cfg := elinda.DefaultDataConfig()
+	cfg.Persons = persons
+	base := elinda.GenerateDBpediaLike(cfg).Triples
+	report.Triples = len(base)
+	fmt.Printf("dataset: %d triples\n\n", len(base))
+
+	// --- Apply latency per delta size ---
+	// A fixed op budget split into deltas of each size, against a fresh
+	// store per size so tombstone/compaction state cannot leak between
+	// rows. The per-delta figure is the latency a client sees per atomic
+	// update; the per-op figure shows the batching amortization.
+	const opBudget = 8192
+	fmt.Printf("%-12s %8s %8s %14s %14s %12s %16s\n",
+		"delta size", "deltas", "ops", "total", "ns/delta", "ns/op", "triples/s")
+	for _, size := range []int{1, 16, 256, 2048} {
+		n := opBudget / size
+		if n < 1 {
+			n = 1
+		}
+		// Single-op deltas pay the whole per-Apply cost 8192 times; cap
+		// the count so the row prices the per-delta latency without
+		// dominating the experiment's wall clock.
+		if n > 2048 {
+			n = 2048
+		}
+		st := store.New(len(base))
+		if _, err := st.Load(base); err != nil {
+			log.Fatal(err)
+		}
+		ds := updateWorkload(base, n, size)
+		runtime.GC()
+		start := time.Now()
+		for _, d := range ds {
+			if _, err := st.Apply(d); err != nil {
+				log.Fatal(err)
+			}
+		}
+		elapsed := time.Since(start)
+		ops := n * size
+		r := updateApplyResult{
+			Name:          fmt.Sprintf("delta-%d", size),
+			DeltaSize:     size,
+			Deltas:        n,
+			Ops:           ops,
+			TotalNs:       elapsed.Nanoseconds(),
+			NsDelta:       float64(elapsed.Nanoseconds()) / float64(n),
+			NsOp:          float64(elapsed.Nanoseconds()) / float64(ops),
+			TriplesPerSec: float64(ops) / elapsed.Seconds(),
+		}
+		report.Apply = append(report.Apply, r)
+		fmt.Printf("%-12d %8d %8d %14s %14.0f %12.0f %16.0f\n",
+			size, n, ops, elapsed.Round(time.Microsecond), r.NsDelta, r.NsOp, r.TriplesPerSec)
+	}
+
+	// --- HVS retention vs the wholesale clear ---
+	// One cached heavy query per predicate, then a write that touches a
+	// single predicate. Footprint retention keeps every disjoint entry;
+	// the pre-delta design cleared them all. The two serve passes price
+	// the difference: answering the surviving set from cache vs
+	// re-executing it from scratch.
+	sys, err := elinda.OpenWithOptions(base, proxy.Options{HeavyThreshold: time.Nanosecond})
+	if err != nil {
+		log.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var predTerms []rdf.Term
+	var queries []string
+	sys.Store.Scan(0, 0, func(e rdf.EncodedTriple) bool {
+		p := sys.Store.Triple(e).P
+		if k := p.String(); !seen[k] {
+			seen[k] = true
+			predTerms = append(predTerms, p)
+			queries = append(queries, fmt.Sprintf("SELECT ?s WHERE { ?s %s ?o }", k))
+		}
+		return len(queries) < 16
+	})
+	ctx := context.Background()
+	serveAll := func(qs []string) time.Duration {
+		start := time.Now()
+		for _, q := range qs {
+			if _, err := sys.Proxy.Query(ctx, q); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return time.Since(start)
+	}
+	serveAll(queries) // warm: every query recorded with its footprint
+	_, err = sys.Apply(elinda.DeltaOf(elinda.Insert(rdf.Triple{
+		S: rdf.NewIRI("http://elinda.dev/bench/update/hvs-s"),
+		P: predTerms[0],
+		O: rdf.NewIRI("http://elinda.dev/bench/update/hvs-o"),
+	})))
+	if err != nil {
+		log.Fatal(err)
+	}
+	cs := sys.Proxy.HVS().Stats()
+	report.HVS.Entries = len(queries)
+	report.HVS.Retained = cs.DeltaRetained
+	report.HVS.Evicted = cs.DeltaEvictions
+	if len(queries) > 0 {
+		report.HVS.RetentionPct = 100 * float64(cs.DeltaRetained) / float64(len(queries))
+	}
+	survivors := queries[1:]
+	retainedServe := serveAll(survivors)
+	sys.Proxy.HVS().Invalidate() // what the pre-footprint design did on every write
+	wholesaleServe := serveAll(survivors)
+	report.HVS.ServeRetainedNs = retainedServe.Nanoseconds()
+	report.HVS.ServeWholesaleNs = wholesaleServe.Nanoseconds()
+	if retainedServe > 0 {
+		report.HVS.Speedup = float64(wholesaleServe) / float64(retainedServe)
+	}
+	fmt.Printf("\nHVS after a single-predicate write: %d/%d entries retained (%.0f%%)\n",
+		cs.DeltaRetained, len(queries), report.HVS.RetentionPct)
+	fmt.Printf("serving the %d survivors: retained %s vs wholesale-clear %s (%.1fx)\n",
+		len(survivors), retainedServe.Round(time.Microsecond),
+		wholesaleServe.Round(time.Microsecond), report.HVS.Speedup)
+
+	// --- Incremental chart maintenance vs rescan ---
+	// A property-expansion aggregator tracks the store through a stream
+	// of deltas two ways: Maintain consumes each ApplyResult; the rescan
+	// rebuilds from the full log, which is what the chart layer did
+	// before deltas existed. Both must land on identical charts.
+	st := store.New(len(base))
+	if _, err := st.Load(base); err != nil {
+		log.Fatal(err)
+	}
+	const incDeltas, incSize = 32, 16
+	maintained := incremental.NewPropertyAggregator(nil, false)
+	st.Scan(0, 0, func(e rdf.EncodedTriple) bool { maintained.Observe(e); return true })
+	var maintainNs, rescanNs time.Duration
+	var fresh *incremental.PropertyAggregator
+	for _, d := range updateWorkload(base, incDeltas, incSize) {
+		res, err := st.Apply(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		incremental.Maintain(maintained, res)
+		maintainNs += time.Since(start)
+		start = time.Now()
+		fresh = incremental.NewPropertyAggregator(nil, false)
+		st.Scan(0, 0, func(e rdf.EncodedTriple) bool { fresh.Observe(e); return true })
+		rescanNs += time.Since(start)
+	}
+	if !maps.Equal(maintained.Counts(), fresh.Counts()) {
+		log.Fatal("maintained chart diverged from rescan")
+	}
+	report.Incremental.Deltas = incDeltas
+	report.Incremental.DeltaSize = incSize
+	report.Incremental.MaintainTotalNs = maintainNs.Nanoseconds()
+	report.Incremental.MaintainNsOp = float64(maintainNs.Nanoseconds()) / float64(incDeltas)
+	report.Incremental.RescanTotalNs = rescanNs.Nanoseconds()
+	report.Incremental.RescanNsOp = float64(rescanNs.Nanoseconds()) / float64(incDeltas)
+	if maintainNs > 0 {
+		report.Incremental.Speedup = float64(rescanNs) / float64(maintainNs)
+	}
+	fmt.Printf("\nchart maintenance over %d deltas of %d ops: maintain %s vs rescan %s (%.0fx)\n",
+		incDeltas, incSize, maintainNs.Round(time.Microsecond), rescanNs.Round(time.Microsecond),
+		report.Incremental.Speedup)
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

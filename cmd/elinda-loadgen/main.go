@@ -4,7 +4,10 @@
 // property-expansion queries (the paper's interactive-exploration
 // workload, exactly what the HVS and request coalescing exist for), the
 // cold set is a stream of distinct cheap lookups that can never hit the
-// cache — and reports throughput and latency quantiles.
+// cache — and reports throughput and latency quantiles. With -write-mix
+// a fraction of requests become SPARQL updates (INSERT DATA / DELETE
+// DATA POSTed to /sparql), exercising the live mutation path and the
+// delta-aware cache invalidation under read load.
 //
 // With no -url it is self-contained: it builds the bundled synthetic
 // dataset, mounts the full serving stack (proxy with HVS + coalescing
@@ -50,6 +53,7 @@ func main() {
 		concurrency    = flag.Int("concurrency", 16, "closed-loop worker count")
 		duration       = flag.Duration("duration", 5*time.Second, "run length per pass")
 		mix            = flag.Float64("mix", 0.9, "fraction of requests drawn from the hot heavy-query set")
+		writeMix       = flag.Float64("write-mix", 0, "fraction of requests that are SPARQL updates (INSERT DATA / DELETE DATA POSTed to /sparql)")
 		hotN           = flag.Int("hot", 4, "number of distinct hot queries")
 		format         = flag.String("format", "json", "result format to request: json | tsv")
 		heavy          = flag.Duration("heavy", time.Millisecond, "self-serve HVS heaviness threshold")
@@ -82,7 +86,8 @@ func main() {
 		Format:      *format,
 	}
 
-	gen := workload{hot: hotQueries(*hotN), mix: *mix, seed: *seed}
+	gen := workload{hot: hotQueries(*hotN), mix: *mix, writeMix: *writeMix, seed: *seed}
+	report.WriteMix = *writeMix
 
 	if *fleetMode {
 		report.Experiment = "fleet-load"
@@ -159,6 +164,7 @@ type serveReport struct {
 	Concurrency int                    `json:"concurrency"`
 	DurationS   float64                `json:"duration_s"`
 	HotFraction float64                `json:"hot_fraction"`
+	WriteMix    float64                `json:"write_mix,omitempty"`
 	HotQueries  int                    `json:"hot_queries"`
 	Format      string                 `json:"format"`
 	Passes      []passReport           `json:"passes"`
@@ -184,10 +190,20 @@ type passReport struct {
 	P95Ns         int64   `json:"p95_ns"`
 	P99Ns         int64   `json:"p99_ns"`
 	BytesRead     int64   `json:"bytes_read"`
+	Updates       int     `json:"updates,omitempty"`
 	CacheStats    string  `json:"cache_stats,omitempty"`
 }
 
 func (p passReport) print() {
+	if p.Updates > 0 {
+		fmt.Printf("%-18s %8d req (%d updates)  %9.0f req/s  p50 %-10s p95 %-10s p99 %-10s errs %d (504:%d)  shed %.1f%%\n",
+			p.Name, p.Requests, p.Updates, p.ThroughputRPS,
+			time.Duration(p.P50Ns).Round(time.Microsecond),
+			time.Duration(p.P95Ns).Round(time.Microsecond),
+			time.Duration(p.P99Ns).Round(time.Microsecond),
+			p.Errors, p.Timeout504, p.ShedRate*100)
+		return
+	}
 	fmt.Printf("%-18s %8d req  %9.0f req/s  p50 %-10s p95 %-10s p99 %-10s errs %d (504:%d)  shed %.1f%%\n",
 		p.Name, p.Requests, p.ThroughputRPS,
 		time.Duration(p.P50Ns).Round(time.Microsecond),
@@ -237,23 +253,41 @@ func hotQueries(n int) []string {
 	return all[:n]
 }
 
-// workload picks the next query for a worker: hot with probability mix,
+// workload picks the next request for a worker: an update with
+// probability writeMix, otherwise a hot heavy query with probability mix,
 // otherwise a distinct cheap lookup that can never repeat soon enough to
 // be cache-served.
 type workload struct {
-	hot  []string
-	mix  float64
-	seed int64
+	hot      []string
+	mix      float64
+	writeMix float64
+	seed     int64
 }
 
-func (w workload) pick(r *rand.Rand) string {
+func (w workload) pick(r *rand.Rand) (src string, update bool) {
+	if r.Float64() < w.writeMix {
+		return w.update(r), true
+	}
 	if r.Float64() < w.mix {
-		return w.hot[r.Intn(len(w.hot))]
+		return w.hot[r.Intn(len(w.hot))], false
 	}
 	// Distinct query text per draw: the OFFSET makes the normalized key
 	// unique across a large range, so the HVS cannot answer it.
 	return fmt.Sprintf(`SELECT ?s WHERE { ?s a <%sPerson> . } LIMIT 5 OFFSET %d`,
-		datagen.OntNS, r.Intn(1_000_000))
+		datagen.OntNS, r.Intn(1_000_000)), false
+}
+
+// update builds one write request over a bounded triple pool, so deletes
+// land on triples earlier inserts created (a delete of an absent triple
+// is a valid no-op update and still exercises the whole write path).
+func (w workload) update(r *rand.Rand) string {
+	n := r.Intn(4096)
+	t := fmt.Sprintf("<http://elinda.dev/load/s%d> <http://elinda.dev/load/p%d> <http://elinda.dev/load/o%d>",
+		n, n%13, n%251)
+	if r.Intn(2) == 0 {
+		return "INSERT DATA { " + t + " }"
+	}
+	return "DELETE DATA { " + t + " }"
 }
 
 // selfServe mounts the full serving stack on a loopback listener.
@@ -289,6 +323,7 @@ func runPass(name, target, accept string, gen workload, concurrency int, d time.
 		errors    int
 		rejected  int
 		timeouts  int
+		updates   int
 		bytes     int64
 	}
 	stats := make([]workerStats, concurrency)
@@ -303,14 +338,25 @@ func runPass(name, target, accept string, gen workload, concurrency int, d time.
 			r := rand.New(rand.NewSource(gen.seed + int64(w)*7919))
 			s := &stats[w]
 			for time.Now().Before(deadline) {
-				q := gen.pick(r)
+				q, isUpdate := gen.pick(r)
 				reqStart := time.Now()
-				req, err := http.NewRequest(http.MethodGet, target+"?query="+url.QueryEscape(q), nil)
+				var req *http.Request
+				var err error
+				if isUpdate {
+					req, err = http.NewRequest(http.MethodPost, target, strings.NewReader(q))
+					if err == nil {
+						req.Header.Set("Content-Type", endpoint.UpdateContentType)
+					}
+				} else {
+					req, err = http.NewRequest(http.MethodGet, target+"?query="+url.QueryEscape(q), nil)
+					if err == nil {
+						req.Header.Set("Accept", accept)
+					}
+				}
 				if err != nil {
 					s.errors++
 					continue
 				}
-				req.Header.Set("Accept", accept)
 				resp, err := client.Do(req)
 				if err != nil {
 					s.errors++
@@ -336,6 +382,9 @@ func runPass(name, target, accept string, gen workload, concurrency int, d time.
 				case resp.StatusCode != http.StatusOK:
 					s.errors++
 				default:
+					if isUpdate {
+						s.updates++
+					}
 					s.latencies = append(s.latencies, time.Since(reqStart))
 				}
 			}
@@ -351,6 +400,7 @@ func runPass(name, target, accept string, gen workload, concurrency int, d time.
 		rep.Errors += stats[i].errors
 		rep.Rejected429 += stats[i].rejected
 		rep.Timeout504 += stats[i].timeouts
+		rep.Updates += stats[i].updates
 		rep.BytesRead += stats[i].bytes
 	}
 	rep.Requests = len(all)

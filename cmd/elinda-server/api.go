@@ -58,38 +58,41 @@ func (a *api) stats(w http.ResponseWriter, r *http.Request) {
 // in the offline ingest path, not a single HTTP POST.
 const maxInsertBytes = 8 << 20
 
-// insert implements POST /api/insert with an N-Triples body. Each triple
-// is added individually, so with an attached WAL every triple counted in
-// "added" was durable before the response was written — this is the
-// endpoint the kill -9 recovery demo exercises.
+// insert implements POST /api/insert with an N-Triples body.
+//
+// Deprecated endpoint: it survives as a thin alias over the live
+// mutation path — the body becomes one atomic Delta applied through
+// System.Apply, so with an attached WAL every triple counted in "added"
+// was durable before the response was written (the kill -9 recovery demo
+// still exercises it). New clients should POST SPARQL Update requests to
+// /sparql instead; the response advertises that with a Deprecation
+// header and a successor Link.
 func (a *api) insert(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		http.Error(w, "POST an N-Triples body", http.StatusMethodNotAllowed)
 		return
 	}
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</sparql>; rel="successor-version"`)
 	triples, err := rdf.ReadNTriples(http.MaxBytesReader(w, r.Body, maxInsertBytes))
 	if err != nil {
 		badRequest(w, "parse body: %v", err)
 		return
 	}
-	added := 0
-	for _, t := range triples {
-		ok, err := a.sys.Store.Add(t)
-		if err != nil {
-			// A durability failure mid-batch: report what did commit.
-			writeJSONStatus(w, http.StatusInternalServerError, map[string]any{
-				"received": len(triples),
-				"added":    added,
-				"error":    err.Error(),
-			})
-			return
-		}
-		if ok {
-			added++
-		}
+	var d elinda.Delta
+	d.Insert(triples...)
+	res, err := a.sys.Apply(d)
+	if err != nil {
+		// The atomic delta either fully committed or not at all.
+		writeJSONStatus(w, http.StatusInternalServerError, map[string]any{
+			"received": len(triples),
+			"added":    0,
+			"error":    err.Error(),
+		})
+		return
 	}
-	writeJSON(w, map[string]any{"received": len(triples), "added": added})
+	writeJSON(w, map[string]any{"received": len(triples), "added": res.Inserted})
 }
 
 func writeJSONStatus(w http.ResponseWriter, code int, v any) {

@@ -166,8 +166,8 @@ func main() {
 			log.Fatalf("wal open: %v", err)
 		}
 		start := time.Now()
-		replayed, err = w.Replay(func(t rdf.Triple) error {
-			_, err := st.Add(t)
+		replayed, err = w.ReplayOps(func(op rdf.TripleOp) error {
+			_, err := st.Apply(store.DeltaOf(op))
 			return err
 		})
 		if err != nil {

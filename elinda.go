@@ -140,9 +140,48 @@ func OpenNTriples(r io.Reader) (*System, error) {
 }
 
 // Endpoint returns an HTTP handler exposing the system's proxy as a
-// SPARQL endpoint (SPARQL 1.1 JSON results).
+// SPARQL endpoint (SPARQL 1.1 JSON results), with the proxy wired as the
+// update handler: POST /sparql with an application/sparql-update body (or
+// an update= form field) mutates the knowledge base through the live
+// mutation path.
 func (s *System) Endpoint() *endpoint.Server {
-	return endpoint.NewServer(s.Proxy)
+	srv := endpoint.NewServer(s.Proxy)
+	srv.Updater = s.Proxy
+	return srv
+}
+
+// --- Live mutation path ---
+
+// Delta is an ordered batch of triple mutations applied atomically; build
+// one with DeltaOf or the chainable Delta.Insert / Delta.Delete.
+type Delta = store.Delta
+
+// ApplyResult reports what a Delta changed: the generation it moved the
+// store across and the net inserted/deleted triples.
+type ApplyResult = store.ApplyResult
+
+// TripleOp is one signed mutation: an insert or a delete of a triple.
+type TripleOp = rdf.TripleOp
+
+// DeltaOf builds a Delta from mutation ops in order.
+func DeltaOf(ops ...TripleOp) Delta { return store.DeltaOf(ops...) }
+
+// Insert makes an insertion op for DeltaOf.
+func Insert(t rdf.Triple) TripleOp { return rdf.Insert(t) }
+
+// Delete makes a deletion op for DeltaOf.
+func Delete(t rdf.Triple) TripleOp { return rdf.Delete(t) }
+
+// Apply applies a mutation delta atomically: all ops as one generation
+// step, durable before return when the store has a write-ahead log
+// attached. It routes through the proxy when present, so heavy-query
+// cache entries whose footprint is disjoint from the delta survive the
+// write; without a proxy it mutates the store directly.
+func (s *System) Apply(d Delta) (ApplyResult, error) {
+	if s.Proxy != nil {
+		return s.Proxy.Apply(d)
+	}
+	return s.Store.Apply(d)
 }
 
 // Warm precomputes the level-zero property aggregates (both directions)

@@ -2,14 +2,18 @@ package endpoint
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"strconv"
 	"time"
 
 	"elinda/internal/metrics"
 	"elinda/internal/sparql"
+	"elinda/internal/store"
 )
 
 // ContentType is the media type of SPARQL JSON results.
@@ -39,6 +43,39 @@ func (f ExecutorFunc) Query(ctx context.Context, src string) (*sparql.Result, er
 	return f(ctx, src)
 }
 
+// Updater applies SPARQL Update requests. *proxy.Proxy satisfies it; a
+// server without one is read-only and answers update requests with 501.
+type Updater interface {
+	Update(ctx context.Context, src string) (store.ApplyResult, error)
+}
+
+// ErrReadOnly marks an update rejected because this process does not
+// own the data it serves (a remote-backed proxy, a fleet replica). An
+// Updater returning an error wrapping it is answered with 501, same as
+// having no Updater at all.
+var ErrReadOnly = errors.New("endpoint: read-only")
+
+// UpdateStats is the JSON body acknowledging an applied update. The
+// acknowledgment is written only after the mutation is durable (the
+// store appends to its write-ahead log before publishing the result).
+type UpdateStats struct {
+	// Inserted and Deleted are the net triple counts the request changed
+	// (an insert of a present triple or delete of an absent one is a
+	// no-op and counts zero).
+	Inserted int `json:"inserted"`
+	Deleted  int `json:"deleted"`
+	// Generation is the store generation after the update.
+	Generation uint64 `json:"generation"`
+}
+
+// UpdateContentType is the SPARQL 1.1 protocol media type for a direct
+// POST of an update request body.
+const UpdateContentType = "application/sparql-update"
+
+// maxUpdateBytes bounds a direct-POST update body; bulk loads belong in
+// the offline ingest path.
+const maxUpdateBytes = 8 << 20
+
 // Server is an HTTP handler exposing an Executor at /sparql, accepting the
 // query via GET ?query= or POST form field "query" (the two access methods
 // the SPARQL protocol defines that Virtuoso supports over AJAX).
@@ -57,6 +94,10 @@ func (f ExecutorFunc) Query(ctx context.Context, src string) (*sparql.Result, er
 //     materializing the whole result and its serialized body.
 type Server struct {
 	exec Executor
+	// Updater handles SPARQL Update requests (POST with an
+	// application/sparql-update body or an update= form field). nil makes
+	// the endpoint read-only: update requests get 501.
+	Updater Updater
 	// Timeout bounds each query's execution (0 = no bound).
 	Timeout time.Duration
 	// Limiter admission-controls query work (nil = unlimited).
@@ -81,6 +122,7 @@ type Server struct {
 	failures     metrics.Counter
 	clientAborts metrics.Counter
 	streamed     metrics.Counter
+	updates      metrics.Counter
 	latency      metrics.Histogram
 	startedAt    time.Time
 }
@@ -107,6 +149,8 @@ type ServerMetrics struct {
 	ClientAborts uint64 `json:"client_aborts"`
 	// Streamed counts responses served through a streaming encoder.
 	Streamed uint64 `json:"streamed"`
+	// Updates counts successfully applied SPARQL Update requests.
+	Updates uint64 `json:"updates"`
 	// Latency is the end-to-end request latency distribution.
 	Latency metrics.HistogramSnapshot `json:"latency"`
 }
@@ -122,6 +166,7 @@ func (s *Server) MetricsSnapshot() ServerMetrics {
 		Failures:      s.failures.Value(),
 		ClientAborts:  s.clientAborts.Value(),
 		Streamed:      s.streamed.Value(),
+		Updates:       s.updates.Value(),
 		Latency:       s.latency.Snapshot(),
 	}
 	if s.Limiter != nil {
@@ -133,19 +178,36 @@ func (s *Server) MetricsSnapshot() ServerMetrics {
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	var query string
+	var query, update string
 	switch r.Method {
 	case http.MethodGet:
+		// The protocol forbids updates via GET: a cacheable, replayable
+		// method must not mutate, so only query= is looked for here.
 		query = r.URL.Query().Get("query")
 	case http.MethodPost:
-		if err := r.ParseForm(); err != nil {
-			http.Error(w, "bad form: "+err.Error(), http.StatusBadRequest)
-			return
+		if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mt == UpdateContentType {
+			// Direct POST: the body IS the update request.
+			body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxUpdateBytes))
+			if err != nil {
+				http.Error(w, "read body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			update = string(body)
+		} else {
+			if err := r.ParseForm(); err != nil {
+				http.Error(w, "bad form: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			query = r.PostForm.Get("query")
+			update = r.PostForm.Get("update")
 		}
-		query = r.PostForm.Get("query")
 	default:
 		w.Header().Set("Allow", "GET, POST")
 		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if update != "" {
+		s.serveUpdate(w, r, update)
 		return
 	}
 	if query == "" {
@@ -294,6 +356,42 @@ func (s *Server) serveBuffered(ctx context.Context, w http.ResponseWriter, r *ht
 	w.Write(body)
 }
 
+// serveUpdate applies a SPARQL Update request and acknowledges it with
+// an UpdateStats JSON body. Updates bypass the query limiter — they
+// serialize on the store's single writer lock, so admission weighting
+// against query capacity would just double-queue them — but share the
+// per-request timeout and the latency/in-flight accounting.
+func (s *Server) serveUpdate(w http.ResponseWriter, r *http.Request, src string) {
+	if s.Updater == nil {
+		http.Error(w, "read-only endpoint: no update handler configured", http.StatusNotImplemented)
+		return
+	}
+	ctx := r.Context()
+	start := time.Now()
+	s.inFlight.Inc()
+	defer s.inFlight.Dec()
+	defer func() { s.latency.Observe(time.Since(start)) }()
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	res, err := s.Updater.Update(ctx, src)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Reaching here means Apply returned: the mutation is durable under
+	// the WAL's sync policy. Only now is the acknowledgment written.
+	s.updates.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(UpdateStats{
+		Inserted:   res.Inserted,
+		Deleted:    res.Deleted,
+		Generation: res.To,
+	})
+}
+
 // writeError maps an execution error to its HTTP status.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusBadRequest
@@ -303,6 +401,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		s.timeouts.Inc()
 	case errors.Is(err, sparql.ErrTooLarge):
 		status = http.StatusInsufficientStorage
+		s.failures.Inc()
+	case errors.Is(err, ErrReadOnly):
+		status = http.StatusNotImplemented
 		s.failures.Inc()
 	default:
 		s.failures.Inc()

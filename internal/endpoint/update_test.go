@@ -1,0 +1,158 @@
+package endpoint
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+
+	"elinda/internal/store"
+)
+
+// stubUpdater records what it was asked to apply.
+type stubUpdater struct {
+	src string
+	res store.ApplyResult
+	err error
+}
+
+func (u *stubUpdater) Update(ctx context.Context, src string) (store.ApplyResult, error) {
+	u.src = src
+	return u.res, u.err
+}
+
+func postUpdate(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, UpdateContentType, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestUpdateDirectPost(t *testing.T) {
+	u := &stubUpdater{res: store.ApplyResult{From: 4, To: 6, Inserted: 2}}
+	s := NewServer(newTestEngine(t))
+	s.Updater = u
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	body := `INSERT DATA { <http://x/s> <http://x/p> <http://x/o> }`
+	resp := postUpdate(t, srv.URL, body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if u.src != body {
+		t.Fatalf("updater saw %q, want %q", u.src, body)
+	}
+	var stats UpdateStats
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Inserted != 2 || stats.Generation != 6 {
+		t.Fatalf("ack = %+v", stats)
+	}
+	if got := s.MetricsSnapshot().Updates; got != 1 {
+		t.Fatalf("updates metric = %d", got)
+	}
+}
+
+// TestUpdateContentTypeParameters: media type parameters (charset) must
+// not break content-type detection.
+func TestUpdateContentTypeParameters(t *testing.T) {
+	u := &stubUpdater{}
+	s := NewServer(newTestEngine(t))
+	s.Updater = u
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, srv.URL, strings.NewReader("DELETE DATA { <http://x/s> <http://x/p> <http://x/o> }"))
+	req.Header.Set("Content-Type", UpdateContentType+"; charset=UTF-8")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || u.src == "" {
+		t.Fatalf("status = %d, updater saw %q", resp.StatusCode, u.src)
+	}
+}
+
+func TestUpdateFormField(t *testing.T) {
+	u := &stubUpdater{}
+	s := NewServer(newTestEngine(t))
+	s.Updater = u
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	body := `INSERT DATA { <http://x/s> <http://x/p> <http://x/o> }`
+	resp, err := http.PostForm(srv.URL, url.Values{"update": {body}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if u.src != body {
+		t.Fatalf("updater saw %q", u.src)
+	}
+}
+
+// TestUpdateViaGETRejected: the SPARQL protocol forbids updates through
+// GET; the update parameter must be ignored there.
+func TestUpdateViaGETRejected(t *testing.T) {
+	u := &stubUpdater{}
+	s := NewServer(newTestEngine(t))
+	s.Updater = u
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?update=" + url.QueryEscape(`INSERT DATA { <http://x/s> <http://x/p> <http://x/o> }`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("GET with update= served as success")
+	}
+	if u.src != "" {
+		t.Fatalf("GET reached the updater: %q", u.src)
+	}
+}
+
+func TestUpdateWithoutUpdaterIs501(t *testing.T) {
+	s := NewServer(newTestEngine(t))
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp := postUpdate(t, srv.URL, `INSERT DATA { <http://x/s> <http://x/p> <http://x/o> }`)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("status = %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestUpdateOversizedBodyRejected: bodies beyond maxUpdateBytes are
+// refused, not buffered.
+func TestUpdateOversizedBodyRejected(t *testing.T) {
+	u := &stubUpdater{}
+	s := NewServer(newTestEngine(t))
+	s.Updater = u
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	big := strings.Repeat("#", maxUpdateBytes+1)
+	resp := postUpdate(t, srv.URL, big)
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("oversized update accepted")
+	}
+	if u.src != "" {
+		t.Fatal("oversized body reached the updater")
+	}
+}

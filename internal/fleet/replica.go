@@ -255,8 +255,8 @@ func (r *Replica) replayWAL(st *store.Store) error {
 		return fmt.Errorf("fleet: wal replay: %w", err)
 	}
 	defer w.Close()
-	n, err := w.Replay(func(t rdf.Triple) error {
-		_, err := st.Add(t)
+	n, err := w.ReplayOps(func(op rdf.TripleOp) error {
+		_, err := st.Apply(store.DeltaOf(op))
 		return err
 	})
 	if err != nil {

@@ -1,0 +1,255 @@
+package hvs
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"elinda/internal/rdf"
+	"elinda/internal/sparql"
+)
+
+func fpOf(t *testing.T, src string) *sparql.Footprint {
+	t.Helper()
+	fp := sparql.QueryFootprint(src)
+	if fp.Wild {
+		t.Fatalf("footprint of %q unexpectedly wild", src)
+	}
+	return fp
+}
+
+func opsFor(triples ...rdf.Triple) []rdf.TripleOp {
+	ops := make([]rdf.TripleOp, len(triples))
+	for i, tr := range triples {
+		ops[i] = rdf.Insert(tr)
+	}
+	return ops
+}
+
+func triple(s, p, o string) rdf.Triple {
+	return rdf.Triple{S: rdf.NewIRI("http://x/" + s), P: rdf.NewIRI("http://x/" + p), O: rdf.NewIRI("http://x/" + o)}
+}
+
+// TestApplyDeltaRetainsDisjoint: entries whose footprint is disjoint
+// from the mutation survive it, keep serving at the new generation, and
+// the overlapping ones are gone.
+func TestApplyDeltaRetainsDisjoint(t *testing.T) {
+	s := New(time.Millisecond)
+	disjoint := "SELECT ?s WHERE { ?s <http://x/pA> ?o }"
+	overlapping := "SELECT ?s WHERE { ?s <http://x/pB> ?o }"
+	s.RecordFootprint(disjoint, res("a"), time.Second, 1, fpOf(t, disjoint))
+	s.RecordFootprint(overlapping, res("b"), time.Second, 1, fpOf(t, overlapping))
+
+	retained, evicted := s.ApplyDelta(1, 3, opsFor(triple("s1", "pB", "o1")))
+	if retained != 1 || evicted != 1 {
+		t.Fatalf("ApplyDelta = (%d retained, %d evicted), want (1, 1)", retained, evicted)
+	}
+	if got, ok := s.Lookup(disjoint, 3); !ok || got.Rows[0]["x"].Value != "http://x/a" {
+		t.Fatalf("disjoint entry lost or stale after delta: (%v, %v)", got, ok)
+	}
+	if _, ok := s.Lookup(overlapping, 3); ok {
+		t.Fatal("overlapping entry served after the mutation it depends on")
+	}
+	st := s.Stats()
+	if st.DeltaRetained != 1 || st.DeltaEvictions != 1 {
+		t.Fatalf("stats = %+v, want DeltaRetained=1 DeltaEvictions=1", st)
+	}
+}
+
+// TestApplyDeltaNilFootprintEvicted: entries recorded without a
+// footprint (Record, or restored from an old snapshot) are treated as
+// wild and evicted by any delta.
+func TestApplyDeltaNilFootprintEvicted(t *testing.T) {
+	s := New(time.Millisecond)
+	s.Record("q", res("a"), time.Second, 1)
+	retained, evicted := s.ApplyDelta(1, 2, opsFor(triple("s", "pZ", "o")))
+	if retained != 0 || evicted != 1 {
+		t.Fatalf("ApplyDelta = (%d, %d), want (0, 1)", retained, evicted)
+	}
+	if _, ok := s.Lookup("q", 2); ok {
+		t.Fatal("footprint-less entry survived a delta")
+	}
+}
+
+// TestApplyDeltaWildFootprintEvicted: an explicitly wild footprint
+// (unsummarizable query) never survives.
+func TestApplyDeltaWildFootprintEvicted(t *testing.T) {
+	s := New(time.Millisecond)
+	s.RecordFootprint("q", res("a"), time.Second, 1, sparql.WildFootprint())
+	if retained, evicted := s.ApplyDelta(1, 2, opsFor(triple("s", "p", "o"))); retained != 0 || evicted != 1 {
+		t.Fatalf("ApplyDelta = (%d, %d), want (0, 1)", retained, evicted)
+	}
+}
+
+// TestApplyDeltaGenerationMismatch: a delta whose From does not match
+// the cache's generation means the cache missed an earlier write — it
+// must clear wholesale, footprints notwithstanding.
+func TestApplyDeltaGenerationMismatch(t *testing.T) {
+	s := New(time.Millisecond)
+	q := "SELECT ?s WHERE { ?s <http://x/pA> ?o }"
+	s.RecordFootprint(q, res("a"), time.Second, 1, fpOf(t, q))
+	// Delta from generation 5: the cache only saw generation 1.
+	retained, evicted := s.ApplyDelta(5, 7, opsFor(triple("s", "pZ", "o")))
+	if retained != 0 || evicted != 1 {
+		t.Fatalf("mismatched delta = (%d, %d), want wholesale (0, 1)", retained, evicted)
+	}
+	if _, ok := s.Lookup(q, 7); ok {
+		t.Fatal("entry survived a wholesale clear")
+	}
+}
+
+// TestApplyDeltaGenerationSemantics: survivors are re-tagged to the
+// delta's target generation — lookups at to succeed, lookups at any
+// other generation still invalidate as before.
+func TestApplyDeltaGenerationSemantics(t *testing.T) {
+	s := New(time.Millisecond)
+	q := "SELECT ?s WHERE { ?s <http://x/pA> ?o }"
+	s.RecordFootprint(q, res("a"), time.Second, 1, fpOf(t, q))
+	s.ApplyDelta(1, 4, opsFor(triple("s", "pZ", "o")))
+	if _, ok := s.Lookup(q, 4); !ok {
+		t.Fatal("survivor not re-tagged to the delta's target generation")
+	}
+	// A later lookup at a generation the cache never heard about is a
+	// foreign write: generation invalidation must still fire.
+	if _, ok := s.Lookup(q, 9); ok {
+		t.Fatal("entry served at a generation the cache never reached")
+	}
+	if s.Len() != 0 {
+		t.Fatal("generation invalidation no longer clears")
+	}
+}
+
+// TestApplyDeltaGuardPositions exercises all three guard positions: a
+// query guarded by subject or object must react only to triples
+// carrying that constant in that position.
+func TestApplyDeltaGuardPositions(t *testing.T) {
+	cases := []struct {
+		name  string
+		query string
+		hit   rdf.Triple
+		miss  rdf.Triple
+	}{
+		{
+			name:  "predicate guard",
+			query: "SELECT ?s WHERE { ?s <http://x/p1> ?o }",
+			hit:   triple("any", "p1", "any"),
+			miss:  triple("p1", "other", "p1"), // the constant elsewhere does not count
+		},
+		{
+			name:  "subject guard",
+			query: "SELECT ?p WHERE { <http://x/s1> ?p ?o }",
+			hit:   triple("s1", "any", "any"),
+			miss:  triple("other", "s1", "s1"),
+		},
+		{
+			name:  "object guard",
+			query: "SELECT ?s WHERE { ?s ?p <http://x/o1> }",
+			hit:   triple("any", "any", "o1"),
+			miss:  triple("o1", "o1", "other"),
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := New(time.Millisecond)
+			s.RecordFootprint(c.query, res("a"), time.Second, 1, fpOf(t, c.query))
+			if retained, evicted := s.ApplyDelta(1, 2, []rdf.TripleOp{rdf.Insert(c.miss)}); retained != 1 || evicted != 0 {
+				t.Fatalf("miss triple evicted the entry: (%d, %d)", retained, evicted)
+			}
+			if retained, evicted := s.ApplyDelta(2, 3, []rdf.TripleOp{rdf.Insert(c.hit)}); retained != 0 || evicted != 1 {
+				t.Fatalf("hit triple retained the entry: (%d, %d)", retained, evicted)
+			}
+		})
+	}
+}
+
+// TestApplyDeltaDeleteOpsCount: delete ops trigger eviction exactly like
+// inserts — removing a triple a query depends on changes its result.
+func TestApplyDeltaDeleteOpsCount(t *testing.T) {
+	s := New(time.Millisecond)
+	q := "SELECT ?s WHERE { ?s <http://x/pA> ?o }"
+	s.RecordFootprint(q, res("a"), time.Second, 1, fpOf(t, q))
+	if retained, evicted := s.ApplyDelta(1, 2, []rdf.TripleOp{rdf.Delete(triple("s", "pA", "o"))}); retained != 0 || evicted != 1 {
+		t.Fatalf("delete op ignored by invalidation: (%d, %d)", retained, evicted)
+	}
+}
+
+// TestFootprintRetentionProperty is the randomized soundness check:
+// entries are tagged with single-predicate footprints, random deltas
+// land, and after every delta each surviving entry's footprint must be
+// disjoint from the delta while each evicted entry's must overlap.
+func TestFootprintRetentionProperty(t *testing.T) {
+	preds := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7"}
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		s := New(time.Millisecond)
+		queries := make(map[string]string, len(preds)) // query → guarded pred
+		gen := uint64(1)
+		for _, p := range preds {
+			q := fmt.Sprintf("SELECT ?s WHERE { ?s <http://x/%s> ?o }", p)
+			queries[q] = p
+			s.RecordFootprint(q, res(p), time.Second, gen, fpOf(t, q))
+		}
+		// A few deltas in sequence, each touching a random predicate set.
+		alive := make(map[string]bool, len(queries))
+		for q := range queries {
+			alive[q] = true
+		}
+		for d := 0; d < 4; d++ {
+			touched := map[string]bool{}
+			var ops []rdf.TripleOp
+			for n := 1 + rng.Intn(3); n > 0; n-- {
+				p := preds[rng.Intn(len(preds))]
+				touched[p] = true
+				ops = append(ops, rdf.Insert(triple(fmt.Sprintf("s%d", rng.Intn(5)), p, "o")))
+			}
+			wantRetained, wantEvicted := 0, 0
+			for q, p := range queries {
+				if !alive[q] {
+					continue
+				}
+				if touched[p] {
+					wantEvicted++
+					alive[q] = false
+				} else {
+					wantRetained++
+				}
+			}
+			retained, evicted := s.ApplyDelta(gen, gen+1, ops)
+			gen++
+			if retained != wantRetained || evicted != wantEvicted {
+				t.Fatalf("round %d delta %d: ApplyDelta = (%d, %d), want (%d, %d)",
+					round, d, retained, evicted, wantRetained, wantEvicted)
+			}
+			for q := range queries {
+				_, ok := s.Lookup(q, gen)
+				if ok != alive[q] {
+					t.Fatalf("round %d delta %d: Lookup(%q) = %v, model says %v", round, d, q, ok, alive[q])
+				}
+			}
+		}
+	}
+}
+
+// TestFootprintSurvivesSnapshot: the footprint round-trips through the
+// gob snapshot, so a restored cache keeps its delta-retention behavior.
+func TestFootprintSurvivesSnapshot(t *testing.T) {
+	s := New(time.Millisecond)
+	q := "SELECT ?s WHERE { ?s <http://x/pA> ?o }"
+	s.RecordFootprint(q, res("a"), time.Second, 1, fpOf(t, q))
+	var buf bytes.Buffer
+	if err := s.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := New(time.Millisecond)
+	if err := restored.Restore(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if retained, evicted := restored.ApplyDelta(1, 2, opsFor(triple("s", "pZ", "o"))); retained != 1 || evicted != 0 {
+		t.Fatalf("restored entry lost its footprint: (%d, %d)", retained, evicted)
+	}
+	if _, ok := restored.Lookup(q, 2); !ok {
+		t.Fatal("restored disjoint entry not served after delta")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sync"
 	"time"
 
+	"elinda/internal/rdf"
 	"elinda/internal/sparql"
 )
 
@@ -41,6 +42,10 @@ type Entry struct {
 	Hits int
 	// Bytes is the approximate memory cost of Result (see ResultBytes).
 	Bytes int64
+	// Footprint summarizes which triples the result depends on, for
+	// delta-aware invalidation (ApplyDelta). nil means unknown: the entry
+	// is treated as depending on everything and evicted by any delta.
+	Footprint *sparql.Footprint
 }
 
 // Stats summarizes store activity.
@@ -59,6 +64,12 @@ type Stats struct {
 	Evictions int
 	// Invalidations counts whole-store clears.
 	Invalidations int
+	// DeltaEvictions counts entries evicted by delta-aware invalidation
+	// because their footprint overlapped a mutation.
+	DeltaEvictions int
+	// DeltaRetained counts entries that survived a delta-aware
+	// invalidation because their footprint was disjoint from the mutation.
+	DeltaRetained int
 }
 
 // Store is a threshold-gated key-value cache of SPARQL results. It is safe
@@ -79,6 +90,7 @@ type Store struct {
 	totalBytes int64
 
 	hits, misses, stores, evictions, invalidations int
+	deltaEvictions, deltaRetained                  int
 
 	// MaxEntries bounds the cache size; 0 means unlimited. When full, the
 	// least-hit entry is evicted (heavy queries are few, so a simple scan
@@ -203,6 +215,14 @@ func (s *Store) Lookup(query string, generation uint64) (*sparql.Result, bool) {
 // racing this call classifies under whichever threshold it observed —
 // the same ambiguity a serialized interleaving has.
 func (s *Store) Record(query string, res *sparql.Result, runtime time.Duration, generation uint64) bool {
+	return s.RecordFootprint(query, res, runtime, generation, nil)
+}
+
+// RecordFootprint is Record with a dependency footprint attached to the
+// stored entry, enabling the entry to survive delta-aware invalidation
+// (ApplyDelta) for mutations disjoint from the footprint. A nil footprint
+// stores a wholesale-invalidated entry, exactly like Record.
+func (s *Store) RecordFootprint(query string, res *sparql.Result, runtime time.Duration, generation uint64, fp *sparql.Footprint) bool {
 	key := Normalize(query)
 	if runtime < s.Threshold() {
 		return false
@@ -224,7 +244,7 @@ func (s *Store) Record(query string, res *sparql.Result, runtime time.Duration, 
 	if old, exists := s.entries[key]; exists {
 		s.totalBytes -= old.Bytes
 	}
-	s.entries[key] = &Entry{Result: res, Runtime: runtime, StoredAt: time.Now(), Bytes: bytes}
+	s.entries[key] = &Entry{Result: res, Runtime: runtime, StoredAt: time.Now(), Bytes: bytes, Footprint: fp}
 	s.totalBytes += bytes
 	s.touchLocked(key)
 	s.stores++
@@ -313,6 +333,52 @@ func (s *Store) evictColdestLocked() {
 	}
 }
 
+// ApplyDelta performs delta-aware invalidation for a mutation that moved
+// the KB generation from 'from' to 'to': entries whose footprint is
+// disjoint from the mutated triples survive and are re-tagged to the new
+// generation; entries whose footprint overlaps (or is nil/wild) are
+// evicted. When the cache's contents do not belong to generation 'from'
+// — an update raced another writer, or the cache was filled elsewhere —
+// provenance is unknown and the paper's wholesale clear applies.
+//
+// It returns how many entries were retained and evicted.
+func (s *Store) ApplyDelta(from, to uint64, ops []rdf.TripleOp) (retained, evicted int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.haveGen || s.generation != from {
+		n := len(s.entries)
+		if n > 0 {
+			s.clearLocked()
+			s.invalidations++
+		}
+		s.generation = to
+		s.haveGen = true
+		return 0, n
+	}
+	// Collect first, then remove: removeLocked mutates s.entries. The
+	// surviving set is order-independent, so map iteration order cannot
+	// change the outcome.
+	var dead []string
+	for k, e := range s.entries {
+		if e.Footprint.Overlaps(ops) {
+			//lint:ignore maporder dead is a removal set; removeLocked is per-key and the counts are set-sized, order cannot reach output
+			dead = append(dead, k)
+		}
+	}
+	for _, k := range dead {
+		s.removeLocked(k)
+	}
+	retained = len(s.entries)
+	evicted = len(dead)
+	s.deltaEvictions += evicted
+	s.deltaRetained += retained
+	if evicted > 0 && retained == 0 {
+		s.invalidations++
+	}
+	s.generation = to
+	return retained, evicted
+}
+
 // Invalidate clears every entry unconditionally.
 func (s *Store) Invalidate() {
 	s.mu.Lock()
@@ -343,13 +409,15 @@ func (s *Store) Stats() Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return Stats{
-		Entries:       len(s.entries),
-		Bytes:         s.totalBytes,
-		Hits:          s.hits,
-		Misses:        s.misses,
-		Stores:        s.stores,
-		Evictions:     s.evictions,
-		Invalidations: s.invalidations,
+		Entries:        len(s.entries),
+		Bytes:          s.totalBytes,
+		Hits:           s.hits,
+		Misses:         s.misses,
+		Stores:         s.stores,
+		Evictions:      s.evictions,
+		Invalidations:  s.invalidations,
+		DeltaEvictions: s.deltaEvictions,
+		DeltaRetained:  s.deltaRetained,
 	}
 }
 

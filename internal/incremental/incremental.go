@@ -79,6 +79,33 @@ type Aggregator interface {
 	Merge(other Aggregator)
 }
 
+// DeltaAggregator is an Aggregator that can additionally retract a
+// triple, enabling exact chart maintenance under the live mutation path
+// (store.Store.Apply) without rescanning the log. All three concrete
+// aggregators implement it.
+type DeltaAggregator interface {
+	Aggregator
+	// Unobserve retracts one triple previously observed. The triple must
+	// actually have been observed (the store's net-delta contract: a
+	// NetDelete was present in the log the aggregator scanned); retracting
+	// a never-observed triple corrupts the counts.
+	Unobserve(e rdf.EncodedTriple)
+}
+
+// Maintain applies a mutation's net effect to an aggregator that has
+// already scanned the pre-mutation log: retractions first, then
+// insertions. The result is exactly the state a fresh aggregator reaches
+// by scanning the post-mutation log — the maintained aggregator never
+// needs a rescan.
+func Maintain(agg DeltaAggregator, res store.ApplyResult) {
+	for _, e := range res.NetDeletes {
+		agg.Unobserve(e)
+	}
+	for _, e := range res.NetInserts {
+		agg.Observe(e)
+	}
+}
+
 // Snapshot is the state published after each round.
 type Snapshot struct {
 	// Round is the 1-based round number.
@@ -280,6 +307,23 @@ func (a *SubclassAggregator) Observe(e rdf.EncodedTriple) {
 	a.counts[e.O]++
 }
 
+// Unobserve implements DeltaAggregator: a type assertion maps one-to-one
+// to its (subject, class) pair — the store holds each triple at most once
+// — so retraction deletes the pair and decrements the class count.
+func (a *SubclassAggregator) Unobserve(e rdf.EncodedTriple) {
+	if e.P != a.typeID {
+		return
+	}
+	key := [2]rdf.ID{e.S, e.O}
+	if _, ok := a.seen[key]; !ok {
+		return
+	}
+	delete(a.seen, key)
+	if a.counts[e.O]--; a.counts[e.O] == 0 {
+		delete(a.counts, e.O)
+	}
+}
+
 // Counts implements Aggregator.
 func (a *SubclassAggregator) Counts() map[rdf.ID]int { return copyCounts(a.counts) }
 
@@ -315,10 +359,15 @@ func (a *SubclassAggregator) Merge(other Aggregator) {
 // PropertyAggregator counts, per property, the distinct members of S that
 // feature the property (outgoing) or are targeted by it (incoming) — the
 // coverage numerator of the property chart.
+//
+// seen holds support counts — how many scanned triples back each
+// (anchor, property) pair — rather than a plain dedup set: retracting one
+// of several supporting triples must not drop the pair, so exact delta
+// maintenance (Unobserve) needs the multiplicity.
 type PropertyAggregator struct {
 	s        map[rdf.ID]struct{}
 	incoming bool
-	seen     map[[2]rdf.ID]struct{}
+	seen     map[[2]rdf.ID]int
 	counts   map[rdf.ID]int
 	triples  map[rdf.ID]int
 }
@@ -328,7 +377,7 @@ type PropertyAggregator struct {
 func NewPropertyAggregator(s []rdf.ID, incoming bool) *PropertyAggregator {
 	a := &PropertyAggregator{
 		incoming: incoming,
-		seen:     make(map[[2]rdf.ID]struct{}),
+		seen:     make(map[[2]rdf.ID]int),
 		counts:   make(map[rdf.ID]int),
 		triples:  make(map[rdf.ID]int),
 	}
@@ -351,11 +400,34 @@ func (a *PropertyAggregator) Observe(e rdf.EncodedTriple) {
 	}
 	a.triples[e.P]++
 	key := [2]rdf.ID{anchor, e.P}
-	if _, dup := a.seen[key]; dup {
-		return
+	if a.seen[key]++; a.seen[key] == 1 {
+		a.counts[e.P]++
 	}
-	a.seen[key] = struct{}{}
-	a.counts[e.P]++
+}
+
+// Unobserve implements DeltaAggregator: the pair's support count drops by
+// one, and the property loses the anchor only when no supporting triple
+// remains.
+func (a *PropertyAggregator) Unobserve(e rdf.EncodedTriple) {
+	anchor := e.S
+	if a.incoming {
+		anchor = e.O
+	}
+	if a.s != nil {
+		if _, in := a.s[anchor]; !in {
+			return
+		}
+	}
+	if a.triples[e.P]--; a.triples[e.P] == 0 {
+		delete(a.triples, e.P)
+	}
+	key := [2]rdf.ID{anchor, e.P}
+	if a.seen[key]--; a.seen[key] == 0 {
+		delete(a.seen, key)
+		if a.counts[e.P]--; a.counts[e.P] == 0 {
+			delete(a.counts, e.P)
+		}
+	}
 }
 
 // Counts implements Aggregator.
@@ -371,15 +443,15 @@ func (a *PropertyAggregator) CloneEmpty() Aggregator {
 	return &PropertyAggregator{
 		s:        a.s,
 		incoming: a.incoming,
-		seen:     make(map[[2]rdf.ID]struct{}),
+		seen:     make(map[[2]rdf.ID]int),
 		counts:   make(map[rdf.ID]int),
 		triples:  make(map[rdf.ID]int),
 	}
 }
 
-// Merge implements Aggregator: per-property triple totals add (shards scan
-// disjoint triples), while the member counts are determined by the union
-// of the deduplicating (anchor, property) pair sets.
+// Merge implements Aggregator: per-property triple totals and pair
+// support counts add (shards scan disjoint triples), while a property
+// gains an anchor only when the pair is new to the receiver.
 func (a *PropertyAggregator) Merge(other Aggregator) {
 	b := other.(*PropertyAggregator)
 	if len(a.seen) == 0 && len(a.triples) == 0 {
@@ -389,12 +461,11 @@ func (a *PropertyAggregator) Merge(other Aggregator) {
 	for p, n := range b.triples {
 		a.triples[p] += n
 	}
-	for key := range b.seen {
-		if _, dup := a.seen[key]; dup {
-			continue
+	for key, n := range b.seen {
+		if a.seen[key] == 0 {
+			a.counts[key[1]]++
 		}
-		a.seen[key] = struct{}{}
-		a.counts[key[1]]++
+		a.seen[key] += n
 	}
 }
 
@@ -409,8 +480,11 @@ type ObjectAggregator struct {
 	s        map[rdf.ID]struct{}
 	incoming bool
 
-	// connected holds objects seen via (s, λ, o) with s ∈ S.
-	connected map[rdf.ID]struct{}
+	// connected counts, per object o, the connecting triples (s, λ, o)
+	// with s ∈ S seen so far. The multiplicity (not just membership)
+	// matters for exact delta maintenance: o stays connected until its
+	// last connecting triple is retracted.
+	connected map[rdf.ID]int
 	// classOf accumulates type assertions for all nodes seen so far.
 	classOf map[rdf.ID][]rdf.ID
 	// counted deduplicates (object, class) pairs.
@@ -427,7 +501,7 @@ func NewObjectAggregator(typeID, property rdf.ID, s []rdf.ID, incoming bool) *Ob
 		property:  property,
 		s:         idSet(s),
 		incoming:  incoming,
-		connected: make(map[rdf.ID]struct{}),
+		connected: make(map[rdf.ID]int),
 		classOf:   make(map[rdf.ID][]rdf.ID),
 		counted:   make(map[[2]rdf.ID]struct{}),
 		counts:    make(map[rdf.ID]int),
@@ -438,7 +512,7 @@ func NewObjectAggregator(typeID, property rdf.ID, s []rdf.ID, incoming bool) *Ob
 func (a *ObjectAggregator) Observe(e rdf.EncodedTriple) {
 	if e.P == a.typeID {
 		a.classOf[e.S] = append(a.classOf[e.S], e.O)
-		if _, conn := a.connected[e.S]; conn {
+		if a.connected[e.S] > 0 {
 			a.count(e.S, e.O)
 		}
 		return
@@ -453,10 +527,51 @@ func (a *ObjectAggregator) Observe(e rdf.EncodedTriple) {
 	if _, in := a.s[anchor]; !in {
 		return
 	}
-	if _, dup := a.connected[other]; !dup {
-		a.connected[other] = struct{}{}
+	if a.connected[other]++; a.connected[other] == 1 {
 		for _, c := range a.classOf[other] {
 			a.count(other, c)
+		}
+	}
+}
+
+// Unobserve implements DeltaAggregator, mirroring Observe: retracting a
+// type assertion removes its classOf entry and uncounts the pair while
+// the object stays connected; retracting the last connecting triple
+// disconnects the object and uncounts all its classes.
+func (a *ObjectAggregator) Unobserve(e rdf.EncodedTriple) {
+	if e.P == a.typeID {
+		cs := a.classOf[e.S]
+		for i, c := range cs {
+			if c == e.O {
+				cs[i] = cs[len(cs)-1]
+				cs = cs[:len(cs)-1]
+				break
+			}
+		}
+		if len(cs) == 0 {
+			delete(a.classOf, e.S)
+		} else {
+			a.classOf[e.S] = cs
+		}
+		if a.connected[e.S] > 0 {
+			a.uncount(e.S, e.O)
+		}
+		return
+	}
+	if e.P != a.property {
+		return
+	}
+	anchor, other := e.S, e.O
+	if a.incoming {
+		anchor, other = e.O, e.S
+	}
+	if _, in := a.s[anchor]; !in {
+		return
+	}
+	if a.connected[other]--; a.connected[other] == 0 {
+		delete(a.connected, other)
+		for _, c := range a.classOf[other] {
+			a.uncount(other, c)
 		}
 	}
 }
@@ -470,6 +585,17 @@ func (a *ObjectAggregator) count(obj, class rdf.ID) {
 	a.counts[class]++
 }
 
+func (a *ObjectAggregator) uncount(obj, class rdf.ID) {
+	key := [2]rdf.ID{obj, class}
+	if _, ok := a.counted[key]; !ok {
+		return
+	}
+	delete(a.counted, key)
+	if a.counts[class]--; a.counts[class] == 0 {
+		delete(a.counts, class)
+	}
+}
+
 // Counts implements Aggregator.
 func (a *ObjectAggregator) Counts() map[rdf.ID]int { return copyCounts(a.counts) }
 
@@ -481,7 +607,7 @@ func (a *ObjectAggregator) CloneEmpty() Aggregator {
 		property:  a.property,
 		s:         a.s,
 		incoming:  a.incoming,
-		connected: make(map[rdf.ID]struct{}),
+		connected: make(map[rdf.ID]int),
 		classOf:   make(map[rdf.ID][]rdf.ID),
 		counted:   make(map[[2]rdf.ID]struct{}),
 		counts:    make(map[rdf.ID]int),
@@ -502,14 +628,14 @@ func (a *ObjectAggregator) Merge(other Aggregator) {
 	for o, cs := range b.classOf {
 		a.classOf[o] = append(a.classOf[o], cs...)
 	}
-	for o := range b.connected {
-		a.connected[o] = struct{}{}
+	for o, n := range b.connected {
+		a.connected[o] += n
 		for _, c := range a.classOf[o] {
 			a.count(o, c)
 		}
 	}
 	for o, cs := range b.classOf {
-		if _, conn := a.connected[o]; !conn {
+		if a.connected[o] == 0 {
 			continue
 		}
 		for _, c := range cs {

@@ -1,0 +1,222 @@
+package incremental
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+// The Maintain equivalence suite: after any sequence of live mutations,
+// a maintained aggregator must be in exactly the state a fresh
+// aggregator reaches by rescanning the post-mutation log. That is the
+// contract that lets the chart layer consume deltas instead of
+// rescanning on every write.
+
+// scanAll feeds the store's current log to the aggregator.
+func scanAll(st *store.Store, agg Aggregator) {
+	st.Scan(0, 0, func(e rdf.EncodedTriple) bool {
+		agg.Observe(e)
+		return true
+	})
+}
+
+// logTriples returns the current insertion-order log, decoded.
+func logTriples(st *store.Store) []rdf.Triple {
+	var out []rdf.Triple
+	st.Scan(0, 0, func(e rdf.EncodedTriple) bool {
+		out = append(out, st.Triple(e))
+		return true
+	})
+	return out
+}
+
+// randomDelta builds a mutation mixing deletes of live triples with
+// inserts of new type/property triples over the same entity pools.
+func randomDelta(r *rand.Rand, st *store.Store) store.Delta {
+	var d store.Delta
+	live := logTriples(st)
+	n := 1 + r.Intn(6)
+	for i := 0; i < n; i++ {
+		switch r.Intn(4) {
+		case 0: // delete a live triple
+			if len(live) > 0 {
+				d.Delete(live[r.Intn(len(live))])
+			}
+		case 1: // insert a property triple
+			d.Insert(rdf.Triple{
+				S: ex(fmt.Sprintf("inst%d", r.Intn(40))),
+				P: ex(fmt.Sprintf("p%d", r.Intn(4))),
+				O: ex(fmt.Sprintf("obj%d", r.Intn(50))),
+			})
+		case 2: // insert a type triple
+			d.Insert(rdf.Triple{
+				S: ex(fmt.Sprintf("inst%d", r.Intn(40))),
+				P: rdf.TypeIRI,
+				O: ex(fmt.Sprintf("C%d", r.Intn(5))),
+			})
+		case 3: // delete then re-insert (re-log move)
+			if len(live) > 0 {
+				tr := live[r.Intn(len(live))]
+				d.Delete(tr)
+				d.Insert(tr)
+			}
+		}
+	}
+	return d
+}
+
+type aggFactory struct {
+	name string
+	make func() DeltaAggregator
+}
+
+// factories builds one factory per aggregator kind over the loaded
+// graph's instance pool.
+func factories(t *testing.T, st *store.Store) []aggFactory {
+	t.Helper()
+	typeID := st.TypeID()
+	root := id(t, st, "Root")
+	instances := st.SubjectsOfType(root)
+	if len(instances) == 0 {
+		t.Fatal("fixture has no Root instances")
+	}
+	var subclasses []rdf.ID
+	for i := 0; i < 5; i++ {
+		subclasses = append(subclasses, id(t, st, fmt.Sprintf("C%d", i)))
+	}
+	p0 := id(t, st, "p0")
+	return []aggFactory{
+		{"subclass", func() DeltaAggregator {
+			return NewSubclassAggregator(typeID, instances, subclasses)
+		}},
+		{"property-out", func() DeltaAggregator {
+			return NewPropertyAggregator(instances, false)
+		}},
+		{"property-in", func() DeltaAggregator {
+			return NewPropertyAggregator(instances, true)
+		}},
+		{"object-out", func() DeltaAggregator {
+			return NewObjectAggregator(typeID, p0, instances, false)
+		}},
+		{"object-in", func() DeltaAggregator {
+			return NewObjectAggregator(typeID, p0, instances, true)
+		}},
+	}
+}
+
+// assertAggEqual compares the full observable state of two aggregators
+// of the same kind.
+func assertAggEqual(t *testing.T, desc string, got, want DeltaAggregator) {
+	t.Helper()
+	if !reflect.DeepEqual(countsOf(got), countsOf(want)) {
+		t.Fatalf("%s: counts diverged:\n maintained %v\n rescan     %v", desc, countsOf(got), countsOf(want))
+	}
+	gp, gok := got.(*PropertyAggregator)
+	wp, wok := want.(*PropertyAggregator)
+	if gok && wok && !reflect.DeepEqual(gp.TripleCounts(), wp.TripleCounts()) {
+		t.Fatalf("%s: triple counts diverged:\n maintained %v\n rescan     %v", desc, gp.TripleCounts(), wp.TripleCounts())
+	}
+}
+
+func countsOf(a DeltaAggregator) map[rdf.ID]int {
+	switch v := a.(type) {
+	case *SubclassAggregator:
+		return v.Counts()
+	case *PropertyAggregator:
+		return v.Counts()
+	case *ObjectAggregator:
+		return v.Counts()
+	}
+	return nil
+}
+
+// TestMaintainEqualsRescan is the differential run: for every
+// aggregator kind, a maintained instance tracks a mutating store
+// through many random deltas and must match a fresh rescan after every
+// one of them.
+func TestMaintainEqualsRescan(t *testing.T) {
+	deltas := 20
+	seeds := []int64{1, 2, 3}
+	if testing.Short() {
+		deltas, seeds = 8, seeds[:1]
+	}
+	for _, seed := range seeds {
+		st, r := buildGraph(t, seed, 40)
+		for _, f := range factories(t, st) {
+			maintained := f.make()
+			scanAll(st, maintained)
+			for d := 0; d < deltas; d++ {
+				res, err := st.Apply(randomDelta(r, st))
+				if err != nil {
+					t.Fatalf("seed %d %s delta %d: %v", seed, f.name, d, err)
+				}
+				Maintain(maintained, res)
+				fresh := f.make()
+				scanAll(st, fresh)
+				assertAggEqual(t, fmt.Sprintf("seed %d %s delta %d", seed, f.name, d), maintained, fresh)
+			}
+			// Mutating one aggregator's store mutated them all; rebuild
+			// for the next factory so each starts from a known graph.
+			st, r = buildGraph(t, seed, 40)
+		}
+	}
+}
+
+// TestMaintainTargetedRetractions pins the support-count edge cases
+// directly: retracting one of two supporting triples must not drop a
+// pair, retracting both must.
+func TestMaintainTargetedRetractions(t *testing.T) {
+	st := store.New(16)
+	inst, other := ex("i1"), ex("o1")
+	class := ex("C0")
+	mustAdd := func(tr rdf.Triple) {
+		t.Helper()
+		if _, err := st.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustAdd(rdf.Triple{S: inst, P: rdf.TypeIRI, O: class})
+	mustAdd(rdf.Triple{S: other, P: rdf.TypeIRI, O: class})
+	// Two distinct p0 links connect inst to other.
+	mustAdd(rdf.Triple{S: inst, P: ex("p0"), O: other})
+	mustAdd(rdf.Triple{S: other, P: ex("p0"), O: inst})
+
+	typeID := st.TypeID()
+	instID, _ := st.Dict().Lookup(inst)
+	p0 := id(t, st, "p0")
+	agg := NewObjectAggregator(typeID, p0, []rdf.ID{instID}, false)
+	scanAll(st, agg)
+
+	apply := func(d store.Delta) {
+		t.Helper()
+		res, err := st.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		Maintain(agg, res)
+	}
+
+	// Retract one of the two connecting triples: other stays connected
+	// (outgoing aggregator keeps the inst→other link).
+	var d1 store.Delta
+	d1.Delete(rdf.Triple{S: other, P: ex("p0"), O: inst})
+	apply(d1)
+	fresh := NewObjectAggregator(typeID, p0, []rdf.ID{instID}, false)
+	scanAll(st, fresh)
+	assertAggEqual(t, "after first retraction", agg, fresh)
+
+	// Retract the second: the connection (and its class count) must go.
+	var d2 store.Delta
+	d2.Delete(rdf.Triple{S: inst, P: ex("p0"), O: other})
+	apply(d2)
+	fresh = NewObjectAggregator(typeID, p0, []rdf.ID{instID}, false)
+	scanAll(st, fresh)
+	assertAggEqual(t, "after second retraction", agg, fresh)
+	if len(agg.Counts()) != 0 {
+		t.Fatalf("counts after full disconnect = %v", agg.Counts())
+	}
+}

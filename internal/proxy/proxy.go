@@ -32,6 +32,7 @@ import (
 	"elinda/internal/endpoint"
 	"elinda/internal/hvs"
 	"elinda/internal/metrics"
+	"elinda/internal/rdf"
 	"elinda/internal/sparql"
 	"elinda/internal/store"
 )
@@ -90,7 +91,10 @@ type Proxy struct {
 	st      *store.Store
 	cache   *hvs.Store
 	dec     *decomposer.Decomposer
-	opts    Options
+	// eng is the local engine when the backend is one (New); nil for
+	// remote backends, where the mutation path (Update) is unavailable.
+	eng  *sparql.Engine
+	opts Options
 
 	mu   sync.Mutex
 	log  []Trace
@@ -153,15 +157,65 @@ func NewWithBackend(st *store.Store, backend endpoint.Executor, opts Options) *P
 	}
 	cache := hvs.New(opts.HeavyThreshold)
 	cache.MaxBytes = opts.CacheMaxBytes
+	eng, _ := backend.(*sparql.Engine)
 	return &Proxy{
 		backend: backend,
 		st:      st,
 		cache:   cache,
 		dec:     decomposer.New(st),
+		eng:     eng,
 		opts:    opts,
 		hits:    make(map[Route]int),
 		flights: make(map[string]*flight),
 	}
+}
+
+// Apply routes a mutation delta through the store and performs
+// delta-aware cache invalidation: HVS entries whose footprint is disjoint
+// from the net mutation survive, everything else is evicted, and the
+// cache is re-tagged to the new generation so the next Lookup does not
+// wholesale-clear the survivors.
+func (p *Proxy) Apply(d store.Delta) (store.ApplyResult, error) {
+	res, err := p.st.Apply(d)
+	if err != nil {
+		return res, err
+	}
+	if res.Changed() {
+		dict := p.st.Dict()
+		ops := make([]rdf.TripleOp, 0, len(res.NetInserts)+len(res.NetDeletes))
+		for _, e := range res.NetInserts {
+			ops = append(ops, rdf.Insert(dict.Decode(e)))
+		}
+		for _, e := range res.NetDeletes {
+			ops = append(ops, rdf.Delete(dict.Decode(e)))
+		}
+		p.cache.ApplyDelta(res.From, res.To, ops)
+	}
+	return res, nil
+}
+
+// ErrNoUpdate is returned by Update when the proxy fronts a remote
+// backend: the local store is a cache/index mirror there, and mutating it
+// would silently diverge from the authoritative endpoint. It wraps
+// endpoint.ErrReadOnly, so the server answers it with 501.
+var ErrNoUpdate = fmt.Errorf("proxy: update requires a local backend: %w", endpoint.ErrReadOnly)
+
+// Update parses a SPARQL Update request, evaluates it (DELETE WHERE
+// patterns run against the current snapshot), and applies the whole
+// request as one atomic delta through Apply.
+func (p *Proxy) Update(ctx context.Context, src string) (store.ApplyResult, error) {
+	if p.eng == nil {
+		return store.ApplyResult{}, ErrNoUpdate
+	}
+	u, err := sparql.ParseUpdate(src)
+	if err != nil {
+		return store.ApplyResult{}, err
+	}
+	ops, err := p.eng.UpdateOps(ctx, u)
+	if err != nil {
+		return store.ApplyResult{}, err
+	}
+	return p.Apply(store.DeltaOf(ops...))
 }
 
 // Query implements endpoint.Executor with the three-tier routing.
@@ -243,7 +297,7 @@ func (p *Proxy) tryCacheTiers(src string, gen uint64, start time.Time) (*sparql.
 				// Even decomposed answers can be heavy on cold indexes;
 				// cache them so repeats hit tier 1.
 				if !opts.DisableHVS {
-					tr.Heavy = p.cache.Record(src, res, runtime, gen)
+					tr.Heavy = p.cache.RecordFootprint(src, res, runtime, gen, q.Footprint())
 				}
 				p.record(tr)
 				return res, tr, true
@@ -262,10 +316,23 @@ func (p *Proxy) backendDirect(ctx context.Context, src string, gen uint64, start
 		return nil, tr, err
 	}
 	if p.hvsEnabled() {
-		tr.Heavy = p.cache.Record(src, res, runtime, gen)
+		tr.Heavy = p.recordHeavy(src, res, runtime, gen)
 	}
 	p.record(tr)
 	return res, tr, nil
+}
+
+// recordHeavy stores a result in the HVS tagged with its dependency
+// footprint, so delta-aware invalidation can keep it across disjoint
+// writes. The footprint is computed only when the result will actually be
+// stored (runtime at or above the threshold): re-parsing every light
+// query to tag nothing would tax the hot path.
+func (p *Proxy) recordHeavy(src string, res *sparql.Result, runtime time.Duration, gen uint64) bool {
+	var fp *sparql.Footprint
+	if runtime >= p.cache.Threshold() {
+		fp = sparql.QueryFootprint(src)
+	}
+	return p.cache.RecordFootprint(src, res, runtime, gen, fp)
 }
 
 // flightKey is the coalescing identity: normalized query text plus the
@@ -434,7 +501,7 @@ func (p *Proxy) streamBackend(ctx context.Context, src string, gen uint64, start
 	}
 	res := &tee.collect.Result
 	if p.hvsEnabled() {
-		tr.Heavy = p.cache.Record(src, res, runtime, gen)
+		tr.Heavy = p.recordHeavy(src, res, runtime, gen)
 	}
 	p.record(tr)
 	return res, tr, nil

@@ -39,6 +39,21 @@ func (t Triple) Validate() error {
 	return nil
 }
 
+// TripleOp is one mutation of a triple set: the insertion of Triple, or
+// (when Del is set) its deletion. Ordered slices of TripleOps are the
+// shared vocabulary of the live mutation path — store deltas, WAL
+// records, and cache invalidation all speak in them.
+type TripleOp struct {
+	Del    bool
+	Triple Triple
+}
+
+// Insert wraps t as an insertion op.
+func Insert(t Triple) TripleOp { return TripleOp{Triple: t} }
+
+// Delete wraps t as a deletion op.
+func Delete(t Triple) TripleOp { return TripleOp{Del: true, Triple: t} }
+
 // Compare orders triples lexicographically by subject, predicate, object.
 func (t Triple) Compare(u Triple) int {
 	if c := t.S.Compare(u.S); c != 0 {

@@ -1,0 +1,149 @@
+package sparql
+
+import (
+	"sort"
+
+	"elinda/internal/rdf"
+)
+
+// Footprint is a conservative summary of which triples a query's result
+// can depend on, used for delta-aware cache invalidation: a mutation
+// whose every triple is disjoint from the footprint cannot change the
+// query's result, so a cached entry tagged with the footprint survives
+// the mutation.
+//
+// Each triple pattern in the query contributes one guard — the constant
+// in its most selective bound position (predicate, then subject, then
+// object). A triple overlaps the footprint when it matches any guard; a
+// pattern with no constant at all makes the footprint Wild (overlaps
+// everything). Soundness: a mutation can only change the result by
+// changing some pattern's match set, and every triple matching a pattern
+// carries that pattern's guard constant in the guarded position.
+//
+// Guards are stored as the terms' N-Triples strings in sorted order, so
+// footprints are deterministic, comparable, and gob-friendly for the HVS
+// snapshot.
+type Footprint struct {
+	// Wild marks a footprint that overlaps every mutation (some pattern
+	// had no constant position, or the query could not be summarized).
+	Wild bool
+	// Preds, Subjects, Objects are the sorted guard terms (N-Triples
+	// syntax) for the three positions.
+	Preds    []string
+	Subjects []string
+	Objects  []string
+}
+
+// WildFootprint is the footprint that overlaps every mutation.
+func WildFootprint() *Footprint { return &Footprint{Wild: true} }
+
+// Footprint summarizes the query. It walks every triple pattern in the
+// WHERE clause, including OPTIONAL groups, UNION branches, and subselects.
+func (q *Query) Footprint() *Footprint {
+	b := &footprintBuilder{
+		preds:    map[string]struct{}{},
+		subjects: map[string]struct{}{},
+		objects:  map[string]struct{}{},
+	}
+	b.query(q)
+	fp := &Footprint{Wild: b.wild}
+	if !b.wild {
+		fp.Preds = sortedSet(b.preds)
+		fp.Subjects = sortedSet(b.subjects)
+		fp.Objects = sortedSet(b.objects)
+	}
+	return fp
+}
+
+// QueryFootprint parses src and summarizes it; unparseable queries (e.g.
+// remote dialects) get the wild footprint.
+func QueryFootprint(src string) *Footprint {
+	q, err := Parse(src)
+	if err != nil {
+		return WildFootprint()
+	}
+	return q.Footprint()
+}
+
+type footprintBuilder struct {
+	wild     bool
+	preds    map[string]struct{}
+	subjects map[string]struct{}
+	objects  map[string]struct{}
+}
+
+func (b *footprintBuilder) query(q *Query) {
+	if q.Where == nil {
+		b.wild = true
+		return
+	}
+	b.group(q.Where)
+}
+
+func (b *footprintBuilder) group(g *GroupPattern) {
+	for _, tp := range g.Triples {
+		b.pattern(tp)
+	}
+	for _, sub := range g.SubSelects {
+		b.query(sub)
+	}
+	for _, opt := range g.Optionals {
+		b.group(opt)
+	}
+	for _, branches := range g.Unions {
+		for _, br := range branches {
+			b.group(br)
+		}
+	}
+}
+
+// pattern records the guard for one triple pattern: the constant in the
+// most selective bound position, or Wild when every position is a
+// variable.
+func (b *footprintBuilder) pattern(tp TriplePattern) {
+	switch {
+	case !tp.P.IsVar:
+		b.preds[tp.P.Term.String()] = struct{}{}
+	case !tp.S.IsVar:
+		b.subjects[tp.S.Term.String()] = struct{}{}
+	case !tp.O.IsVar:
+		b.objects[tp.O.Term.String()] = struct{}{}
+	default:
+		b.wild = true
+	}
+}
+
+// Overlaps reports whether any of the mutated triples can affect a query
+// with this footprint. A nil footprint means "unknown dependencies" and
+// overlaps everything, like Wild.
+func (fp *Footprint) Overlaps(ops []rdf.TripleOp) bool {
+	if fp == nil || fp.Wild {
+		return true
+	}
+	for _, op := range ops {
+		if member(fp.Preds, op.Triple.P.String()) ||
+			member(fp.Subjects, op.Triple.S.String()) ||
+			member(fp.Objects, op.Triple.O.String()) {
+			return true
+		}
+	}
+	return false
+}
+
+// member reports whether the sorted slice contains s.
+func member(sorted []string, s string) bool {
+	i := sort.SearchStrings(sorted, s)
+	return i < len(sorted) && sorted[i] == s
+}
+
+func sortedSet(m map[string]struct{}) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for s := range m {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -76,6 +76,7 @@ var keywords = map[string]bool{
 	"STRAFTER": true, "IF": true, "COALESCE": true, "SAMETERM": true,
 	"ABS": true, "CEIL": true, "FLOOR": true, "ROUND": true,
 	"SAMPLE": true, "GROUP_CONCAT": true, "UNDEF": true, "SEPARATOR": true,
+	"INSERT": true, "DELETE": true, "DATA": true,
 }
 
 // lexError is a scan-time error with position information.

@@ -77,25 +77,8 @@ func (p *parser) isKeyword(kw string) bool {
 }
 
 func (p *parser) query() (*Query, error) {
-	// Prologue: PREFIX / BASE declarations.
-	for p.isKeyword("PREFIX") || p.isKeyword("BASE") {
-		if p.isKeyword("BASE") {
-			p.pos++
-			if p.cur().kind != tokIRI {
-				return nil, p.errf("expected IRI after BASE")
-			}
-			p.pos++ // base IRIs are accepted and ignored; we only see absolute IRIs
-			continue
-		}
-		p.pos++
-		if p.cur().kind != tokPrefixedName || !strings.HasSuffix(p.cur().text, ":") {
-			return nil, p.errf("expected prefix name after PREFIX, found %q", p.cur().text)
-		}
-		name := strings.TrimSuffix(p.next().text, ":")
-		if p.cur().kind != tokIRI {
-			return nil, p.errf("expected namespace IRI in PREFIX")
-		}
-		p.prefixes[name] = p.next().text
+	if err := p.prologue(); err != nil {
+		return nil, err
 	}
 	q, err := p.selectQuery()
 	if err != nil {
@@ -103,6 +86,31 @@ func (p *parser) query() (*Query, error) {
 	}
 	q.Prefixes = p.prefixes
 	return q, nil
+}
+
+// prologue consumes PREFIX / BASE declarations (shared by queries and
+// updates).
+func (p *parser) prologue() error {
+	for p.isKeyword("PREFIX") || p.isKeyword("BASE") {
+		if p.isKeyword("BASE") {
+			p.pos++
+			if p.cur().kind != tokIRI {
+				return p.errf("expected IRI after BASE")
+			}
+			p.pos++ // base IRIs are accepted and ignored; we only see absolute IRIs
+			continue
+		}
+		p.pos++
+		if p.cur().kind != tokPrefixedName || !strings.HasSuffix(p.cur().text, ":") {
+			return p.errf("expected prefix name after PREFIX, found %q", p.cur().text)
+		}
+		name := strings.TrimSuffix(p.next().text, ":")
+		if p.cur().kind != tokIRI {
+			return p.errf("expected namespace IRI in PREFIX")
+		}
+		p.prefixes[name] = p.next().text
+	}
+	return nil
 }
 
 func (p *parser) selectQuery() (*Query, error) {

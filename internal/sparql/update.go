@@ -1,0 +1,291 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+
+	"elinda/internal/rdf"
+)
+
+// Update is the parsed form of a SPARQL 1.1 Update request: a prologue
+// followed by one or more operations separated by ';'. The supported
+// subset is the ground-data operations INSERT DATA and DELETE DATA plus
+// the pattern-driven DELETE WHERE — the three forms a linked-data mirror
+// needs to apply upstream change feeds.
+type Update struct {
+	// Prefixes maps declared prefix names to namespaces.
+	Prefixes map[string]string
+	// Ops are the operations in request order.
+	Ops []UpdateOp
+}
+
+// UpdateKind discriminates the operation forms.
+type UpdateKind uint8
+
+const (
+	// InsertData is INSERT DATA { ground triples }.
+	InsertData UpdateKind = iota
+	// DeleteData is DELETE DATA { ground triples }.
+	DeleteData
+	// DeleteWhere is DELETE WHERE { pattern }: the pattern doubles as the
+	// deletion template, instantiated once per solution.
+	DeleteWhere
+)
+
+// String names the operation form.
+func (k UpdateKind) String() string {
+	switch k {
+	case InsertData:
+		return "INSERT DATA"
+	case DeleteData:
+		return "DELETE DATA"
+	case DeleteWhere:
+		return "DELETE WHERE"
+	default:
+		return fmt.Sprintf("UpdateKind(%d)", uint8(k))
+	}
+}
+
+// UpdateOp is one operation of an update request.
+type UpdateOp struct {
+	Kind UpdateKind
+	// Data holds the ground triples of INSERT DATA / DELETE DATA.
+	Data []rdf.Triple
+	// Where is the pattern (and template) of DELETE WHERE.
+	Where *GroupPattern
+}
+
+// ParseUpdate parses a SPARQL Update request.
+func ParseUpdate(src string) (*Update, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, prefixes: map[string]string{}}
+	for k, v := range rdf.WellKnownPrefixes {
+		p.prefixes[k] = v
+	}
+	if err := p.prologue(); err != nil {
+		return nil, err
+	}
+	u := &Update{Prefixes: p.prefixes}
+	for {
+		op, err := p.updateOp()
+		if err != nil {
+			return nil, err
+		}
+		u.Ops = append(u.Ops, op)
+		// Operations are ';'-separated; a trailing ';' before EOF is legal.
+		if !p.isPunct(";") {
+			break
+		}
+		p.pos++
+		if p.cur().kind == tokEOF {
+			break
+		}
+	}
+	if p.cur().kind != tokEOF {
+		return nil, p.errf("unexpected trailing content %q", p.cur().text)
+	}
+	return u, nil
+}
+
+// updateOp parses one INSERT DATA / DELETE DATA / DELETE WHERE operation.
+func (p *parser) updateOp() (UpdateOp, error) {
+	switch {
+	case p.isKeyword("INSERT"):
+		p.pos++
+		if err := p.expectKeyword("DATA"); err != nil {
+			return UpdateOp{}, err
+		}
+		data, err := p.groundTriples(false)
+		if err != nil {
+			return UpdateOp{}, err
+		}
+		return UpdateOp{Kind: InsertData, Data: data}, nil
+	case p.isKeyword("DELETE"):
+		p.pos++
+		switch {
+		case p.isKeyword("DATA"):
+			p.pos++
+			// DELETE DATA forbids blank nodes: a blank node label denotes
+			// an unknown node, so "delete this exact triple" is undefined.
+			data, err := p.groundTriples(true)
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			return UpdateOp{Kind: DeleteData, Data: data}, nil
+		case p.isKeyword("WHERE"):
+			p.pos++
+			where, err := p.deleteWherePattern()
+			if err != nil {
+				return UpdateOp{}, err
+			}
+			return UpdateOp{Kind: DeleteWhere, Where: where}, nil
+		default:
+			return UpdateOp{}, p.errf("expected DATA or WHERE after DELETE, found %q", p.cur().text)
+		}
+	default:
+		return UpdateOp{}, p.errf("expected INSERT or DELETE, found %q", p.cur().text)
+	}
+}
+
+// groundTriples parses a braced block of ground triples (no variables;
+// optionally no blank nodes either).
+func (p *parser) groundTriples(forbidBlank bool) ([]rdf.Triple, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	g := &GroupPattern{}
+	for !p.isPunct("}") {
+		if p.cur().kind == tokEOF {
+			return nil, p.errf("unexpected end of update inside data block")
+		}
+		if err := p.triplesBlock(g); err != nil {
+			return nil, err
+		}
+	}
+	p.pos++ // '}'
+	out := make([]rdf.Triple, 0, len(g.Triples))
+	for _, tp := range g.Triples {
+		t, err := groundTriple(tp, forbidBlank)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// groundTriple converts a pattern to a concrete triple, rejecting
+// variables (and blank nodes when forbidden).
+func groundTriple(tp TriplePattern, forbidBlank bool) (rdf.Triple, error) {
+	for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+		if tv.IsVar {
+			return rdf.Triple{}, fmt.Errorf("variable ?%s is not allowed in a data block", tv.Name)
+		}
+		if forbidBlank && tv.Term.IsBlank() {
+			return rdf.Triple{}, fmt.Errorf("blank node _:%s is not allowed in DELETE DATA", tv.Term.Value)
+		}
+	}
+	return rdf.Triple{S: tp.S.Term, P: tp.P.Term, O: tp.O.Term}, nil
+}
+
+// deleteWherePattern parses the braced pattern of DELETE WHERE and
+// restricts it to a basic graph pattern: the pattern is also the deletion
+// template, and only plain triples instantiate to deletable triples.
+func (p *parser) deleteWherePattern() (*GroupPattern, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	g, err := p.groupPattern()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	if len(g.Filters) > 0 || len(g.SubSelects) > 0 || len(g.Optionals) > 0 ||
+		len(g.Unions) > 0 || len(g.Values) > 0 {
+		return nil, p.errf("DELETE WHERE supports basic graph patterns only")
+	}
+	if len(g.Triples) == 0 {
+		return nil, p.errf("DELETE WHERE requires at least one triple pattern")
+	}
+	for _, tp := range g.Triples {
+		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+			if !tv.IsVar && tv.Term.IsBlank() {
+				return nil, p.errf("blank nodes are not allowed in DELETE WHERE")
+			}
+		}
+	}
+	return g, nil
+}
+
+// UpdateOps evaluates a parsed update against the engine's store and
+// returns the full request as one ordered mutation list: ground data
+// blocks become their insert/delete ops verbatim, and each DELETE WHERE
+// pattern is matched against the current snapshot with its solutions
+// instantiating the pattern's triples. The caller applies the list as one
+// atomic delta (store.Store.Apply), which is what makes a multi-operation
+// request atomic.
+func (e *Engine) UpdateOps(ctx context.Context, u *Update) ([]rdf.TripleOp, error) {
+	var ops []rdf.TripleOp
+	for _, op := range u.Ops {
+		switch op.Kind {
+		case InsertData:
+			for _, t := range op.Data {
+				ops = append(ops, rdf.Insert(t))
+			}
+		case DeleteData:
+			for _, t := range op.Data {
+				ops = append(ops, rdf.Delete(t))
+			}
+		case DeleteWhere:
+			matched, err := e.deleteWhereOps(ctx, u, op.Where)
+			if err != nil {
+				return nil, err
+			}
+			ops = append(ops, matched...)
+		default:
+			return nil, fmt.Errorf("sparql: unsupported update operation %v", op.Kind)
+		}
+	}
+	return ops, nil
+}
+
+// deleteWhereOps runs the pattern as SELECT * and instantiates the
+// pattern triples once per solution.
+func (e *Engine) deleteWhereOps(ctx context.Context, u *Update, where *GroupPattern) ([]rdf.TripleOp, error) {
+	q := &Query{Star: true, Where: where, Limit: -1, Prefixes: u.Prefixes}
+	res, err := e.Execute(ctx, q)
+	if err != nil {
+		return nil, err
+	}
+	var ops []rdf.TripleOp
+	seen := make(map[rdf.Triple]struct{})
+	for i, row := range res.Rows {
+		if i%cancelCheckInterval == cancelCheckInterval-1 {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("sparql: %w", err)
+			}
+		}
+		for _, tp := range where.Triples {
+			t, ok := instantiate(tp, row)
+			if !ok {
+				continue // unbound position: the solution skips this template triple
+			}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			ops = append(ops, rdf.Delete(t))
+		}
+	}
+	return ops, nil
+}
+
+// instantiate substitutes a solution's bindings into a triple pattern.
+// ok is false when a variable position is unbound in the solution.
+func instantiate(tp TriplePattern, row Solution) (rdf.Triple, bool) {
+	var t rdf.Triple
+	for i, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+		term := tv.Term
+		if tv.IsVar {
+			bound, ok := row[tv.Name]
+			if !ok || bound.IsZero() {
+				return rdf.Triple{}, false
+			}
+			term = bound
+		}
+		switch i {
+		case 0:
+			t.S = term
+		case 1:
+			t.P = term
+		default:
+			t.O = term
+		}
+	}
+	return t, true
+}

@@ -1,0 +1,441 @@
+package store
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"elinda/internal/rdf"
+)
+
+// The differential delete oracle: drive Store.Apply with random
+// insert/delete interleavings and check, after every delta, that the
+// mutated store is observationally equivalent to a fresh store loaded
+// with exactly the surviving triples in surviving insertion order. The
+// model is a plain ordered slice; anything the two stores disagree on —
+// length, scan order, membership, pattern cardinalities, match sets,
+// predicate indexes — is a bug in the tombstone/overlay bookkeeping.
+
+// oracleModel is the reference implementation of the mutation
+// semantics: an insertion-ordered survivor list.
+type oracleModel struct {
+	order []rdf.Triple
+	seen  map[rdf.Triple]bool
+}
+
+func newOracleModel() *oracleModel {
+	return &oracleModel{seen: make(map[rdf.Triple]bool)}
+}
+
+// apply mutates the model with one op and reports whether the op was
+// effective (changed membership).
+func (m *oracleModel) apply(op rdf.TripleOp) bool {
+	present := m.seen[op.Triple]
+	if op.Del != present {
+		return false
+	}
+	if op.Del {
+		delete(m.seen, op.Triple)
+		for i, t := range m.order {
+			if t == op.Triple {
+				m.order = append(m.order[:i], m.order[i+1:]...)
+				break
+			}
+		}
+	} else {
+		m.seen[op.Triple] = true
+		m.order = append(m.order, op.Triple)
+	}
+	return true
+}
+
+// oracleUniverse builds a small dense triple universe so random ops
+// collide constantly: inserts of present triples, deletes of absent
+// ones, re-inserts after deletes.
+func oracleUniverse() []rdf.Triple {
+	var u []rdf.Triple
+	subjects := []string{"s0", "s1", "s2", "s3", "s4", "s5"}
+	preds := []string{"p0", "p1", "p2", "p3"}
+	objects := []string{"o0", "o1", "o2", "o3", "o4", "o5"}
+	for _, s := range subjects {
+		for _, p := range preds {
+			for _, o := range objects {
+				u = append(u, mkTriple(s, p, o))
+			}
+		}
+	}
+	return u
+}
+
+// assertStoreMatchesModel checks every observable read surface of st
+// against both the model order and a fresh Load of the same survivors.
+func assertStoreMatchesModel(t *testing.T, st *Store, model *oracleModel, universe []rdf.Triple) {
+	t.Helper()
+
+	// Length and insertion-order scan.
+	if st.Len() != len(model.order) {
+		t.Fatalf("Len = %d, model has %d survivors", st.Len(), len(model.order))
+	}
+	snap := st.Snapshot()
+	var scanned []rdf.Triple
+	snap.Scan(0, 0, func(e rdf.EncodedTriple) bool {
+		scanned = append(scanned, snap.Triple(e))
+		return true
+	})
+	if !reflect.DeepEqual(scanned, model.order) && !(len(scanned) == 0 && len(model.order) == 0) {
+		t.Fatalf("scan order diverged from model:\n got %v\nwant %v", scanned, model.order)
+	}
+
+	// Membership over the whole universe.
+	for _, u := range universe {
+		if got, want := st.ContainsTriple(u), model.seen[u]; got != want {
+			t.Fatalf("ContainsTriple(%v) = %v, model says %v", u, got, want)
+		}
+	}
+
+	// A fresh store loaded with the survivors is the ground truth for
+	// everything pattern-shaped.
+	fresh := New(len(model.order))
+	if _, err := fresh.Load(append([]rdf.Triple(nil), model.order...)); err != nil {
+		t.Fatalf("fresh load: %v", err)
+	}
+	assertSameReadSurface(t, st, fresh, universe)
+}
+
+// assertSameReadSurface compares pattern matching between the mutated
+// store and the freshly loaded one, translating terms through each
+// store's own dictionary (the mutated dictionary retains terms of
+// deleted triples; the fresh one never saw them).
+func assertSameReadSurface(t *testing.T, mutated, fresh *Store, universe []rdf.Triple) {
+	t.Helper()
+	terms := make(map[rdf.Term]struct{})
+	for _, u := range universe {
+		terms[u.S] = struct{}{}
+		terms[u.P] = struct{}{}
+		terms[u.O] = struct{}{}
+	}
+	lookup := func(st *Store, tm rdf.Term) rdf.ID {
+		id, ok := st.Dict().Lookup(tm)
+		if !ok {
+			return rdf.NoID
+		}
+		return id
+	}
+	matchSet := func(st *Store, s, p, o rdf.Term) []rdf.Triple {
+		sid, pid, oid := lookup(st, s), lookup(st, p), lookup(st, o)
+		// An unknown constant can never match (NoID from a named term
+		// means the store never interned it).
+		if (s != rdf.Term{} && sid == rdf.NoID) || (p != rdf.Term{} && pid == rdf.NoID) || (o != rdf.Term{} && oid == rdf.NoID) {
+			return nil
+		}
+		var out []rdf.Triple
+		st.Match(sid, pid, oid, func(e rdf.EncodedTriple) bool {
+			out = append(out, st.Triple(e))
+			return true
+		})
+		sort.Slice(out, func(i, j int) bool { return tripleLess(out[i], out[j]) })
+		return out
+	}
+	var zero rdf.Term
+	patterns := [][3]rdf.Term{{zero, zero, zero}}
+	for tm := range terms {
+		patterns = append(patterns,
+			[3]rdf.Term{tm, zero, zero},
+			[3]rdf.Term{zero, tm, zero},
+			[3]rdf.Term{zero, zero, tm})
+	}
+	for _, u := range universe {
+		patterns = append(patterns,
+			[3]rdf.Term{u.S, u.P, zero},
+			[3]rdf.Term{u.S, zero, u.O},
+			[3]rdf.Term{zero, u.P, u.O},
+			[3]rdf.Term{u.S, u.P, u.O})
+	}
+	for _, pat := range patterns {
+		got := matchSet(mutated, pat[0], pat[1], pat[2])
+		want := matchSet(fresh, pat[0], pat[1], pat[2])
+		if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+			t.Fatalf("Match(%v) diverged:\n got %v\nwant %v", pat, got, want)
+		}
+		gotN := cardOf(mutated, pat, lookup)
+		wantN := cardOf(fresh, pat, lookup)
+		if gotN != wantN || gotN != len(want) {
+			t.Fatalf("CardMatch(%v) = %d (mutated) vs %d (fresh), match set has %d", pat, gotN, wantN, len(want))
+		}
+	}
+
+	// Predicate indexes per node.
+	for tm := range terms {
+		gp := decodedIDs(mutated, mutated.PredicatesOf(lookup(mutated, tm)))
+		fp := decodedIDs(fresh, fresh.PredicatesOf(lookup(fresh, tm)))
+		if !reflect.DeepEqual(gp, fp) && !(len(gp) == 0 && len(fp) == 0) {
+			t.Fatalf("PredicatesOf(%v) diverged: got %v want %v", tm, gp, fp)
+		}
+		gi := decodedIDs(mutated, mutated.PredicatesInto(lookup(mutated, tm)))
+		fi := decodedIDs(fresh, fresh.PredicatesInto(lookup(fresh, tm)))
+		if !reflect.DeepEqual(gi, fi) && !(len(gi) == 0 && len(fi) == 0) {
+			t.Fatalf("PredicatesInto(%v) diverged: got %v want %v", tm, gi, fi)
+		}
+	}
+}
+
+func cardOf(st *Store, pat [3]rdf.Term, lookup func(*Store, rdf.Term) rdf.ID) int {
+	var zero rdf.Term
+	ids := [3]rdf.ID{}
+	for i, tm := range pat {
+		if tm == zero {
+			ids[i] = rdf.NoID
+			continue
+		}
+		ids[i] = lookup(st, tm)
+		if ids[i] == rdf.NoID {
+			return 0
+		}
+	}
+	return st.CardMatch(ids[0], ids[1], ids[2])
+}
+
+func decodedIDs(st *Store, ids []rdf.ID) []string {
+	out := make([]string, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, st.Dict().Term(id).Value)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func tripleLess(a, b rdf.Triple) bool {
+	if a.S != b.S {
+		return a.S.Value < b.S.Value
+	}
+	if a.P != b.P {
+		return a.P.Value < b.P.Value
+	}
+	return a.O.Value < b.O.Value
+}
+
+// TestApplyDeleteOracle is the main differential run: many seeds, many
+// deltas per seed, random op mixes heavy enough to cross the fold and
+// compaction thresholds repeatedly.
+func TestApplyDeleteOracle(t *testing.T) {
+	universe := oracleUniverse()
+	seeds := 12
+	deltas := 25
+	if testing.Short() {
+		seeds, deltas = 4, 10
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(1000 + seed)))
+		st := New(0)
+		model := newOracleModel()
+		for d := 0; d < deltas; d++ {
+			nOps := 1 + rng.Intn(12)
+			ops := make([]rdf.TripleOp, 0, nOps)
+			for i := 0; i < nOps; i++ {
+				tr := universe[rng.Intn(len(universe))]
+				if rng.Intn(100) < 45 {
+					ops = append(ops, rdf.Delete(tr))
+				} else {
+					ops = append(ops, rdf.Insert(tr))
+				}
+			}
+			effective := 0
+			before := make(map[rdf.Triple]bool, len(model.seen))
+			for k := range model.seen {
+				before[k] = true
+			}
+			for _, op := range ops {
+				if model.apply(op) {
+					effective++
+				}
+			}
+			genBefore := st.Generation()
+			res, err := st.Apply(DeltaOf(ops...))
+			if err != nil {
+				t.Fatalf("seed %d delta %d: Apply: %v", seed, d, err)
+			}
+			if res.From != genBefore {
+				t.Fatalf("seed %d delta %d: From = %d, generation was %d", seed, d, res.From, genBefore)
+			}
+			if res.To-res.From != uint64(effective) {
+				t.Fatalf("seed %d delta %d: generation advanced %d, %d ops were effective", seed, d, res.To-res.From, effective)
+			}
+			assertNetAgainstModel(t, st, res, before, model.seen)
+			// Full read-surface check every few deltas (it is quadratic in
+			// the universe), membership-only in between.
+			if d%5 == 4 || d == deltas-1 {
+				assertStoreMatchesModel(t, st, model, universe)
+			} else if st.Len() != len(model.order) {
+				t.Fatalf("seed %d delta %d: Len = %d, model %d", seed, d, st.Len(), len(model.order))
+			}
+		}
+	}
+}
+
+// assertNetAgainstModel checks the reported net membership changes
+// against the model's before/after sets.
+func assertNetAgainstModel(t *testing.T, st *Store, res ApplyResult, before, after map[rdf.Triple]bool) {
+	t.Helper()
+	wantIns := make(map[rdf.Triple]bool)
+	wantDel := make(map[rdf.Triple]bool)
+	for k := range after {
+		if !before[k] {
+			wantIns[k] = true
+		}
+	}
+	for k := range before {
+		if !after[k] {
+			wantDel[k] = true
+		}
+	}
+	// Re-log moves (delete + re-insert of a present triple in one delta)
+	// legitimately appear in both slices; membership-net entries must
+	// cover exactly the model diff.
+	gotIns := make(map[rdf.Triple]bool)
+	for _, e := range res.NetInserts {
+		gotIns[st.Triple(e)] = true
+	}
+	gotDel := make(map[rdf.Triple]bool)
+	for _, e := range res.NetDeletes {
+		gotDel[st.Triple(e)] = true
+	}
+	for k := range wantIns {
+		if !gotIns[k] {
+			t.Fatalf("NetInserts missing %v", k)
+		}
+	}
+	for k := range wantDel {
+		if !gotDel[k] {
+			t.Fatalf("NetDeletes missing %v", k)
+		}
+	}
+	for k := range gotIns {
+		if !wantIns[k] && !gotDel[k] {
+			t.Fatalf("NetInserts contains %v which the model says was already present", k)
+		}
+	}
+	for k := range gotDel {
+		if !wantDel[k] && !gotIns[k] {
+			t.Fatalf("NetDeletes contains %v which the model says stayed present", k)
+		}
+	}
+	if res.Inserted != len(res.NetInserts) || res.Deleted != len(res.NetDeletes) {
+		t.Fatalf("counters disagree with slices: %d/%d vs %d/%d",
+			res.Inserted, res.Deleted, len(res.NetInserts), len(res.NetDeletes))
+	}
+}
+
+// TestApplyEdgeCases pins the intra-delta ordering semantics directly.
+func TestApplyEdgeCases(t *testing.T) {
+	a, b := mkTriple("ea", "p", "x"), mkTriple("eb", "p", "x")
+
+	t.Run("empty delta", func(t *testing.T) {
+		st := New(0)
+		res, err := st.Apply(Delta{})
+		if err != nil || res.Changed() {
+			t.Fatalf("empty delta: res=%+v err=%v", res, err)
+		}
+	})
+
+	t.Run("insert then delete is transient", func(t *testing.T) {
+		st := New(0)
+		var d Delta
+		d.Insert(a)
+		d.Delete(a)
+		res, err := st.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.To-res.From != 2 {
+			t.Fatalf("two effective ops expected, generation moved %d", res.To-res.From)
+		}
+		if res.Inserted != 0 || res.Deleted != 0 || st.Len() != 0 {
+			t.Fatalf("transient triple leaked: %+v len=%d", res, st.Len())
+		}
+		if st.ContainsTriple(a) {
+			t.Fatal("transient triple still visible")
+		}
+	})
+
+	t.Run("delete then reinsert moves to log end", func(t *testing.T) {
+		st := New(0)
+		if _, err := st.Load([]rdf.Triple{a, b}); err != nil {
+			t.Fatal(err)
+		}
+		var d Delta
+		d.Delete(a)
+		d.Insert(a)
+		res, err := st.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Inserted != 1 || res.Deleted != 1 {
+			t.Fatalf("re-log should net one insert and one delete: %+v", res)
+		}
+		want := []rdf.Triple{b, a}
+		var got []rdf.Triple
+		snap := st.Snapshot()
+		snap.Scan(0, 0, func(e rdf.EncodedTriple) bool {
+			got = append(got, snap.Triple(e))
+			return true
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("log order after re-insert: got %v want %v", got, want)
+		}
+	})
+
+	t.Run("delete of absent and insert of present are no-ops", func(t *testing.T) {
+		st := New(0)
+		if _, err := st.Load([]rdf.Triple{a}); err != nil {
+			t.Fatal(err)
+		}
+		gen := st.Generation()
+		var d Delta
+		d.Delete(b)
+		d.Insert(a)
+		res, err := st.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Changed() || st.Generation() != gen {
+			t.Fatalf("no-op delta changed the store: %+v", res)
+		}
+	})
+
+	t.Run("invalid triple rejects whole delta", func(t *testing.T) {
+		st := New(0)
+		bad := rdf.Triple{S: rdf.NewLiteral("x"), P: iri("p"), O: iri("o")}
+		var d Delta
+		d.Insert(a)
+		d.Op(rdf.Insert(bad))
+		if _, err := st.Apply(d); err == nil {
+			t.Fatal("invalid op accepted")
+		}
+		if st.Len() != 0 {
+			t.Fatal("partial delta applied")
+		}
+	})
+}
+
+// TestApplySnapshotReadersUnaffected: a reader holding the pre-delta
+// snapshot keeps seeing the old state after deletes land.
+func TestApplySnapshotReadersUnaffected(t *testing.T) {
+	st := New(0)
+	a, b := mkTriple("ra", "p", "x"), mkTriple("rb", "p", "x")
+	if _, err := st.Load([]rdf.Triple{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	old := st.Snapshot()
+	var d Delta
+	d.Delete(a)
+	if _, err := st.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	if !old.ContainsTriple(a) || old.Len() != 2 {
+		t.Fatal("pinned snapshot observed the delete")
+	}
+	if st.ContainsTriple(a) || st.Len() != 1 {
+		t.Fatal("live store missed the delete")
+	}
+}

@@ -126,7 +126,9 @@ func (s *Snapshot) WriteSnapshot(w io.Writer) error {
 // exactly that version, not whatever is current by the time the bytes
 // flow.
 func writeSnapshot(snap *Snapshot, w io.Writer) error {
-	if !snap.overlayEmpty() {
+	if !snap.overlayEmpty() || !snap.tombEmpty() {
+		// Fold recent Adds in and drop tombstoned triples: the file always
+		// holds the steady-state layout with no masked rows.
 		snap = compacted(snap)
 	}
 	terms := snap.dict.Terms()

@@ -54,8 +54,20 @@ type Snapshot struct {
 	// O(1) instead of O(delta) per insert.
 	tail []rdf.EncodedTriple
 
-	// log is the full insertion-order triple log (base + delta + tail).
-	// The prefix up to len(log) is immutable; writers only ever append.
+	// Tombstones: base-resident triples deleted since the base was built,
+	// sorted per permutation order (delSPO in SPO order, and so on).
+	// Reads subtract them from base results; a fold/compaction drops the
+	// triples physically. Deletes of overlay-resident triples never
+	// become tombstones — they are filtered out of the delta/tail arrays
+	// directly — so the overlay and the tombstone set are disjoint and a
+	// tombstoned triple is never in log.
+	delSPO []rdf.EncodedTriple
+	delPOS []rdf.EncodedTriple
+	delOSP []rdf.EncodedTriple
+
+	// log is the full insertion-order triple log (base + delta + tail,
+	// minus deleted triples). Between deletes writers only ever append;
+	// a delete republishes a filtered copy.
 	log []rdf.EncodedTriple
 
 	generation uint64
@@ -147,6 +159,16 @@ func (s *Store) Snapshot() *Snapshot { return s.snap.Load() }
 // immutable data); publishing the result requires holding writeMu.
 func compacted(snap *Snapshot) *Snapshot {
 	out := *snap
+	if !snap.tombEmpty() {
+		// Deletes to fold in: rebuild from the log (which already excludes
+		// every deleted triple), physically dropping the tombstoned rows.
+		// A linear three-way merge (base minus tombstones plus delta)
+		// would be cheaper but the tombstone bound keeps this rare.
+		out.base = buildColumnar(snap.log)
+		out.deltaSPO, out.deltaPOS, out.deltaOSP, out.tail = nil, nil, nil, nil
+		out.delSPO, out.delPOS, out.delOSP = nil, nil, nil
+		return &out
+	}
 	out.deltaSPO = foldTail(snap.deltaSPO, snap.tail, cmpSPO)
 	out.deltaPOS = foldTail(snap.deltaPOS, snap.tail, cmpPOS)
 	out.deltaOSP = foldTail(snap.deltaOSP, snap.tail, cmpOSP)
@@ -177,56 +199,14 @@ func maxDelta(base *columnar) int {
 	return minDeltaCompact
 }
 
-// Add inserts one term-level triple, returning whether it was new. The
-// triple lands in the snapshot overlay and is visible to store reads
-// immediately; overlay maintenance (tail fold, base compaction) is
+// Add inserts one term-level triple, returning whether it was new. It is
+// a thin wrapper over Apply — a one-op insert delta — so the triple
+// lands in the snapshot overlay and is visible to store reads
+// immediately, with overlay maintenance (tail fold, base compaction)
 // amortized O(1) per insert.
 func (s *Store) Add(t rdf.Triple) (bool, error) {
-	if err := t.Validate(); err != nil {
-		return false, fmt.Errorf("store: %w", err)
-	}
-	s.writeMu.Lock()
-	defer s.writeMu.Unlock()
-	snap := s.snap.Load()
-	var e rdf.EncodedTriple
-	if s.wal != nil {
-		// Durability before acknowledgement — and before interning. The
-		// duplicate check runs on a lookup that does not grow the
-		// dictionary, the triple reaches the log (as durably as its sync
-		// policy promises), and only then are its terms interned. A log
-		// failure therefore rejects the write without leaving any trace:
-		// the store, its dictionary and the log never disagree on what
-		// was acknowledged, and a snapshot taken later describes exactly
-		// the acknowledged triples.
-		if enc, known := lookupEncoded(s.dict, t); known && snap.Contains(enc) {
-			return false, nil
-		}
-		if err := s.wal.Append(t); err != nil {
-			return false, fmt.Errorf("store: %w", err)
-		}
-		e = s.dict.Encode(t)
-	} else {
-		e = s.dict.Encode(t)
-		if snap.Contains(e) {
-			return false, nil
-		}
-	}
-	next := *snap
-	next.tail = append(snap.tail, e)
-	next.log = append(snap.log, e)
-	next.generation = snap.generation + 1
-	if len(next.tail) >= tailMax {
-		next.deltaSPO = foldTail(next.deltaSPO, next.tail, cmpSPO)
-		next.deltaPOS = foldTail(next.deltaPOS, next.tail, cmpPOS)
-		next.deltaOSP = foldTail(next.deltaOSP, next.tail, cmpOSP)
-		next.tail = nil
-		if len(next.deltaSPO) >= maxDelta(next.base) {
-			s.snap.Store(compacted(&next))
-			return true, nil
-		}
-	}
-	s.snap.Store(&next)
-	return true, nil
+	res, err := s.Apply(DeltaOf(rdf.Insert(t)))
+	return res.Inserted > 0, err
 }
 
 // lookupEncoded encodes t if and only if all three terms are already
@@ -405,6 +385,7 @@ func applyBatch(snap *Snapshot, batch []rdf.EncodedTriple) *Snapshot {
 	}
 	next.base = buildColumnar(next.log)
 	next.deltaSPO, next.deltaPOS, next.deltaOSP, next.tail = nil, nil, nil, nil
+	next.delSPO, next.delPOS, next.delOSP = nil, nil, nil
 	return &next
 }
 
@@ -457,11 +438,26 @@ func (s *Snapshot) LabelID() rdf.ID { return s.labelID }
 // overlayEmpty reports whether every triple lives in the columnar base.
 func (s *Snapshot) overlayEmpty() bool { return len(s.deltaSPO) == 0 && len(s.tail) == 0 }
 
+// tombEmpty reports whether no base triple is masked by a tombstone.
+func (s *Snapshot) tombEmpty() bool { return len(s.delSPO) == 0 }
+
+// tombstoned reports whether a base-resident triple is masked by a
+// delete — O(log tombstones).
+func (s *Snapshot) tombstoned(e rdf.EncodedTriple) bool {
+	d := s.delSPO
+	if len(d) == 0 {
+		return false
+	}
+	i := sort.Search(len(d), func(i int) bool { return cmpSPO(d[i], e) >= 0 })
+	return i < len(d) && d[i] == e
+}
+
 // Contains reports whether the encoded triple is present — two binary
-// searches plus a posting probe on the base, O(log delta) on the sorted
-// delta, and a bounded linear scan of the recent-adds tail.
+// searches plus a posting probe on the base (minus tombstones), O(log
+// delta) on the sorted delta, and a bounded linear scan of the
+// recent-adds tail.
 func (s *Snapshot) Contains(e rdf.EncodedTriple) bool {
-	if s.base.containsID(e.S, e.P, e.O) {
+	if s.base.containsID(e.S, e.P, e.O) && !s.tombstoned(e) {
 		return true
 	}
 	if d := s.deltaSPO; len(d) > 0 {
@@ -533,7 +529,16 @@ func (s *Snapshot) Match(sub, pred, obj rdf.ID, fn func(rdf.EncodedTriple) bool)
 		}
 		return
 	}
-	if !s.base.match(sub, pred, obj, fn) {
+	baseFn := fn
+	if !s.tombEmpty() {
+		baseFn = func(e rdf.EncodedTriple) bool {
+			if s.tombstoned(e) {
+				return true // masked: skip, keep iterating
+			}
+			return fn(e)
+		}
+	}
+	if !s.base.match(sub, pred, obj, baseFn) {
 		return
 	}
 	if s.overlayEmpty() {
@@ -617,6 +622,9 @@ func (s *Snapshot) CountMatch(sub, pred, obj rdf.ID) int {
 // what the query planner's selectivity estimates are built on.
 func (s *Snapshot) CardMatch(sub, pred, obj rdf.ID) int {
 	n := s.base.card(sub, pred, obj)
+	if !s.tombEmpty() {
+		n -= s.tombCard(sub, pred, obj)
+	}
 	if s.overlayEmpty() {
 		return n
 	}
@@ -649,38 +657,78 @@ func (s *Snapshot) CardMatch(sub, pred, obj rdf.ID) int {
 	return n
 }
 
+// tombCard returns the number of tombstoned base triples matching the
+// pattern — the exact amount CardMatch must subtract from the base
+// count. Same O(log) prefix searches as the sorted delta, over the
+// tombstone arrays.
+func (s *Snapshot) tombCard(sub, pred, obj rdf.ID) int {
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		if s.tombstoned(rdf.EncodedTriple{S: sub, P: pred, O: obj}) {
+			return 1
+		}
+		return 0
+	case sub != rdf.NoID && pred != rdf.NoID:
+		return len(deltaPrefix(s.delSPO, keySPO, sub, pred, true))
+	case pred != rdf.NoID && obj != rdf.NoID:
+		return len(deltaPrefix(s.delPOS, keyPOS, pred, obj, true))
+	case sub != rdf.NoID && obj != rdf.NoID:
+		return len(deltaPrefix(s.delOSP, keyOSP, obj, sub, true))
+	case sub != rdf.NoID:
+		return len(deltaPrefix(s.delSPO, keySPO, sub, rdf.NoID, false))
+	case pred != rdf.NoID:
+		return len(deltaPrefix(s.delPOS, keyPOS, pred, rdf.NoID, false))
+	case obj != rdf.NoID:
+		return len(deltaPrefix(s.delOSP, keyOSP, obj, rdf.NoID, false))
+	default:
+		return len(s.delSPO)
+	}
+}
+
 // overlaySingle extracts the single-wildcard values of a Postings-shaped
 // pattern from the overlay, sorted.
 func (s *Snapshot) overlaySingle(sub, pred, obj rdf.ID) []rdf.ID {
-	var span []rdf.EncodedTriple
-	var pick func(e rdf.EncodedTriple) rdf.ID
-	var matches func(e rdf.EncodedTriple) bool
-	switch {
-	case sub != rdf.NoID && pred != rdf.NoID && obj == rdf.NoID:
-		span = deltaPrefix(s.deltaSPO, keySPO, sub, pred, true)
-		pick = func(e rdf.EncodedTriple) rdf.ID { return e.O }
-		matches = func(e rdf.EncodedTriple) bool { return e.S == sub && e.P == pred }
-	case sub == rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
-		span = deltaPrefix(s.deltaPOS, keyPOS, pred, obj, true)
-		pick = func(e rdf.EncodedTriple) rdf.ID { return e.S }
-		matches = func(e rdf.EncodedTriple) bool { return e.P == pred && e.O == obj }
-	default: // (s, ?, o)
-		span = deltaPrefix(s.deltaOSP, keyOSP, obj, sub, true)
-		pick = func(e rdf.EncodedTriple) rdf.ID { return e.P }
-		matches = func(e rdf.EncodedTriple) bool { return e.S == sub && e.O == obj }
-	}
-	var out []rdf.ID
-	for _, e := range span {
-		out = append(out, pick(e)) // span is sorted by the picked position
-	}
+	out := extractSingle(s.deltaSPO, s.deltaPOS, s.deltaOSP, sub, pred, obj)
 	tailStart := len(out)
 	for _, e := range s.tail {
-		if matches(e) {
-			out = append(out, pick(e))
+		if matchesPattern(e, sub, pred, obj) {
+			out = append(out, pickSingle(e, sub, pred, obj))
 		}
 	}
 	if tailStart < len(out) {
 		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	}
+	return out
+}
+
+// pickSingle returns e's value at the pattern's single wildcard position.
+func pickSingle(e rdf.EncodedTriple, sub, pred, obj rdf.ID) rdf.ID {
+	switch {
+	case obj == rdf.NoID:
+		return e.O
+	case sub == rdf.NoID:
+		return e.S
+	default:
+		return e.P
+	}
+}
+
+// extractSingle pulls the single-wildcard values of a Postings-shaped
+// pattern out of one permutation-sorted triple-array family (the overlay
+// deltas or the tombstones), sorted ascending.
+func extractSingle(spo, pos, osp []rdf.EncodedTriple, sub, pred, obj rdf.ID) []rdf.ID {
+	var span []rdf.EncodedTriple
+	switch {
+	case sub != rdf.NoID && pred != rdf.NoID && obj == rdf.NoID:
+		span = deltaPrefix(spo, keySPO, sub, pred, true)
+	case sub == rdf.NoID && pred != rdf.NoID && obj != rdf.NoID:
+		span = deltaPrefix(pos, keyPOS, pred, obj, true)
+	default: // (s, ?, o)
+		span = deltaPrefix(osp, keyOSP, obj, sub, true)
+	}
+	var out []rdf.ID
+	for _, e := range span {
+		out = append(out, pickSingle(e, sub, pred, obj)) // span is sorted by the picked position
 	}
 	return out
 }
@@ -716,6 +764,13 @@ func (s *Snapshot) Postings(sub, pred, obj rdf.ID) (ids []rdf.ID, ok bool) {
 	if !ok {
 		return nil, false
 	}
+	if !s.tombEmpty() {
+		// Tombstoned postings are subtracted; keys no delete touches keep
+		// the zero-copy view.
+		if dead := extractSingle(s.delSPO, s.delPOS, s.delOSP, sub, pred, obj); len(dead) > 0 {
+			base = subtractSorted(base, dead)
+		}
+	}
 	if s.overlayEmpty() {
 		return base, true
 	}
@@ -724,6 +779,23 @@ func (s *Snapshot) Postings(sub, pred, obj rdf.ID) (ids []rdf.ID, ok bool) {
 		return base, true
 	}
 	return mergeSortedIDs(base, extra), true
+}
+
+// subtractSorted returns a with the members of b removed; both inputs
+// are sorted and duplicate-free, and a is never mutated.
+func subtractSorted(a, b []rdf.ID) []rdf.ID {
+	out := make([]rdf.ID, 0, len(a))
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
 }
 
 // Objects returns the sorted object IDs of triples (sub, pred, ?) —
@@ -751,7 +823,11 @@ func (s *Snapshot) SubjectsOfType(class rdf.ID) []rdf.ID {
 // index's second level; do not modify it.
 func (s *Snapshot) PredicatesOf(sub rdf.ID) []rdf.ID {
 	base := s.base.spo.bKeysOf(sub)
-	if s.overlayEmpty() {
+	var dead []rdf.EncodedTriple
+	if !s.tombEmpty() {
+		dead = deltaPrefix(s.delSPO, keySPO, sub, rdf.NoID, false)
+	}
+	if s.overlayEmpty() && len(dead) == 0 {
 		return base
 	}
 	extra := deltaPrefix(s.deltaSPO, keySPO, sub, rdf.NoID, false)
@@ -761,11 +837,21 @@ func (s *Snapshot) PredicatesOf(sub rdf.ID) []rdf.ID {
 			tailPreds = append(tailPreds, e.P)
 		}
 	}
-	if len(extra) == 0 && len(tailPreds) == 0 {
+	if len(extra) == 0 && len(tailPreds) == 0 && len(dead) == 0 {
 		return base
 	}
 	merged := make([]rdf.ID, 0, len(base)+len(extra)+len(tailPreds))
-	merged = append(merged, base...)
+	if len(dead) == 0 {
+		merged = append(merged, base...)
+	} else {
+		// A base predicate stays live iff it has more base postings than
+		// tombstones on this subject.
+		for _, p := range base {
+			if s.base.card(sub, p, rdf.NoID) > len(deltaPrefix(dead, keySPO, sub, p, true)) {
+				merged = append(merged, p)
+			}
+		}
+	}
 	for _, e := range extra {
 		merged = append(merged, e.P)
 	}
@@ -780,7 +866,18 @@ func (s *Snapshot) PredicatesOf(sub rdf.ID) []rdf.ID {
 func (s *Snapshot) PredicatesInto(obj rdf.ID) []rdf.ID {
 	span := s.base.osp.cSpanOf(obj)
 	out := make([]rdf.ID, 0, len(span))
-	out = append(out, span...)
+	if !s.tombEmpty() && len(deltaPrefix(s.delOSP, keyOSP, obj, rdf.NoID, false)) > 0 {
+		// Deletes touched this object: walk its base triples and keep the
+		// predicates of the live ones.
+		s.base.match(rdf.NoID, rdf.NoID, obj, func(e rdf.EncodedTriple) bool {
+			if !s.tombstoned(e) {
+				out = append(out, e.P)
+			}
+			return true
+		})
+	} else {
+		out = append(out, span...)
+	}
 	if !s.overlayEmpty() {
 		for _, e := range deltaPrefix(s.deltaOSP, keyOSP, obj, rdf.NoID, false) {
 			out = append(out, e.P)

@@ -15,6 +15,7 @@ import (
 type WriteAheadLog interface {
 	Append(t rdf.Triple) error
 	AppendBatch(ts []rdf.Triple) error
+	AppendOps(ops []rdf.TripleOp) error
 	Cut() (uint64, error)
 	TruncateBefore(cut uint64) error
 }

@@ -8,15 +8,19 @@ import (
 	"elinda/internal/rdf"
 )
 
-// fuzzSegmentBytes builds a valid segment (magic + n records) so the
-// fuzzer starts from well-formed input and mutates from there.
+// fuzzSegmentBytes builds a valid segment (magic + n records, every
+// third one a delete) so the fuzzer starts from well-formed input and
+// mutates from there.
 func fuzzSegmentBytes(n int) []byte {
 	b := []byte(segMagic)
 	for i := 0; i < n; i++ {
-		b = appendRecord(b, rdf.Triple{
-			S: rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i)),
-			P: rdf.NewIRI("http://ex/p"),
-			O: rdf.NewLangLiteral(fmt.Sprintf("o%d", i), "en"),
+		b = appendRecord(b, rdf.TripleOp{
+			Del: i%3 == 2,
+			Triple: rdf.Triple{
+				S: rdf.NewIRI(fmt.Sprintf("http://ex/s%d", i)),
+				P: rdf.NewIRI("http://ex/p"),
+				O: rdf.NewLangLiteral(fmt.Sprintf("o%d", i), "en"),
+			},
 		})
 	}
 	return b
@@ -24,7 +28,7 @@ func fuzzSegmentBytes(n int) []byte {
 
 // FuzzWALReplay feeds arbitrary bytes to the segment replay path. The
 // contract: it never panics, never errors on corruption (only fn/IO
-// errors propagate, and a bytes.Reader has neither), every triple it
+// errors propagate, and a bytes.Reader has neither), every op it
 // does deliver is valid, replay is deterministic, and a valid record
 // prefix replays exactly — corruption can only truncate, never
 // fabricate or reorder.
@@ -39,11 +43,13 @@ func FuzzWALReplay(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[len(segMagic)+2] ^= 0xff // corrupt the first record's header
 	f.Add(flipped)
+	v1 := append([]byte(segMagicV1), valid[len(segMagic):]...) // v1 header, v2 body
+	f.Add(v1)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		var got []rdf.Triple
-		n, err := replaySegment(bytes.NewReader(data), func(tr rdf.Triple) error {
-			got = append(got, tr)
+		var got []rdf.TripleOp
+		n, err := replaySegment(bytes.NewReader(data), func(op rdf.TripleOp) error {
+			got = append(got, op)
 			return nil
 		})
 		if err != nil {
@@ -52,15 +58,15 @@ func FuzzWALReplay(f *testing.F) {
 		if n != len(got) {
 			t.Fatalf("applied count %d != callbacks %d", n, len(got))
 		}
-		for i, tr := range got {
-			if err := tr.Validate(); err != nil {
+		for i, op := range got {
+			if err := op.Triple.Validate(); err != nil {
 				t.Fatalf("replayed triple %d invalid: %v", i, err)
 			}
 		}
 		// Determinism: a second pass over the same bytes agrees exactly.
-		var again []rdf.Triple
-		n2, err := replaySegment(bytes.NewReader(data), func(tr rdf.Triple) error {
-			again = append(again, tr)
+		var again []rdf.TripleOp
+		n2, err := replaySegment(bytes.NewReader(data), func(op rdf.TripleOp) error {
+			again = append(again, op)
 			return nil
 		})
 		if err != nil || n2 != n {
@@ -71,20 +77,32 @@ func FuzzWALReplay(f *testing.F) {
 				t.Fatalf("replay not deterministic at record %d", i)
 			}
 		}
-		// Prefix exactness: for a real segment (valid magic),
-		// re-encoding what replay recovered must reproduce a byte-prefix
-		// of the input. If it does not, replay fabricated or altered
-		// data instead of truncating. Without the magic nothing may
-		// replay at all.
-		if !bytes.HasPrefix(data, []byte(segMagic)) {
+		// Prefix exactness: for a real segment (valid magic of either
+		// version), re-encoding what replay recovered must reproduce a
+		// byte-prefix of the input. If it does not, replay fabricated or
+		// altered data instead of truncating. Without a magic nothing may
+		// replay at all. A v1 segment additionally must never deliver a
+		// delete op — delete records did not exist in that format.
+		var hdr []byte
+		switch {
+		case bytes.HasPrefix(data, []byte(segMagic)):
+			hdr = []byte(segMagic)
+		case bytes.HasPrefix(data, []byte(segMagicV1)):
+			hdr = []byte(segMagicV1)
+			for _, op := range got {
+				if op.Del {
+					t.Fatal("v1 segment replayed a delete record")
+				}
+			}
+		default:
 			if len(got) != 0 {
 				t.Fatalf("replayed %d records from a segment without magic", len(got))
 			}
 			return
 		}
-		enc := []byte(segMagic)
-		for _, tr := range got {
-			enc = appendRecord(enc, tr)
+		enc := append([]byte(nil), hdr...)
+		for _, op := range got {
+			enc = appendRecord(enc, op)
 		}
 		if len(enc) > len(data) || !bytes.Equal(enc, data[:len(enc)]) {
 			t.Fatalf("replayed records are not a byte-prefix of the input (%d records)", len(got))
@@ -98,7 +116,7 @@ func FuzzWALReplay(f *testing.F) {
 func TestFuzzSeedsReplayExactly(t *testing.T) {
 	for n := 0; n <= 4; n++ {
 		data := fuzzSegmentBytes(n)
-		applied, err := replaySegment(bytes.NewReader(data), func(rdf.Triple) error { return nil })
+		applied, err := replaySegment(bytes.NewReader(data), func(rdf.TripleOp) error { return nil })
 		if err != nil || applied != n {
 			t.Fatalf("clean segment with %d records: applied=%d err=%v", n, applied, err)
 		}
@@ -106,7 +124,7 @@ func TestFuzzSeedsReplayExactly(t *testing.T) {
 		if n > 0 {
 			prev := fuzzSegmentBytes(n - 1)
 			for cut := len(prev) + 1; cut < len(data); cut++ {
-				applied, err := replaySegment(bytes.NewReader(data[:cut]), func(rdf.Triple) error { return nil })
+				applied, err := replaySegment(bytes.NewReader(data[:cut]), func(rdf.TripleOp) error { return nil })
 				if err != nil || applied != n-1 {
 					t.Fatalf("torn at byte %d of %d records: applied=%d err=%v", cut, n, applied, err)
 				}

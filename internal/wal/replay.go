@@ -13,8 +13,24 @@ import (
 )
 
 // Replay reads every decodable record in the log in append order and
-// hands each triple to fn. It must run before the first Append (replay
-// feeds the recovered store; appending first would interleave epochs).
+// hands each insertion to fn. It is the insert-only view of ReplayOps:
+// a log holding delete records (written through AppendOps by the live
+// mutation path) aborts with an error, because silently dropping
+// deletes would resurrect deleted triples. Recovery paths should prefer
+// ReplayOps.
+func (w *WAL) Replay(fn func(rdf.Triple) error) (int, error) {
+	return w.ReplayOps(func(op rdf.TripleOp) error {
+		if op.Del {
+			return errors.New("wal: log contains delete records; recover with ReplayOps")
+		}
+		return fn(op.Triple)
+	})
+}
+
+// ReplayOps reads every decodable record in the log in append order and
+// hands each mutation op to fn. It must run before the first append
+// (replay feeds the recovered store; appending first would interleave
+// epochs).
 //
 // Torn tails are tolerated by construction, not by flag: within a
 // segment, replay stops at the first record that fails its length,
@@ -30,7 +46,7 @@ import (
 // reading a segment abort as well (unlike corruption, an unreadable
 // file is a real failure). The count of applied records is returned in
 // both cases.
-func (w *WAL) Replay(fn func(rdf.Triple) error) (int, error) {
+func (w *WAL) ReplayOps(fn func(rdf.TripleOp) error) (int, error) {
 	w.mu.Lock()
 	if w.replayed {
 		w.mu.Unlock()
@@ -75,12 +91,21 @@ func (w *WAL) Replay(fn func(rdf.Triple) error) (int, error) {
 
 // replaySegment applies the valid record prefix of one segment.
 // Corruption ends the segment silently; only fn errors and read errors
-// propagate.
-func replaySegment(r io.Reader, fn func(rdf.Triple) error) (int, error) {
+// propagate. The segment's format version bounds the record kinds it may
+// legitimately hold: a delete record inside a v1 segment is corruption.
+func replaySegment(r io.Reader, fn func(rdf.TripleOp) error) (int, error) {
 	br := newByteReader(r)
 	var magic [len(segMagic)]byte
-	if !br.full(magic[:]) || string(magic[:]) != segMagic {
+	if !br.full(magic[:]) {
 		return 0, br.err
+	}
+	maxKind := byte(recDel)
+	switch string(magic[:]) {
+	case segMagic:
+	case segMagicV1:
+		maxKind = recAdd
+	default:
+		return 0, nil // foreign or torn header: skip the segment
 	}
 	applied := 0
 	var hdr [8]byte
@@ -100,11 +125,11 @@ func replaySegment(r io.Reader, fn func(rdf.Triple) error) (int, error) {
 		if crc32.ChecksumIEEE(payload) != sum {
 			return applied, nil
 		}
-		t, err := decodeRecord(payload)
+		op, err := decodeRecord(payload, maxKind)
 		if err != nil {
 			return applied, nil
 		}
-		if err := fn(t); err != nil {
+		if err := fn(op); err != nil {
 			return applied, err
 		}
 		applied++

@@ -50,8 +50,12 @@ import (
 
 const (
 	// segMagic opens every segment file; the final byte is the format
-	// version, bumped on incompatible changes.
-	segMagic = "ELINDWL\x01"
+	// version, bumped on incompatible changes. Version 2 added delete
+	// records (recDel); version-1 segments hold only insertions and
+	// still replay — a v1 segment claiming a delete record is treated
+	// as corruption.
+	segMagic   = "ELINDWL\x02"
+	segMagicV1 = "ELINDWL\x01"
 	// segPrefix/segSuffix frame segment file names; the 16 hex digits in
 	// between are the segment index, so lexicographic order is replay
 	// order.
@@ -70,8 +74,11 @@ const (
 	DefaultSyncInterval = 100 * time.Millisecond
 )
 
-// recAdd is the record kind for one triple insertion.
-const recAdd = 1
+// Record kinds: one triple insertion (since v1) or deletion (since v2).
+const (
+	recAdd = 1
+	recDel = 2
+)
 
 // SyncPolicy selects when appended records reach stable storage.
 type SyncPolicy int
@@ -357,11 +364,25 @@ func (w *WAL) rotateLocked() error {
 
 // Append logs one triple insertion. When it returns nil the record is as
 // durable as the sync policy promises (SyncAlways: on stable storage).
-func (w *WAL) Append(t rdf.Triple) error { return w.AppendBatch([]rdf.Triple{t}) }
+func (w *WAL) Append(t rdf.Triple) error { return w.AppendOps([]rdf.TripleOp{rdf.Insert(t)}) }
 
-// AppendBatch logs a batch of insertions as consecutive records with one
-// durability point at the end — under SyncAlways that is one fsync for
-// the whole batch, which is what makes bulk loads affordable.
+// AppendBatch logs a batch of insertions; see AppendOps for the batch
+// durability and failure semantics.
+func (w *WAL) AppendBatch(ts []rdf.Triple) error {
+	if len(ts) == 0 {
+		return nil
+	}
+	ops := make([]rdf.TripleOp, len(ts))
+	for i, t := range ts {
+		ops[i] = rdf.Insert(t)
+	}
+	return w.AppendOps(ops)
+}
+
+// AppendOps logs a batch of mutations (insertions and deletions) as
+// consecutive records with one durability point at the end — under
+// SyncAlways that is one fsync for the whole batch, which is what makes
+// bulk loads and multi-op update requests affordable.
 //
 // Failure semantics are per-batch, not per-record: on error none of the
 // batch is acknowledged, but (like a timed-out commit) the outcome on
@@ -371,13 +392,13 @@ func (w *WAL) Append(t rdf.Triple) error { return w.AppendBatch([]rdf.Triple{t})
 // ambiguity; callers that need the strict recovered-equals-prefix-of-
 // acknowledged guarantee after an append error should treat a failed
 // batch as "state unknown" and re-check after recovery.
-func (w *WAL) AppendBatch(ts []rdf.Triple) error {
-	if len(ts) == 0 {
+func (w *WAL) AppendOps(ops []rdf.TripleOp) error {
+	if len(ops) == 0 {
 		return nil
 	}
 	var buf []byte
-	for _, t := range ts {
-		buf = appendRecord(buf, t)
+	for _, op := range ops {
+		buf = appendRecord(buf, op)
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -412,7 +433,7 @@ func (w *WAL) AppendBatch(ts []rdf.Triple) error {
 			}
 		}
 	}
-	w.stats.Appends += uint64(len(ts))
+	w.stats.Appends += uint64(len(ops))
 	return nil
 }
 
@@ -510,13 +531,17 @@ func (w *WAL) Close() error {
 
 // --- record encoding ---
 
-// appendRecord encodes one insertion record (header + payload) onto b.
-func appendRecord(b []byte, t rdf.Triple) []byte {
+// appendRecord encodes one mutation record (header + payload) onto b.
+func appendRecord(b []byte, op rdf.TripleOp) []byte {
 	payload := make([]byte, 0, 64)
-	payload = append(payload, recAdd)
-	payload = appendTerm(payload, t.S)
-	payload = appendTerm(payload, t.P)
-	payload = appendTerm(payload, t.O)
+	if op.Del {
+		payload = append(payload, recDel)
+	} else {
+		payload = append(payload, recAdd)
+	}
+	payload = appendTerm(payload, op.Triple.S)
+	payload = appendTerm(payload, op.Triple.P)
+	payload = appendTerm(payload, op.Triple.O)
 	var hdr [8]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
@@ -535,31 +560,33 @@ func appendTerm(b []byte, t rdf.Term) []byte {
 	return b
 }
 
-// decodeRecord decodes one payload back to its triple. Errors mean
-// corruption: replay treats them as a torn record.
-func decodeRecord(payload []byte) (rdf.Triple, error) {
-	if len(payload) == 0 || payload[0] != recAdd {
-		return rdf.Triple{}, fmt.Errorf("wal: unknown record kind")
+// decodeRecord decodes one payload back to its mutation op. maxKind is
+// the highest record kind the segment's format version allows (recAdd
+// for v1 segments, recDel for v2). Errors mean corruption: replay
+// treats them as a torn record.
+func decodeRecord(payload []byte, maxKind byte) (rdf.TripleOp, error) {
+	if len(payload) == 0 || payload[0] < recAdd || payload[0] > maxKind {
+		return rdf.TripleOp{}, fmt.Errorf("wal: unknown record kind")
 	}
+	op := rdf.TripleOp{Del: payload[0] == recDel}
 	rest := payload[1:]
-	var t rdf.Triple
 	var err error
-	if t.S, rest, err = decodeTerm(rest); err != nil {
-		return rdf.Triple{}, err
+	if op.Triple.S, rest, err = decodeTerm(rest); err != nil {
+		return rdf.TripleOp{}, err
 	}
-	if t.P, rest, err = decodeTerm(rest); err != nil {
-		return rdf.Triple{}, err
+	if op.Triple.P, rest, err = decodeTerm(rest); err != nil {
+		return rdf.TripleOp{}, err
 	}
-	if t.O, rest, err = decodeTerm(rest); err != nil {
-		return rdf.Triple{}, err
+	if op.Triple.O, rest, err = decodeTerm(rest); err != nil {
+		return rdf.TripleOp{}, err
 	}
 	if len(rest) != 0 {
-		return rdf.Triple{}, fmt.Errorf("wal: %d trailing bytes in record", len(rest))
+		return rdf.TripleOp{}, fmt.Errorf("wal: %d trailing bytes in record", len(rest))
 	}
-	if err := t.Validate(); err != nil {
-		return rdf.Triple{}, err
+	if err := op.Triple.Validate(); err != nil {
+		return rdf.TripleOp{}, err
 	}
-	return t, nil
+	return op, nil
 }
 
 func decodeTerm(b []byte) (rdf.Term, []byte, error) {
