@@ -29,6 +29,7 @@ benchjson: build
 	$(GO) run ./cmd/elinda-bench -experiment wal
 	$(GO) run ./cmd/elinda-bench -experiment fleet
 	$(GO) run ./cmd/elinda-bench -experiment update -persons 5000
+	$(GO) run ./cmd/elinda-bench -experiment join
 	$(GO) run ./cmd/elinda-loadgen -persons 5000 -concurrency 16 -duration 5s
 
 # benchjson-quick is the CI-sized variant: same JSON shape, smaller
@@ -41,6 +42,7 @@ benchjson-quick: build
 	$(GO) run ./cmd/elinda-bench -experiment wal -wal-records 5000
 	$(GO) run ./cmd/elinda-bench -experiment fleet -facts-persons 1000
 	$(GO) run ./cmd/elinda-bench -experiment update -persons 2000
+	$(GO) run ./cmd/elinda-bench -experiment join -join-nodes 800
 	$(GO) run ./cmd/elinda-loadgen -persons 1000 -concurrency 8 -duration 2s
 
 # bench-compare checks freshly generated BENCH_*.json files against the
@@ -54,6 +56,7 @@ bench-compare:
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_wal.json BENCH_wal.json -tolerance 3x
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_fleet.json BENCH_fleet.json -tolerance 3x
 	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_update.json BENCH_update.json -tolerance 3x
+	$(GO) run ./cmd/elinda-bench -compare bench/baselines/BENCH_join.json BENCH_join.json -tolerance 3x
 
 # lint runs the project's own invariant analyzers (internal/lint) over
 # every package: snapshot binding, zero-copy slice escapes, ctx polling

@@ -58,19 +58,22 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | store-snapshot | ingest | wal | fleet | update | all")
-		persons    = flag.Int("persons", 20000, "synthetic dataset size for timing experiments")
-		factsSize  = flag.Int("facts-persons", 2000, "dataset size for the text-fact experiments")
-		jsonOut    = flag.String("json-out", "BENCH_query.json", "machine-readable output path for the query-engine experiment")
-		storeOut   = flag.String("store-json-out", "BENCH_store.json", "machine-readable output path for the store-snapshot experiment")
-		ingestOut  = flag.String("ingest-json-out", "BENCH_ingest.json", "machine-readable output path for the ingest experiment")
-		walOut     = flag.String("wal-json-out", "BENCH_wal.json", "machine-readable output path for the wal experiment")
-		fleetOut   = flag.String("fleet-json-out", "BENCH_fleet.json", "machine-readable output path for the fleet experiment")
-		updateOut  = flag.String("update-json-out", "BENCH_update.json", "machine-readable output path for the update experiment")
-		walRecords = flag.Int("wal-records", 20000, "record count for the wal append/replay measurements (the fsync-per-append policy uses a tenth)")
-		triples    = flag.Int("triples", 1_000_000, "synthetic triple count for the store-snapshot and ingest bulk-load measurements")
-		compare    = flag.Bool("compare", false, "compare two BENCH_*.json files: -compare old.json new.json [-tolerance 3x]; exits 1 on regression")
-		tolerance  = flag.String("tolerance", "3x", "max allowed slowdown ratio for -compare")
+		experiment  = flag.String("experiment", "all", "fig4 | facts | incremental | incremental-parallel | ablation-hvs | ablation-decomposer | ablation-planner | query-engine | join | store-snapshot | ingest | wal | fleet | update | all")
+		persons     = flag.Int("persons", 20000, "synthetic dataset size for timing experiments")
+		factsSize   = flag.Int("facts-persons", 2000, "dataset size for the text-fact experiments")
+		jsonOut     = flag.String("json-out", "BENCH_query.json", "machine-readable output path for the query-engine experiment")
+		storeOut    = flag.String("store-json-out", "BENCH_store.json", "machine-readable output path for the store-snapshot experiment")
+		ingestOut   = flag.String("ingest-json-out", "BENCH_ingest.json", "machine-readable output path for the ingest experiment")
+		walOut      = flag.String("wal-json-out", "BENCH_wal.json", "machine-readable output path for the wal experiment")
+		fleetOut    = flag.String("fleet-json-out", "BENCH_fleet.json", "machine-readable output path for the fleet experiment")
+		updateOut   = flag.String("update-json-out", "BENCH_update.json", "machine-readable output path for the update experiment")
+		joinOut     = flag.String("join-json-out", "BENCH_join.json", "machine-readable output path for the join experiment")
+		joinNodes   = flag.Int("join-nodes", 4000, "graph size (nodes) for the join experiment")
+		joinExplain = flag.Bool("join-explain", false, "print the EXPLAIN plan for each join workload and configuration")
+		walRecords  = flag.Int("wal-records", 20000, "record count for the wal append/replay measurements (the fsync-per-append policy uses a tenth)")
+		triples     = flag.Int("triples", 1_000_000, "synthetic triple count for the store-snapshot and ingest bulk-load measurements")
+		compare     = flag.Bool("compare", false, "compare two BENCH_*.json files: -compare old.json new.json [-tolerance 3x]; exits 1 on regression")
+		tolerance   = flag.String("tolerance", "3x", "max allowed slowdown ratio for -compare")
 	)
 	flag.Parse()
 	log.SetFlags(0)
@@ -97,6 +100,8 @@ func main() {
 		runAblationPlanner(*persons)
 	case "query-engine":
 		runQueryEngine(*persons, *jsonOut)
+	case "join":
+		runJoin(*joinNodes, *joinOut, *joinExplain)
 	case "store-snapshot":
 		runStoreSnapshot(*triples, *persons, *storeOut)
 	case "ingest":
@@ -123,6 +128,8 @@ func main() {
 		runAblationPlanner(*persons)
 		fmt.Println()
 		runQueryEngine(*persons, *jsonOut)
+		fmt.Println()
+		runJoin(*joinNodes, *joinOut, *joinExplain)
 		fmt.Println()
 		runStoreSnapshot(*triples, *persons, *storeOut)
 		fmt.Println()
@@ -1618,4 +1625,187 @@ func isTimingKey(k string) bool {
 		return false
 	}
 	return strings.HasSuffix(k, "_ns") || strings.HasSuffix(k, "ns_op")
+}
+
+// joinBenchRow is one workload measurement in BENCH_join.json: the same
+// query under the four planner × join-operator configurations.
+type joinBenchRow struct {
+	Name string `json:"name"`
+	Rows int    `json:"rows"`
+	// ns per execution (best of 3) per configuration.
+	DPLeapfrogNs     int64 `json:"dp_leapfrog_ns"`
+	DPCascadeNs      int64 `json:"dp_cascade_ns"`
+	GreedyLeapfrogNs int64 `json:"greedy_leapfrog_ns"`
+	GreedyHashNs     int64 `json:"greedy_hash_ns"`
+	// LeapfrogSpeedup isolates the operator: DP cascade / DP leapfrog.
+	LeapfrogSpeedup float64 `json:"leapfrog_speedup"`
+	// TotalSpeedup is the full-stack claim: the greedy-ordered legacy
+	// evaluator with materializing hash joins / DP + leapfrog (the
+	// current default).
+	TotalSpeedup float64 `json:"total_speedup"`
+}
+
+// joinBenchReport is the machine-readable result of the join experiment.
+type joinBenchReport struct {
+	Experiment  string         `json:"experiment"`
+	GeneratedAt string         `json:"generated_at"`
+	Nodes       int            `json:"nodes"`
+	Triples     int            `json:"triples"`
+	Workloads   []joinBenchRow `json:"workloads"`
+}
+
+// joinGraph builds the skewed synthetic digraph the join experiment
+// queries: every node has a few random out-edges, a small set of hubs
+// has many, and type marks partition the nodes for the star workload.
+// The skew is the point — cascaded binary joins pay degree(hub) probes
+// per intermediate row exactly where the multiway intersection gallops.
+func joinGraph(nodes int) *store.Store {
+	r := rand.New(rand.NewSource(7))
+	node := func(i int) rdf.Term { return rdf.NewIRI(fmt.Sprintf("http://example.org/n%d", i)) }
+	edge := rdf.NewIRI("http://example.org/edge")
+	hub := rdf.NewIRI("http://example.org/Hub")
+	active := rdf.NewIRI("http://example.org/Active")
+
+	var ts []rdf.Triple
+	for i := 0; i < nodes; i++ {
+		deg := 16 + r.Intn(16)
+		if i < nodes/50 { // the hub slice
+			deg = nodes / 16
+			ts = append(ts, rdf.Triple{S: node(i), P: rdf.TypeIRI, O: hub})
+		}
+		if i%5 == 0 {
+			ts = append(ts, rdf.Triple{S: node(i), P: rdf.TypeIRI, O: active})
+		}
+		for k := 0; k < deg; k++ {
+			ts = append(ts, rdf.Triple{S: node(i), P: edge, O: node(r.Intn(nodes))})
+		}
+	}
+	st := store.New(len(ts))
+	if _, err := st.Load(ts); err != nil {
+		log.Fatal(err)
+	}
+	return st
+}
+
+// runJoin measures the cost-based DP planner and the leapfrog multiway
+// intersection against greedy ordering and cascaded binary joins on
+// cyclic (triangle), star and chain BGPs, and writes BENCH_join.json.
+func runJoin(nodes int, jsonOut string, explain bool) {
+	fmt.Println("== Join: DP planner + leapfrog intersection vs greedy + hash joins ==")
+	st := joinGraph(nodes)
+	fmt.Printf("dataset: %d triples (%d nodes, skewed out-degree)\n\n", st.Len(), nodes)
+
+	workloads := []struct {
+		name string
+		src  string
+	}{
+		{"triangle", `SELECT ?a ?b ?c WHERE {
+  ?a <http://example.org/edge> ?b .
+  ?b <http://example.org/edge> ?c .
+  ?c <http://example.org/edge> ?a . }`},
+		{"star", `SELECT ?s ?o WHERE {
+  ?s a <http://example.org/Hub> .
+  ?s a <http://example.org/Active> .
+  ?s <http://example.org/edge> ?o . }`},
+		{"chain", `SELECT ?a ?b ?c WHERE {
+  ?a <http://example.org/edge> ?b .
+  ?b <http://example.org/edge> ?c .
+  ?a a <http://example.org/Hub> .
+  ?c a <http://example.org/Active> . }`},
+	}
+
+	config := func(mode sparql.PlannerMode, noLeap bool) *sparql.Engine {
+		e := sparql.NewEngine(st)
+		e.Planner = mode
+		e.DisableLeapfrog = noLeap
+		return e
+	}
+	// The baseline engine is the legacy map-based evaluator: greedy
+	// planPatterns ordering plus materializing joins — the engine this PR
+	// replaces as the default execution path.
+	hash := sparql.NewEngine(st)
+	hash.UseLegacy = true
+	engines := []struct {
+		name string
+		eng  *sparql.Engine
+	}{
+		{"dp+leapfrog", config(sparql.PlannerDP, false)},
+		{"dp+cascade", config(sparql.PlannerDP, true)},
+		{"greedy+leapfrog", config(sparql.PlannerGreedy, false)},
+		{"greedy+hash", hash},
+	}
+
+	const iters = 3
+	measure := func(e *sparql.Engine, q *sparql.Query) (time.Duration, int) {
+		best := time.Duration(0)
+		rows := 0
+		for i := 0; i < iters; i++ {
+			start := time.Now()
+			res, err := e.Execute(context.Background(), q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+			rows = len(res.Rows)
+		}
+		return best, rows
+	}
+
+	report := joinBenchReport{
+		Experiment:  "join",
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Nodes:       nodes,
+		Triples:     st.Len(),
+	}
+	fmt.Printf("%-10s %9s %14s %14s %14s %14s %8s %8s\n",
+		"workload", "rows", "dp+leap", "dp+cascade", "greedy+leap", "greedy+hash", "op", "total")
+	for _, w := range workloads {
+		q, err := sparql.Parse(w.src)
+		if err != nil {
+			log.Fatalf("%s: %v", w.name, err)
+		}
+		if explain {
+			for _, c := range engines {
+				rep, err := c.eng.Explain(context.Background(), w.src)
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("-- %s / %s --\n%s", w.name, c.name, rep.String())
+			}
+		}
+		var ns [4]int64
+		rows := -1
+		for i, c := range engines {
+			d, n := measure(c.eng, q)
+			ns[i] = d.Nanoseconds()
+			if rows >= 0 && n != rows {
+				log.Fatalf("%s: %s row count diverges: %d vs %d", w.name, c.name, n, rows)
+			}
+			rows = n
+		}
+		row := joinBenchRow{
+			Name: w.name, Rows: rows,
+			DPLeapfrogNs: ns[0], DPCascadeNs: ns[1],
+			GreedyLeapfrogNs: ns[2], GreedyHashNs: ns[3],
+			LeapfrogSpeedup: float64(ns[1]) / float64(ns[0]),
+			TotalSpeedup:    float64(ns[3]) / float64(ns[0]),
+		}
+		fmt.Printf("%-10s %9d %14s %14s %14s %14s %7.2fx %7.2fx\n",
+			w.name, rows,
+			time.Duration(ns[0]).Round(time.Microsecond), time.Duration(ns[1]).Round(time.Microsecond),
+			time.Duration(ns[2]).Round(time.Microsecond), time.Duration(ns[3]).Round(time.Microsecond),
+			row.LeapfrogSpeedup, row.TotalSpeedup)
+		report.Workloads = append(report.Workloads, row)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonOut, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", jsonOut)
 }

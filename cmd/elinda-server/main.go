@@ -43,6 +43,7 @@ import (
 	"elinda/internal/metrics"
 	"elinda/internal/proxy"
 	"elinda/internal/rdf"
+	"elinda/internal/sparql"
 	"elinda/internal/store"
 	"elinda/internal/vfs"
 	"elinda/internal/wal"
@@ -74,6 +75,8 @@ func main() {
 		incRounds    = flag.Int("inc-rounds", 0, "incremental evaluation round limit k (0 = run to completion)")
 		incWorkers   = flag.Int("inc-workers", 1, "parallel shards per incremental round (<=1 = sequential)")
 		queryWorkers = flag.Int("query-workers", 0, "parallel BGP worker pool per query (0 = GOMAXPROCS, 1 = serial)")
+		planner      = flag.String("planner", "dp", "join-ordering strategy: dp | greedy | off")
+		noLeapfrog   = flag.Bool("no-leapfrog", false, "disable the multiway intersection join operator")
 
 		role = flag.String("role", "single", "process role: single | coordinator | replica | router")
 		ff   fleetFlags
@@ -100,6 +103,11 @@ func main() {
 	log.SetFlags(log.LstdFlags)
 	ff.role = *role
 
+	plannerMode, err := parsePlanner(*planner)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The replica and router roles have their own boot paths: a replica
 	// holds no local dataset (it pulls from the coordinator) and a router
 	// holds one only as the -fleet-fallback degradation rung.
@@ -112,6 +120,8 @@ func main() {
 			DisableCoalescing: *noCoalesce,
 			CacheMaxBytes:     *cacheBytes,
 			QueryWorkers:      *queryWorkers,
+			Planner:           plannerMode,
+			DisableLeapfrog:   *noLeapfrog,
 		}, *warm, *walDir, *timeout, *drain); err != nil {
 			log.Fatal(err)
 		}
@@ -186,6 +196,8 @@ func main() {
 		DisableCoalescing: *noCoalesce,
 		CacheMaxBytes:     *cacheBytes,
 		QueryWorkers:      *queryWorkers,
+		Planner:           plannerMode,
+		DisableLeapfrog:   *noLeapfrog,
 	}
 	var sys *elinda.System
 	if *remote == "" {
@@ -325,6 +337,19 @@ func main() {
 		}
 	}
 	log.Printf("bye")
+}
+
+// parsePlanner maps the -planner flag to the engine's PlannerMode.
+func parsePlanner(s string) (sparql.PlannerMode, error) {
+	switch s {
+	case "dp":
+		return sparql.PlannerDP, nil
+	case "greedy":
+		return sparql.PlannerGreedy, nil
+	case "off":
+		return sparql.PlannerOff, nil
+	}
+	return 0, fmt.Errorf("unknown -planner %q (want dp, greedy or off)", s)
 }
 
 // sweepStaleTemp removes *.tmp leftovers of interrupted atomic saves

@@ -49,6 +49,13 @@ type Updater interface {
 	Update(ctx context.Context, src string) (store.ApplyResult, error)
 }
 
+// Explainer reports a query's plan without executing it. *sparql.Engine
+// and *proxy.Proxy (over a local backend) satisfy it; an executor that
+// does not answers explain requests with 501.
+type Explainer interface {
+	Explain(ctx context.Context, src string) (*sparql.PlanReport, error)
+}
+
 // ErrReadOnly marks an update rejected because this process does not
 // own the data it serves (a remote-backed proxy, a fleet replica). An
 // Updater returning an error wrapping it is answered with 501, same as
@@ -179,11 +186,13 @@ func (s *Server) MetricsSnapshot() ServerMetrics {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	var query, update string
+	var explain bool
 	switch r.Method {
 	case http.MethodGet:
 		// The protocol forbids updates via GET: a cacheable, replayable
 		// method must not mutate, so only query= is looked for here.
 		query = r.URL.Query().Get("query")
+		explain = r.URL.Query().Get("explain") != ""
 	case http.MethodPost:
 		if mt, _, err := mime.ParseMediaType(r.Header.Get("Content-Type")); err == nil && mt == UpdateContentType {
 			// Direct POST: the body IS the update request.
@@ -200,6 +209,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			}
 			query = r.PostForm.Get("query")
 			update = r.PostForm.Get("update")
+			explain = r.PostForm.Get("explain") != ""
 		}
 	default:
 		w.Header().Set("Allow", "GET, POST")
@@ -212,6 +222,10 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 	if query == "" {
 		http.Error(w, "missing query parameter", http.StatusBadRequest)
+		return
+	}
+	if explain {
+		s.serveExplain(w, r, query)
 		return
 	}
 
@@ -390,6 +404,36 @@ func (s *Server) serveUpdate(w http.ResponseWriter, r *http.Request, src string)
 		Deleted:    res.Deleted,
 		Generation: res.To,
 	})
+}
+
+// serveExplain answers an explain=1 request with the query's plan as
+// JSON — the join order the planner chose, per-step cardinality and row
+// estimates, and the operator kinds — without executing the query.
+// Explain requests bypass the query limiter: planning touches only the
+// snapshot statistics and index offsets, never the data.
+func (s *Server) serveExplain(w http.ResponseWriter, r *http.Request, query string) {
+	ex, ok := s.exec.(Explainer)
+	if !ok {
+		http.Error(w, "executor does not support explain", http.StatusNotImplemented)
+		return
+	}
+	ctx := r.Context()
+	if s.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.Timeout)
+		defer cancel()
+	}
+	rep, err := ex.Explain(ctx, query)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		s.failures.Inc()
+	}
 }
 
 // writeError maps an execution error to its HTTP status.

@@ -83,6 +83,14 @@ type Options struct {
 	// (0 = GOMAXPROCS, 1 = serial). Only applies when the proxy builds
 	// its own local engine (New); remote backends ignore it.
 	QueryWorkers int
+	// Planner selects the backend engine's join-ordering strategy (the
+	// zero value is the cost-based DP orderer). Only applies when the
+	// proxy builds its own local engine (New).
+	Planner sparql.PlannerMode
+	// DisableLeapfrog turns off the backend engine's multiway
+	// intersection operator, forcing cascaded binary joins. Only applies
+	// when the proxy builds its own local engine (New).
+	DisableLeapfrog bool
 }
 
 // Proxy is the query router. It is safe for concurrent use.
@@ -144,6 +152,8 @@ type Trace struct {
 func New(st *store.Store, opts Options) *Proxy {
 	eng := sparql.NewEngine(st)
 	eng.Workers = opts.QueryWorkers
+	eng.Planner = opts.Planner
+	eng.DisableLeapfrog = opts.DisableLeapfrog
 	return NewWithBackend(st, eng, opts)
 }
 
@@ -216,6 +226,22 @@ func (p *Proxy) Update(ctx context.Context, src string) (store.ApplyResult, erro
 		return store.ApplyResult{}, err
 	}
 	return p.Apply(store.DeltaOf(ops...))
+}
+
+// ErrNoExplain is returned by Explain when the proxy fronts a remote
+// backend: the plan would describe the local mirror's engine, not the
+// endpoint that will actually execute the query. It wraps
+// endpoint.ErrReadOnly, so the server answers it with 501.
+var ErrNoExplain = fmt.Errorf("proxy: explain requires a local backend: %w", endpoint.ErrReadOnly)
+
+// Explain implements endpoint.Explainer by delegating to the local
+// engine. Explain always describes the backend tier's plan — the HVS and
+// decomposer tiers may still answer the real query first.
+func (p *Proxy) Explain(ctx context.Context, src string) (*sparql.PlanReport, error) {
+	if p.eng == nil {
+		return nil, ErrNoExplain
+	}
+	return p.eng.Explain(ctx, src)
 }
 
 // Query implements endpoint.Executor with the three-tier routing.

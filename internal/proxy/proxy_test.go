@@ -258,3 +258,26 @@ func TestSetOptionsPropagatesThreshold(t *testing.T) {
 		t.Error("query not cached after lowering the threshold")
 	}
 }
+
+func TestExplainLocalAndRemote(t *testing.T) {
+	st := fixture(t)
+	p := New(st, Options{})
+	rep, err := p.Explain(context.Background(), plainQuery)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "dp" {
+		t.Errorf("mode = %q, want dp", rep.Mode)
+	}
+
+	// A remote-backed proxy has no local engine to describe: 501-class.
+	backend := httptest.NewServer(endpoint.NewServer(endpoint.ExecutorFunc(
+		func(ctx context.Context, src string) (*sparql.Result, error) {
+			return &sparql.Result{}, nil
+		})))
+	defer backend.Close()
+	remote := NewWithBackend(st, endpoint.NewClient(backend.URL), Options{DisableDecomposer: true})
+	if _, err := remote.Explain(context.Background(), plainQuery); !errors.Is(err, endpoint.ErrReadOnly) {
+		t.Errorf("remote explain error = %v, want ErrReadOnly", err)
+	}
+}

@@ -18,18 +18,24 @@ import (
 // identical row sets. It reuses the random-store style of quick_test.go.
 
 // genDiffStore builds a random store over small constant pools so joins
-// actually produce matches. Literal objects are typed integers only:
-// distinct literals must never compare equal, or MIN/MAX tie-breaking
-// would depend on row order and the paths could legitimately diverge.
+// actually produce matches. About a third of the objects are drawn from
+// the subject pool, making the data graph-shaped: cyclic patterns
+// (triangles, diamonds) close with nonzero probability instead of never
+// matching. Literal objects are typed integers only: distinct literals
+// must never compare equal, or MIN/MAX tie-breaking would depend on row
+// order and the paths could legitimately diverge.
 func genDiffStore(r *rand.Rand) (*store.Store, []rdf.Triple) {
 	st := store.New(128)
 	var triples []rdf.Triple
 	n := 30 + r.Intn(50)
 	for i := 0; i < n; i++ {
 		var o rdf.Term
-		if r.Intn(4) == 0 {
+		switch {
+		case r.Intn(3) == 0:
+			o = ex(fmt.Sprintf("s%d", r.Intn(8)))
+		case r.Intn(4) == 0:
 			o = rdf.NewTypedLiteral(fmt.Sprint(r.Intn(9)+1), rdf.XSDInteger)
-		} else {
+		default:
 			o = ex(fmt.Sprintf("o%d", r.Intn(8)))
 		}
 		tr := rdf.Triple{
@@ -344,6 +350,103 @@ func TestStreamingCancellationMidLeftJoin(t *testing.T) {
 	cancel()
 	if err := <-done; err == nil {
 		t.Fatal("cancelled mid-left-join query should fail")
+	}
+}
+
+// genCyclicQuery builds the BGP shapes the leapfrog operator and the DP
+// orderer target: triangles, diamonds, and high-fanout subject stars.
+func genCyclicQuery(r *rand.Rand) *Query {
+	p := func() TermOrVar { return T(ex(fmt.Sprintf("p%d", r.Intn(4)))) }
+	var tps []TriplePattern
+	switch r.Intn(3) {
+	case 0: // triangle ?a→?b→?c→?a
+		tps = []TriplePattern{
+			{S: V("a"), P: p(), O: V("b")},
+			{S: V("b"), P: p(), O: V("c")},
+			{S: V("c"), P: p(), O: V("a")},
+		}
+	case 1: // diamond ?a→?b→?d and ?a→?c→?d
+		tps = []TriplePattern{
+			{S: V("a"), P: p(), O: V("b")},
+			{S: V("b"), P: p(), O: V("d")},
+			{S: V("a"), P: p(), O: V("c")},
+			{S: V("c"), P: p(), O: V("d")},
+		}
+	default: // star: 3-5 patterns fanning out of one subject
+		n := 3 + r.Intn(3)
+		for i := 0; i < n; i++ {
+			tps = append(tps, TriplePattern{S: V("a"), P: p(), O: diffPos(r, "o", 8, 0.5)})
+		}
+	}
+	// Shuffle so the planner, not the generator, decides the join order.
+	r.Shuffle(len(tps), func(i, j int) { tps[i], tps[j] = tps[j], tps[i] })
+	return &Query{Star: true, Where: &GroupPattern{Triples: tps}, Limit: -1}
+}
+
+// TestCyclicStarDifferential drives the cyclic and star shapes through
+// every executor variant: the legacy oracle must agree on the row set,
+// and the streaming executor must be bit-identical — including row
+// order — across worker counts and with the leapfrog operator disabled.
+func TestCyclicStarDifferential(t *testing.T) {
+	r := rand.New(rand.NewSource(512))
+	ctx := context.Background()
+	for trial := 0; trial < 300; trial++ {
+		st, _ := genDiffStore(r)
+		q := genCyclicQuery(r)
+
+		legacy := NewEngine(st)
+		legacy.UseLegacy = true
+		resL, err := legacy.Execute(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// ordered[class] collects row slices that must be bit-identical —
+		// same plan and same operators, only the worker count varies.
+		// Different operator configs (leapfrog off, greedy plan) may
+		// legitimately order the same row set differently, so they are
+		// only held to multiset equality with the oracle.
+		ordered := map[string][][]Solution{}
+		for _, cfg := range []struct {
+			workers int
+			noLeap  bool
+			noDP    bool
+		}{
+			{workers: 1}, {workers: 0}, {workers: 3},
+			{workers: 1, noLeap: true}, {workers: 0, noLeap: true},
+			{workers: 0, noDP: true},
+		} {
+			e := NewEngine(st)
+			e.Workers = cfg.workers
+			e.DisableLeapfrog = cfg.noLeap
+			if cfg.noDP {
+				e.Planner = PlannerGreedy
+			}
+			res, err := e.Execute(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sameSolutions(res.Rows, resL.Rows) {
+				t.Fatalf("trial %d cfg %+v: row set diverges from legacy (%d vs %d rows)\nquery:\n%s",
+					trial, cfg, len(res.Rows), len(resL.Rows), q)
+			}
+			class := fmt.Sprintf("leap=%v dp=%v", !cfg.noLeap, !cfg.noDP)
+			ordered[class] = append(ordered[class], res.Rows)
+		}
+		for class, runs := range ordered {
+			for i := 1; i < len(runs); i++ {
+				if len(runs[i]) != len(runs[0]) {
+					t.Fatalf("trial %d [%s]: worker variant %d returned %d rows, variant 0 returned %d\nquery:\n%s",
+						trial, class, i, len(runs[i]), len(runs[0]), q)
+				}
+				for j := range runs[i] {
+					if !sameSolutions(runs[i][j:j+1], runs[0][j:j+1]) {
+						t.Fatalf("trial %d [%s]: row %d differs between worker variants 0 and %d\nquery:\n%s",
+							trial, class, j, i, q)
+					}
+				}
+			}
+		}
 	}
 }
 

@@ -52,9 +52,18 @@ type Engine struct {
 	// set, BGP execution stays serial so the per-stage counts it guards
 	// are deterministic.
 	MaxIntermediate int
-	// DisablePlanner turns off selectivity-based join ordering (for the
-	// planner ablation bench).
+	// DisablePlanner turns off join ordering entirely (for the planner
+	// ablation bench). Equivalent to Planner = PlannerOff.
 	DisablePlanner bool
+	// Planner selects the join-ordering strategy. The zero value is the
+	// cost-based dynamic-programming orderer (PlannerDP); PlannerGreedy
+	// restores the previous greedy ordering; PlannerOff evaluates patterns
+	// in query order.
+	Planner PlannerMode
+	// DisableLeapfrog turns off the multiway sorted-merge intersection
+	// operator, forcing cascaded binary joins (for the join bench's
+	// ablation arm).
+	DisableLeapfrog bool
 	// UseLegacy routes execution through the map-based evaluator instead
 	// of the ID-space streaming executor. Both must return identical row
 	// sets; the legacy path exists as the oracle for differential tests

@@ -1,0 +1,110 @@
+package sparql
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"elinda/internal/rdf"
+	"elinda/internal/store"
+)
+
+func explainFixture(t *testing.T) *store.Store {
+	t.Helper()
+	st := store.New(64)
+	for i := 0; i < 12; i++ {
+		st.Add(rdf.Triple{
+			S: ex(fmt.Sprintf("n%d", i)),
+			P: ex("edge"),
+			O: ex(fmt.Sprintf("n%d", (i+1)%12)),
+		})
+		st.Add(rdf.Triple{S: ex(fmt.Sprintf("n%d", i)), P: rdf.TypeIRI, O: ex("Node")})
+	}
+	return st
+}
+
+func TestExplainTriangle(t *testing.T) {
+	eng := NewEngine(explainFixture(t))
+	rep, err := eng.Explain(context.Background(), `SELECT * WHERE {
+  ?a <http://example.org/edge> ?b .
+  ?b <http://example.org/edge> ?c .
+  ?c <http://example.org/edge> ?a . }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "dp" {
+		t.Errorf("mode = %q, want dp", rep.Mode)
+	}
+	if !rep.Leapfrog {
+		t.Error("leapfrog should be eligible")
+	}
+	if len(rep.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(rep.Patterns))
+	}
+	if len(rep.Steps) != 2 {
+		t.Fatalf("steps = %v, want a scan then a leapfrog group", rep.Steps)
+	}
+	if rep.Steps[0].Kind != "scan" || len(rep.Steps[0].Patterns) != 1 {
+		t.Errorf("step 0 = %+v, want a single-pattern scan", rep.Steps[0])
+	}
+	if rep.Steps[1].Kind != "leapfrog" || len(rep.Steps[1].Patterns) != 2 || rep.Steps[1].Var == "" {
+		t.Errorf("step 1 = %+v, want a 2-pattern leapfrog group", rep.Steps[1])
+	}
+	if rep.Steps[1].EstRows <= 0 {
+		t.Errorf("est_rows = %v, want > 0", rep.Steps[1].EstRows)
+	}
+	if s := rep.String(); !strings.Contains(s, "leapfrog") || !strings.Contains(s, "mode=dp") {
+		t.Errorf("rendered report:\n%s", s)
+	}
+}
+
+func TestExplainModes(t *testing.T) {
+	st := explainFixture(t)
+	src := `SELECT * WHERE {
+  ?s a <http://example.org/Node> .
+  ?s <http://example.org/edge> ?o . }`
+
+	off := NewEngine(st)
+	off.Planner = PlannerOff
+	rep, err := off.Explain(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "off" {
+		t.Errorf("mode = %q, want off", rep.Mode)
+	}
+	// Unplanned: steps keep query order and carry no row estimates.
+	if rep.Steps[0].EstRows != 0 {
+		t.Errorf("off-mode est_rows = %v, want 0", rep.Steps[0].EstRows)
+	}
+	if rep.Steps[0].Patterns[0] != rep.Patterns[0] {
+		t.Errorf("off mode must keep query order: %v vs %v", rep.Steps[0].Patterns, rep.Patterns)
+	}
+
+	noLeap := NewEngine(st)
+	noLeap.Planner = PlannerGreedy
+	noLeap.DisableLeapfrog = true
+	rep, err = noLeap.Explain(context.Background(), src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "greedy" {
+		t.Errorf("mode = %q, want greedy", rep.Mode)
+	}
+	if rep.Leapfrog {
+		t.Error("leapfrog must be reported off")
+	}
+	for _, s := range rep.Steps {
+		if s.Kind != "scan" {
+			t.Errorf("step %+v, want scans only with leapfrog disabled", s)
+		}
+	}
+}
+
+func TestExplainParseError(t *testing.T) {
+	eng := NewEngine(explainFixture(t))
+	if _, err := eng.Explain(context.Background(), "SELECT WHERE {"); err == nil {
+		t.Fatal("parse error not surfaced")
+	}
+}

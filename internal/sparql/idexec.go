@@ -441,14 +441,15 @@ func compilePattern(tp TriplePattern, slots *slotTable, d *rdf.Dict) compiledPat
 // promptly on cancellation.
 const cancelCheckInterval = 2048
 
-// bgpExec is the depth-first pattern-chain state for one executor: the
-// bound snapshot, the compiled patterns, one reusable row, and the output
-// sink. Workers of a parallel BGP each own an independent bgpExec over
-// the same snapshot.
+// bgpExec is the depth-first join-chain state for one executor: the
+// bound snapshot, the compiled join steps (single patterns or leapfrog
+// groups — see leapfrog.go), one reusable row, and the output sink.
+// Workers of a parallel BGP each own an independent bgpExec over the
+// same snapshot.
 type bgpExec struct {
 	ctx             context.Context
 	snap            *store.Snapshot
-	pats            []compiledPattern
+	steps           []joinStep
 	maxIntermediate int
 	counts          []int // per-depth row counts; nil when unguarded
 	cur             []rdf.ID
@@ -456,11 +457,11 @@ type bgpExec struct {
 	visits          int
 }
 
-// step extends cur with every match of pats[depth] and recurses. Snapshot
-// reads hold no lock, so the chain recurses directly inside the Match
-// callback — no per-depth match buffering, no lock traffic.
+// step extends cur with every match of steps[depth] and recurses.
+// Snapshot reads hold no lock, so the chain recurses directly inside the
+// Match callback — no per-depth match buffering, no lock traffic.
 func (r *bgpExec) step(depth int) error {
-	if depth == len(r.pats) {
+	if depth == len(r.steps) {
 		r.out.push(r.cur)
 		return nil
 	}
@@ -470,7 +471,11 @@ func (r *bgpExec) step(depth int) error {
 			return fmt.Errorf("sparql: %w", err)
 		}
 	}
-	cp := r.pats[depth]
+	st := &r.steps[depth]
+	if st.slot >= 0 {
+		return r.stepLeapfrog(st, depth)
+	}
+	cp := st.pats[0]
 	if cp.dead {
 		return nil
 	}
@@ -590,52 +595,49 @@ func (e *Engine) runBGP(ctx context.Context, in *idRows, tps []TriplePattern, sl
 		out.n += in.n
 		return nil
 	}
-	// Merge join: when several leaf patterns constrain the same single
-	// variable, intersect their sorted posting lists directly instead of
-	// scanning one and probing the rest row by row. Gated to
-	// MaxIntermediate == 0 because it skips the per-stage intermediate
-	// rows the size guard is defined over.
-	if e.MaxIntermediate == 0 && in.n == 1 && allUnbound(in.row(0)) {
-		in, tps = mergeLeafPatterns(env.snap, in, tps, slots)
-		if len(tps) == 0 {
-			out.data = append(out.data, in.data...)
-			out.n += in.n
-			return nil
-		}
-	}
 	pats := make([]compiledPattern, len(tps))
 	//lint:ignore ctxloop bounded by the query's pattern count, not by data size
 	for i, tp := range tps {
 		pats[i] = compilePattern(tp, slots, env.dict)
 	}
+	// Leapfrog grouping: when several patterns co-constrain the same
+	// single free variable, intersect their sorted posting lists
+	// simultaneously (see leapfrog.go). Gated to MaxIntermediate == 0
+	// because a group skips the per-stage intermediate rows the size
+	// guard is defined over, and to an empty seed row because the
+	// compile-time bound-slot simulation starts from nothing.
+	leapfrog := e.MaxIntermediate == 0 && !e.DisableLeapfrog &&
+		in.n == 1 && allUnbound(in.row(0))
+	steps := compileSteps(pats, in.w, leapfrog)
 
-	run := &bgpExec{ctx: ctx, snap: env.snap, pats: pats, out: out, cur: make([]rdf.ID, in.w)}
+	run := &bgpExec{ctx: ctx, snap: env.snap, steps: steps, out: out, cur: make([]rdf.ID, in.w)}
 	if e.MaxIntermediate > 0 {
 		run.maxIntermediate = e.MaxIntermediate
-		run.counts = make([]int, len(pats))
+		run.counts = make([]int, len(steps))
 		return run.run(in)
 	}
-	if workers := e.bgpWorkers(); workers > 1 && len(pats) > 1 {
-		return e.runBGPParallel(ctx, in, pats, out, env, workers)
+	if workers := e.bgpWorkers(); workers > 1 && len(steps) > 1 {
+		return e.runBGPParallel(ctx, in, steps, out, env, workers)
 	}
 	return run.run(in)
 }
 
-// runBGPParallel evaluates the first pattern serially (one index scan per
-// input row), then partitions the candidate rows into contiguous chunks,
-// one goroutine per chunk, each running the remaining chain into a
-// private row set over the shared immutable snapshot. The order-
-// preserving concatenation of the chunk outputs makes the result —
-// including row order — identical to serial execution.
-func (e *Engine) runBGPParallel(ctx context.Context, in *idRows, pats []compiledPattern, out *idRows, env *execEnv, workers int) error {
+// runBGPParallel evaluates the first join step serially (one index scan
+// or leapfrog intersection per input row), then partitions the candidate
+// rows into contiguous chunks, one goroutine per chunk, each running the
+// remaining chain into a private row set over the shared immutable
+// snapshot. The order-preserving concatenation of the chunk outputs
+// makes the result — including row order — identical to serial
+// execution.
+func (e *Engine) runBGPParallel(ctx context.Context, in *idRows, steps []joinStep, out *idRows, env *execEnv, workers int) error {
 	stage0 := newIDRows(in.w)
-	first := &bgpExec{ctx: ctx, snap: env.snap, pats: pats[:1], out: stage0, cur: make([]rdf.ID, in.w)}
+	first := &bgpExec{ctx: ctx, snap: env.snap, steps: steps[:1], out: stage0, cur: make([]rdf.ID, in.w)}
 	if err := first.run(in); err != nil {
 		return err
 	}
-	rest := pats[1:]
+	rest := steps[1:]
 	if stage0.n < parallelMinRows {
-		tail := &bgpExec{ctx: ctx, snap: env.snap, pats: rest, out: out, cur: make([]rdf.ID, in.w)}
+		tail := &bgpExec{ctx: ctx, snap: env.snap, steps: rest, out: out, cur: make([]rdf.ID, in.w)}
 		return tail.run(stage0)
 	}
 	if workers > stage0.n {
@@ -659,7 +661,7 @@ func (e *Engine) runBGPParallel(ctx context.Context, in *idRows, pats []compiled
 		wg.Add(1)
 		go func(wi, lo, hi int, wout *idRows) {
 			defer wg.Done()
-			run := &bgpExec{ctx: ctx, snap: env.snap, pats: rest, out: wout, cur: make([]rdf.ID, in.w)}
+			run := &bgpExec{ctx: ctx, snap: env.snap, steps: rest, out: wout, cur: make([]rdf.ID, in.w)}
 			part := &idRows{w: stage0.w, n: hi - lo, data: stage0.data[lo*stage0.w : hi*stage0.w]}
 			errs[wi] = run.run(part)
 		}(wi, lo, hi, wout)
@@ -677,113 +679,6 @@ func (e *Engine) runBGPParallel(ctx context.Context, in *idRows, pats []compiled
 		}
 	}
 	return nil
-}
-
-// mergeLeafPatterns looks for the first variable constrained by two or
-// more single-variable patterns (all other positions constant), fetches
-// each pattern's sorted posting list from the snapshot, and
-// merge-intersects them into seed rows binding that variable. The
-// consumed patterns are removed from the chain; every triple is distinct,
-// so each pattern contributes a value at most once and the intersection
-// is exactly the join the pattern chain would have produced.
-func mergeLeafPatterns(snap *store.Snapshot, in *idRows, tps []TriplePattern, slots *slotTable) (*idRows, []TriplePattern) {
-	d := snap.Dict()
-	singleVar := func(tp TriplePattern) (string, bool) {
-		name, n := "", 0
-		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
-			if tv.IsVar {
-				name = tv.Name
-				n++
-			}
-		}
-		return name, n == 1
-	}
-	byVar := map[string][]int{}
-	target := ""
-	for i, tp := range tps {
-		v, ok := singleVar(tp)
-		if !ok {
-			continue
-		}
-		byVar[v] = append(byVar[v], i)
-		if target == "" && len(byVar[v]) == 2 {
-			target = v
-		}
-	}
-	if target == "" {
-		return in, tps
-	}
-
-	var merged []rdf.ID
-	for k, i := range byVar[target] {
-		var pat [3]rdf.ID
-		dead := false
-		for j, tv := range []TermOrVar{tps[i].S, tps[i].P, tps[i].O} {
-			if tv.IsVar {
-				pat[j] = rdf.NoID
-				continue
-			}
-			id, ok := d.Lookup(tv.Term)
-			if !ok {
-				dead = true
-				break
-			}
-			pat[j] = id
-		}
-		var ids []rdf.ID
-		if !dead {
-			ids, _ = snap.Postings(pat[0], pat[1], pat[2])
-		}
-		if k == 0 {
-			merged = ids
-		} else {
-			merged = intersectSorted(merged, ids)
-		}
-		if len(merged) == 0 {
-			break
-		}
-	}
-
-	slot := slots.index[target]
-	seeded := newIDRows(in.w)
-	row := make([]rdf.ID, in.w)
-	for _, id := range merged {
-		row[slot] = id
-		seeded.push(row)
-	}
-	rest := make([]TriplePattern, 0, len(tps))
-	consumed := make(map[int]bool, len(byVar[target]))
-	for _, i := range byVar[target] {
-		consumed[i] = true
-	}
-	for i, tp := range tps {
-		if !consumed[i] {
-			rest = append(rest, tp)
-		}
-	}
-	return seeded, rest
-}
-
-// intersectSorted linearly merges two sorted ID lists into their
-// intersection. The output is freshly allocated: the inputs may be
-// zero-copy views of the snapshot's columnar indexes and must never be
-// written to.
-func intersectSorted(a, b []rdf.ID) []rdf.ID {
-	var out []rdf.ID
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
 }
 
 // idHashJoin joins two ID row sets on the slots bound in both sides'

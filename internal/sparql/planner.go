@@ -1,84 +1,402 @@
 package sparql
 
 import (
+	"math"
+	"slices"
 	"sort"
 
 	"elinda/internal/rdf"
 	"elinda/internal/store"
 )
 
-// planPatterns orders a BGP's triple patterns for evaluation: most
-// selective first, then greedily preferring patterns that share a
-// variable with what is already bound (index-backed joins instead of
-// cross products). This mirrors what a production engine (the paper's
-// Virtuoso) does before executing; the decomposer still wins on the
-// expansion queries because their cost is the materialized intermediate
-// result, not the join order.
+// Join ordering. The engine orders a BGP's triple patterns before
+// execution so that index-backed joins run selective-first and cross
+// products are deferred as long as possible. Two strategies exist:
 //
-// Selectivity is estimated from the store's actual cardinalities: a
-// pattern's score is the number of triples matching its bound positions.
+//   - PlannerDP (default): cost-based dynamic programming over pattern
+//     subsets. Per-pattern cardinalities are exact (CardMatch on the
+//     columnar indexes); join cardinalities are estimated from the
+//     snapshot's statistics (per-predicate distinct subject/object
+//     counts, characteristic sets) under the independence assumption,
+//     with a characteristic-set override for subject stars. The cost
+//     metric is Cout — the sum of estimated intermediate result sizes
+//     (Neumann & Moerkotte). Left-deep plans only: the executor is a
+//     streaming pipeline, so bushy plans would buy nothing.
+//   - PlannerGreedy: the previous behaviour — cheapest pattern first,
+//     then cheapest pattern connected to the bound variable set.
+//
+// DP is exponential in the pattern count, so BGPs larger than
+// dpMaxPatterns fall back to greedy. Both strategies are deterministic:
+// ties always resolve to the earlier candidate.
+
+// PlannerMode selects the join-ordering strategy.
+type PlannerMode int
+
+const (
+	// PlannerDP is cost-based dynamic-programming join ordering (default).
+	PlannerDP PlannerMode = iota
+	// PlannerGreedy is greedy selectivity ordering.
+	PlannerGreedy
+	// PlannerOff evaluates patterns in query order.
+	PlannerOff
+)
+
+// dpMaxPatterns caps the BGP size the subset-DP orderer handles; larger
+// groups fall back to greedy ordering. 10 patterns → 1024 subsets.
+const dpMaxPatterns = 10
+
+func (e *Engine) plannerMode() PlannerMode {
+	if e.DisablePlanner {
+		return PlannerOff
+	}
+	return e.Planner
+}
+
+// plannedStep is one pattern in the chosen join order, with the
+// estimates the planner used (surfaced by EXPLAIN).
+type plannedStep struct {
+	tp      TriplePattern
+	card    float64 // standalone cardinality of the pattern (exact)
+	estRows float64 // estimated cumulative rows after joining it
+}
+
+// planPatterns orders a BGP's triple patterns for evaluation.
 func (e *Engine) planPatterns(snap *store.Snapshot, tps []TriplePattern) []TriplePattern {
-	if e.DisablePlanner || len(tps) <= 1 {
+	steps := e.planBGP(snap, tps)
+	if steps == nil {
 		return tps
 	}
-	type scored struct {
-		tp   TriplePattern
-		card int
+	out := make([]TriplePattern, len(steps))
+	for i, s := range steps {
+		out[i] = s.tp
 	}
-	items := make([]scored, len(tps))
+	return out
+}
+
+// planBGP runs the configured ordering strategy and returns the ordered
+// patterns with their estimates. A nil return means "keep query order".
+func (e *Engine) planBGP(snap *store.Snapshot, tps []TriplePattern) []plannedStep {
+	if e.plannerMode() == PlannerOff || len(tps) <= 1 {
+		return nil
+	}
+	infos, ok := analyzePatterns(snap, tps)
+	if !ok {
+		return nil
+	}
+	if e.plannerMode() == PlannerDP && len(tps) <= dpMaxPatterns {
+		return orderDP(snap.PlanStats(), infos)
+	}
+	return orderGreedy(infos)
+}
+
+// patInfo is the planner's per-pattern working state.
+type patInfo struct {
+	tp   TriplePattern
+	card float64 // exact standalone cardinality
+	vars uint64  // bitmask of variable indices the pattern binds
+	// slot[k] is the variable index at position k (S=0, P=1, O=2), or -1
+	// for a constant. dv[k] estimates the distinct values the variable at
+	// position k takes within this pattern's matches (0 for constants).
+	slot [3]int
+	dv   [3]float64
+	// pred is the constant predicate's ID when the predicate position is
+	// a dictionary-known constant.
+	pred   rdf.ID
+	predOK bool
+}
+
+// analyzePatterns resolves constants, assigns variable indices, and
+// derives per-variable distinct-value estimates from the snapshot
+// statistics. Returns ok=false when the query is out of the planner's
+// model (more than 64 distinct variables).
+func analyzePatterns(snap *store.Snapshot, tps []TriplePattern) ([]patInfo, bool) {
+	ps := snap.PlanStats()
+	varIdx := map[string]int{}
+	infos := make([]patInfo, len(tps))
 	for i, tp := range tps {
-		items[i] = scored{tp: tp, card: estimate(snap, tp)}
-	}
-	sort.SliceStable(items, func(i, j int) bool { return items[i].card < items[j].card })
-
-	// Greedy connectivity ordering: always pick the cheapest remaining
-	// pattern connected to the bound variable set; fall back to the
-	// cheapest overall when nothing connects.
-	bound := map[string]struct{}{}
-	markBound := func(tp TriplePattern) {
-		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
-			if tv.IsVar {
-				bound[tv.Name] = struct{}{}
+		in := &infos[i]
+		in.tp = tp
+		in.card = float64(estimate(snap, tp))
+		for k, tv := range [3]TermOrVar{tp.S, tp.P, tp.O} {
+			in.slot[k] = -1
+			if !tv.IsVar {
+				continue
 			}
-		}
-	}
-	connected := func(tp TriplePattern) bool {
-		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
-			if tv.IsVar {
-				if _, ok := bound[tv.Name]; ok {
-					return true
+			v, ok := varIdx[tv.Name]
+			if !ok {
+				v = len(varIdx)
+				if v >= 64 {
+					return nil, false
 				}
+				varIdx[tv.Name] = v
+			}
+			in.slot[k] = v
+			in.vars |= 1 << v
+		}
+		if !tp.P.IsVar {
+			if id, ok := snap.Dict().Lookup(tp.P.Term); ok {
+				in.pred, in.predOK = id, true
 			}
 		}
-		return false
+		for k := range in.slot {
+			if in.slot[k] >= 0 {
+				in.dv[k] = distinctValues(ps, in, k)
+			}
+		}
+	}
+	return infos, true
+}
+
+// distinctValues estimates how many distinct values the variable at
+// position k takes within the pattern's matches, clamped to
+// [1, max(card, 1)] — a variable can never take more distinct values
+// than the pattern has matching triples.
+func distinctValues(ps *store.PlanStats, in *patInfo, k int) float64 {
+	dv := math.Max(in.card, 1)
+	if ps != nil {
+		switch k {
+		case 0: // subject
+			if st, ok := predStat(ps, in); ok {
+				dv = float64(st.DistinctS)
+			} else if ps.Subjects > 0 {
+				dv = float64(ps.Subjects)
+			}
+		case 1: // predicate
+			if len(ps.Preds) > 0 {
+				dv = float64(len(ps.Preds))
+			}
+		case 2: // object
+			if st, ok := predStat(ps, in); ok {
+				dv = float64(st.DistinctO)
+			} else if ps.Objects > 0 {
+				dv = float64(ps.Objects)
+			}
+		}
+	}
+	return math.Min(math.Max(dv, 1), math.Max(in.card, 1))
+}
+
+func predStat(ps *store.PlanStats, in *patInfo) (store.PredStat, bool) {
+	if !in.predOK {
+		return store.PredStat{}, false
+	}
+	return ps.PredStatOf(in.pred)
+}
+
+// joinFactor returns the selectivity divisor for joining pattern in
+// against already-bound variables: the product of the pattern's
+// distinct-value counts over its positions whose variable is bound
+// (System R's independence assumption, using the incoming pattern's
+// side of 1/max(V_a, V_b); the incoming pattern is the more local, and
+// usually the smaller, estimate).
+func joinFactor(in *patInfo, boundVars uint64) float64 {
+	f := 1.0
+	for k, v := range in.slot {
+		if v >= 0 && boundVars&(1<<v) != 0 {
+			f *= in.dv[k]
+		}
+	}
+	return f
+}
+
+// joinRows estimates the rows produced by joining pattern in against an
+// intermediate result of prevRows rows binding boundVars.
+func joinRows(prevRows float64, in *patInfo, boundVars uint64) float64 {
+	return prevRows * in.card / joinFactor(in, boundVars)
+}
+
+// starOverride replaces the independence estimate with a
+// characteristic-set estimate when the subset is a pure subject star:
+// every pattern shares the same subject variable, has a constant known
+// predicate, and its object is a constant or a variable private to that
+// pattern. Returns ok=false when the shape or the statistics don't
+// allow it.
+func starOverride(ps *store.PlanStats, infos []patInfo, mask uint64) (float64, bool) {
+	if ps == nil || bitsSet(mask) < 2 {
+		return 0, false
+	}
+	subj := -1
+	var preds []rdf.ID
+	var objVars uint64
+	for i := range infos {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		in := &infos[i]
+		if in.slot[0] < 0 || !in.predOK {
+			return 0, false
+		}
+		if subj < 0 {
+			subj = in.slot[0]
+		} else if in.slot[0] != subj {
+			return 0, false
+		}
+		if v := in.slot[2]; v >= 0 {
+			if v == subj || objVars&(1<<v) != 0 {
+				return 0, false
+			}
+			objVars |= 1 << v
+		} else {
+			// Constant objects restrict the star below what the
+			// characteristic sets describe.
+			return 0, false
+		}
+		preds = append(preds, in.pred)
+	}
+	slices.Sort(preds)
+	preds = slices.Compact(preds)
+	return ps.StarCard(preds)
+}
+
+func bitsSet(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// orderDP picks the left-deep join order minimizing Cout (the sum of
+// estimated intermediate result sizes) by dynamic programming over
+// pattern subsets. Cross products are never pruned — they just cost
+// what they cost — so disconnected BGPs need no special casing: the DP
+// naturally joins each component down before crossing. Deterministic:
+// subsets ascend, candidates ascend, and only a strictly better cost
+// replaces an entry.
+func orderDP(ps *store.PlanStats, infos []patInfo) []plannedStep {
+	n := len(infos)
+	full := uint64(1)<<n - 1
+	type dpEntry struct {
+		cost float64 // Cout over the subset's intermediates
+		rows float64 // estimated rows of the subset's join result
+		last int     // pattern joined last
+		prev uint64  // subset before last was joined
+	}
+	dp := make(map[uint64]dpEntry, 1<<n)
+	for i := range infos {
+		dp[1<<uint(i)] = dpEntry{cost: 0, rows: infos[i].card, last: i, prev: 0}
+	}
+	for mask := uint64(1); mask <= full; mask++ {
+		if bitsSet(mask) < 2 {
+			continue
+		}
+		best := dpEntry{cost: math.Inf(1)}
+		var rowsOverride float64
+		hasOverride := false
+		if r, ok := starOverride(ps, infos, mask); ok {
+			rowsOverride, hasOverride = r, true
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			prev := mask &^ (1 << uint(i))
+			pe, ok := dp[prev]
+			if !ok {
+				continue
+			}
+			prevVars := subsetVars(infos, prev)
+			rows := joinRows(pe.rows, &infos[i], prevVars)
+			if hasOverride {
+				rows = rowsOverride
+			}
+			cost := pe.cost + rows
+			if cost < best.cost {
+				best = dpEntry{cost: cost, rows: rows, last: i, prev: prev}
+			}
+		}
+		if !math.IsInf(best.cost, 1) {
+			dp[mask] = best
+		}
 	}
 
-	out := make([]TriplePattern, 0, len(items))
-	used := make([]bool, len(items))
-	for len(out) < len(items) {
+	// Reconstruct the order by walking back from the full set.
+	steps := make([]plannedStep, n)
+	for mask := full; mask != 0; {
+		en := dp[mask]
+		steps[bitsSet(mask)-1] = plannedStep{
+			tp:      infos[en.last].tp,
+			card:    infos[en.last].card,
+			estRows: en.rows,
+		}
+		mask = en.prev
+	}
+	return steps
+}
+
+func subsetVars(infos []patInfo, mask uint64) uint64 {
+	var vars uint64
+	for i := range infos {
+		if mask&(1<<uint(i)) != 0 {
+			vars |= infos[i].vars
+		}
+	}
+	return vars
+}
+
+// orderGreedy is selectivity-first greedy ordering: sort by standalone
+// cardinality, then repeatedly pick the cheapest remaining pattern
+// connected to the bound variable set. When nothing connects (the BGP
+// has several components), the fallback picks the pattern whose
+// component restarts cheapest — minimizing the estimated blowup of the
+// forced cross product: its own cardinality times the best follow-up
+// join selectivity any connected unused pattern would then enjoy,
+// rather than its raw cardinality alone.
+func orderGreedy(infos []patInfo) []plannedStep {
+	order := make([]int, len(infos))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return infos[order[a]].card < infos[order[b]].card
+	})
+
+	used := make([]bool, len(infos))
+	var boundVars uint64
+	rows := 1.0
+	steps := make([]plannedStep, 0, len(infos))
+	take := func(i int) {
+		rows = joinRows(rows, &infos[i], boundVars)
+		boundVars |= infos[i].vars
+		used[i] = true
+		steps = append(steps, plannedStep{tp: infos[i].tp, card: infos[i].card, estRows: rows})
+	}
+	for len(steps) < len(infos) {
 		pick := -1
-		for i, it := range items {
+		for _, i := range order {
 			if used[i] {
 				continue
 			}
-			if len(out) == 0 || connected(it.tp) {
+			if len(steps) == 0 || infos[i].vars&boundVars != 0 {
 				pick = i
 				break
 			}
 		}
 		if pick < 0 {
-			for i := range items {
-				if !used[i] {
+			// Cross-product fallback: minimize estimated blowup.
+			bestBlowup := math.Inf(1)
+			for _, i := range order {
+				if used[i] {
+					continue
+				}
+				follow, haveFollow := 1.0, false
+				for _, j := range order {
+					if used[j] || j == i || infos[j].vars&infos[i].vars == 0 {
+						continue
+					}
+					if s := infos[j].card / joinFactor(&infos[j], infos[i].vars); !haveFollow || s < follow {
+						follow, haveFollow = s, true
+					}
+				}
+				if blowup := infos[i].card * follow; blowup < bestBlowup {
+					bestBlowup = blowup
 					pick = i
-					break
 				}
 			}
 		}
-		used[pick] = true
-		out = append(out, items[pick].tp)
-		markBound(items[pick].tp)
+		take(pick)
 	}
-	return out
+	return steps
 }
 
 // estimate returns the snapshot cardinality of the pattern's constant

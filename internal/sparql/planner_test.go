@@ -117,6 +117,106 @@ func TestPlannerUnknownConstantFirst(t *testing.T) {
 	}
 }
 
+// crossProducts counts the plan positions that share no variable with
+// everything planned before them (the forced cross products).
+func crossProducts(tps []TriplePattern) int {
+	bound := map[string]bool{}
+	n := 0
+	for i, tp := range tps {
+		conn := false
+		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+			if tv.IsVar && bound[tv.Name] {
+				conn = true
+			}
+		}
+		if i > 0 && !conn {
+			n++
+		}
+		for _, tv := range []TermOrVar{tp.S, tp.P, tp.O} {
+			if tv.IsVar {
+				bound[tv.Name] = true
+			}
+		}
+	}
+	return n
+}
+
+// TestPlannerDisconnectedBGP: a BGP with two components must cross
+// exactly once — each component is joined down before the product — in
+// every planner mode, and the results must agree with the unplanned
+// order.
+func TestPlannerDisconnectedBGP(t *testing.T) {
+	st := store.New(1024)
+	var ts []rdf.Triple
+	for i := 0; i < 50; i++ {
+		ts = append(ts, rdf.Triple{S: ex(fmt.Sprintf("a%d", i)), P: ex("p1"), O: ex(fmt.Sprintf("b%d", i%7))})
+		ts = append(ts, rdf.Triple{S: ex(fmt.Sprintf("b%d", i%7)), P: ex("p2"), O: ex(fmt.Sprintf("c%d", i%3))})
+		if i < 4 {
+			ts = append(ts, rdf.Triple{S: ex(fmt.Sprintf("x%d", i)), P: ex("p3"), O: ex(fmt.Sprintf("y%d", i))})
+		}
+	}
+	if _, err := st.Load(ts); err != nil {
+		t.Fatal(err)
+	}
+	tps := []TriplePattern{
+		{S: V("a"), P: T(ex("p1")), O: V("b")},
+		{S: V("x"), P: T(ex("p3")), O: V("y")},
+		{S: V("b"), P: T(ex("p2")), O: V("c")},
+	}
+	for _, mode := range []PlannerMode{PlannerDP, PlannerGreedy} {
+		e := NewEngine(st)
+		e.Planner = mode
+		planned := e.planPatterns(st.Snapshot(), tps)
+		if got := crossProducts(planned); got != 1 {
+			t.Errorf("mode %v: %d cross products in plan %v, want 1", mode, got, planned)
+		}
+		q := &Query{Star: true, Where: &GroupPattern{Triples: tps}, Limit: -1}
+		res, err := e.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off := NewEngine(st)
+		off.DisablePlanner = true
+		want, err := off.Execute(context.Background(), q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSolutions(res.Rows, want.Rows) {
+			t.Errorf("mode %v: planner changed results: %d vs %d rows", mode, len(res.Rows), len(want.Rows))
+		}
+	}
+}
+
+// TestGreedyCrossProductBlowup pins the greedy fallback's choice when a
+// cross product is forced: it must pick the component whose estimated
+// blowup (own cardinality × best follow-up join selectivity) is
+// smallest, not the component with the smallest raw cardinality.
+func TestGreedyCrossProductBlowup(t *testing.T) {
+	pat := func(name string, v string) TriplePattern {
+		return TriplePattern{S: V(v), P: T(ex(name)), O: T(ex("o"))}
+	}
+	// Component A (vars v1): cheapRoot card 10, but its only join partner
+	// joins almost unselectively (dv 2 over card 1000 → 500 rows/row).
+	// Component B (vars v2): card 50 root with a perfectly selective
+	// partner (dv 1000 over card 1000 → 1 row/row).
+	infos := []patInfo{
+		{tp: pat("lone", "v0"), card: 5, vars: 1 << 0, slot: [3]int{0, -1, -1}, dv: [3]float64{5}},
+		{tp: pat("cheapRoot", "v1"), card: 10, vars: 1 << 1, slot: [3]int{1, -1, -1}, dv: [3]float64{10}},
+		{tp: pat("cheapFollow", "v1"), card: 1000, vars: 1 << 1, slot: [3]int{1, -1, -1}, dv: [3]float64{2}},
+		{tp: pat("wideRoot", "v2"), card: 50, vars: 1 << 2, slot: [3]int{2, -1, -1}, dv: [3]float64{50}},
+		{tp: pat("wideFollow", "v2"), card: 1000, vars: 1 << 2, slot: [3]int{2, -1, -1}, dv: [3]float64{1000}},
+	}
+	steps := orderGreedy(infos)
+	if steps[0].tp.P.Term != ex("lone") {
+		t.Fatalf("steps[0] = %v, want the cheapest pattern", steps[0].tp)
+	}
+	// The first forced cross product: blowup(cheapRoot) = 10×500 = 5000,
+	// blowup(wideRoot) = 50×1 = 50 → wideRoot must win despite 50 > 10.
+	if steps[1].tp.P.Term != ex("wideRoot") {
+		t.Errorf("fallback picked %v, want wideRoot (smallest estimated blowup)", steps[1].tp)
+	}
+}
+
 // BenchmarkPlannerEffect quantifies the ordering win on the selective
 // fixture (the planner ablation).
 func BenchmarkPlannerEffect(b *testing.B) {

@@ -23,7 +23,7 @@ import (
 //
 // Layout (all integers little-endian):
 //
-//	[8]  magic "ELINDSN\x01" (version byte last)
+//	[8]  magic "ELINDSN\x02" (version byte last)
 //	u64  generation
 //	u32  nTerms, nTriples
 //	u32  typeID, subClassID, labelID
@@ -32,11 +32,19 @@ import (
 //	log:  [3*nTriples]u32 (S,P,O per triple, insertion order)
 //	3 × permutation index (SPO, POS, OSP), each 5 arrays prefixed with a
 //	      u32 count: aKeys, aOff, bKeys, bOff, c
+//	planner statistics (version ≥ 2; see planstats.go):
+//	      u32 nPreds, then nPreds × (u32 pred, count, distinctS, distinctO)
+//	      u32 charSetSubjects, u32 nCharSets, then per set:
+//	      u32 k, [k]u32 preds, u32 count, [k]u32 occ
 //	u32  CRC-32 (IEEE) of every preceding byte
+//
+// Version 1 files (no statistics section) still load; their statistics
+// are recomputed from the indexes after hydration.
 
 const (
-	snapshotMagic   = "ELINDSN\x01" // bump the final byte on format changes
-	snapshotMaxSane = 1 << 31       // upper bound for any count field
+	snapshotMagic      = "ELINDSN\x02" // bump the final byte on format changes
+	snapshotVersionMin = 1             // oldest version the reader accepts
+	snapshotMaxSane    = 1 << 31       // upper bound for any count field
 )
 
 // --- writing ---
@@ -238,6 +246,12 @@ func writeSnapshot(snap *Snapshot, w io.Writer) error {
 		}
 	}
 
+	// Planner statistics (version 2 section): replicas hydrate them
+	// instead of recomputing at load.
+	if err := writePlanStats(cw, snap.base.planStats(), scratch); err != nil {
+		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+
 	// Trailing checksum (not part of its own coverage).
 	var b [4]byte
 	binary.LittleEndian.PutUint32(b[:], cw.sum)
@@ -246,6 +260,42 @@ func writeSnapshot(snap *Snapshot, w io.Writer) error {
 	}
 	if err := cw.w.Flush(); err != nil {
 		return fmt.Errorf("store: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// writePlanStats serializes the planner statistics section (format
+// version 2); see the layout comment at the top of the file.
+func writePlanStats(cw *crcWriter, ps *PlanStats, scratch []byte) error {
+	flat := make([]uint32, 0, 4*len(ps.Preds))
+	for _, st := range ps.Preds {
+		flat = append(flat, uint32(st.Pred), st.Count, st.DistinctS, st.DistinctO)
+	}
+	if err := cw.writeU32(uint32(len(ps.Preds))); err != nil {
+		return err
+	}
+	if err := writeU32Slice(cw, flat, scratch); err != nil {
+		return err
+	}
+	if err := cw.writeU32(uint32(ps.CharSetSubjects)); err != nil {
+		return err
+	}
+	if err := cw.writeU32(uint32(len(ps.CharSets))); err != nil {
+		return err
+	}
+	for _, cs := range ps.CharSets {
+		if err := cw.writeU32(uint32(len(cs.Preds))); err != nil {
+			return err
+		}
+		if err := writeU32Slice(cw, cs.Preds, scratch); err != nil {
+			return err
+		}
+		if err := cw.writeU32(cs.Count); err != nil {
+			return err
+		}
+		if err := writeU32Slice(cw, cs.Occ, scratch); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -436,8 +486,9 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 	if string(magic[:7]) != snapshotMagic[:7] {
 		return nil, snapErr("bad magic %q: not an eLinda snapshot", magic)
 	}
-	if magic[7] != snapshotMagic[7] {
-		return nil, snapErr("unsupported snapshot version %d (want %d)", magic[7], snapshotMagic[7])
+	version := int(magic[7])
+	if version < snapshotVersionMin || version > int(snapshotMagic[7]) {
+		return nil, snapErr("unsupported snapshot version %d (want %d..%d)", version, snapshotVersionMin, snapshotMagic[7])
 	}
 
 	generation, err := cr.readU64()
@@ -531,6 +582,18 @@ func ReadSnapshot(r io.Reader) (*Store, error) {
 		if err := readPerm(cr, p, nTriples, nTerms, scratch); err != nil {
 			return nil, snapErr("permutation %d: %v", pi, err)
 		}
+	}
+
+	// Planner statistics: hydrated from version ≥ 2 files, recomputed
+	// from the indexes for version 1.
+	if version >= 2 {
+		stats, err := readPlanStats(cr, base, nTerms, scratch)
+		if err != nil {
+			return nil, snapErr("planner statistics: %v", err)
+		}
+		base.stats = stats
+	} else {
+		base.stats = computePlanStats(base)
 	}
 
 	// Checksum trailer (compare before trusting anything further).
@@ -662,4 +725,109 @@ func readPerm(cr *crcReader, p *permIndex, nTriples, nTerms int, scratch []byte)
 	}
 	p.aKeys, p.aOff, p.bKeys, p.bOff, p.c = aKeys, aOff, bKeys, bOff, c
 	return nil
+}
+
+// readPlanStats decodes the planner-statistics section and validates it
+// against the already-loaded indexes: the per-predicate rows must agree
+// exactly with the POS index (predicate set, triple counts, distinct
+// objects are all derivable from its offsets), and the characteristic
+// sets must be structurally sound. A file whose statistics disagree with
+// its own indexes is corrupt and fails loudly.
+func readPlanStats(cr *crcReader, base *columnar, nTerms int, scratch []byte) (*PlanStats, error) {
+	ps := &PlanStats{
+		Triples:  base.n,
+		Subjects: len(base.spo.aKeys),
+		Objects:  len(base.osp.aKeys),
+	}
+	nPreds, err := cr.readU32()
+	if err != nil {
+		return nil, err
+	}
+	pos := &base.pos
+	if int(nPreds) != len(pos.aKeys) {
+		return nil, fmt.Errorf("statistics cover %d predicates, index has %d", nPreds, len(pos.aKeys))
+	}
+	flat, err := readU32Slice[uint32](cr, 4*int(nPreds), scratch)
+	if err != nil {
+		return nil, err
+	}
+	ps.Preds = make([]PredStat, nPreds)
+	for i := range ps.Preds {
+		st := PredStat{
+			Pred:      rdf.ID(flat[4*i]),
+			Count:     flat[4*i+1],
+			DistinctS: flat[4*i+2],
+			DistinctO: flat[4*i+3],
+		}
+		if st.Pred != pos.aKeys[i] {
+			return nil, fmt.Errorf("predicate row %d is %d, index has %d", i, st.Pred, pos.aKeys[i])
+		}
+		if want := pos.bOff[pos.aOff[i+1]] - pos.bOff[pos.aOff[i]]; st.Count != want {
+			return nil, fmt.Errorf("predicate %d count %d disagrees with index (%d)", st.Pred, st.Count, want)
+		}
+		if want := pos.aOff[i+1] - pos.aOff[i]; st.DistinctO != want {
+			return nil, fmt.Errorf("predicate %d distinct objects %d disagrees with index (%d)", st.Pred, st.DistinctO, want)
+		}
+		if st.DistinctS == 0 || int(st.DistinctS) > ps.Subjects || st.DistinctS > st.Count {
+			return nil, fmt.Errorf("predicate %d has implausible distinct subjects %d", st.Pred, st.DistinctS)
+		}
+		ps.Preds[i] = st
+	}
+	covered, err := cr.readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(covered) > ps.Subjects {
+		return nil, fmt.Errorf("characteristic sets cover %d subjects, store has %d", covered, ps.Subjects)
+	}
+	ps.CharSetSubjects = int(covered)
+	nSets, err := cr.readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(nSets) > ps.Subjects || nSets > uint32(maxCharSets) {
+		return nil, fmt.Errorf("implausible characteristic-set count %d", nSets)
+	}
+	ps.CharSets = make([]CharSet, nSets)
+	var sum uint64
+	for i := range ps.CharSets {
+		k, err := cr.readU32()
+		if err != nil {
+			return nil, err
+		}
+		if k == 0 || k > nPreds {
+			return nil, fmt.Errorf("characteristic set %d has implausible size %d", i, k)
+		}
+		preds, err := readU32Slice[rdf.ID](cr, int(k), scratch)
+		if err != nil {
+			return nil, err
+		}
+		for j, p := range preds {
+			if !validSnapID(p, nTerms) || (j > 0 && p <= preds[j-1]) {
+				return nil, fmt.Errorf("characteristic set %d predicates not strictly increasing valid IDs", i)
+			}
+		}
+		count, err := cr.readU32()
+		if err != nil {
+			return nil, err
+		}
+		occ, err := readU32Slice[uint32](cr, int(k), scratch)
+		if err != nil {
+			return nil, err
+		}
+		if count == 0 {
+			return nil, fmt.Errorf("characteristic set %d has zero subjects", i)
+		}
+		for _, o := range occ {
+			if o < count || int(o) > base.n {
+				return nil, fmt.Errorf("characteristic set %d has implausible occurrence counts", i)
+			}
+		}
+		sum += uint64(count)
+		ps.CharSets[i] = CharSet{Preds: preds, Count: count, Occ: occ}
+	}
+	if sum != uint64(covered) {
+		return nil, fmt.Errorf("characteristic-set subject counts sum to %d, header says %d", sum, covered)
+	}
+	return ps, nil
 }

@@ -283,6 +283,9 @@ type columnar struct {
 	spo permIndex
 	pos permIndex
 	osp permIndex
+	// stats is the planner statistics bundle, computed once per base
+	// build (see planstats.go) and immutable like everything else here.
+	stats *PlanStats
 }
 
 // buildColumnar packs the (duplicate-free) log into the three columnar
@@ -305,14 +308,17 @@ func buildColumnar(log []rdf.EncodedTriple) *columnar {
 		build(&col.spo, cmpSPO, keySPO)
 		build(&col.pos, cmpPOS, keyPOS)
 		build(&col.osp, cmpOSP, keyOSP)
-		return col
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); build(&col.pos, cmpPOS, keyPOS) }()
+		go func() { defer wg.Done(); build(&col.osp, cmpOSP, keyOSP) }()
+		build(&col.spo, cmpSPO, keySPO)
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() { defer wg.Done(); build(&col.pos, cmpPOS, keyPOS) }()
-	go func() { defer wg.Done(); build(&col.osp, cmpOSP, keyOSP) }()
-	build(&col.spo, cmpSPO, keySPO)
-	wg.Wait()
+	// Planner statistics are part of every base build: one linear pass,
+	// far cheaper than the three sorts above.
+	col.stats = computePlanStats(col)
 	return col
 }
 

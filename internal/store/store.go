@@ -179,6 +179,9 @@ func compacted(snap *Snapshot) *Snapshot {
 		pos: mergePerm(&snap.base.pos, out.deltaPOS, keyPOS),
 		osp: mergePerm(&snap.base.osp, out.deltaOSP, keyOSP),
 	}
+	// Statistics are recomputed at every base publication so they always
+	// describe exactly the triples the new base covers.
+	out.base.stats = computePlanStats(out.base)
 	out.deltaSPO, out.deltaPOS, out.deltaOSP = nil, nil, nil
 	return &out
 }
